@@ -1,0 +1,168 @@
+// Package amber is a Go implementation of the Amber system (Chase, Amador,
+// Lazowska, Levy, Littlefield — SOSP 1989): a runtime that lets one parallel
+// program run across a network of shared-memory multiprocessor nodes as a
+// single machine.
+//
+// Programs are collections of passive objects in a network-wide shared
+// object space. Objects are invoked location-transparently: if the object is
+// on another node, the calling thread ships there (function shipping) and
+// continues. Placement is explicit — MoveTo, Locate, Attach/Unattach and
+// runtime immutability give the program full control of locality, which is
+// what makes loosely-coupled performance predictable.
+//
+// A minimal program:
+//
+//	cl, _ := amber.NewCluster(amber.ClusterConfig{Nodes: 2, ProcsPerNode: 4})
+//	defer cl.Close()
+//	cl.Register(&Counter{})
+//	ctx := cl.Node(0).Root()
+//	ref, _ := ctx.New(&Counter{})
+//	ctx.MoveTo(ref, 1)                  // place the object on node 1
+//	out, _ := ctx.Invoke(ref, "Add", 5) // thread ships to node 1 and back
+//
+// User classes are plain Go structs registered with Register; operations are
+// their exported methods, optionally taking a *amber.Ctx first parameter for
+// runtime services (nested invocation, thread creation, blocking).
+// See README.md for the full tour and DESIGN.md for how this implementation
+// maps onto the paper.
+package amber
+
+import (
+	"amber/internal/amsync"
+	"amber/internal/core"
+	"amber/internal/gaddr"
+	"amber/internal/sched"
+	"amber/internal/transport"
+	"amber/internal/wire"
+)
+
+// Core type surface (aliases into the runtime).
+type (
+	// Ref is a reference to an object in the global object space; valid on
+	// every node of the cluster.
+	Ref = core.Ref
+	// Ctx is an Amber thread's execution context; operations receive it as
+	// an optional first parameter.
+	Ctx = core.Ctx
+	// Thread is a handle to a started thread (Start/Join, §2.1).
+	Thread = core.Thread
+	// Cluster is an in-process Amber deployment.
+	Cluster = core.Cluster
+	// ClusterConfig configures NewCluster.
+	ClusterConfig = core.ClusterConfig
+	// Node is one cluster member.
+	Node = core.Node
+	// NodeID identifies a node.
+	NodeID = gaddr.NodeID
+	// NetProfile models the network's latency and bandwidth.
+	NetProfile = transport.NetProfile
+	// Registry maps user classes to dispatch tables; a Cluster owns one.
+	Registry = core.Registry
+	// MoveGuard lets a class veto migration (see core.MoveGuard).
+	MoveGuard = core.MoveGuard
+)
+
+// NilRef is the null object reference.
+const NilRef = core.NilRef
+
+// Network profiles.
+var (
+	// Instant injects no network delay (functional testing).
+	Instant = transport.Instant
+	// Ethernet1989 reproduces the paper's 10 Mbit/s Ethernet + Topaz RPC
+	// economics (remote ≈ 3 orders of magnitude dearer than local).
+	Ethernet1989 = transport.Ethernet1989
+	// FastLAN approximates a modern 10 GbE link.
+	FastLAN = transport.FastLAN
+)
+
+// Errors (see the core package for semantics).
+var (
+	ErrNoSuchObject      = core.ErrNoSuchObject
+	ErrDeleted           = core.ErrDeleted
+	ErrUnknownMethod     = core.ErrUnknownMethod
+	ErrUnknownType       = core.ErrUnknownType
+	ErrNotMovable        = core.ErrNotMovable
+	ErrMoveTimeout       = core.ErrMoveTimeout
+	ErrImmutableDelete   = core.ErrImmutableDelete
+	ErrRoutingLost       = core.ErrRoutingLost
+	ErrBadArgument       = core.ErrBadArgument
+	ErrImmutableViolated = core.ErrImmutableViolated
+	ErrNotAttached       = core.ErrNotAttached
+)
+
+// NewCluster starts an in-process cluster of cfg.Nodes nodes with
+// cfg.ProcsPerNode processor slots each, connected by a fabric with
+// cfg.Profile delays. Node 0 hosts the address-space server.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return core.NewCluster(cfg) }
+
+// NewRegistry creates a standalone class registry (to share between
+// clusters).
+func NewRegistry() *Registry { return core.NewRegistry() }
+
+// Call invokes an operation and returns its first result — the common
+// single-result convenience over Ctx.Invoke.
+func Call(ctx *Ctx, obj Ref, method string, args ...any) (any, error) {
+	out, err := ctx.Invoke(obj, method, args...)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out[0], nil
+}
+
+// RegisterWireType makes a concrete type transmissible inside interface-
+// typed argument and result slots (gob registration). Object classes are
+// registered automatically by Cluster.Register.
+func RegisterWireType(v any) { wire.Register(v) }
+
+// Synchronization classes (§2.2): mobile, remotely-invocable objects.
+type (
+	// Lock is a relinquishing mutual-exclusion lock.
+	Lock = amsync.Lock
+	// SpinLock is a non-relinquishing lock.
+	SpinLock = amsync.SpinLock
+	// RWLock is a writer-preferring readers/writer lock.
+	RWLock = amsync.RWLock
+	// Barrier synchronizes a fixed party of threads, reusable by epoch.
+	Barrier = amsync.Barrier
+	// Monitor is the mutual-exclusion half of a monitor.
+	Monitor = amsync.Monitor
+	// CondVar is a condition variable bound to a Monitor.
+	CondVar = amsync.CondVar
+	// Semaphore is a counting semaphore.
+	Semaphore = amsync.Semaphore
+	// Event is a one-shot broadcast flag.
+	Event = amsync.Event
+)
+
+// NewBarrier returns a barrier for n parties.
+func NewBarrier(n int) *Barrier { return amsync.NewBarrier(n) }
+
+// NewCondVar returns a condition variable for the given monitor object.
+func NewCondVar(mon Ref) *CondVar { return amsync.NewCondVar(mon) }
+
+// NewSemaphore returns a semaphore with n permits.
+func NewSemaphore(n int) *Semaphore { return amsync.NewSemaphore(n) }
+
+// RegisterSyncClasses registers every synchronization class with a cluster
+// (or registry).
+func RegisterSyncClasses(r interface{ Register(v any) error }) error {
+	return amsync.RegisterAll(r)
+}
+
+// Scheduling policies (§2.1): install with Node.Scheduler().SetPolicy at any
+// time.
+var (
+	// FIFOPolicy runs threads in arrival order (the default).
+	FIFOPolicy = sched.NewFIFO
+	// LIFOPolicy runs the most recently ready thread first.
+	LIFOPolicy = sched.NewLIFO
+	// PriorityPolicy runs the highest-priority thread first.
+	PriorityPolicy = sched.NewPriority
+	// AdaptivePolicy is a multilevel-feedback discipline that demotes
+	// threads burning whole timeslices and favours blocking ones.
+	AdaptivePolicy = sched.NewAdaptive
+)

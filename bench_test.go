@@ -1,0 +1,408 @@
+// Benchmarks regenerating the paper's evaluation artifacts. One benchmark
+// family per table/figure (see DESIGN.md §4 and EXPERIMENTS.md):
+//
+//   - BenchmarkTable1*      — E1: the five primitive operations. Run here
+//     over the no-delay fabric (raw runtime cost); cmd/amber-bench measures
+//     the same operations under the 1989 Ethernet profile for the
+//     paper-comparable numbers.
+//   - BenchmarkFig2/Fig3*   — E3/E4: the SOR speedup studies on the DES
+//     model (virtual time; the benchmark measures model execution).
+//   - BenchmarkSection4*    — E5–E7: Amber vs Ivy microbenchmarks.
+//   - BenchmarkE8/E9*       — ablations (forwarding chains, mobility).
+//   - BenchmarkResidencyCheck — E10: what the §3.5 entry protocol costs on
+//     the local fast path.
+package amber
+
+import (
+	"testing"
+
+	"amber/internal/ivy"
+	"amber/internal/perf"
+	"amber/internal/sor"
+	"amber/internal/transport"
+)
+
+type benchCounter struct{ N int }
+
+func (c *benchCounter) Poke() int { c.N++; return c.N }
+
+func benchCluster(b *testing.B, nodes, procs int, profile NetProfile) *Cluster {
+	b.Helper()
+	cl, err := NewCluster(ClusterConfig{
+		Nodes: nodes, ProcsPerNode: procs, Profile: profile, Registry: NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Close)
+	if err := cl.Register(&benchCounter{}); err != nil {
+		b.Fatal(err)
+	}
+	return cl
+}
+
+// --- Table 1 (E1) ---
+
+func BenchmarkTable1ObjectCreate(b *testing.B) {
+	cl := benchCluster(b, 1, 4, Instant)
+	ctx := cl.Node(0).Root()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.New(&benchCounter{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1LocalInvoke(b *testing.B) {
+	cl := benchCluster(b, 1, 4, Instant)
+	ctx := cl.Node(0).Root()
+	ref, _ := ctx.New(&benchCounter{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Invoke(ref, "Poke"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1RemoteInvoke(b *testing.B) {
+	cl := benchCluster(b, 2, 4, Instant)
+	ctx := cl.Node(0).Root()
+	ref, _ := cl.Node(1).Root().New(&benchCounter{})
+	if _, err := ctx.Invoke(ref, "Poke"); err != nil { // warm location cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Invoke(ref, "Poke"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1ObjectMove(b *testing.B) {
+	cl := benchCluster(b, 2, 4, Instant)
+	ctx := cl.Node(0).Root()
+	ref, _ := ctx.New(&benchCounter{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ctx.MoveTo(ref, NodeID((i+1)%2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1ThreadStartJoin(b *testing.B) {
+	cl := benchCluster(b, 1, 4, Instant)
+	ctx := cl.Node(0).Root()
+	ref, _ := ctx.New(&benchCounter{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th, err := ctx.StartThread(ref, "Poke")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ctx.Join(th); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E10: residency-check overhead on the local fast path ---
+
+func BenchmarkResidencyCheckInvokePath(b *testing.B) {
+	// The full local invocation: entry protocol (pin + residency check,
+	// §3.5), reflective dispatch, unpin.
+	cl := benchCluster(b, 1, 4, Instant)
+	ctx := cl.Node(0).Root()
+	ref, _ := ctx.New(&benchCounter{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Invoke(ref, "Poke")
+	}
+}
+
+func BenchmarkResidencyCheckBareCall(b *testing.B) {
+	// Baseline: the same operation as a direct Go method call — the cost a
+	// co-residency-optimized inline call would pay (§3.6).
+	c := &benchCounter{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Poke()
+	}
+}
+
+// --- Figure 2 (E3): SOR speedup model ---
+
+func benchFig2(b *testing.B, nodes, procs, sections int, overlap bool) {
+	b.Helper()
+	cfg := perf.SORConfig{
+		Nodes: nodes, ProcsPerNode: procs, Sections: sections,
+		Rows: perf.PaperGridRows, Cols: perf.PaperGridCols,
+		Iters: 10, Overlap: overlap, Model: perf.CVAX1989,
+	}
+	var last perf.SORPoint
+	for i := 0; i < b.N; i++ {
+		pt, err := perf.SimulateSOR(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pt
+	}
+	b.ReportMetric(last.Speedup, "speedup")
+	b.ReportMetric(float64(last.Messages), "model-msgs")
+}
+
+func BenchmarkFig2SOR1Nx1P(b *testing.B)          { benchFig2(b, 1, 1, 8, true) }
+func BenchmarkFig2SOR1Nx4P(b *testing.B)          { benchFig2(b, 1, 4, 8, true) }
+func BenchmarkFig2SOR2Nx2P(b *testing.B)          { benchFig2(b, 2, 2, 8, true) }
+func BenchmarkFig2SOR4Nx1P(b *testing.B)          { benchFig2(b, 4, 1, 8, true) }
+func BenchmarkFig2SOR4Nx4P(b *testing.B)          { benchFig2(b, 4, 4, 8, true) }
+func BenchmarkFig2SOR8Nx4P(b *testing.B)          { benchFig2(b, 8, 4, 8, true) }
+func BenchmarkFig2SOR8Nx4PNoOverlap(b *testing.B) { benchFig2(b, 8, 4, 8, false) }
+
+// --- Figure 3 (E4): SOR speedup vs problem size at 4Nx4P ---
+
+func benchFig3(b *testing.B, rows, cols int) {
+	b.Helper()
+	cfg := perf.SORConfig{
+		Nodes: 4, ProcsPerNode: 4, Sections: 8,
+		Rows: rows, Cols: cols, Iters: 10, Overlap: true, Model: perf.CVAX1989,
+	}
+	var last perf.SORPoint
+	for i := 0; i < b.N; i++ {
+		pt, err := perf.SimulateSOR(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = pt
+	}
+	b.ReportMetric(last.Speedup, "speedup")
+}
+
+func BenchmarkFig3SORTiny(b *testing.B)  { benchFig3(b, 31, 211) }  // ≈1/16 of the paper grid
+func BenchmarkFig3SORSmall(b *testing.B) { benchFig3(b, 61, 421) }  // ≈1/4
+func BenchmarkFig3SORPaper(b *testing.B) { benchFig3(b, 122, 842) } // the "X" point
+func BenchmarkFig3SORLarge(b *testing.B) { benchFig3(b, 244, 1684) }
+
+// --- Real-runtime SOR (functional; supplements the model) ---
+
+func BenchmarkSORRealRuntime2Nx2P(b *testing.B) {
+	reg := NewRegistry()
+	cl, err := NewCluster(ClusterConfig{Nodes: 2, ProcsPerNode: 2, Registry: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	if err := sor.RegisterAll(cl); err != nil {
+		b.Fatal(err)
+	}
+	cfg := sor.Config{
+		Problem: sor.DefaultProblem(34, 34), Omega: 1.5, Eps: 1e-3,
+		MaxIters: 2000, Sections: 2, Overlap: true, ComputeThreads: 2,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sor.RunDistributed(cl, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSORSequentialBaseline(b *testing.B) {
+	p := sor.DefaultProblem(34, 34)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sor.SolveSequential(p, 1.5, 1e-3, 2000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Section 4 comparisons (E5–E7) ---
+
+func BenchmarkSection4Locks(b *testing.B) {
+	var rows []perf.CompareRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = perf.LockContention(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].Msgs), "amber-msgs")
+	b.ReportMetric(float64(rows[1].Msgs), "ivy-msgs")
+}
+
+func BenchmarkSection4FalseSharing(b *testing.B) {
+	var rows []perf.CompareRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = perf.FalseSharing(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].Msgs), "amber-msgs")
+	b.ReportMetric(float64(rows[1].Msgs), "ivy-msgs")
+}
+
+func BenchmarkSection4BigObject(b *testing.B) {
+	var rows []perf.CompareRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = perf.BigObject(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].Msgs), "amber-ship-msgs")
+	b.ReportMetric(float64(rows[2].Msgs), "ivy-msgs")
+}
+
+// --- E8/E9 ablations ---
+
+func BenchmarkE8ForwardingChains(b *testing.B) {
+	var rows []perf.ChainRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = perf.ForwardingChains(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.FirstMsgs), "chain-msgs")
+	b.ReportMetric(float64(last.SecondMsgs), "cached-msgs")
+}
+
+func BenchmarkE9Mobility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := perf.MobilityAblation(4, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- supporting micro-benchmarks ---
+
+func BenchmarkThreadSpawnOnly(b *testing.B) {
+	cl := benchCluster(b, 1, 4, Instant)
+	ctx := cl.Node(0).Root()
+	ref, _ := ctx.New(&benchCounter{})
+	threads := make([]Thread, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th, err := ctx.StartThread(ref, "Poke")
+		if err != nil {
+			b.Fatal(err)
+		}
+		threads = append(threads, th)
+	}
+	b.StopTimer()
+	for _, th := range threads {
+		ctx.Join(th)
+	}
+}
+
+func BenchmarkRemoteInvoke1989Profile(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1989 profile bench sleeps ~8ms per op")
+	}
+	cl := benchCluster(b, 2, 4, transport.Ethernet1989)
+	ctx := cl.Node(0).Root()
+	ref, _ := cl.Node(1).Root().New(&benchCounter{})
+	ctx.Invoke(ref, "Poke")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Invoke(ref, "Poke"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ivy DSM micro-benchmarks (the §4 comparator's own costs) ---
+
+func BenchmarkIvyLocalWrite(b *testing.B) {
+	s, err := ivy.NewSystem(ivy.Config{Nodes: 2, PageSize: 4096, NumPages: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	n := s.Node(0)
+	n.WriteU64(0, 1) // own the page
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.WriteU64(0, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIvyPagePingPong(b *testing.B) {
+	s, err := ivy.NewSystem(ivy.Config{Nodes: 2, PageSize: 4096, NumPages: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Node(i%2).WriteU64(0, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIvyReadFaultAndCachedRead(b *testing.B) {
+	s, err := ivy.NewSystem(ivy.Config{Nodes: 2, PageSize: 4096, NumPages: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	s.Node(0).WriteU64(0, 7)
+	s.Node(1).ReadU64(0) // fault once
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Node(1).ReadU64(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11IvySOR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ivy.SolveSOR(ivy.SORConfig{
+			Rows: 18, Cols: 18, Omega: 1.5, Eps: 1e-3,
+			MaxIters: 1000, Workers: 2, PageSize: 256,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Msgs), "dsm-msgs")
+		}
+	}
+}
+
+func BenchmarkE11AmberSOR(b *testing.B) {
+	reg := NewRegistry()
+	cl, err := NewCluster(ClusterConfig{Nodes: 2, ProcsPerNode: 1, Registry: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	if err := sor.RegisterAll(cl); err != nil {
+		b.Fatal(err)
+	}
+	cfg := sor.Config{
+		Problem: sor.DefaultProblem(18, 18), Omega: 1.5, Eps: 1e-3,
+		MaxIters: 1000, Sections: 2, Overlap: true, ComputeThreads: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sor.RunDistributed(cl, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

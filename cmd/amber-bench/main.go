@@ -1,0 +1,173 @@
+// amber-bench regenerates every table and figure of the paper's evaluation
+// (see DESIGN.md §4 for the experiment index):
+//
+//	table1     — §5 Table 1: latency of the five primitive operations,
+//	             measured on the real runtime under the 1989 profile.
+//	fig2       — §6 Figure 2: SOR speedup per node×processor configuration
+//	             (DES model of the Firefly testbed).
+//	fig3       — §6 Figure 3: SOR speedup vs problem size at 4Nx4P.
+//	locks      — §4.1: lock contention, Amber vs Ivy page-DSM.
+//	falseshare — §4.2: sub-page false sharing.
+//	bigobject  — §4.2: scanning an object larger than a page.
+//	ivysor     — E11: the SOR application on Amber vs on the Ivy DSM (the
+//	             head-to-head §6 could not run).
+//	forwarding — §3.3 ablation: forwarding chains and chain caching.
+//	sensitivity— E12: the §5 prediction (faster CPUs vs enduring latency).
+//	mobility   — §2.3 ablation: attachment and immutable replication.
+//	all        — everything above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"amber/internal/perf"
+	"amber/internal/transport"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run (see -help)")
+		iters      = flag.Int("iters", 0, "iterations/critical sections per experiment (0 = sensible default)")
+		profile    = flag.String("profile", "1989", "network profile for table1: 1989 | instant | fastlan")
+	)
+	flag.Parse()
+
+	prof := transport.Ethernet1989
+	switch *profile {
+	case "1989":
+	case "instant":
+		prof = transport.Instant
+	case "fastlan":
+		prof = transport.FastLAN
+	default:
+		log.Fatalf("unknown profile %q", *profile)
+	}
+
+	runs := map[string]func() error{
+		"table1": func() error {
+			n := orDefault(*iters, 25)
+			fmt.Printf("(measuring %d iterations per operation under the %s profile)\n", n, *profile)
+			rows, err := perf.MeasureTable1(n, prof)
+			if err != nil {
+				return err
+			}
+			fmt.Print(perf.FormatTable1(rows))
+			return nil
+		},
+		"fig2": func() error {
+			pts, err := perf.RunFigure2(orDefault(*iters, 25))
+			if err != nil {
+				return err
+			}
+			fmt.Print(perf.FormatSOR(
+				"Figure 2: SOR speedup, 122x842 grid (DES model, CVAX/Ethernet 1989 calibration)",
+				pts, false))
+			return nil
+		},
+		"fig3": func() error {
+			pts, err := perf.RunFigure3(orDefault(*iters, 25))
+			if err != nil {
+				return err
+			}
+			fmt.Print(perf.FormatSOR(
+				"Figure 3: SOR speedup vs problem size at 4Nx4P (DES model)",
+				pts, true))
+			return nil
+		},
+		"locks": func() error {
+			rows, err := perf.LockContention(orDefault(*iters, 50))
+			if err != nil {
+				return err
+			}
+			fmt.Print(perf.FormatCompare(
+				"E5 (§4.1): lock contention across two nodes — messages per critical section",
+				rows))
+			return nil
+		},
+		"falseshare": func() error {
+			rows, err := perf.FalseSharing(orDefault(*iters, 50))
+			if err != nil {
+				return err
+			}
+			fmt.Print(perf.FormatCompare(
+				"E6 (§4.2): false sharing of small data items",
+				rows))
+			return nil
+		},
+		"bigobject": func() error {
+			rows, err := perf.BigObject(64)
+			if err != nil {
+				return err
+			}
+			fmt.Print(perf.FormatCompare(
+				"E7 (§4.2): one node scans a remote 64 KiB object",
+				rows))
+			return nil
+		},
+		"forwarding": func() error {
+			rows, err := perf.ForwardingChains(6)
+			if err != nil {
+				return err
+			}
+			fmt.Print(perf.FormatChains(rows))
+			return nil
+		},
+		"ivysor": func() error {
+			rows, err := perf.CompareSORSystems(34, 34, 4, 5000)
+			if err != nil {
+				return err
+			}
+			fmt.Print(perf.FormatSORCompare(rows, 34, 34))
+			return nil
+		},
+		"sensitivity": func() error {
+			rows, err := perf.RunSensitivity(orDefault(*iters, 25))
+			if err != nil {
+				return err
+			}
+			fmt.Print(perf.FormatSensitivity(rows))
+			return nil
+		},
+		"mobility": func() error {
+			rows, err := perf.MobilityAblation(6, orDefault(*iters, 20))
+			if err != nil {
+				return err
+			}
+			fmt.Print(perf.FormatMobility(rows))
+			return nil
+		},
+	}
+
+	order := []string{"table1", "fig2", "fig3", "locks", "falseshare", "bigobject", "ivysor", "forwarding", "mobility", "sensitivity"}
+	var selected []string
+	if *experiment == "all" {
+		selected = order
+	} else {
+		if _, ok := runs[*experiment]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: all %s\n",
+				*experiment, strings.Join(order, " "))
+			os.Exit(2)
+		}
+		selected = []string{*experiment}
+	}
+	for i, name := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := runs[name](); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func orDefault(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}

@@ -1,0 +1,97 @@
+// amber-sor runs the paper's Red/Black SOR application (§6) on the real
+// runtime, either as a single verified solve or as a configuration sweep,
+// and can print the Figure 1 program structure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"amber"
+	"amber/internal/sor"
+)
+
+func main() {
+	var (
+		rows      = flag.Int("rows", 66, "grid rows (including boundary)")
+		cols      = flag.Int("cols", 66, "grid columns (including boundary)")
+		nodes     = flag.Int("nodes", 4, "cluster nodes")
+		procs     = flag.Int("procs", 2, "processors per node")
+		sections  = flag.Int("sections", 0, "sections (0 = one per node)")
+		overlap   = flag.Bool("overlap", true, "overlap edge exchange with compute")
+		omega     = flag.Float64("omega", 1.5, "over-relaxation factor")
+		eps       = flag.Float64("eps", 1e-4, "convergence threshold")
+		iters     = flag.Int("max-iters", 20000, "iteration cap")
+		sweep     = flag.Bool("sweep", false, "run a node×proc sweep instead of one solve")
+		structure = flag.Bool("print-structure", false, "print the Figure 1 structure and exit")
+	)
+	flag.Parse()
+
+	if *structure {
+		s := *sections
+		if s == 0 {
+			s = *nodes
+		}
+		fmt.Print(sor.PrintStructure(s))
+		return
+	}
+
+	p := sor.DefaultProblem(*rows, *cols)
+	want, wantIters, err := sor.SolveSequential(p, *omega, *eps, *iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(nodes, procs, secs int, overlap bool) {
+		cl, err := amber.NewCluster(amber.ClusterConfig{
+			Nodes: nodes, ProcsPerNode: procs, Registry: amber.NewRegistry(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cl.Close()
+		if err := sor.RegisterAll(cl); err != nil {
+			log.Fatal(err)
+		}
+		res, err := sor.RunDistributed(cl, sor.Config{
+			Problem: p, Omega: *omega, Eps: *eps, MaxIters: *iters,
+			Sections: secs, Overlap: overlap, ComputeThreads: procs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "OK"
+		if d := sor.MaxAbsDiff(want, res.Grid); d > 1e-9 || res.Iters != wantIters {
+			status = fmt.Sprintf("MISMATCH (Δ=%g, iters %d vs %d)", d, res.Iters, wantIters)
+		}
+		label := fmt.Sprintf("%dNx%dP", nodes, procs)
+		if !overlap {
+			label += " (no overlap)"
+		}
+		fmt.Printf("%-22s sections=%-3d iters=%-6d wall=%-12v msgs=%-8d verify=%s\n",
+			label, secs, res.Iters, res.Elapsed.Round(1e6),
+			cl.NetStats().Value("msgs_sent"), status)
+	}
+
+	fmt.Printf("grid %dx%d, omega=%.2f, eps=%g (sequential: %d iterations)\n",
+		*rows, *cols, *omega, *eps, wantIters)
+	fmt.Println(strings.Repeat("-", 96))
+	if !*sweep {
+		secs := *sections
+		if secs == 0 {
+			secs = *nodes
+		}
+		run(*nodes, *procs, secs, *overlap)
+		return
+	}
+	for _, c := range [][2]int{{1, 1}, {1, 2}, {2, 1}, {2, 2}, {4, 1}, {4, 2}} {
+		secs := *sections
+		if secs == 0 {
+			secs = c[0]
+		}
+		run(c[0], c[1], secs, true)
+	}
+	run(4, 2, 4, false)
+}

@@ -1,0 +1,76 @@
+package amber_test
+
+import (
+	"fmt"
+
+	"amber"
+)
+
+// Temperature is a tiny user class for the examples.
+type Temperature struct{ Celsius float64 }
+
+// Set stores a reading.
+func (t *Temperature) Set(v float64) { t.Celsius = v }
+
+// Get returns the reading.
+func (t *Temperature) Get() float64 { return t.Celsius }
+
+// Example shows the core loop: create an object, place it, invoke it
+// transparently from another node.
+func Example() {
+	cl, err := amber.NewCluster(amber.ClusterConfig{Nodes: 2, ProcsPerNode: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer cl.Close()
+	cl.Register(&Temperature{})
+
+	ctx := cl.Node(0).Root()
+	ref, _ := ctx.New(&Temperature{})
+	ctx.MoveTo(ref, 1) // place the object on node 1
+
+	// The invocation function-ships to node 1 and back.
+	ctx.Invoke(ref, "Set", 21.5)
+	v, _ := amber.Call(ctx, ref, "Get")
+	loc, _ := ctx.Locate(ref)
+	fmt.Printf("%.1f°C stored on node %d\n", v, loc)
+	// Output: 21.5°C stored on node 1
+}
+
+// ExampleCtx_StartThread shows Start/Join (§2.1): the thread begins at the
+// object, wherever it lives.
+func ExampleCtx_StartThread() {
+	cl, _ := amber.NewCluster(amber.ClusterConfig{Nodes: 2, ProcsPerNode: 2})
+	defer cl.Close()
+	cl.Register(&Temperature{})
+
+	ctx := cl.Node(0).Root()
+	ref, _ := ctx.NewAt(1, &Temperature{})
+	th, _ := ctx.StartThread(ref, "Set", 30.0)
+	ctx.Join(th)
+	v, _ := amber.Call(ctx, ref, "Get")
+	fmt.Println(v)
+	// Output: 30
+}
+
+// ExampleCtx_SetImmutable shows replicate-on-move for read-only data (§2.3).
+func ExampleCtx_SetImmutable() {
+	cl, _ := amber.NewCluster(amber.ClusterConfig{Nodes: 3, ProcsPerNode: 1})
+	defer cl.Close()
+	cl.Register(&Temperature{})
+
+	ctx := cl.Node(0).Root()
+	ref, _ := ctx.New(&Temperature{Celsius: 4})
+	ctx.SetImmutable(ref)
+	// MoveTo now copies; each node ends up with a local replica.
+	ctx.MoveTo(ref, 1)
+	ctx.MoveTo(ref, 2)
+	for n := 0; n < 3; n++ {
+		v, _ := amber.Call(cl.Node(n).Root(), ref, "Get")
+		fmt.Println(v)
+	}
+	// Output:
+	// 4
+	// 4
+	// 4
+}

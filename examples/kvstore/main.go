@@ -1,0 +1,178 @@
+// KVStore: a sharded key/value store built from mobile objects. Each shard
+// is an object placed on some node; clients route operations by key hash and
+// the runtime function-ships them to the right node. A directory object maps
+// shards to references. The example then *rebalances* the store at runtime
+// with MoveTo — the dynamic reorganization §2.3 motivates — while clients
+// keep operating, and finally verifies the contents.
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"log"
+
+	"amber"
+)
+
+// Shard holds one partition of the keyspace.
+type Shard struct {
+	Index int
+	Data  map[string]string
+	Ops   int
+}
+
+// Put stores a key.
+func (s *Shard) Put(k, v string) {
+	if s.Data == nil {
+		s.Data = make(map[string]string)
+	}
+	s.Data[k] = v
+	s.Ops++
+}
+
+// Get fetches a key; the bool reports presence.
+func (s *Shard) Get(k string) (string, bool) {
+	v, ok := s.Data[k]
+	s.Ops++
+	return v, ok
+}
+
+// Len reports the shard's size.
+func (s *Shard) Len() int { return len(s.Data) }
+
+// Directory maps the keyspace to shard references. It is itself an object:
+// clients anywhere can ask it for routing.
+type Directory struct {
+	Shards []amber.Ref
+}
+
+// Lookup returns the shard reference for a key.
+func (d *Directory) Lookup(k string) amber.Ref {
+	h := fnv.New32a()
+	h.Write([]byte(k))
+	return d.Shards[int(h.Sum32())%len(d.Shards)]
+}
+
+// Store is a thin client bound to a directory.
+type Store struct {
+	ctx *amber.Ctx
+	dir amber.Ref
+}
+
+// Put routes a write.
+func (s *Store) Put(k, v string) error {
+	out, err := s.ctx.Invoke(s.dir, "Lookup", k)
+	if err != nil {
+		return err
+	}
+	_, err = s.ctx.Invoke(out[0].(amber.Ref), "Put", k, v)
+	return err
+}
+
+// Get routes a read.
+func (s *Store) Get(k string) (string, bool, error) {
+	out, err := s.ctx.Invoke(s.dir, "Lookup", k)
+	if err != nil {
+		return "", false, err
+	}
+	res, err := s.ctx.Invoke(out[0].(amber.Ref), "Get", k)
+	if err != nil {
+		return "", false, err
+	}
+	return res[0].(string), res[1].(bool), nil
+}
+
+func main() {
+	const (
+		nodes  = 4
+		shards = 8
+		keys   = 200
+	)
+	cl, err := amber.NewCluster(amber.ClusterConfig{Nodes: nodes, ProcsPerNode: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	for _, v := range []any{&Shard{}, &Directory{}} {
+		if err := cl.Register(v); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ctx := cl.Node(0).Root()
+
+	// Create shards and spread them across the nodes.
+	dir := &Directory{}
+	for i := 0; i < shards; i++ {
+		ref, err := ctx.New(&Shard{Index: i})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ctx.MoveTo(ref, amber.NodeID(i%nodes)); err != nil {
+			log.Fatal(err)
+		}
+		dir.Shards = append(dir.Shards, ref)
+	}
+	dref, err := ctx.New(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The directory is read-mostly routing state: freeze and replicate it
+	// so lookups are local on every node.
+	if err := ctx.SetImmutable(dref); err != nil {
+		log.Fatal(err)
+	}
+	for n := amber.NodeID(1); n < nodes; n++ {
+		if err := ctx.MoveTo(dref, n); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Load data from clients on different nodes.
+	for i := 0; i < keys; i++ {
+		client := &Store{ctx: cl.Node(i % nodes).Root(), dir: dref}
+		if err := client.Put(fmt.Sprintf("key-%04d", i), fmt.Sprintf("value-%d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("loaded %d keys into %d shards on %d nodes\n", keys, shards, nodes)
+
+	// Rebalance at runtime: drain node 3 (say it is being reclaimed) by
+	// moving its shards to node 0 — clients keep working throughout.
+	moved := 0
+	for i, ref := range dir.Shards {
+		loc, err := ctx.Locate(ref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if loc == 3 {
+			if err := ctx.MoveTo(ref, 0); err != nil {
+				log.Fatal(err)
+			}
+			moved++
+			fmt.Printf("  rebalanced shard %d: node 3 -> node 0\n", i)
+		}
+	}
+	fmt.Printf("drained node 3 (%d shards moved)\n", moved)
+
+	// Verify every key from a node that had nothing to do with the writes.
+	client := &Store{ctx: cl.Node(2).Root(), dir: dref}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		v, ok, err := client.Get(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok || v != fmt.Sprintf("value-%d", i) {
+			log.Fatalf("verification failed for %s: %q (present=%v)", k, v, ok)
+		}
+	}
+	fmt.Printf("verified all %d keys after rebalancing\n", keys)
+
+	// Show the final placement.
+	for i, ref := range dir.Shards {
+		loc, _ := ctx.Locate(ref)
+		out, _ := ctx.Invoke(ref, "Len")
+		fmt.Printf("  shard %d: node %d, %v keys\n", i, loc, out[0])
+	}
+}

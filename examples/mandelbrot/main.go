@@ -1,0 +1,179 @@
+// Mandelbrot: a master/worker workload showing two Amber idioms the paper
+// highlights (§2.3):
+//
+//   - the scene description is marked immutable and replicated to every
+//     node with MoveTo, so workers read it locally;
+//   - one Worker object is placed per node and tiles are computed by
+//     threads that function-ship to the workers, exercising every node's
+//     processors.
+//
+// Renders the set as ASCII art and cross-checks a scanline against a direct
+// local computation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"amber"
+)
+
+// Scene is the immutable job description shared by all workers.
+type Scene struct {
+	Width, Height          int
+	XMin, XMax, YMin, YMax float64
+	MaxIter                int
+}
+
+// EscapeIter returns the escape iteration for pixel (px, py).
+func (s *Scene) EscapeIter(px, py int) int {
+	cx := s.XMin + (s.XMax-s.XMin)*float64(px)/float64(s.Width)
+	cy := s.YMin + (s.YMax-s.YMin)*float64(py)/float64(s.Height)
+	var x, y float64
+	for i := 0; i < s.MaxIter; i++ {
+		if x*x+y*y > 4 {
+			return i
+		}
+		x, y = x*x-y*y+cx, 2*x*y+cy
+	}
+	return s.MaxIter
+}
+
+// RowIters computes one row of escape iterations. On a node holding a
+// replica this is a purely local operation.
+func (s *Scene) RowIters(y int) []int {
+	out := make([]int, s.Width)
+	for x := range out {
+		out[x] = s.EscapeIter(x, y)
+	}
+	return out
+}
+
+// Worker computes tile rows; one instance lives on each node.
+type Worker struct {
+	Scene    amber.Ref
+	RowsDone int
+}
+
+const shades = " .:-=+*#%@"
+
+// Rows computes rows [from, to) of the scene as shaded ASCII strings.
+func (w *Worker) Rows(ctx *amber.Ctx, from, to, maxIter int) ([]string, error) {
+	out := make([]string, 0, to-from)
+	for y := from; y < to; y++ {
+		res, err := ctx.Invoke(w.Scene, "RowIters", y)
+		if err != nil {
+			return nil, err
+		}
+		iters := res[0].([]int)
+		row := make([]byte, len(iters))
+		for x, it := range iters {
+			row[x] = shades[it*(len(shades)-1)/maxIter]
+		}
+		out = append(out, string(row))
+	}
+	w.RowsDone += to - from
+	return out, nil
+}
+
+// Done reports how many rows this worker has computed.
+func (w *Worker) Done() int { return w.RowsDone }
+
+func main() {
+	const nodes = 4
+	cl, err := amber.NewCluster(amber.ClusterConfig{Nodes: nodes, ProcsPerNode: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	for _, v := range []any{&Scene{}, &Worker{}} {
+		if err := cl.Register(v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	amber.RegisterWireType([]string(nil))
+
+	ctx := cl.Node(0).Root()
+	scene := &Scene{
+		Width: 78, Height: 24,
+		XMin: -2.2, XMax: 0.8, YMin: -1.2, YMax: 1.2,
+		MaxIter: 60,
+	}
+	sref, err := ctx.New(scene)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Freeze and replicate the scene: MoveTo on an immutable object copies
+	// it (§2.3), so every node ends up with a local replica.
+	if err := ctx.SetImmutable(sref); err != nil {
+		log.Fatal(err)
+	}
+	for n := amber.NodeID(1); n < nodes; n++ {
+		if err := ctx.MoveTo(sref, n); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One worker per node.
+	workers := make([]amber.Ref, nodes)
+	for n := 0; n < nodes; n++ {
+		w, err := cl.Node(n).Root().New(&Worker{Scene: sref})
+		if err != nil {
+			log.Fatal(err)
+		}
+		workers[n] = w
+	}
+
+	// Fan the rows out: band i is computed by the worker on node i%nodes.
+	type tile struct {
+		from int
+		th   amber.Thread
+	}
+	const band = 6
+	var tiles []tile
+	for from := 0; from < scene.Height; from += band {
+		to := from + band
+		if to > scene.Height {
+			to = scene.Height
+		}
+		th, err := ctx.StartThread(workers[(from/band)%nodes], "Rows", from, to, scene.MaxIter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tiles = append(tiles, tile{from: from, th: th})
+	}
+	image := make([]string, scene.Height)
+	for _, tl := range tiles {
+		res, err := ctx.Join(tl.th)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, row := range res[0].([]string) {
+			image[tl.from+i] = row
+		}
+	}
+	fmt.Println(strings.Join(image, "\n"))
+
+	// Verify a scanline against a direct local computation.
+	y := scene.Height / 2
+	res, err := ctx.Invoke(sref, "RowIters", y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct := scene.RowIters(y)
+	for x, it := range res[0].([]int) {
+		if it != direct[x] {
+			log.Fatalf("pixel (%d,%d) differs: %d vs %d", x, y, it, direct[x])
+		}
+	}
+	fmt.Printf("\nverified scanline %d against a local computation\n", y)
+	for n := 0; n < nodes; n++ {
+		out, err := ctx.Invoke(workers[n], "Done")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  worker on node %d computed %v rows\n", n, out[0])
+	}
+	fmt.Printf("network messages sent: %d\n", cl.NetStats().Value("msgs_sent"))
+}

@@ -1,0 +1,196 @@
+// Pipeline: a three-stage text-processing pipeline whose stages are mobile
+// objects. It demonstrates the locality experiments §2.3 calls out: the same
+// workload is run (a) with stages scattered across nodes — every hand-off is
+// a remote invocation — and (b) after dynamically reorganizing the pipeline
+// with Attach + MoveTo so all stages are co-resident — hand-offs become
+// local and the message count collapses. The outputs are verified equal.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"amber"
+)
+
+// Tokenize splits lines into words.
+type Tokenize struct{ Next amber.Ref }
+
+// Feed pushes one line through the pipeline, returning the digest from the
+// final stage. Each stage invokes the next: with stages on different nodes,
+// the thread hops node to node; co-located, it never leaves.
+func (t *Tokenize) Feed(ctx *amber.Ctx, line string) (string, error) {
+	words := strings.Fields(line)
+	out, err := ctx.Invoke(t.Next, "Map", words)
+	if err != nil {
+		return "", err
+	}
+	return out[0].(string), nil
+}
+
+// Stem lower-cases and crudely stems each word.
+type Stem struct{ Next amber.Ref }
+
+// Map processes a word batch and forwards it.
+func (s *Stem) Map(ctx *amber.Ctx, words []string) (string, error) {
+	stemmed := make([]string, len(words))
+	for i, w := range words {
+		w = strings.ToLower(strings.Trim(w, ".,;:!?"))
+		for _, suf := range []string{"ing", "ed", "s"} {
+			if len(w) > len(suf)+2 && strings.HasSuffix(w, suf) {
+				w = w[:len(w)-len(suf)]
+				break
+			}
+		}
+		stemmed[i] = w
+	}
+	out, err := ctx.Invoke(s.Next, "Count", stemmed)
+	if err != nil {
+		return "", err
+	}
+	return out[0].(string), nil
+}
+
+// Count accumulates word frequencies.
+type Count struct {
+	Freq map[string]int
+}
+
+// Count folds a batch into the table and returns a digest of the batch.
+func (c *Count) Count(words []string) string {
+	if c.Freq == nil {
+		c.Freq = make(map[string]int)
+	}
+	for _, w := range words {
+		if w != "" {
+			c.Freq[w]++
+		}
+	}
+	return fmt.Sprintf("%d words", len(words))
+}
+
+// Top returns the most frequent word and its count.
+func (c *Count) Top() (string, int) {
+	best, n := "", 0
+	for w, k := range c.Freq {
+		if k > n || (k == n && w < best) {
+			best, n = w, k
+		}
+	}
+	return best, n
+}
+
+var corpus = []string{
+	"The Amber system permits a loosely coupled network of multiprocessors",
+	"to be viewed as an integrated system for executing a parallel application",
+	"Amber programs execute in a uniform network wide object space",
+	"with memory coherence maintained at the object level",
+	"Careful data placement and consistency control are essential",
+	"for reducing communication overhead in a loosely coupled system",
+	"Amber programmers use object migration primitives",
+	"to control the location of data and processing",
+}
+
+func runCorpus(ctx *amber.Ctx, head amber.Ref) (string, int, error) {
+	for _, line := range corpus {
+		if _, err := ctx.Invoke(head, "Feed", line); err != nil {
+			return "", 0, err
+		}
+	}
+	return "", 0, nil
+}
+
+func main() {
+	cl, err := amber.NewCluster(amber.ClusterConfig{Nodes: 3, ProcsPerNode: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	for _, v := range []any{&Tokenize{}, &Stem{}, &Count{}} {
+		if err := cl.Register(v); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ctx := cl.Node(0).Root()
+
+	build := func() (head, mid, tail amber.Ref) {
+		c, err := ctx.New(&Count{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := ctx.New(&Stem{Next: c})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t, err := ctx.New(&Tokenize{Next: s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return t, s, c
+	}
+
+	// --- phase 1: stages scattered across the cluster ---
+	head, mid, tail := build()
+	if err := ctx.MoveTo(mid, 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctx.MoveTo(tail, 2); err != nil {
+		log.Fatal(err)
+	}
+	before := cl.NetStats().Value("msgs_sent")
+	if _, _, err := runCorpus(ctx, head); err != nil {
+		log.Fatal(err)
+	}
+	scattered := cl.NetStats().Value("msgs_sent") - before
+	out, err := ctx.Invoke(tail, "Top")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scattered pipeline : %4d messages; top word %q ×%v\n", scattered, out[0], out[1])
+
+	// --- phase 2: reorganize — attach the stages and pull them together ---
+	head2, mid2, tail2 := build()
+	if err := ctx.Attach(mid2, head2); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctx.Attach(tail2, mid2); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctx.MoveTo(head2, 1); err != nil { // whole pipeline in one move
+		log.Fatal(err)
+	}
+	for _, ref := range []amber.Ref{head2, mid2, tail2} {
+		loc, _ := ctx.Locate(ref)
+		if loc != 1 {
+			log.Fatalf("stage not co-located: node %d", loc)
+		}
+	}
+	before = cl.NetStats().Value("msgs_sent")
+	if _, _, err := runCorpus(ctx, head2); err != nil {
+		log.Fatal(err)
+	}
+	colocated := cl.NetStats().Value("msgs_sent") - before
+	out2, err := ctx.Invoke(tail2, "Top")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("co-located pipeline: %4d messages; top word %q ×%v\n", colocated, out2[0], out2[1])
+
+	if out[0] != out2[0] || out[1] != out2[1] {
+		log.Fatal("VERIFICATION FAILED: the two pipelines disagree")
+	}
+	if colocated >= scattered {
+		log.Fatalf("co-location did not reduce messages (%d vs %d)", colocated, scattered)
+	}
+	fmt.Printf("co-location cut hand-off messages by %.1fx — the §2.3 locality payoff\n",
+		float64(scattered)/float64(max(1, int(colocated))))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module amber
+
+go 1.22

@@ -1,0 +1,490 @@
+// Package amsync provides Amber's synchronization classes (§2.2 of the
+// paper): relinquishing locks, non-relinquishing (spin) locks, barriers,
+// monitors, condition variables, plus semaphore and event classes in the
+// same style. They are ordinary Amber objects — mobile, remotely invocable —
+// so a lock can be placed on one node and acquired by threads anywhere:
+// acquiring a remote lock is one function-shipped invocation, the property
+// §4.1 contrasts with page-DSM lock thrashing.
+//
+// Blocking operations release the calling thread's processor slot through
+// the runtime (ctx.Block), so a blocked Amber thread frees its CPU for other
+// ready threads, as in Presto.
+//
+// The classes guard their own migration (core.MoveGuard): a lock with an
+// owner or queued waiters refuses to move, since its blocked threads cannot
+// be shipped. Idle synchronization objects move freely; their unexported
+// runtime state is empty and the exported configuration travels by gob.
+package amsync
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"amber/internal/core"
+)
+
+// ErrNotOwner is returned by Release/Exit when the calling thread does not
+// hold the lock or monitor.
+var ErrNotOwner = errors.New("amsync: calling thread is not the owner")
+
+// ErrBusy is wrapped into CanMove vetoes.
+var ErrBusy = errors.New("amsync: object is in use")
+
+// Registrar abstracts the class registry (core.Cluster and core.Registry
+// both satisfy it).
+type Registrar interface{ Register(v any) error }
+
+// RegisterAll registers every amsync class with r. Call it once per process
+// before creating synchronization objects.
+func RegisterAll(r Registrar) error {
+	for _, v := range []any{&Lock{}, &SpinLock{}, &RWLock{}, &Barrier{}, &Monitor{}, &CondVar{}, &Semaphore{}, &Event{}} {
+		if err := r.Register(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- relinquishing lock ---
+
+// Lock is a relinquishing mutual-exclusion lock: a blocked acquirer gives up
+// its processor. Acquire from a remote node function-ships to the lock's
+// node and blocks there.
+type Lock struct {
+	mu      sync.Mutex
+	held    bool
+	owner   uint64
+	waiters []chan struct{}
+}
+
+// Acquire blocks until the lock is held by the calling thread.
+func (l *Lock) Acquire(ctx *core.Ctx) {
+	l.mu.Lock()
+	for l.held {
+		ch := make(chan struct{})
+		l.waiters = append(l.waiters, ch)
+		l.mu.Unlock()
+		ctx.Block(func() { <-ch })
+		l.mu.Lock()
+	}
+	l.held = true
+	l.owner = ctx.ThreadID()
+	l.mu.Unlock()
+}
+
+// TryAcquire takes the lock if it is free, reporting success.
+func (l *Lock) TryAcquire(ctx *core.Ctx) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.held {
+		return false
+	}
+	l.held = true
+	l.owner = ctx.ThreadID()
+	return true
+}
+
+// Release unlocks; only the owning thread may call it.
+func (l *Lock) Release(ctx *core.Ctx) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.held || l.owner != ctx.ThreadID() {
+		return fmt.Errorf("%w: lock owner is thread %d", ErrNotOwner, l.owner)
+	}
+	l.held = false
+	l.owner = 0
+	if len(l.waiters) > 0 {
+		ch := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		close(ch)
+	}
+	return nil
+}
+
+// Held reports whether the lock is currently held (a racy snapshot, for
+// monitoring).
+func (l *Lock) Held(ctx *core.Ctx) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.held
+}
+
+// CanMove vetoes migration while the lock is held or contended.
+func (l *Lock) CanMove() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.held || len(l.waiters) > 0 {
+		return fmt.Errorf("%w: lock held or contended", ErrBusy)
+	}
+	return nil
+}
+
+// --- non-relinquishing (spin) lock ---
+
+// SpinLock is a non-relinquishing lock (§2.2): an acquirer keeps its
+// processor and spins. The paper argues these reduce latency for very short
+// critical sections on multiprocessor nodes. Spinning yields the Go
+// scheduler (the stand-in for a hardware test-and-set loop) so other
+// goroutines on the node still run.
+type SpinLock struct {
+	mu   sync.Mutex
+	held bool
+}
+
+// Acquire spins until the lock is taken. The calling thread keeps its
+// processor slot the whole time.
+func (s *SpinLock) Acquire(ctx *core.Ctx) {
+	for {
+		s.mu.Lock()
+		if !s.held {
+			s.held = true
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		runtime.Gosched()
+	}
+}
+
+// TryAcquire takes the lock if free.
+func (s *SpinLock) TryAcquire(ctx *core.Ctx) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.held {
+		return false
+	}
+	s.held = true
+	return true
+}
+
+// Release unlocks.
+func (s *SpinLock) Release(ctx *core.Ctx) {
+	s.mu.Lock()
+	s.held = false
+	s.mu.Unlock()
+}
+
+// CanMove vetoes migration while held.
+func (s *SpinLock) CanMove() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.held {
+		return fmt.Errorf("%w: spinlock held", ErrBusy)
+	}
+	return nil
+}
+
+// --- barrier ---
+
+// Barrier synchronizes a fixed party of threads (§2.2); the SOR application
+// uses one per iteration. It is reusable: each full arrival opens a new
+// epoch.
+type Barrier struct {
+	// Parties is the number of threads that must arrive; exported so it
+	// migrates with the object.
+	Parties int
+
+	mu     sync.Mutex
+	epoch  int64
+	count  int
+	waitCh chan struct{}
+}
+
+// NewBarrier returns a barrier for n parties.
+func NewBarrier(n int) *Barrier { return &Barrier{Parties: n} }
+
+// Arrive blocks until Parties threads have arrived in this epoch; it
+// returns the epoch index that completed.
+func (b *Barrier) Arrive(ctx *core.Ctx) (int64, error) {
+	b.mu.Lock()
+	if b.Parties <= 0 {
+		b.mu.Unlock()
+		return 0, fmt.Errorf("amsync: barrier with %d parties", b.Parties)
+	}
+	e := b.epoch
+	b.count++
+	if b.count >= b.Parties {
+		b.count = 0
+		b.epoch++
+		if b.waitCh != nil {
+			close(b.waitCh)
+			b.waitCh = nil
+		}
+		b.mu.Unlock()
+		return e, nil
+	}
+	if b.waitCh == nil {
+		b.waitCh = make(chan struct{})
+	}
+	ch := b.waitCh
+	b.mu.Unlock()
+	ctx.Block(func() { <-ch })
+	return e, nil
+}
+
+// Waiting reports how many threads are blocked at the barrier.
+func (b *Barrier) Waiting(ctx *core.Ctx) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}
+
+// CanMove vetoes migration while threads wait at the barrier.
+func (b *Barrier) CanMove() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.count > 0 {
+		return fmt.Errorf("%w: %d threads at barrier", ErrBusy, b.count)
+	}
+	return nil
+}
+
+// --- monitor ---
+
+// Monitor provides mutual exclusion with an ownership discipline, the entry
+// half of the classic monitor construct. Pair it with CondVar objects for
+// waiting. Non-reentrant.
+type Monitor struct {
+	mu      sync.Mutex
+	locked  bool
+	owner   uint64
+	waiters []chan struct{}
+}
+
+// Enter blocks until the calling thread holds the monitor.
+func (m *Monitor) Enter(ctx *core.Ctx) {
+	m.mu.Lock()
+	for m.locked {
+		ch := make(chan struct{})
+		m.waiters = append(m.waiters, ch)
+		m.mu.Unlock()
+		ctx.Block(func() { <-ch })
+		m.mu.Lock()
+	}
+	m.locked = true
+	m.owner = ctx.ThreadID()
+	m.mu.Unlock()
+}
+
+// Exit releases the monitor; only the owner may call it.
+func (m *Monitor) Exit(ctx *core.Ctx) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.locked || m.owner != ctx.ThreadID() {
+		return fmt.Errorf("%w: monitor owner is thread %d", ErrNotOwner, m.owner)
+	}
+	m.locked = false
+	m.owner = 0
+	if len(m.waiters) > 0 {
+		ch := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		close(ch)
+	}
+	return nil
+}
+
+// Owner reports the owning thread (0 when free); for assertions.
+func (m *Monitor) Owner(ctx *core.Ctx) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.owner
+}
+
+// CanMove vetoes migration while the monitor is occupied.
+func (m *Monitor) CanMove() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.locked || len(m.waiters) > 0 {
+		return fmt.Errorf("%w: monitor occupied", ErrBusy)
+	}
+	return nil
+}
+
+// --- condition variable ---
+
+// CondVar is a condition variable bound to a Monitor by reference. Attach
+// the CondVar to its monitor (ctx.Attach) so the pair stays co-resident and
+// Wait's re-entry is a local invocation. Wait registers the waiter before
+// releasing the monitor, so signals cannot be lost.
+type CondVar struct {
+	// Monitor is the owning monitor's reference; it migrates with the
+	// object.
+	Monitor core.Ref
+
+	mu      sync.Mutex
+	waiters []chan struct{}
+}
+
+// NewCondVar returns a condition variable for the given monitor object.
+func NewCondVar(mon core.Ref) *CondVar { return &CondVar{Monitor: mon} }
+
+// Wait atomically releases the monitor and blocks until signalled, then
+// re-enters the monitor before returning. The caller must hold the monitor.
+func (c *CondVar) Wait(ctx *core.Ctx) error {
+	ch := make(chan struct{})
+	c.mu.Lock()
+	c.waiters = append(c.waiters, ch)
+	c.mu.Unlock()
+	if _, err := ctx.Invoke(c.Monitor, "Exit"); err != nil {
+		c.removeWaiter(ch)
+		return err
+	}
+	ctx.Block(func() { <-ch })
+	_, err := ctx.Invoke(c.Monitor, "Enter")
+	return err
+}
+
+func (c *CondVar) removeWaiter(ch chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, w := range c.waiters {
+		if w == ch {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Signal wakes one waiting thread, if any.
+func (c *CondVar) Signal(ctx *core.Ctx) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.waiters) > 0 {
+		close(c.waiters[0])
+		c.waiters = c.waiters[1:]
+	}
+}
+
+// Broadcast wakes every waiting thread.
+func (c *CondVar) Broadcast(ctx *core.Ctx) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ch := range c.waiters {
+		close(ch)
+	}
+	c.waiters = nil
+}
+
+// CanMove vetoes migration while threads wait on the condition.
+func (c *CondVar) CanMove() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.waiters) > 0 {
+		return fmt.Errorf("%w: condition has waiters", ErrBusy)
+	}
+	return nil
+}
+
+// --- semaphore ---
+
+// Semaphore is a counting semaphore in the same class family (an extension
+// beyond the paper's list, in the spirit of its extensible hierarchy).
+type Semaphore struct {
+	// Permits is the current permit count; exported so an idle semaphore
+	// migrates with its value.
+	Permits int
+
+	mu      sync.Mutex
+	waiters []chan struct{}
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(n int) *Semaphore { return &Semaphore{Permits: n} }
+
+// P acquires one permit, blocking while none are available.
+func (s *Semaphore) P(ctx *core.Ctx) {
+	s.mu.Lock()
+	for s.Permits <= 0 {
+		ch := make(chan struct{})
+		s.waiters = append(s.waiters, ch)
+		s.mu.Unlock()
+		ctx.Block(func() { <-ch })
+		s.mu.Lock()
+	}
+	s.Permits--
+	s.mu.Unlock()
+}
+
+// V releases one permit.
+func (s *Semaphore) V(ctx *core.Ctx) {
+	s.mu.Lock()
+	s.Permits++
+	if len(s.waiters) > 0 {
+		close(s.waiters[0])
+		s.waiters = s.waiters[1:]
+	}
+	s.mu.Unlock()
+}
+
+// Available reports the current permit count.
+func (s *Semaphore) Available(ctx *core.Ctx) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Permits
+}
+
+// CanMove vetoes migration while threads wait for permits.
+func (s *Semaphore) CanMove() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.waiters) > 0 {
+		return fmt.Errorf("%w: semaphore has waiters", ErrBusy)
+	}
+	return nil
+}
+
+// --- event ---
+
+// Event is a one-shot broadcast flag: Wait blocks until Set.
+type Event struct {
+	// Fired is exported so a set event migrates as set.
+	Fired bool
+
+	mu      sync.Mutex
+	waiters []chan struct{}
+}
+
+// Set fires the event, waking all waiters; idempotent.
+func (e *Event) Set(ctx *core.Ctx) {
+	e.mu.Lock()
+	if !e.Fired {
+		e.Fired = true
+		for _, ch := range e.waiters {
+			close(ch)
+		}
+		e.waiters = nil
+	}
+	e.mu.Unlock()
+}
+
+// Wait blocks until the event fires.
+func (e *Event) Wait(ctx *core.Ctx) {
+	e.mu.Lock()
+	if e.Fired {
+		e.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	e.waiters = append(e.waiters, ch)
+	e.mu.Unlock()
+	ctx.Block(func() { <-ch })
+}
+
+// IsSet reports whether the event has fired.
+func (e *Event) IsSet(ctx *core.Ctx) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Fired
+}
+
+// CanMove vetoes migration while threads wait on the event.
+func (e *Event) CanMove() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.waiters) > 0 {
+		return fmt.Errorf("%w: event has waiters", ErrBusy)
+	}
+	return nil
+}

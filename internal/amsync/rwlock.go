@@ -1,0 +1,106 @@
+package amsync
+
+import (
+	"fmt"
+	"sync"
+
+	"amber/internal/core"
+)
+
+// RWLock is a writer-preferring readers/writer lock — an example of
+// extending the synchronization class hierarchy with a custom concurrency-
+// control scheme, as §2.2 invites ("programmers can extend the class
+// hierarchy to define custom mechanisms for concurrency control"). Like all
+// the classes here it is a mobile, remotely-invocable object.
+type RWLock struct {
+	mu       sync.Mutex
+	readers  int
+	writer   bool
+	writerID uint64
+	wWaiters []chan struct{}
+	rWaiters []chan struct{}
+}
+
+// AcquireRead blocks until the lock is readable (no writer active and no
+// writer queued — writers are preferred to prevent starvation).
+func (l *RWLock) AcquireRead(ctx *core.Ctx) {
+	l.mu.Lock()
+	for l.writer || len(l.wWaiters) > 0 {
+		ch := make(chan struct{})
+		l.rWaiters = append(l.rWaiters, ch)
+		l.mu.Unlock()
+		ctx.Block(func() { <-ch })
+		l.mu.Lock()
+	}
+	l.readers++
+	l.mu.Unlock()
+}
+
+// ReleaseRead releases a read hold.
+func (l *RWLock) ReleaseRead(ctx *core.Ctx) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.readers <= 0 {
+		return fmt.Errorf("%w: no readers hold the lock", ErrNotOwner)
+	}
+	l.readers--
+	if l.readers == 0 && len(l.wWaiters) > 0 {
+		close(l.wWaiters[0])
+		l.wWaiters = l.wWaiters[1:]
+	}
+	return nil
+}
+
+// AcquireWrite blocks until the calling thread holds the lock exclusively.
+func (l *RWLock) AcquireWrite(ctx *core.Ctx) {
+	l.mu.Lock()
+	for l.writer || l.readers > 0 {
+		ch := make(chan struct{})
+		l.wWaiters = append(l.wWaiters, ch)
+		l.mu.Unlock()
+		ctx.Block(func() { <-ch })
+		l.mu.Lock()
+	}
+	l.writer = true
+	l.writerID = ctx.ThreadID()
+	l.mu.Unlock()
+}
+
+// ReleaseWrite releases exclusive hold; only the owning thread may call it.
+// The next queued writer runs first; otherwise all queued readers wake.
+func (l *RWLock) ReleaseWrite(ctx *core.Ctx) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.writer || l.writerID != ctx.ThreadID() {
+		return fmt.Errorf("%w: write lock held by thread %d", ErrNotOwner, l.writerID)
+	}
+	l.writer = false
+	l.writerID = 0
+	if len(l.wWaiters) > 0 {
+		close(l.wWaiters[0])
+		l.wWaiters = l.wWaiters[1:]
+		return nil
+	}
+	for _, ch := range l.rWaiters {
+		close(ch)
+	}
+	l.rWaiters = nil
+	return nil
+}
+
+// Readers reports the current read-hold count (a racy snapshot).
+func (l *RWLock) Readers(ctx *core.Ctx) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readers
+}
+
+// CanMove vetoes migration while the lock is held or contended.
+func (l *RWLock) CanMove() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.writer || l.readers > 0 || len(l.wWaiters)+len(l.rWaiters) > 0 {
+		return fmt.Errorf("%w: rwlock held or contended", ErrBusy)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"amber/internal/gaddr"
+	"amber/internal/sched"
+	"amber/internal/stats"
+	"amber/internal/transport"
+)
+
+// ClusterConfig describes an in-process cluster: N nodes, each with P
+// processor slots, connected by a fabric with the given delay profile.
+type ClusterConfig struct {
+	// Nodes is the number of nodes (Fireflies); minimum 1.
+	Nodes int
+	// ProcsPerNode is each node's processor count; minimum 1.
+	ProcsPerNode int
+	// Profile is the network delay model (zero value = no injected delay;
+	// transport.Ethernet1989 reproduces the paper's testbed).
+	Profile transport.NetProfile
+	// Quantum enables cooperative timeslicing (see NodeConfig.Quantum).
+	Quantum time.Duration
+	// MoveDrainTimeout bounds move drains (see NodeConfig).
+	MoveDrainTimeout time.Duration
+	// RPCTimeout bounds internode requests (see NodeConfig.RPCTimeout);
+	// set it when using fault injection so lost messages surface as errors.
+	RPCTimeout time.Duration
+	// DebugImmutable enables immutable write detection (see NodeConfig).
+	DebugImmutable bool
+	// Policy builds each node's initial scheduling policy (nil = FIFO).
+	Policy func() sched.Policy
+	// Registry shares class registrations; nil creates a fresh one.
+	Registry *Registry
+}
+
+// Cluster is an in-process Amber deployment: the moral equivalent of the
+// paper's group of Fireflies running one program image, with the Ethernet
+// replaced by a delay-modelled fabric.
+type Cluster struct {
+	fabric *transport.Fabric
+	server *gaddr.Server
+	reg    *Registry
+	nodes  []*Node
+}
+
+// NewCluster builds and starts a cluster. Node 0 hosts the address-space
+// server; every node receives its initial region pool during construction
+// (§3.1).
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.ProcsPerNode < 1 {
+		cfg.ProcsPerNode = 1
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	cl := &Cluster{
+		fabric: transport.NewFabric(cfg.Profile),
+		server: gaddr.NewServer(0),
+		reg:    reg,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		id := gaddr.NodeID(i)
+		tr, err := cl.fabric.Attach(id)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		var srv *gaddr.Server
+		if id == 0 {
+			srv = cl.server
+		}
+		ncfg := NodeConfig{
+			ID:               id,
+			Procs:            cfg.ProcsPerNode,
+			ServerNode:       0,
+			Quantum:          cfg.Quantum,
+			MoveDrainTimeout: cfg.MoveDrainTimeout,
+			RPCTimeout:       cfg.RPCTimeout,
+			DebugImmutable:   cfg.DebugImmutable,
+		}
+		if cfg.Policy != nil {
+			ncfg.Policy = cfg.Policy()
+		}
+		n, err := NewNode(ncfg, reg, tr, srv)
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("amber: starting node %d: %w", i, err)
+		}
+		cl.nodes = append(cl.nodes, n)
+	}
+	return cl, nil
+}
+
+// Register adds a class to the cluster's shared registry. Must be called
+// before objects of the type are created.
+func (c *Cluster) Register(v any) error { return c.reg.Register(v) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// NumNodes reports the cluster size.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Registry returns the shared class registry.
+func (c *Cluster) Registry() *Registry { return c.reg }
+
+// Fabric exposes the underlying network (stats and fault injection in
+// tests).
+func (c *Cluster) Fabric() *transport.Fabric { return c.fabric }
+
+// NetStats returns fabric-wide message counters.
+func (c *Cluster) NetStats() *stats.Set { return c.fabric.Stats() }
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		n.Close()
+	}
+	c.fabric.Close()
+}

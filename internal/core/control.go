@@ -1,0 +1,282 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"time"
+
+	"amber/internal/gaddr"
+	"amber/internal/rpc"
+	"amber/internal/wire"
+)
+
+// handleInstall receives migrating objects (or immutable replicas) and makes
+// them resident here. Their "address ranges are predetermined" (§3.4): the
+// descriptor slot is simply the same global address, so no allocation
+// happens on the receiving side.
+func (n *Node) handleInstall(rc *rpc.Ctx) {
+	var msg installMsg
+	if err := wire.UnmarshalFrom(rc.Body, &msg); err != nil {
+		rc.Reply(nil, err)
+		return
+	}
+	for _, snap := range msg.Objects {
+		ti, err := n.reg.lookupName(snap.TypeName)
+		if err != nil {
+			rc.Reply(nil, err)
+			return
+		}
+		pv := reflect.New(ti.elem)
+		if len(snap.State) > 0 {
+			stateVal, err := wire.Unmarshal(snap.State)
+			if err != nil {
+				rc.Reply(nil, err)
+				return
+			}
+			sv := reflect.ValueOf(stateVal)
+			if sv.Type() != ti.elem {
+				rc.Reply(nil, fmt.Errorf("amber: install %#x: state is %T, want %s",
+					uint64(snap.Addr), stateVal, ti.elem))
+				return
+			}
+			pv.Elem().Set(sv)
+		}
+
+		d := n.descEnsure(snap.Addr)
+		d.mu.Lock()
+		d.state = stateResident
+		d.obj = pv
+		d.ti = ti
+		d.immutable = snap.Immutable
+		d.replica = msg.Copy
+		d.fwd = gaddr.NoNode
+		d.attach = nil
+		for _, p := range snap.Attached {
+			d.addAttach(p)
+		}
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	}
+	if msg.Copy {
+		n.counts.Add("replicas_installed", int64(len(msg.Objects)))
+	} else {
+		n.counts.Add("objects_moved_in", int64(len(msg.Objects)))
+	}
+	rc.Reply(nil, nil)
+}
+
+// control drives a mobility/control operation initiated locally by thread c:
+// run the entry protocol here, execute if the object is local, otherwise
+// ship the request and decode the typed reply.
+func (n *Node) control(c *Ctx, msg *routedMsg) (any, error) {
+	msg.Thread = c.rec
+	for retries := 0; ; retries++ {
+		d, act, to, err := n.resolve(msg)
+		switch act {
+		case actError:
+			return nil, err
+		case actExecute:
+			rep, err := n.executeControlLocal(d, msg)
+			if err == nil {
+				return rep, nil
+			}
+			if errors.Is(err, errRetryRoute) && retries < 256 {
+				time.Sleep(500 * time.Microsecond)
+				continue
+			}
+			return nil, err
+		case actForward:
+			return n.shipControl(c, msg, to)
+		}
+	}
+}
+
+// executeControlLocal dispatches a control op whose object is resident here.
+// d arrives locked (resolve's control contract); each executor releases it.
+// A second return of errForwardedTo wraps a handoff (attach co-location).
+func (n *Node) executeControlLocal(d *descriptor, msg *routedMsg) (any, error) {
+	switch msg.Op {
+	case opLocate:
+		rep := locateReply{Node: n.id, Immutable: d.immutable}
+		d.mu.Unlock()
+		n.counts.Inc("locates_answered")
+		return &rep, nil
+	case opMove:
+		rep, err := n.executeMove(d, msg)
+		if err != nil {
+			return nil, err
+		}
+		return &rep, nil
+	case opSetImmutable:
+		return nil, n.executeSetImmutable(d, msg)
+	case opDelete:
+		return nil, n.executeDelete(d, msg)
+	case opAttach:
+		fwd, err := n.executeAttach(d, msg)
+		if err != nil {
+			return nil, err
+		}
+		if fwd != gaddr.NoNode {
+			// The child just migrated to the parent's node; finish there.
+			return nil, &forwardedTo{node: fwd}
+		}
+		return nil, nil
+	case opUnattach:
+		return nil, n.executeUnattach(d, msg)
+	default:
+		d.mu.Unlock()
+		return nil, fmt.Errorf("amber: unknown control op %d", msg.Op)
+	}
+}
+
+// forwardedTo signals that a locally-driven control op must continue at
+// another node.
+type forwardedTo struct{ node gaddr.NodeID }
+
+func (f *forwardedTo) Error() string {
+	return fmt.Sprintf("amber: internal: continue at node %d", f.node)
+}
+
+// shipControl sends a control request to another node and decodes the typed
+// reply. The thread blocks (releasing its processor slot) while the request
+// is away, like any remote operation.
+func (n *Node) shipControl(c *Ctx, msg *routedMsg, to gaddr.NodeID) (any, error) {
+	msg.Chain = append(msg.Chain, n.id)
+	if len(msg.Chain) > n.cfg.MaxHops {
+		return nil, ErrRoutingLost
+	}
+	body, err := wire.MarshalInto(msg)
+	if err != nil {
+		return nil, err
+	}
+	var resp []byte
+	var rerr error
+	c.Block(func() { resp, rerr = n.call(to, procRouted, body) })
+	if rerr != nil {
+		return nil, mapRemoteError(rerr)
+	}
+	switch msg.Op {
+	case opLocate:
+		var lr locateReply
+		if err := wire.UnmarshalFrom(resp, &lr); err != nil {
+			return nil, err
+		}
+		n.learnLocation(msg.Obj, lr.Node)
+		return &lr, nil
+	case opMove:
+		var mr moveReply
+		if err := wire.UnmarshalFrom(resp, &mr); err != nil {
+			return nil, err
+		}
+		n.learnLocation(msg.Obj, mr.Node)
+		return &mr, nil
+	default:
+		return nil, nil // empty acks
+	}
+}
+
+// --- Ctx-facing mobility API (§2.3) ---
+
+// MoveTo migrates an object (with its whole attachment component) to the
+// given node. Moving an immutable object copies it instead; the call returns
+// once the copy is installed. A self-move (the calling thread is inside the
+// object) is deferred: it completes when the thread leaves the object.
+func (c *Ctx) MoveTo(obj Ref, node gaddr.NodeID) error {
+	msg := routedMsg{Op: opMove, Obj: obj, Dest: node}
+	rep, err := c.node.control(c, &msg)
+	if err != nil {
+		return err
+	}
+	if mr, ok := rep.(*moveReply); ok && !mr.Deferred {
+		c.node.learnLocation(obj, mr.Node)
+	}
+	c.node.counts.Inc("moveto_calls")
+	return nil
+}
+
+// Locate reports the node where the object currently resides. For an
+// immutable object it reports the nearest node known to hold a copy.
+func (c *Ctx) Locate(obj Ref) (gaddr.NodeID, error) {
+	msg := routedMsg{Op: opLocate, Obj: obj}
+	rep, err := c.node.control(c, &msg)
+	if err != nil {
+		return gaddr.NoNode, err
+	}
+	return rep.(*locateReply).Node, nil
+}
+
+// SetImmutable marks an object as never again modified (§2.3). Subsequent
+// MoveTo calls copy the object, allowing replicas on many nodes.
+func (c *Ctx) SetImmutable(obj Ref) error {
+	msg := routedMsg{Op: opSetImmutable, Obj: obj}
+	_, err := c.node.control(c, &msg)
+	return err
+}
+
+// Delete destroys an object. References to it subsequently fail with
+// ErrDeleted. Immutable (replicated) objects cannot be deleted.
+func (c *Ctx) Delete(obj Ref) error {
+	msg := routedMsg{Op: opDelete, Obj: obj}
+	_, err := c.node.control(c, &msg)
+	return err
+}
+
+// Attach links obj to peer so they are co-resident and migrate as a unit
+// (§2.3). If they are on different nodes, obj's component moves to peer's
+// node first. Attachment in this implementation is symmetric: moving either
+// object moves the whole component (which is what guarantees the paper's
+// "always co-located" property).
+func (c *Ctx) Attach(obj, peer Ref) error {
+	msg := routedMsg{Op: opAttach, Obj: obj, Peer: peer}
+	for hops := 0; hops < 8; hops++ {
+		_, err := c.node.control(c, &msg)
+		var fw *forwardedTo
+		if errors.As(err, &fw) {
+			// Continue at the node the child moved to; reset the chain so
+			// the fresh request routes cleanly.
+			msg.Chain = nil
+			continue
+		}
+		return err
+	}
+	return fmt.Errorf("%w: attach kept chasing a moving parent", ErrRoutingLost)
+}
+
+// Unattach removes the attachment between obj and peer.
+func (c *Ctx) Unattach(obj, peer Ref) error {
+	msg := routedMsg{Op: opUnattach, Obj: obj, Peer: peer}
+	_, err := c.node.control(c, &msg)
+	return err
+}
+
+// NewAt creates an object and immediately places it on the given node — the
+// common create-then-MoveTo idiom in one call. The object's home remains the
+// creating node (home is fixed at birth, §3.3); only its residence moves.
+func (c *Ctx) NewAt(node gaddr.NodeID, obj any) (Ref, error) {
+	ref, err := c.New(obj)
+	if err != nil {
+		return NilRef, err
+	}
+	if node == c.node.id {
+		return ref, nil
+	}
+	if err := c.MoveTo(ref, node); err != nil {
+		return NilRef, err
+	}
+	return ref, nil
+}
+
+// New creates an object on the node where the calling thread is currently
+// executing (the paper's dynamic creation: objects are born on the creating
+// node, which becomes their home).
+func (c *Ctx) New(obj any) (Ref, error) {
+	return c.node.newLocalObject(obj)
+}
+
+// Invoke performs a (possibly remote) operation on obj. Arguments and
+// results must be wire-registered types when the call crosses nodes; local
+// calls pass values directly.
+func (c *Ctx) Invoke(obj Ref, method string, args ...any) ([]any, error) {
+	return c.node.invoke(c, obj, method, args)
+}

@@ -1,0 +1,602 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"amber/internal/gaddr"
+	"amber/internal/transport"
+)
+
+// --- fixture classes ---
+
+// Counter is the workhorse fixture. Amber leaves intra-object concurrency
+// control to the class (§2.2), so it carries its own mutex; the unexported
+// field is invisible to gob and a fresh zero mutex appears after migration.
+type Counter struct {
+	mu sync.Mutex
+	N  int
+}
+
+func (c *Counter) Add(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.N += n
+	return c.N
+}
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.N
+}
+func (c *Counter) Fail() error { return errors.New("kaboom") }
+func (c *Counter) Boom()       { panic("boom") }
+func (c *Counter) Where(ctx *Ctx) gaddr.NodeID {
+	return ctx.NodeID()
+}
+func (c *Counter) AddFloat(x float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return float64(c.N) + x
+}
+
+type Greeter struct{ Prefix string }
+
+func (g *Greeter) Greet(name string) string { return g.Prefix + name }
+
+// Caller exercises nested invocations across objects.
+type Caller struct{ Target Ref }
+
+func (c *Caller) Relay(ctx *Ctx, n int) (int, error) {
+	out, err := ctx.Invoke(c.Target, "Add", n)
+	if err != nil {
+		return 0, err
+	}
+	return out[0].(int), nil
+}
+
+func (c *Caller) Hop(ctx *Ctx) (gaddr.NodeID, gaddr.NodeID, error) {
+	here := ctx.NodeID()
+	out, err := ctx.Invoke(c.Target, "Where")
+	if err != nil {
+		return 0, 0, err
+	}
+	return here, out[0].(gaddr.NodeID), nil
+}
+
+// Slow holds its pin for a while, to exercise drains.
+type Slow struct{ Calls int }
+
+func (s *Slow) Work(ms int) int {
+	s.Calls++
+	time.Sleep(time.Duration(ms) * time.Millisecond)
+	return s.Calls
+}
+
+// Recurser exercises re-entrant invocation on the same object.
+type Recurser struct{ Self Ref }
+
+func (r *Recurser) Down(ctx *Ctx, depth int) (int, error) {
+	if depth <= 0 {
+		return 0, nil
+	}
+	out, err := ctx.Invoke(r.Self, "Down", depth-1)
+	if err != nil {
+		return 0, err
+	}
+	return out[0].(int) + 1, nil
+}
+
+// SelfMover calls MoveTo on the object it is executing inside (§3.5 deferred
+// shipment case).
+type SelfMover struct{ Self Ref }
+
+func (s *SelfMover) Relocate(ctx *Ctx, dest gaddr.NodeID) (gaddr.NodeID, error) {
+	if err := ctx.MoveTo(s.Self, dest); err != nil {
+		return 0, err
+	}
+	// Still executing here: the shipment is deferred until we return.
+	return ctx.NodeID(), nil
+}
+
+// Spawner starts threads from inside an operation.
+type Spawner struct{ Target Ref }
+
+func (s *Spawner) FanOut(ctx *Ctx, k int) (int, error) {
+	threads := make([]Thread, 0, k)
+	for i := 0; i < k; i++ {
+		t, err := ctx.StartThread(s.Target, "Add", 1)
+		if err != nil {
+			return 0, err
+		}
+		threads = append(threads, t)
+	}
+	for _, t := range threads {
+		if _, err := ctx.Join(t); err != nil {
+			return 0, err
+		}
+	}
+	out, err := ctx.Invoke(s.Target, "Get")
+	if err != nil {
+		return 0, err
+	}
+	return out[0].(int), nil
+}
+
+func registerFixtures(t testing.TB, cl *Cluster) {
+	t.Helper()
+	for _, v := range []any{&Counter{}, &Greeter{}, &Caller{}, &Slow{}, &Recurser{}, &SelfMover{}, &Spawner{}} {
+		if err := cl.Register(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func newTestCluster(t testing.TB, nodes, procs int) *Cluster {
+	t.Helper()
+	cl, err := NewCluster(ClusterConfig{Nodes: nodes, ProcsPerNode: procs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	registerFixtures(t, cl)
+	return cl
+}
+
+// --- registry tests ---
+
+func TestRegistryMethodTable(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(&Counter{}); err != nil {
+		t.Fatal(err)
+	}
+	ti, err := r.lookupValue(&Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"Add", "Get", "Fail", "Where"} {
+		if _, err := ti.method(m); err != nil {
+			t.Errorf("method %s missing: %v", m, err)
+		}
+	}
+	if _, err := ti.method("Nope"); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("unknown method error = %v", err)
+	}
+	mi, _ := ti.method("Where")
+	if !mi.takesCtx {
+		t.Error("Where should take ctx")
+	}
+	mi, _ = ti.method("Add")
+	if mi.takesCtx || len(mi.params) != 1 || mi.hasErr {
+		t.Errorf("Add signature parsed wrong: %+v", mi)
+	}
+	mi, _ = ti.method("Fail")
+	if !mi.hasErr || len(mi.results) != 0 {
+		t.Errorf("Fail signature parsed wrong: %+v", mi)
+	}
+}
+
+func TestRegistryRejects(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(42); err == nil {
+		t.Error("non-struct registration should fail")
+	}
+	if err := r.Register(nil); err == nil {
+		t.Error("nil registration should fail")
+	}
+	// Idempotent re-registration.
+	if err := r.Register(&Counter{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Counter{}); err != nil {
+		t.Errorf("re-register same type: %v", err)
+	}
+}
+
+func floatType() reflect.Type { return reflect.TypeOf(float64(0)) }
+func sliceType() reflect.Type { return reflect.TypeOf([]int(nil)) }
+
+func TestCoerce(t *testing.T) {
+	intToFloat, err := coerce(5, floatType())
+	if err != nil || intToFloat.Float() != 5.0 {
+		t.Errorf("int→float64: %v %v", intToFloat, err)
+	}
+	if _, err := coerce("s", floatType()); err == nil {
+		t.Error("string→float64 must fail")
+	}
+	z, err := coerce(nil, sliceType())
+	if err != nil || !z.IsNil() {
+		t.Errorf("nil→slice: %v %v", z, err)
+	}
+	if _, err := coerce(nil, floatType()); err == nil {
+		t.Error("nil→float64 must fail")
+	}
+}
+
+// --- basic invocation ---
+
+func TestLocalInvoke(t *testing.T) {
+	cl := newTestCluster(t, 1, 2)
+	ctx := cl.Node(0).Root()
+	ref, err := ctx.New(&Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.Invoke(ref, "Add", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(int) != 5 {
+		t.Fatalf("Add = %v", out)
+	}
+	out, _ = ctx.Invoke(ref, "Add", 3)
+	if out[0].(int) != 8 {
+		t.Fatalf("second Add = %v", out)
+	}
+	if cl.Node(0).Stats().Value("invokes_local") != 2 {
+		t.Fatalf("invokes_local = %d", cl.Node(0).Stats().Value("invokes_local"))
+	}
+	if cl.NetStats().Value("msgs_sent") != 0 {
+		t.Fatal("local invocations must not touch the network")
+	}
+}
+
+func TestRemoteInvoke(t *testing.T) {
+	cl := newTestCluster(t, 2, 1)
+	ctx0 := cl.Node(0).Root()
+	ctx1 := cl.Node(1).Root()
+	ref, err := ctx1.New(&Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invoke from node 0: the object is on node 1; the thread ships there.
+	out, err := ctx0.Invoke(ref, "Where")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(gaddr.NodeID) != 1 {
+		t.Fatalf("operation executed on node %v, want 1", out[0])
+	}
+	if cl.Node(0).Stats().Value("invokes_shipped") != 1 {
+		t.Fatal("invocation should have shipped")
+	}
+	if cl.Node(1).Stats().Value("invokes_executed_for_remote") != 1 {
+		t.Fatal("node 1 should have executed the shipped invocation")
+	}
+}
+
+func TestRemoteInvokeArgumentsAndResults(t *testing.T) {
+	cl := newTestCluster(t, 2, 1)
+	ctx0 := cl.Node(0).Root()
+	ref, _ := cl.Node(1).Root().New(&Greeter{Prefix: "hello, "})
+	out, err := ctx0.Invoke(ref, "Greet", "amber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(string) != "hello, amber" {
+		t.Fatalf("Greet = %v", out)
+	}
+	// Numeric coercion across the wire: pass an int where float64 expected.
+	cref, _ := cl.Node(1).Root().New(&Counter{N: 2})
+	out, err = ctx0.Invoke(cref, "AddFloat", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(float64) != 5.0 {
+		t.Fatalf("AddFloat = %v", out)
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	cl := newTestCluster(t, 2, 1)
+	ctx := cl.Node(0).Root()
+	ref, _ := ctx.New(&Counter{})
+
+	if _, err := ctx.Invoke(NilRef, "Get"); !errors.Is(err, ErrNoSuchObject) {
+		t.Errorf("nil ref: %v", err)
+	}
+	if _, err := ctx.Invoke(ref, "Nope"); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("unknown method: %v", err)
+	}
+	if _, err := ctx.Invoke(ref, "Add"); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("arity: %v", err)
+	}
+	if _, err := ctx.Invoke(ref, "Add", "str"); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("type: %v", err)
+	}
+	// Application error, locally and remotely.
+	if _, err := ctx.Invoke(ref, "Fail"); err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("local app error: %v", err)
+	}
+	rref, _ := cl.Node(1).Root().New(&Counter{})
+	if _, err := ctx.Invoke(rref, "Fail"); err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("remote app error: %v", err)
+	}
+	// Panic containment.
+	if _, err := ctx.Invoke(ref, "Boom"); err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Errorf("panic: %v", err)
+	}
+	// Dangling reference into an allocated region.
+	bogus := ref + 0x10000
+	if _, err := ctx.Invoke(bogus, "Get"); !errors.Is(err, ErrNoSuchObject) {
+		// bogus may fall into an unallocated region on some layouts; both
+		// messages wrap ErrNoSuchObject.
+		t.Errorf("dangling: %v", err)
+	}
+}
+
+func TestNestedInvocationChainsAcrossNodes(t *testing.T) {
+	cl := newTestCluster(t, 3, 1)
+	ctx2 := cl.Node(2).Root()
+	target, _ := ctx2.New(&Counter{})
+	caller, _ := cl.Node(1).Root().New(&Caller{Target: target})
+
+	// From node 0: ship to node 1 (Caller), which ships to node 2 (Counter).
+	ctx0 := cl.Node(0).Root()
+	out, err := ctx0.Invoke(caller, "Hop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(gaddr.NodeID) != 1 || out[1].(gaddr.NodeID) != 2 {
+		t.Fatalf("hop path = %v,%v; want 1,2", out[0], out[1])
+	}
+}
+
+func TestReentrantRecursion(t *testing.T) {
+	cl := newTestCluster(t, 2, 1)
+	ctx := cl.Node(0).Root()
+	ref, _ := ctx.New(&Recurser{})
+	// Wire the self-reference.
+	d := cl.Node(0).desc(ref)
+	d.obj.Interface().(*Recurser).Self = ref
+
+	out, err := ctx.Invoke(ref, "Down", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(int) != 10 {
+		t.Fatalf("Down = %v", out)
+	}
+}
+
+// --- threads ---
+
+func TestStartJoin(t *testing.T) {
+	cl := newTestCluster(t, 2, 2)
+	ctx := cl.Node(0).Root()
+	ref, _ := ctx.New(&Counter{})
+	th, err := ctx.StartThread(ref, "Add", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.Join(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(int) != 7 {
+		t.Fatalf("join result = %v", out)
+	}
+	done, err := ctx.ThreadDone(th)
+	if err != nil || !done {
+		t.Fatalf("ThreadDone = %v, %v", done, err)
+	}
+}
+
+func TestStartOnRemoteObjectFunctionShips(t *testing.T) {
+	cl := newTestCluster(t, 2, 1)
+	ctx0 := cl.Node(0).Root()
+	ref, _ := cl.Node(1).Root().New(&Counter{})
+	th, _ := ctx0.StartThread(ref, "Where")
+	out, err := ctx0.Join(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(gaddr.NodeID) != 1 {
+		t.Fatalf("thread ran on %v, want 1", out[0])
+	}
+}
+
+func TestJoinFromAnotherNode(t *testing.T) {
+	cl := newTestCluster(t, 2, 1)
+	ctx0 := cl.Node(0).Root()
+	ref, _ := ctx0.New(&Slow{})
+	th, _ := ctx0.StartThread(ref, "Work", 30)
+	// Join from node 1: the join invocation function-ships to node 0 where
+	// the thread object lives.
+	out, err := cl.Node(1).Root().Join(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(int) != 1 {
+		t.Fatalf("join = %v", out)
+	}
+}
+
+func TestJoinPropagatesThreadError(t *testing.T) {
+	cl := newTestCluster(t, 1, 1)
+	ctx := cl.Node(0).Root()
+	ref, _ := ctx.New(&Counter{})
+	th, _ := ctx.StartThread(ref, "Fail")
+	_, err := ctx.Join(th)
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("join error = %v", err)
+	}
+}
+
+func TestManyThreadsOneCounterSerialized(t *testing.T) {
+	// Many threads hammer one object; the final value must equal the sum
+	// only if operations are properly serialized by... nothing! Amber does
+	// NOT serialize operations on one object; user code synchronizes. Here
+	// we use one thread per increment and rely on Go's race detector in
+	// -race runs; the final value can be anything <= total without locks.
+	// Instead we use distinct counters to assert thread completion.
+	cl := newTestCluster(t, 2, 4)
+	ctx := cl.Node(0).Root()
+	const k = 20
+	refs := make([]Ref, k)
+	threads := make([]Thread, k)
+	for i := range refs {
+		refs[i], _ = ctx.New(&Counter{})
+		threads[i], _ = ctx.StartThread(refs[i], "Add", i)
+	}
+	for i, th := range threads {
+		out, err := ctx.Join(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0].(int) != i {
+			t.Fatalf("thread %d result %v", i, out)
+		}
+	}
+}
+
+func TestSpawnInsideOperation(t *testing.T) {
+	cl := newTestCluster(t, 2, 2)
+	ctx0 := cl.Node(0).Root()
+	target, _ := cl.Node(1).Root().New(&Counter{})
+	sp, _ := ctx0.New(&Spawner{Target: target})
+	out, err := ctx0.Invoke(sp, "FanOut", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(int) != 5 {
+		t.Fatalf("FanOut = %v (counter should have reached 5)", out)
+	}
+}
+
+func TestProcessorSlotsLimitConcurrency(t *testing.T) {
+	cl := newTestCluster(t, 1, 2)
+	ctx := cl.Node(0).Root()
+	refs := make([]Ref, 6)
+	threads := make([]Thread, 6)
+	start := time.Now()
+	for i := range refs {
+		refs[i], _ = ctx.New(&Slow{})
+		threads[i], _ = ctx.StartThread(refs[i], "Work", 50)
+	}
+	for _, th := range threads {
+		if _, err := ctx.Join(th); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// 6 sleeps of 50ms over 2 slots ≥ 150ms; with unlimited slots it would
+	// be ~50ms.
+	if elapsed < 140*time.Millisecond {
+		t.Fatalf("6×50ms on 2 procs finished in %v — slot limit not enforced", elapsed)
+	}
+}
+
+func TestRootContexts(t *testing.T) {
+	cl := newTestCluster(t, 2, 1)
+	a := cl.Node(0).Root()
+	b := cl.Node(0).Root()
+	if a.ThreadID() == b.ThreadID() {
+		t.Fatal("root threads must have distinct IDs")
+	}
+	if a.NodeID() != 0 {
+		t.Fatalf("NodeID = %d", a.NodeID())
+	}
+	a.SetPriority(9)
+	if a.Priority() != 9 {
+		t.Fatal("priority not set")
+	}
+}
+
+// --- misc plumbing ---
+
+func TestObjectsSnapshot(t *testing.T) {
+	cl := newTestCluster(t, 1, 1)
+	ctx := cl.Node(0).Root()
+	for i := 0; i < 3; i++ {
+		if _, err := ctx.New(&Counter{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	objs := cl.Node(0).Objects()
+	if objs["resident"] != 3 {
+		t.Fatalf("resident = %d, want 3", objs["resident"])
+	}
+}
+
+func TestUnregisteredTypeRejected(t *testing.T) {
+	cl := newTestCluster(t, 1, 1)
+	type hidden struct{ X int }
+	if _, err := cl.Node(0).Root().New(&hidden{}); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClusterWithProfileRemoteCostsMore(t *testing.T) {
+	reg := NewRegistry()
+	cl, err := NewCluster(ClusterConfig{
+		Nodes: 2, ProcsPerNode: 1,
+		Profile:  transport.NetProfile{Latency: 5 * time.Millisecond},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register(&Counter{}); err != nil {
+		t.Fatal(err)
+	}
+	ctx0 := cl.Node(0).Root()
+	local, _ := ctx0.New(&Counter{})
+	remote, _ := cl.Node(1).Root().New(&Counter{})
+
+	t0 := time.Now()
+	for i := 0; i < 10; i++ {
+		if _, err := ctx0.Invoke(local, "Get"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	localCost := time.Since(t0)
+
+	t0 = time.Now()
+	if _, err := ctx0.Invoke(remote, "Get"); err != nil {
+		t.Fatal(err)
+	}
+	remoteCost := time.Since(t0)
+	if remoteCost < 9*time.Millisecond {
+		t.Fatalf("remote invoke %v, want >= ~10ms RTT", remoteCost)
+	}
+	if localCost > remoteCost {
+		t.Fatalf("10 local invokes (%v) cost more than one remote (%v)", localCost, remoteCost)
+	}
+}
+
+func TestConcurrentRemoteInvokes(t *testing.T) {
+	cl := newTestCluster(t, 2, 4)
+	ref, _ := cl.Node(1).Root().New(&Counter{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := cl.Node(0).Root()
+			if _, err := ctx.Invoke(ref, "Add", 1); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	out, err := cl.Node(0).Root().Invoke(ref, "Get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All adds execute on node 1 where the object lives (function shipping
+	// clusters writers); the class's own lock makes them atomic (§2.2).
+	if out[0].(int) != 16 {
+		t.Fatalf("Get = %v, want 16", out)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"amber/internal/gaddr"
+)
+
+// TestAddressSpaceExtensionOverRPC exercises §3.1's address-space server
+// path end to end: a non-server node exhausts its startup region pool and
+// must extend it through the server. Every object stays invocable from
+// every node afterwards (home-node computation must agree cluster-wide).
+func TestAddressSpaceExtensionOverRPC(t *testing.T) {
+	reg := NewRegistry()
+	cl, err := NewCluster(ClusterConfig{Nodes: 2, ProcsPerNode: 1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Register(&Counter{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The startup pool is RegionsPerGrant (4) regions of 1 MiB; objects
+	// charge 256 bytes, so ~16384 creations exhaust it.
+	perRegion := gaddr.RegionSize / 256
+	total := 4*perRegion + 64 // spill into a fifth region
+
+	ctx1 := cl.Node(1).Root()
+	var first, last Ref
+	for i := 0; i < total; i++ {
+		ref, err := ctx1.New(&Counter{N: i})
+		if err != nil {
+			t.Fatalf("creation %d: %v", i, err)
+		}
+		if i == 0 {
+			first = ref
+		}
+		last = ref
+	}
+	if cl.Node(1).Stats().Value("region_extensions") == 0 {
+		t.Fatal("node 1 never extended its region pool")
+	}
+	// Objects in the startup pool and in the extension are both reachable
+	// from the other node (its region table resolves the extension region
+	// through the server lazily).
+	ctx0 := cl.Node(0).Root()
+	for _, ref := range []Ref{first, last} {
+		out, err := ctx0.Invoke(ref, "Get")
+		if err != nil {
+			t.Fatalf("invoke %#x from node 0: %v", uint64(ref), err)
+		}
+		_ = out
+		loc, err := ctx0.Locate(ref)
+		if err != nil || loc != 1 {
+			t.Fatalf("Locate(%#x) = %v, %v", uint64(ref), loc, err)
+		}
+	}
+	// Addresses in different regions must not collide across nodes.
+	if gaddr.RegionOf(first) == gaddr.RegionOf(last) {
+		t.Fatal("first and last allocations landed in the same region; pool never grew")
+	}
+}
+
+// TestObjectsSurviveManyCreations sanity-checks descriptor-table growth.
+func TestObjectsSurviveManyCreations(t *testing.T) {
+	cl := newTestCluster(t, 1, 1)
+	ctx := cl.Node(0).Root()
+	const n = 5000
+	refs := make([]Ref, n)
+	for i := range refs {
+		ref, err := ctx.New(&Counter{N: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref
+	}
+	// Spot-check a sample.
+	for i := 0; i < n; i += 611 {
+		out, err := ctx.Invoke(refs[i], "Get")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0].(int) != i {
+			t.Fatalf("object %d holds %v", i, out)
+		}
+	}
+	if got := cl.Node(0).Objects()["resident"]; got < n {
+		t.Fatalf("resident = %d, want >= %d", got, n)
+	}
+}

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"time"
+
+	"amber/internal/gaddr"
+	"amber/internal/rpc"
+	"amber/internal/wire"
+)
+
+// action is the outcome of the entry protocol.
+type action uint8
+
+const (
+	actExecute action = iota + 1
+	actForward
+	actError
+)
+
+func valueOf(obj any) reflect.Value { return reflect.ValueOf(obj) }
+
+// resolve applies the entry protocol (§3.2–§3.3, §3.5) for msg on this node:
+//
+//   - resident → execute here. For opInvoke the descriptor is returned
+//     *pinned and unlocked*; the pin is taken atomically with the residency
+//     check, which closes the multiprocessor check-then-enter race of §3.5.
+//     For control operations the descriptor is returned *locked* (ownership
+//     of d.mu transfers to the executor).
+//   - forwarded → chase the forwarding address (§3.3).
+//   - uninitialized (absent) → forward to the home node computed from the
+//     address alone (§3.3).
+//   - moving → wait for the move to finish; exceptions: a thread already
+//     bound to the object may re-enter, and Locate answers immediately
+//     (the contents have not left yet).
+func (n *Node) resolve(msg *routedMsg) (d *descriptor, act action, to gaddr.NodeID, err error) {
+	d = n.desc(msg.Obj)
+	if d == nil {
+		a, t, e := n.homeFallback(msg.Obj)
+		return nil, a, t, e
+	}
+	d.mu.Lock()
+	for {
+		switch d.state {
+		case 0:
+			// Hint entry created but never initialized; treat as absent.
+			d.mu.Unlock()
+			a, t, e := n.homeFallback(msg.Obj)
+			return nil, a, t, e
+		case stateDeleted:
+			d.mu.Unlock()
+			return nil, actError, 0, fmt.Errorf("%w: %#x", ErrDeleted, uint64(msg.Obj))
+		case stateForwarded:
+			to := d.fwd
+			d.mu.Unlock()
+			return nil, actForward, to, nil
+		case stateResident:
+			if msg.Op == opInvoke {
+				d.pins++
+				d.mu.Unlock()
+				return d, actExecute, 0, nil
+			}
+			return d, actExecute, 0, nil // d.mu held for control ops
+		case stateMoving:
+			switch {
+			case msg.Op == opInvoke && msg.Thread.pinned(msg.Obj):
+				// A bound thread re-entering the object it already
+				// occupies; the move is waiting on it anyway.
+				d.pins++
+				d.mu.Unlock()
+				return d, actExecute, 0, nil
+			case msg.Op == opLocate:
+				return d, actExecute, 0, nil // still here; d.mu held
+			default:
+				n.counts.Inc("entries_blocked_on_move")
+				d.cond.Wait()
+			}
+		default:
+			d.mu.Unlock()
+			return nil, actError, 0, fmt.Errorf("amber: descriptor in impossible state %d", d.state)
+		}
+	}
+}
+
+// homeFallback routes a reference with no local descriptor to the object's
+// home node (§3.3: "the kernel forwards the request to the object's home
+// node").
+func (n *Node) homeFallback(obj gaddr.Addr) (action, gaddr.NodeID, error) {
+	home := n.homeOf(obj)
+	if home == gaddr.NoNode {
+		return actError, 0, fmt.Errorf("%w: %#x (unallocated region)", ErrNoSuchObject, uint64(obj))
+	}
+	if home == n.id {
+		// We are the home node; if the object existed we would have a
+		// descriptor (creation initializes it here, and it survives as a
+		// forwarding tombstone after a move).
+		return actError, 0, fmt.Errorf("%w: %#x", ErrNoSuchObject, uint64(obj))
+	}
+	return actForward, home, nil
+}
+
+// invoke is the local entry point for an invocation by thread c. Local
+// invocations take the fast path — a residency check plus a direct
+// reflective call, no marshalling. Remote ones ship the thread (§3.4).
+func (n *Node) invoke(c *Ctx, obj gaddr.Addr, method string, args []any) ([]any, error) {
+	if obj == gaddr.Nil {
+		return nil, fmt.Errorf("%w: nil reference", ErrNoSuchObject)
+	}
+	msg := routedMsg{Op: opInvoke, Obj: obj, Thread: c.rec, Method: method}
+	d, act, to, err := n.resolve(&msg)
+	switch act {
+	case actError:
+		return nil, err
+	case actExecute:
+		n.counts.Inc("invokes_local")
+		return n.runPinned(c, d, obj, method, args)
+	default:
+		return n.shipInvoke(c, &msg, to, args)
+	}
+}
+
+// shipInvoke marshals the invocation and moves the thread to the object's
+// (believed) node. The calling goroutine gives up its processor slot while
+// the thread is away — on the original system the thread simply was not
+// present on this node during that window.
+func (n *Node) shipInvoke(c *Ctx, msg *routedMsg, to gaddr.NodeID, args []any) ([]any, error) {
+	ab, err := wire.MarshalArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	msg.Args = ab
+	msg.Thread = c.rec // pins travel with the thread (§3.5)
+	msg.Chain = append(msg.Chain, n.id)
+	body, err := wire.MarshalInto(msg)
+	if err != nil {
+		return nil, err
+	}
+	n.counts.Inc("invokes_shipped")
+	var resp []byte
+	var rerr error
+	c.Block(func() { resp, rerr = n.call(to, procRouted, body) })
+	if rerr != nil {
+		return nil, mapRemoteError(rerr)
+	}
+	var ir invokeReply
+	if err := wire.UnmarshalFrom(resp, &ir); err != nil {
+		return nil, err
+	}
+	// Return-time check accounting (§3.5): the thread returns to this node;
+	// its enclosing object, if any, is pinned by this same thread and is
+	// therefore still resident — under the drain protocol the check cannot
+	// fail, which is exactly why the protocol is safe.
+	n.counts.Inc("return_checks")
+	n.learnLocation(msg.Obj, ir.Node)
+	return wire.UnmarshalArgs(ir.Results)
+}
+
+// learnLocation caches where an object was last seen (the originating node's
+// share of chain caching).
+func (n *Node) learnLocation(obj gaddr.Addr, at gaddr.NodeID) {
+	if at == n.id || at == gaddr.NoNode {
+		return
+	}
+	d := n.descEnsure(obj)
+	d.mu.Lock()
+	if d.state == 0 || d.state == stateForwarded {
+		d.state = stateForwarded
+		d.fwd = at
+	}
+	d.mu.Unlock()
+}
+
+// runPinned executes one operation on a resident object whose descriptor we
+// hold a pin on. It does the pin bookkeeping on the thread record, the
+// processor-slot acquisition, and (optionally) immutable write detection.
+func (n *Node) runPinned(c *Ctx, d *descriptor, obj gaddr.Addr, method string, args []any) (res []any, err error) {
+	c.rec.Pins = append(c.rec.Pins, obj)
+	defer func() {
+		c.rec.Pins = c.rec.Pins[:len(c.rec.Pins)-1]
+		n.unpin(d)
+	}()
+	release := c.ensureSlot(n)
+	defer release()
+	n.counts.Inc("residency_checks")
+
+	d.mu.Lock()
+	ti := d.ti
+	objPtr := d.obj
+	checkImmutable := d.immutable && n.cfg.DebugImmutable
+	d.mu.Unlock()
+	if ti == nil {
+		return nil, fmt.Errorf("%w: %#x has no type", ErrNoSuchObject, uint64(obj))
+	}
+	mi, err := ti.method(method)
+	if err != nil {
+		return nil, err
+	}
+	var before []byte
+	if checkImmutable {
+		before, _ = wire.Marshal(objPtr.Elem().Interface())
+	}
+	res, err = mi.call(objPtr, c, args)
+	if checkImmutable && err == nil {
+		after, _ := wire.Marshal(objPtr.Elem().Interface())
+		if !bytes.Equal(before, after) {
+			n.counts.Inc("immutable_violations")
+			return nil, fmt.Errorf("%w: %s.%s", ErrImmutableViolated, ti.name, method)
+		}
+	}
+	return res, err
+}
+
+// unpin releases one pin; the last pin out of a moving object triggers the
+// deferred shipment.
+func (n *Node) unpin(d *descriptor) {
+	d.mu.Lock()
+	d.pins--
+	var mv *moveOp
+	if d.pins == 0 && d.state == stateMoving && d.mv != nil {
+		mv = d.mv
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	if mv != nil {
+		mv.memberDrained()
+	}
+}
+
+// handleRouted services routed operations arriving from the network: execute
+// here, or forward along the chain with a detached reply (§3.3).
+func (n *Node) handleRouted(rc *rpc.Ctx) {
+	var msg routedMsg
+	if err := wire.UnmarshalFrom(rc.Body, &msg); err != nil {
+		rc.Reply(nil, err)
+		return
+	}
+	if len(msg.Chain) > n.cfg.MaxHops {
+		n.counts.Inc("routing_lost")
+		rc.Reply(nil, fmt.Errorf("%w: %s %#x after %d hops",
+			ErrRoutingLost, msg.Op, uint64(msg.Obj), len(msg.Chain)))
+		return
+	}
+	for retries := 0; ; retries++ {
+		d, act, to, err := n.resolve(&msg)
+		switch act {
+		case actError:
+			rc.Reply(nil, err)
+			return
+		case actExecute:
+			err := n.executeRouted(rc, d, &msg)
+			if err == nil {
+				return
+			}
+			if errors.Is(err, errRetryRoute) && retries < 256 {
+				time.Sleep(500 * time.Microsecond)
+				continue
+			}
+			rc.Reply(nil, err)
+			return
+		case actForward:
+			// Note: revisiting a node is legitimate — an object can move
+			// back to a node a request already passed through, and the
+			// node's descriptor will have changed by the second visit.
+			// True cycles cannot exist because a destination is made
+			// resident *before* the source flips to forwarded, so every
+			// forwarding pointer points forward in time; MaxHops is only a
+			// backstop. A self-pointer would be a bug: wait it out.
+			if to == n.id {
+				if retries < 64 {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				n.counts.Inc("routing_lost")
+				rc.Reply(nil, fmt.Errorf("%w: %s %#x", ErrRoutingLost, msg.Op, uint64(msg.Obj)))
+				return
+			}
+			// Anti-livelock: a long chain means we are chasing an object
+			// that migrates as fast as we follow — possible only on a
+			// fabric with no latency; the original system never needed
+			// this because Ethernet latency dwarfed move rates. Back off
+			// progressively so the moves settle.
+			if h := len(msg.Chain); h >= 8 {
+				time.Sleep(time.Duration(h) * 500 * time.Microsecond)
+			}
+			msg.Chain = append(msg.Chain, n.id)
+			body, merr := wire.MarshalInto(&msg)
+			if merr != nil {
+				rc.Reply(nil, merr)
+				return
+			}
+			n.counts.Inc("forwards")
+			if ferr := rc.Forward(to, procRouted, body); ferr != nil {
+				n.counts.Inc("forward_failed")
+			}
+			return
+		}
+	}
+}
+
+// executeRouted performs a routed operation that resolve directed at this
+// node. Lock contract: for opInvoke, d arrives pinned and unlocked; for all
+// other ops, d arrives locked and the per-op executor releases it.
+// Returns nil when a reply or forward has been sent; errRetryRoute to re-run
+// the entry protocol; any other error for the caller to report.
+func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
+	switch msg.Op {
+	case opInvoke:
+		args, err := wire.UnmarshalArgs(msg.Args)
+		if err != nil {
+			n.unpin(d)
+			return err
+		}
+		// The migrated thread resumes here with its identity and bindings
+		// (§3.4): this context *is* the thread, executing on this node now.
+		c := &Ctx{node: n, rec: msg.Thread}
+		n.counts.Inc("invokes_executed_for_remote")
+		results, err := n.runPinned(c, d, msg.Obj, msg.Method, args)
+		if err != nil {
+			rc.Reply(nil, err)
+			n.sendChainUpdates(msg.Obj, msg.Chain, rc.Origin)
+			return nil
+		}
+		rb, err := wire.MarshalArgs(results)
+		if err != nil {
+			rc.Reply(nil, err)
+			return nil
+		}
+		body, err := wire.MarshalInto(&invokeReply{Results: rb, Node: n.id})
+		rc.Reply(body, err)
+		n.sendChainUpdates(msg.Obj, msg.Chain, rc.Origin)
+		return nil
+
+	case opLocate:
+		rep := locateReply{Node: n.id, Immutable: d.immutable}
+		d.mu.Unlock()
+		body, err := wire.MarshalInto(&rep)
+		rc.Reply(body, err)
+		n.counts.Inc("locates_answered")
+		n.sendChainUpdates(msg.Obj, msg.Chain, rc.Origin)
+		return nil
+
+	case opMove:
+		rep, err := n.executeMove(d, msg)
+		if err != nil {
+			return err
+		}
+		body, err := wire.MarshalInto(&rep)
+		rc.Reply(body, err)
+		return nil
+
+	case opSetImmutable:
+		if err := n.executeSetImmutable(d, msg); err != nil {
+			return err
+		}
+		rc.Reply(nil, nil)
+		return nil
+
+	case opDelete:
+		if err := n.executeDelete(d, msg); err != nil {
+			return err
+		}
+		rc.Reply(nil, nil)
+		return nil
+
+	case opAttach:
+		fwd, err := n.executeAttach(d, msg)
+		if err != nil {
+			return err
+		}
+		if fwd != gaddr.NoNode {
+			msg.Chain = append(msg.Chain, n.id)
+			body, merr := wire.MarshalInto(msg)
+			if merr != nil {
+				return merr
+			}
+			return rc.Forward(fwd, procRouted, body)
+		}
+		rc.Reply(nil, nil)
+		return nil
+
+	case opUnattach:
+		if err := n.executeUnattach(d, msg); err != nil {
+			return err
+		}
+		rc.Reply(nil, nil)
+		return nil
+
+	default:
+		d.mu.Unlock()
+		return fmt.Errorf("amber: unknown routed op %d", msg.Op)
+	}
+}

@@ -1,0 +1,535 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"amber/internal/gaddr"
+	"amber/internal/wire"
+)
+
+// errRetryRoute is an internal sentinel: the descriptor's state changed
+// between routing and execution; re-run the entry protocol.
+var errRetryRoute = errors.New("amber: internal: retry routing")
+
+// moveOp coordinates one migration of an attachment component (§3.4–§3.5).
+// Lifecycle: mark every member stateMoving → drain bound threads (pins) →
+// ship snapshots to the destination → mark members forwarded.
+type moveOp struct {
+	node  *Node
+	dest  gaddr.NodeID
+	addrs []gaddr.Addr
+	mems  []*descriptor
+
+	mu        sync.Mutex
+	remaining int  // members still pinned
+	deferred  bool // requesting thread is bound: ship on last unpin
+	aborted   bool
+	drained   chan struct{}
+}
+
+// memberDrained is called by unpin when a member's pin count reaches zero
+// during stateMoving.
+func (op *moveOp) memberDrained() {
+	op.mu.Lock()
+	if op.aborted {
+		op.mu.Unlock()
+		return
+	}
+	op.remaining--
+	done := op.remaining == 0
+	deferred := op.deferred
+	op.mu.Unlock()
+	if !done {
+		return
+	}
+	close(op.drained)
+	if deferred {
+		// Nobody is waiting; complete the shipment ourselves.
+		go func() {
+			if err := op.ship(); err != nil {
+				op.node.counts.Inc("deferred_move_failed")
+			}
+		}()
+	}
+}
+
+// ship serializes the component and installs it on the destination,
+// then leaves forwarding addresses behind (§3.3, §3.4). On failure the
+// objects revert to resident.
+func (op *moveOp) ship() error {
+	n := op.node
+	snaps := make([]snapshot, len(op.mems))
+	for i, m := range op.mems {
+		m.mu.Lock()
+		s, err := n.snapshotLocked(op.addrs[i], m)
+		m.mu.Unlock()
+		if err != nil {
+			op.revert()
+			return err
+		}
+		snaps[i] = s
+	}
+	if err := n.installRemote(op.dest, &installMsg{From: n.id, Objects: snaps}); err != nil {
+		op.revert()
+		return err
+	}
+	for _, m := range op.mems {
+		m.mu.Lock()
+		m.state = stateForwarded
+		m.fwd = op.dest
+		m.obj = reflect.Value{}
+		m.ti = nil
+		m.attach = nil
+		m.mv = nil
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+	n.counts.Add("objects_moved_out", int64(len(op.mems)))
+	return nil
+}
+
+// revert returns all members to stateResident after a failed or timed-out
+// move.
+func (op *moveOp) revert() {
+	for _, m := range op.mems {
+		m.mu.Lock()
+		if m.state == stateMoving && m.mv == op {
+			m.state = stateResident
+			m.mv = nil
+		}
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}
+
+// snapshotLocked captures one object's migrating state; d.mu held.
+func (n *Node) snapshotLocked(a gaddr.Addr, d *descriptor) (snapshot, error) {
+	if d.ti == nil || !d.ti.serializable {
+		return snapshot{}, fmt.Errorf("%w: %#x is not serializable", ErrNotMovable, uint64(a))
+	}
+	var state []byte
+	if d.ti.hasState {
+		var err error
+		state, err = wire.Marshal(d.obj.Elem().Interface())
+		if err != nil {
+			return snapshot{}, fmt.Errorf("amber: snapshot %#x: %w", uint64(a), err)
+		}
+	}
+	return snapshot{
+		Addr:      a,
+		TypeName:  d.ti.name,
+		State:     state,
+		Immutable: d.immutable,
+		Attached:  d.attachPeers(),
+	}, nil
+}
+
+// installRemote ships an install batch and waits for the acknowledgement.
+// The bulk-transfer path of §4.2: one network transaction regardless of the
+// objects' size or layout.
+func (n *Node) installRemote(dest gaddr.NodeID, msg *installMsg) error {
+	body, err := wire.MarshalInto(msg)
+	if err != nil {
+		return err
+	}
+	_, err = n.call(dest, procInstall, body)
+	return err
+}
+
+// executeMove performs opMove at the node where the object is resident.
+// Contract: d.mu is held on entry and released by this function. Returns
+// errRetryRoute if the state changed under us.
+func (n *Node) executeMove(d *descriptor, msg *routedMsg) (moveReply, error) {
+	dest := msg.Dest
+	if d.state != stateResident {
+		d.mu.Unlock()
+		return moveReply{}, errRetryRoute
+	}
+
+	// Immutable objects copy instead of moving (§2.3); the original stays.
+	if d.immutable {
+		if dest == n.id {
+			d.mu.Unlock()
+			return moveReply{Node: n.id}, nil
+		}
+		snap, err := n.snapshotLocked(msg.Obj, d)
+		d.mu.Unlock()
+		if err != nil {
+			return moveReply{}, err
+		}
+		if err := n.installRemote(dest, &installMsg{From: n.id, Copy: true, Objects: []snapshot{snap}}); err != nil {
+			return moveReply{}, err
+		}
+		n.counts.Inc("replicas_sent")
+		return moveReply{Node: dest}, nil
+	}
+
+	if dest == n.id {
+		d.mu.Unlock()
+		return moveReply{Node: n.id}, nil // already here
+	}
+	d.mu.Unlock()
+
+	// Topology work (component discovery, state marking) is serialized per
+	// node.
+	n.moveMu.Lock()
+	addrs, mems, err := n.component(msg.Obj)
+	if err != nil {
+		n.moveMu.Unlock()
+		if errors.Is(err, errRetryRoute) {
+			return moveReply{}, errRetryRoute
+		}
+		return moveReply{}, err
+	}
+	op := &moveOp{node: n, dest: dest, addrs: addrs, mems: mems, drained: make(chan struct{})}
+
+	// Veto phase: every member must agree to move.
+	for _, m := range mems {
+		m.mu.Lock()
+		if m.state != stateResident {
+			m.mu.Unlock()
+			n.moveMu.Unlock()
+			return moveReply{}, errRetryRoute
+		}
+		if m.ti == nil || !m.ti.serializable {
+			m.mu.Unlock()
+			n.moveMu.Unlock()
+			return moveReply{}, fmt.Errorf("%w: component member is not serializable", ErrNotMovable)
+		}
+		if g, ok := m.obj.Interface().(MoveGuard); ok {
+			if gerr := g.CanMove(); gerr != nil {
+				m.mu.Unlock()
+				n.moveMu.Unlock()
+				return moveReply{}, gerr
+			}
+		}
+		m.mu.Unlock()
+	}
+
+	// Mark phase: flip every member to stateMoving. From here on, new
+	// invocations wait (the paper's post-preemption residency check) and
+	// only already-bound threads re-enter.
+	requesterBound := false
+	pending := 0
+	for i, m := range mems {
+		m.mu.Lock()
+		m.state = stateMoving
+		m.mv = op
+		if m.pins > 0 {
+			pending++
+		}
+		if msg.Thread.pinned(addrs[i]) {
+			requesterBound = true
+		}
+		m.mu.Unlock()
+	}
+	op.mu.Lock()
+	op.remaining = pending
+	op.deferred = requesterBound && pending > 0
+	op.mu.Unlock()
+	n.moveMu.Unlock()
+	n.counts.Inc("moves_started")
+
+	if pending == 0 {
+		if err := op.ship(); err != nil {
+			return moveReply{}, err
+		}
+		return moveReply{Node: dest}, nil
+	}
+	if requesterBound {
+		// The moving thread is inside the object (a self-move, §3.5): the
+		// paper would migrate the thread along with the object; Go stacks
+		// cannot move, so the shipment completes when the thread leaves.
+		// See DESIGN.md "bound-thread migration".
+		n.counts.Inc("moves_deferred")
+		return moveReply{Deferred: true, Node: dest}, nil
+	}
+
+	// Drain phase: wait for bound threads to exit (they were "preempted
+	// and rescheduled" in the original; here they simply finish).
+	select {
+	case <-op.drained:
+		if err := op.ship(); err != nil {
+			return moveReply{}, err
+		}
+		return moveReply{Node: dest}, nil
+	case <-time.After(n.cfg.MoveDrainTimeout):
+		op.mu.Lock()
+		if op.remaining == 0 && !op.aborted {
+			// Lost the race with the final unpin: the ship is ours to do.
+			op.mu.Unlock()
+			if err := op.ship(); err != nil {
+				return moveReply{}, err
+			}
+			return moveReply{Node: dest}, nil
+		}
+		op.aborted = true
+		op.mu.Unlock()
+		op.revert()
+		n.counts.Inc("moves_timed_out")
+		return moveReply{}, fmt.Errorf("%w: %#x to node %d", ErrMoveTimeout, uint64(msg.Obj), dest)
+	}
+}
+
+// component gathers the attachment component of root (all objects that must
+// move together, §2.3). Caller holds moveMu.
+func (n *Node) component(root gaddr.Addr) ([]gaddr.Addr, []*descriptor, error) {
+	var addrs []gaddr.Addr
+	var mems []*descriptor
+	seen := map[gaddr.Addr]bool{}
+	queue := []gaddr.Addr{root}
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		d := n.desc(a)
+		if d == nil {
+			return nil, nil, fmt.Errorf("amber: attachment component member %#x missing locally", uint64(a))
+		}
+		d.mu.Lock()
+		if d.state != stateResident {
+			d.mu.Unlock()
+			return nil, nil, errRetryRoute
+		}
+		peers := d.attachPeers()
+		d.mu.Unlock()
+		addrs = append(addrs, a)
+		mems = append(mems, d)
+		queue = append(queue, peers...)
+	}
+	return addrs, mems, nil
+}
+
+// executeSetImmutable implements the runtime immutability mark (§2.3).
+// Contract: d.mu held on entry, released here.
+func (n *Node) executeSetImmutable(d *descriptor, msg *routedMsg) error {
+	defer d.mu.Unlock()
+	if d.state != stateResident {
+		return errRetryRoute
+	}
+	if d.immutable {
+		return nil // idempotent
+	}
+	if len(d.attach) > 0 {
+		return fmt.Errorf("%w: detach before marking immutable", ErrNotMovable)
+	}
+	if d.ti == nil || !d.ti.serializable {
+		return fmt.Errorf("%w: runtime objects cannot be immutable", ErrNotMovable)
+	}
+	d.immutable = true
+	n.counts.Inc("set_immutable")
+	return nil
+}
+
+// executeDelete destroys an object, leaving a tombstone so stale references
+// fail cleanly. Contract: d.mu held on entry, released here.
+func (n *Node) executeDelete(d *descriptor, msg *routedMsg) error {
+	if d.state != stateResident {
+		d.mu.Unlock()
+		return errRetryRoute
+	}
+	if d.immutable {
+		d.mu.Unlock()
+		return ErrImmutableDelete
+	}
+	if len(d.attach) > 0 {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: unattach before delete", ErrNotAttached)
+	}
+	if msg.Thread.pinned(msg.Obj) {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: cannot delete an object from inside its own operation", ErrNotMovable)
+	}
+	// Drain bound threads, bounded by the move timeout.
+	if !waitPinsLocked(d, n.cfg.MoveDrainTimeout) {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: delete %#x", ErrMoveTimeout, uint64(msg.Obj))
+	}
+	d.state = stateDeleted
+	d.obj = reflect.Value{}
+	d.ti = nil
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	n.counts.Inc("objects_deleted")
+	return nil
+}
+
+// waitPinsLocked waits (holding d.mu, via the condition variable) until
+// d.pins reaches zero or the timeout expires. Reports success.
+func waitPinsLocked(d *descriptor, timeout time.Duration) bool {
+	if d.pins == 0 {
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	expired := false
+	timer := time.AfterFunc(timeout, func() {
+		d.mu.Lock()
+		expired = true
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	})
+	defer timer.Stop()
+	for d.pins > 0 {
+		if expired || time.Now().After(deadline) {
+			return false
+		}
+		d.cond.Wait()
+	}
+	return true
+}
+
+// executeAttach runs at the node where the child (msg.Obj) resides; the
+// parent is msg.Peer. If the two are not co-resident the child's component
+// first migrates to the parent's node and the request is re-routed there
+// (forwardTo). Contract: d.mu held on entry, released here.
+func (n *Node) executeAttach(d *descriptor, msg *routedMsg) (forwardTo gaddr.NodeID, err error) {
+	if d.state != stateResident {
+		d.mu.Unlock()
+		return gaddr.NoNode, errRetryRoute
+	}
+	if msg.Obj == msg.Peer {
+		d.mu.Unlock()
+		return gaddr.NoNode, fmt.Errorf("%w: cannot attach an object to itself", ErrBadArgument)
+	}
+	if d.immutable {
+		d.mu.Unlock()
+		return gaddr.NoNode, fmt.Errorf("%w: immutable objects cannot be attached", ErrNotMovable)
+	}
+	d.mu.Unlock()
+
+	loc, imm, lerr := n.locateInternal(msg.Peer)
+	if lerr != nil {
+		return gaddr.NoNode, lerr
+	}
+	if imm {
+		return gaddr.NoNode, fmt.Errorf("%w: cannot attach to an immutable object", ErrNotMovable)
+	}
+
+	if loc != n.id {
+		// Co-locate: move the child's component to the parent, then let the
+		// parent's node complete the attachment.
+		mv := routedMsg{Op: opMove, Obj: msg.Obj, Dest: loc, Thread: msg.Thread}
+		d.mu.Lock()
+		rep, merr := n.executeMove(d, &mv) // releases d.mu
+		if merr != nil {
+			return gaddr.NoNode, merr
+		}
+		if rep.Deferred {
+			return gaddr.NoNode, fmt.Errorf("%w: attach from inside the attached object", ErrNotMovable)
+		}
+		return loc, nil
+	}
+
+	// Both here: record the edge on both descriptors, ordered by address to
+	// avoid lock cycles.
+	n.moveMu.Lock()
+	defer n.moveMu.Unlock()
+	pd := n.desc(msg.Peer)
+	if pd == nil {
+		return gaddr.NoNode, errRetryRoute // parent moved away between locate and now
+	}
+	first, second := d, pd
+	if msg.Peer < msg.Obj {
+		first, second = pd, d
+	}
+	first.mu.Lock()
+	second.mu.Lock()
+	defer first.mu.Unlock()
+	defer second.mu.Unlock()
+	if d.state != stateResident || pd.state != stateResident {
+		return gaddr.NoNode, errRetryRoute
+	}
+	if pd.immutable {
+		return gaddr.NoNode, fmt.Errorf("%w: cannot attach to an immutable object", ErrNotMovable)
+	}
+	d.addAttach(msg.Peer)
+	pd.addAttach(msg.Obj)
+	n.counts.Inc("attaches")
+	return gaddr.NoNode, nil
+}
+
+// executeUnattach removes an attachment edge; both objects are co-resident
+// by the attachment invariant. Contract: d.mu held on entry, released here.
+func (n *Node) executeUnattach(d *descriptor, msg *routedMsg) error {
+	if d.state != stateResident {
+		d.mu.Unlock()
+		return errRetryRoute
+	}
+	if _, ok := d.attach[msg.Peer]; !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %#x and %#x", ErrNotAttached, uint64(msg.Obj), uint64(msg.Peer))
+	}
+	d.mu.Unlock()
+
+	n.moveMu.Lock()
+	defer n.moveMu.Unlock()
+	pd := n.desc(msg.Peer)
+	first, second := d, pd
+	if pd != nil && msg.Peer < msg.Obj {
+		first, second = pd, d
+	}
+	first.mu.Lock()
+	if second != nil && second != first {
+		second.mu.Lock()
+	}
+	if _, ok := d.attach[msg.Peer]; !ok {
+		if second != nil && second != first {
+			second.mu.Unlock()
+		}
+		first.mu.Unlock()
+		return fmt.Errorf("%w: %#x and %#x", ErrNotAttached, uint64(msg.Obj), uint64(msg.Peer))
+	}
+	delete(d.attach, msg.Peer)
+	if pd != nil {
+		delete(pd.attach, msg.Obj)
+	}
+	if second != nil && second != first {
+		second.mu.Unlock()
+	}
+	first.mu.Unlock()
+	n.counts.Inc("unattaches")
+	return nil
+}
+
+// locateInternal resolves an object's current residence (kernel-level, no
+// thread context).
+func (n *Node) locateInternal(obj gaddr.Addr) (gaddr.NodeID, bool, error) {
+	msg := routedMsg{Op: opLocate, Obj: obj}
+	for retries := 0; ; retries++ {
+		d, act, to, err := n.resolve(&msg)
+		switch act {
+		case actError:
+			return gaddr.NoNode, false, err
+		case actExecute:
+			node, imm := n.id, d.immutable
+			d.mu.Unlock()
+			return node, imm, nil
+		case actForward:
+			msg.Chain = append(msg.Chain, n.id)
+			if len(msg.Chain) > n.cfg.MaxHops {
+				return gaddr.NoNode, false, ErrRoutingLost
+			}
+			body, merr := wire.MarshalInto(&msg)
+			if merr != nil {
+				return gaddr.NoNode, false, merr
+			}
+			resp, cerr := n.call(to, procRouted, body)
+			if cerr != nil {
+				return gaddr.NoNode, false, mapRemoteError(cerr)
+			}
+			var lr locateReply
+			if derr := wire.UnmarshalFrom(resp, &lr); derr != nil {
+				return gaddr.NoNode, false, derr
+			}
+			n.learnLocation(obj, lr.Node)
+			return lr.Node, lr.Immutable, nil
+		}
+	}
+}

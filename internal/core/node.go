@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amber/internal/gaddr"
+	"amber/internal/rpc"
+	"amber/internal/sched"
+	"amber/internal/stats"
+	"amber/internal/transport"
+	"amber/internal/wire"
+)
+
+// NodeConfig parameterizes one node.
+type NodeConfig struct {
+	// ID is this node's identity.
+	ID gaddr.NodeID
+	// Procs is the number of processor slots (CPUs usable by Amber
+	// threads); the Fireflies of the paper contributed up to four each.
+	Procs int
+	// ServerNode hosts the address-space server (normally node 0).
+	ServerNode gaddr.NodeID
+	// Policy is the initial scheduling discipline (nil = FIFO).
+	Policy sched.Policy
+	// Quantum enables cooperative timeslicing: Checkpoint yields after a
+	// thread has held a processor this long. Zero disables.
+	Quantum time.Duration
+	// MoveDrainTimeout bounds how long a move waits for bound threads to
+	// leave the object (0 = 10s). Prevents cross-move deadlocks from
+	// hanging forever.
+	MoveDrainTimeout time.Duration
+	// MaxHops bounds forwarding-chain traversal (0 = 64).
+	MaxHops int
+	// RegionsPerGrant is how many address-space regions to request per
+	// server round trip (0 = 4).
+	RegionsPerGrant int
+	// RPCTimeout bounds every internode request (invocation shipping,
+	// moves, installs, server calls). Zero waits forever — appropriate on
+	// a reliable fabric; set it when messages can be lost (the system has
+	// no retransmission layer, faithfully to the original, which ran over
+	// a LAN it trusted).
+	RPCTimeout time.Duration
+	// DebugImmutable enables write detection on immutable objects: state
+	// is snapshotted around each invocation and compared.
+	DebugImmutable bool
+}
+
+func (c *NodeConfig) fill() {
+	if c.Procs < 1 {
+		c.Procs = 1
+	}
+	if c.MoveDrainTimeout == 0 {
+		c.MoveDrainTimeout = 10 * time.Second
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = 128
+	}
+	if c.RegionsPerGrant == 0 {
+		c.RegionsPerGrant = 4
+	}
+}
+
+// Node is one participant in an Amber computation: a descriptor table over
+// the global object space, a thread scheduler with Procs slots, and a
+// protocol engine for invocation routing and migration. It corresponds to
+// one Topaz task on one Firefly in the original system.
+type Node struct {
+	cfg     NodeConfig
+	id      gaddr.NodeID
+	reg     *Registry
+	alloc   *gaddr.Allocator
+	regions *gaddr.Table
+	ep      *rpc.Endpoint
+	sch     *sched.Scheduler
+	counts  *stats.Set
+
+	mu    sync.Mutex // guards descs
+	descs map[gaddr.Addr]*descriptor
+
+	// moveMu serializes move/attach topology changes on this node.
+	moveMu sync.Mutex
+
+	// server is non-nil on the node hosting the address-space server.
+	server *gaddr.Server
+
+	threadSeq atomic.Uint64
+	closed    atomic.Bool
+}
+
+// NewNode assembles a node over a transport. server must be non-nil exactly
+// when cfg.ID == cfg.ServerNode. The node immediately requests its initial
+// region pool from the server (§3.1 startup assignment).
+func NewNode(cfg NodeConfig, reg *Registry, tr transport.Transport, server *gaddr.Server) (*Node, error) {
+	cfg.fill()
+	if (cfg.ID == cfg.ServerNode) != (server != nil) {
+		return nil, fmt.Errorf("amber: node %d: server presence mismatch", cfg.ID)
+	}
+	n := &Node{
+		cfg:    cfg,
+		id:     cfg.ID,
+		reg:    reg,
+		ep:     rpc.NewEndpoint(tr),
+		sch:    sched.New(cfg.Procs, cfg.Policy),
+		counts: stats.NewSet(),
+		descs:  make(map[gaddr.Addr]*descriptor),
+		server: server,
+	}
+	n.regions = gaddr.NewTable(nil, n.resolveRegion)
+	n.alloc = gaddr.NewAllocator(cfg.ID, nil, n.extendRegions)
+	n.ep.HandleProc(procRouted, n.handleRouted)
+	n.ep.HandleProc(procInstall, n.handleInstall)
+	n.ep.HandleProc(procLocUpdate, n.handleLocUpdate)
+	if server != nil {
+		n.ep.HandleProc(procRegion, n.handleRegion)
+	}
+	// Startup pool.
+	regs, err := n.requestRegions(cfg.RegionsPerGrant)
+	if err != nil {
+		return nil, fmt.Errorf("amber: node %d: initial region grant: %w", cfg.ID, err)
+	}
+	for _, r := range regs {
+		n.regions.Learn(r, cfg.ID)
+	}
+	n.alloc = gaddr.NewAllocator(cfg.ID, regs, n.extendRegions)
+	return n, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() gaddr.NodeID { return n.id }
+
+// Stats exposes the node's runtime counters.
+func (n *Node) Stats() *stats.Set { return n.counts }
+
+// Scheduler exposes the node's thread scheduler (for policy replacement and
+// introspection, §2.1).
+func (n *Node) Scheduler() *sched.Scheduler { return n.sch }
+
+// Registry returns the class registry this node dispatches against.
+func (n *Node) Registry() *Registry { return n.reg }
+
+// Objects reports how many descriptors this node holds in each state;
+// useful for tests and the harness.
+func (n *Node) Objects() map[string]int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := map[string]int{}
+	for _, d := range n.descs {
+		d.mu.Lock()
+		switch d.state {
+		case stateResident:
+			if d.replica {
+				out["replica"]++
+			} else {
+				out["resident"]++
+			}
+		case stateMoving:
+			out["moving"]++
+		case stateForwarded:
+			out["forwarded"]++
+		case stateDeleted:
+			out["deleted"]++
+		}
+		d.mu.Unlock()
+	}
+	return out
+}
+
+// Close marks the node shut down. In-flight operations may still complete;
+// transports are owned by the cluster.
+func (n *Node) Close() { n.closed.Store(true) }
+
+// --- address-space server protocol (§3.1) ---
+
+func (n *Node) requestRegions(count int) ([]gaddr.Region, error) {
+	if n.server != nil {
+		return n.server.Grant(n.id, count)
+	}
+	body, err := wire.MarshalInto(&regionMsg{Grant: count, Node: n.id})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.call(n.cfg.ServerNode, procRegion, body)
+	if err != nil {
+		return nil, err
+	}
+	var rr regionReply
+	if err := wire.UnmarshalFrom(resp, &rr); err != nil {
+		return nil, err
+	}
+	return rr.Regions, nil
+}
+
+func (n *Node) extendRegions(count int) ([]gaddr.Region, error) {
+	regs, err := n.requestRegions(count)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range regs {
+		n.regions.Learn(r, n.id)
+	}
+	n.counts.Inc("region_extensions")
+	return regs, nil
+}
+
+// resolveRegion asks the server who owns a region (lazy mapping, §3.1).
+func (n *Node) resolveRegion(r gaddr.Region) gaddr.NodeID {
+	if n.server != nil {
+		return n.server.OwnerOf(r)
+	}
+	body, err := wire.MarshalInto(&regionMsg{Query: r, Node: n.id})
+	if err != nil {
+		return gaddr.NoNode
+	}
+	resp, err := n.call(n.cfg.ServerNode, procRegion, body)
+	if err != nil {
+		return gaddr.NoNode
+	}
+	var rr regionReply
+	if err := wire.UnmarshalFrom(resp, &rr); err != nil {
+		return gaddr.NoNode
+	}
+	return rr.Owner
+}
+
+func (n *Node) handleRegion(c *rpc.Ctx) {
+	var msg regionMsg
+	if err := wire.UnmarshalFrom(c.Body, &msg); err != nil {
+		c.Reply(nil, err)
+		return
+	}
+	var rr regionReply
+	if msg.Grant > 0 {
+		regs, err := n.server.Grant(msg.Node, msg.Grant)
+		if err != nil {
+			c.Reply(nil, err)
+			return
+		}
+		rr.Regions = regs
+	} else {
+		rr.Owner = n.server.OwnerOf(msg.Query)
+	}
+	body, err := wire.MarshalInto(&rr)
+	c.Reply(body, err)
+}
+
+// call performs an internode request honouring the node's RPC timeout.
+func (n *Node) call(to gaddr.NodeID, p rpc.Proc, body []byte) ([]byte, error) {
+	return n.ep.CallTimeout(to, p, body, n.cfg.RPCTimeout)
+}
+
+// --- descriptor table ---
+
+// desc returns the descriptor for a, or nil if uninitialized here.
+func (n *Node) desc(a gaddr.Addr) *descriptor {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.descs[a]
+}
+
+// descEnsure returns the descriptor for a, creating an empty one (caller
+// initializes under its lock).
+func (n *Node) descEnsure(a gaddr.Addr) *descriptor {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d := n.descs[a]
+	if d == nil {
+		d = newDescriptor()
+		n.descs[a] = d
+	}
+	return d
+}
+
+// newLocalObject allocates an address and installs obj as resident on this
+// node. It is the implementation of object creation (§3.2): "when a new
+// object is created it is allocated from the heap on a particular node; the
+// descriptor is initialized on that node".
+func (n *Node) newLocalObject(obj any) (gaddr.Addr, error) {
+	ti, err := n.reg.lookupValue(obj)
+	if err != nil {
+		return gaddr.Nil, err
+	}
+	// The size charged against the address space approximates the paper's
+	// heap blocks; exact sizing is irrelevant since addresses are opaque.
+	a, err := n.alloc.Alloc(256)
+	if err != nil {
+		return gaddr.Nil, err
+	}
+	d := n.descEnsure(a)
+	d.mu.Lock()
+	d.state = stateResident
+	d.obj = valueOf(obj)
+	d.ti = ti
+	d.mu.Unlock()
+	n.counts.Inc("objects_created")
+	return a, nil
+}
+
+// --- location update (chain caching, §3.3) ---
+
+func (n *Node) handleLocUpdate(c *rpc.Ctx) {
+	var msg locUpdateMsg
+	if err := wire.UnmarshalFrom(c.Body, &msg); err != nil {
+		return
+	}
+	d := n.descEnsure(msg.Obj)
+	d.mu.Lock()
+	switch d.state {
+	case stateResident, stateMoving, stateDeleted:
+		// We know better than the hint.
+	default:
+		d.state = stateForwarded
+		d.fwd = msg.Node
+		n.counts.Inc("chain_updates_applied")
+	}
+	d.mu.Unlock()
+}
+
+// sendChainUpdates back-patches the nodes an operation traversed so their
+// next reference finds the object in one hop (§3.3: "the object's last known
+// location is cached on all nodes along the chain"). The origin is excluded:
+// it learns the location from the reply itself.
+func (n *Node) sendChainUpdates(obj gaddr.Addr, chain []gaddr.NodeID, origin gaddr.NodeID) {
+	if len(chain) == 0 {
+		return
+	}
+	var body []byte
+	for _, hop := range chain {
+		if hop == n.id || hop == origin {
+			continue
+		}
+		if body == nil {
+			var err error
+			body, err = wire.MarshalInto(&locUpdateMsg{Obj: obj, Node: n.id})
+			if err != nil {
+				return
+			}
+		}
+		if n.ep.Oneway(hop, procLocUpdate, body) == nil {
+			n.counts.Inc("chain_updates_sent")
+		}
+	}
+}
+
+// homeOf computes an object's home node from its address alone (§3.3).
+func (n *Node) homeOf(a gaddr.Addr) gaddr.NodeID {
+	return n.regions.HomeOf(a)
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"amber/internal/wire"
+)
+
+// Registry maps user types to invocation tables. In the original system this
+// role was played by the C++ class hierarchy plus the Amber preprocessor; the
+// Go reproduction derives the operation table with reflection, the net/rpc
+// idiom. Every node of a deployment must register the same types (all nodes
+// are "activations of the same program image", §3.1); the in-process cluster
+// shares a single registry, and cmd/amberd processes share a binary.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*typeInfo
+	byType map[reflect.Type]*typeInfo
+}
+
+// NewRegistry returns an empty registry with the runtime's internal types
+// pre-registered.
+func NewRegistry() *Registry {
+	r := &Registry{
+		byName: make(map[string]*typeInfo),
+		byType: make(map[reflect.Type]*typeInfo),
+	}
+	// The thread object class is part of the runtime (§2.1).
+	if _, err := r.register(&threadObject{}, false); err != nil {
+		panic("core: registering thread class: " + err.Error())
+	}
+	return r
+}
+
+// typeInfo describes one registered class.
+type typeInfo struct {
+	name    string
+	elem    reflect.Type // struct type
+	ptr     reflect.Type // pointer-to-struct type, the receiver
+	methods map[string]*methodInfo
+	// serializable is false for runtime-internal classes that never
+	// marshal (thread objects).
+	serializable bool
+	// hasState is false when the struct has no exported fields: such
+	// objects migrate as a fresh zero value (gob cannot encode them, and
+	// there is nothing to carry — unexported runtime state like wait
+	// queues must be empty at migration time anyway, enforced by the
+	// classes' MoveGuards).
+	hasState bool
+}
+
+// methodInfo describes one operation.
+type methodInfo struct {
+	name     string
+	idx      int // method index on ptr type
+	takesCtx bool
+	params   []reflect.Type // user-visible parameters (after receiver/ctx)
+	results  []reflect.Type // results excluding a trailing error
+	hasErr   bool
+}
+
+var (
+	ctxType = reflect.TypeOf((*Ctx)(nil))
+	errType = reflect.TypeOf((*error)(nil)).Elem()
+)
+
+// Register adds a class. v must be a pointer to a struct (the canonical
+// receiver shape) or a struct value. Operations are the exported methods on
+// *T; each may optionally take a *core.Ctx first parameter and may return a
+// trailing error. Variadic methods are not invocable and are skipped.
+// The struct's state must be gob-serializable for the object to migrate.
+func (r *Registry) Register(v any) error {
+	_, err := r.register(v, true)
+	return err
+}
+
+func (r *Registry) register(v any, serializable bool) (*typeInfo, error) {
+	t := reflect.TypeOf(v)
+	if t == nil {
+		return nil, fmt.Errorf("amber: Register(nil)")
+	}
+	if t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if t.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("amber: Register: %s is not a struct type", t)
+	}
+	ti := &typeInfo{
+		name:         t.String(),
+		elem:         t,
+		ptr:          reflect.PointerTo(t),
+		methods:      make(map[string]*methodInfo),
+		serializable: serializable,
+	}
+	for i := 0; i < ti.ptr.NumMethod(); i++ {
+		m := ti.ptr.Method(i)
+		if m.PkgPath != "" { // unexported
+			continue
+		}
+		mt := m.Type
+		if mt.IsVariadic() {
+			continue
+		}
+		mi := &methodInfo{name: m.Name, idx: i}
+		argStart := 1 // skip receiver
+		if mt.NumIn() > 1 && mt.In(1) == ctxType {
+			mi.takesCtx = true
+			argStart = 2
+		}
+		for j := argStart; j < mt.NumIn(); j++ {
+			mi.params = append(mi.params, mt.In(j))
+		}
+		n := mt.NumOut()
+		if n > 0 && mt.Out(n-1) == errType {
+			mi.hasErr = true
+			n--
+		}
+		for j := 0; j < n; j++ {
+			mi.results = append(mi.results, mt.Out(j))
+		}
+		ti.methods[m.Name] = mi
+	}
+	for i := 0; i < t.NumField(); i++ {
+		if t.Field(i).PkgPath == "" {
+			ti.hasState = true
+			break
+		}
+	}
+	if serializable && ti.hasState {
+		// Make the state transmissible inside snapshots and as an argument.
+		wire.Register(reflect.New(t).Elem().Interface())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.byName[ti.name]; ok {
+		if existing.elem != ti.elem {
+			return nil, fmt.Errorf("amber: Register: name collision for %q", ti.name)
+		}
+		return existing, nil // idempotent
+	}
+	r.byName[ti.name] = ti
+	r.byType[ti.elem] = ti
+	return ti, nil
+}
+
+// lookupValue finds the typeInfo for a live object (pointer to struct).
+func (r *Registry) lookupValue(v any) (*typeInfo, error) {
+	t := reflect.TypeOf(v)
+	if t == nil || t.Kind() != reflect.Pointer || t.Elem().Kind() != reflect.Struct {
+		return nil, fmt.Errorf("%w: object must be a pointer to struct, got %T", ErrUnknownType, v)
+	}
+	r.mu.RLock()
+	ti := r.byType[t.Elem()]
+	r.mu.RUnlock()
+	if ti == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownType, t.Elem())
+	}
+	return ti, nil
+}
+
+// lookupName finds a typeInfo by registered name (for installing migrated
+// objects).
+func (r *Registry) lookupName(name string) (*typeInfo, error) {
+	r.mu.RLock()
+	ti := r.byName[name]
+	r.mu.RUnlock()
+	if ti == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownType, name)
+	}
+	return ti, nil
+}
+
+// method resolves an operation.
+func (ti *typeInfo) method(name string) (*methodInfo, error) {
+	mi, ok := ti.methods[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrUnknownMethod, ti.name, name)
+	}
+	return mi, nil
+}
+
+// call performs the reflective invocation of mi on objPtr. A panic in user
+// code is converted into an error rather than taking down the node.
+func (mi *methodInfo) call(objPtr reflect.Value, ctx *Ctx, args []any) (results []any, err error) {
+	if len(args) != len(mi.params) {
+		return nil, fmt.Errorf("%w: %s takes %d args, got %d",
+			ErrBadArgument, mi.name, len(mi.params), len(args))
+	}
+	in := make([]reflect.Value, 0, 2+len(args))
+	in = append(in, objPtr)
+	if mi.takesCtx {
+		in = append(in, reflect.ValueOf(ctx))
+	}
+	for i, a := range args {
+		v, cerr := coerce(a, mi.params[i])
+		if cerr != nil {
+			return nil, fmt.Errorf("%w: %s arg %d: %v", ErrBadArgument, mi.name, i, cerr)
+		}
+		in = append(in, v)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("amber: panic in %s: %v", mi.name, p)
+			results = nil
+		}
+	}()
+	out := objPtr.Method(mi.idx).Call(in[1:])
+	if mi.hasErr {
+		if e := out[len(out)-1]; !e.IsNil() {
+			err = e.Interface().(error)
+		}
+		out = out[:len(out)-1]
+	}
+	results = make([]any, len(out))
+	for i, o := range out {
+		results[i] = o.Interface()
+	}
+	return results, err
+}
+
+// coerce adapts a decoded argument to a parameter type. gob preserves
+// registered concrete types, but numeric kinds may need conversion (an int
+// literal passed where the method wants float64, say).
+func coerce(a any, want reflect.Type) (reflect.Value, error) {
+	if a == nil {
+		// Zero value for the parameter type (nil slice, nil pointer, 0...).
+		switch want.Kind() {
+		case reflect.Pointer, reflect.Slice, reflect.Map, reflect.Interface, reflect.Chan, reflect.Func:
+			return reflect.Zero(want), nil
+		default:
+			return reflect.Value{}, fmt.Errorf("nil for non-nilable %s", want)
+		}
+	}
+	v := reflect.ValueOf(a)
+	if v.Type() == want {
+		return v, nil
+	}
+	if v.Type().AssignableTo(want) {
+		return v, nil
+	}
+	if want.Kind() == reflect.Interface && v.Type().Implements(want) {
+		return v, nil
+	}
+	if v.Type().ConvertibleTo(want) {
+		switch want.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+			reflect.Float32, reflect.Float64, reflect.String:
+			return v.Convert(want), nil
+		}
+	}
+	return reflect.Value{}, fmt.Errorf("cannot use %s as %s", v.Type(), want)
+}

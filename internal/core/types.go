@@ -1,0 +1,246 @@
+// Package core implements the Amber runtime: a network-wide shared object
+// space with object-grain coherence, function-shipping invocation, explicit
+// mobility (MoveTo/Locate/Attach/Unattach/immutable replication), and cheap
+// threads scheduled onto per-node processor slots. It is the paper's primary
+// contribution (§2–§3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"amber/internal/gaddr"
+	"amber/internal/rpc"
+)
+
+// Ref is a reference to an Amber object: a global virtual address valid on
+// every node (§3.1).
+type Ref = gaddr.Addr
+
+// NilRef is the null object reference.
+const NilRef = gaddr.Nil
+
+// Errors surfaced by the runtime.
+var (
+	// ErrNoSuchObject means a reference does not denote a live object: it
+	// was never allocated, or tracing it to its home node found nothing.
+	ErrNoSuchObject = errors.New("amber: no such object")
+	// ErrDeleted means the object was explicitly destroyed.
+	ErrDeleted = errors.New("amber: object deleted")
+	// ErrUnknownMethod means the object's class has no such operation.
+	ErrUnknownMethod = errors.New("amber: unknown method")
+	// ErrUnknownType means a type was not registered on this node; all
+	// nodes must run the same program image (§3).
+	ErrUnknownType = errors.New("amber: unregistered type")
+	// ErrNotMovable is returned by MoveTo for objects that refuse to move
+	// (threads mid-flight, locks with waiters).
+	ErrNotMovable = errors.New("amber: object not movable")
+	// ErrMoveTimeout means a move could not drain the object's bound
+	// threads within the configured window (e.g. two moves deadlocked on
+	// each other's pinned objects).
+	ErrMoveTimeout = errors.New("amber: move drain timed out")
+	// ErrImmutableDelete rejects deleting an immutable object, whose
+	// replicas cannot be tracked down (the paper gives immutables no
+	// lifecycle past replication).
+	ErrImmutableDelete = errors.New("amber: cannot delete immutable object")
+	// ErrRoutingLost means an invocation chased forwarding addresses past
+	// the hop budget without finding the object.
+	ErrRoutingLost = errors.New("amber: object routing lost")
+	// ErrBadArgument covers argument arity/type mismatches at dispatch.
+	ErrBadArgument = errors.New("amber: bad argument")
+	// ErrImmutableViolated is raised by the optional write-detection debug
+	// mode when an operation mutates an object marked immutable.
+	ErrImmutableViolated = errors.New("amber: immutable object was mutated")
+	// ErrNotAttached is returned by Unattach when no attachment exists.
+	ErrNotAttached = errors.New("amber: objects are not attached")
+)
+
+// sentinelErrors are runtime errors whose identity must survive a trip
+// through the RPC layer (which flattens errors to strings).
+var sentinelErrors = []error{
+	ErrNoSuchObject, ErrDeleted, ErrUnknownMethod, ErrUnknownType,
+	ErrNotMovable, ErrMoveTimeout, ErrImmutableDelete, ErrRoutingLost,
+	ErrBadArgument, ErrImmutableViolated, ErrNotAttached,
+}
+
+// remoteAppError rehydrates a sentinel from a remote error string so that
+// errors.Is works across node boundaries.
+type remoteAppError struct {
+	sentinel error
+	inner    error
+}
+
+func (e *remoteAppError) Error() string { return e.inner.Error() }
+func (e *remoteAppError) Unwrap() error { return e.sentinel }
+
+// mapRemoteError restores sentinel identity on errors propagated from other
+// nodes.
+func mapRemoteError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) {
+		return err
+	}
+	for _, s := range sentinelErrors {
+		if strings.Contains(re.Msg, s.Error()) {
+			return &remoteAppError{sentinel: s, inner: err}
+		}
+	}
+	return err
+}
+
+// RPC procedure numbers.
+const (
+	// procRouted carries operations that must execute where the object
+	// resides (invoke, locate, move, set-immutable, delete, attach); the
+	// receiving node either executes or forwards along the chain (§3.3).
+	procRouted rpc.Proc = 1
+	// procInstall delivers a migrating object's contents to its new node
+	// (§3.4).
+	procInstall rpc.Proc = 2
+	// procLocUpdate is a oneway that back-patches forwarding caches on the
+	// nodes an invocation traversed (§3.3).
+	procLocUpdate rpc.Proc = 3
+	// procRegion serves the address-space server (grants and ownership
+	// queries, §3.1). Handled only by the server node.
+	procRegion rpc.Proc = 4
+)
+
+// Routed operation codes.
+type routedOp uint8
+
+const (
+	opInvoke routedOp = iota + 1
+	opLocate
+	opMove
+	opSetImmutable
+	opDelete
+	opAttach
+	opUnattach
+)
+
+func (op routedOp) String() string {
+	switch op {
+	case opInvoke:
+		return "invoke"
+	case opLocate:
+		return "locate"
+	case opMove:
+		return "move"
+	case opSetImmutable:
+		return "setImmutable"
+	case opDelete:
+		return "delete"
+	case opAttach:
+		return "attach"
+	case opUnattach:
+		return "unattach"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// ThreadRec is the migrating portion of a thread: its identity and the
+// objects its call chain is currently bound to. It travels with every
+// function-shipped invocation, standing in for the paper's migrated stack:
+// the Pins list is exactly the "which objects is this thread executing
+// inside" information that the original system recovered by inspecting
+// stacks (§3.5).
+type ThreadRec struct {
+	ID       uint64
+	Home     gaddr.NodeID
+	Priority int
+	Pins     []gaddr.Addr
+}
+
+// pinned reports whether the thread's chain currently holds a pin on a.
+func (t *ThreadRec) pinned(a gaddr.Addr) bool {
+	for _, p := range t.Pins {
+		if p == a {
+			return true
+		}
+	}
+	return false
+}
+
+// routedMsg is the wire form of a routed operation.
+type routedMsg struct {
+	Op     routedOp
+	Obj    gaddr.Addr
+	Thread ThreadRec
+	// Method and Args apply to opInvoke.
+	Method string
+	Args   []byte
+	// Dest applies to opMove (target node), opAttach (parent object is in
+	// Peer), opUnattach (peer in Peer).
+	Dest gaddr.NodeID
+	Peer gaddr.Addr
+	// Chain lists the nodes this message has visited, oldest first; used
+	// for forwarding-cache updates and loop escape.
+	Chain []gaddr.NodeID
+}
+
+// invokeReply is the wire form of an invocation result.
+type invokeReply struct {
+	Results []byte
+	// Node is the node that executed, so the caller can update its cache.
+	Node gaddr.NodeID
+}
+
+// locateReply answers opLocate.
+type locateReply struct {
+	Node gaddr.NodeID
+	// Immutable reports the object's mode; Locate on a replicated object
+	// returns the nearest holder.
+	Immutable bool
+}
+
+// moveReply answers opMove.
+type moveReply struct {
+	// Deferred is set when the move was scheduled but not yet performed
+	// because the requesting thread itself is bound to the object; the
+	// shipment completes when the thread leaves the object.
+	Deferred bool
+	// Node is where the object now resides (or will reside).
+	Node gaddr.NodeID
+}
+
+// snapshot is one object's migrating state.
+type snapshot struct {
+	Addr      gaddr.Addr
+	TypeName  string
+	State     []byte // wire.Marshal of the object value
+	Immutable bool
+	// Attached lists this object's attachment edges (peers are included in
+	// the same install batch for mutable moves).
+	Attached []gaddr.Addr
+}
+
+// installMsg delivers migrating objects to their new node.
+type installMsg struct {
+	From gaddr.NodeID
+	// Copy marks immutable replication rather than migration.
+	Copy    bool
+	Objects []snapshot
+}
+
+// locUpdateMsg back-patches a forwarding cache entry.
+type locUpdateMsg struct {
+	Obj  gaddr.Addr
+	Node gaddr.NodeID
+}
+
+// regionMsg serves the address-space server protocol.
+type regionMsg struct {
+	// Grant: number of regions requested (0 means ownership query).
+	Grant int
+	Node  gaddr.NodeID
+	Query gaddr.Region
+}
+
+type regionReply struct {
+	Regions []gaddr.Region
+	Owner   gaddr.NodeID
+}

@@ -1,0 +1,284 @@
+// Package gaddr implements Amber's global virtual address space (§3.1 of the
+// paper). The address space is partitioned into fixed-size regions. Each node
+// owns a disjoint set of regions and allocates object addresses only from
+// regions it owns, so no distributed agreement is needed per allocation. An
+// address-space server (conventionally on node 0) hands out fresh regions as
+// nodes exhaust their pools. Because region ownership is a pure function of
+// the (replicated) region table, any node can compute the "home node" of an
+// address locally — the property the paper relies on to resolve references to
+// objects whose descriptors are uninitialized on the referencing node.
+//
+// In the original system an address was a real virtual address, valid at the
+// same offset in every task's address space. Go cannot place heap objects at
+// chosen virtual addresses, so here an Addr is an opaque 64-bit capability
+// resolved through per-node descriptor tables; the naming semantics — global
+// validity, computable home node, zero-cost minting — are preserved.
+package gaddr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Addr is a global virtual address. Addr 0 is the nil reference; the paper
+// obtains the same effect from zero-filled pages (an all-zero descriptor
+// means "not a resident object").
+type Addr uint64
+
+// Nil is the zero address; it refers to no object.
+const Nil Addr = 0
+
+// NodeID identifies a node (a Topaz task in the paper). Node 0 hosts the
+// address-space server.
+type NodeID int32
+
+// NoNode is returned by lookups that find no owner.
+const NoNode NodeID = -1
+
+const (
+	// RegionShift gives 1 MiB regions, the size the paper reports
+	// ("currently 1M bytes").
+	RegionShift = 20
+	// RegionSize is the number of addressable bytes per region.
+	RegionSize = 1 << RegionShift
+	// regionMask extracts the offset within a region.
+	regionMask = RegionSize - 1
+)
+
+// Region is an index into the global array of 1 MiB address-space regions.
+type Region uint64
+
+// RegionOf returns the region containing a.
+func RegionOf(a Addr) Region { return Region(a >> RegionShift) }
+
+// Base returns the first address of region r.
+func (r Region) Base() Addr { return Addr(r) << RegionShift }
+
+// ErrSpaceExhausted is returned when the server has no regions left to grant.
+var ErrSpaceExhausted = errors.New("gaddr: global address space exhausted")
+
+// ErrRegionOwned is returned when a grant would double-assign a region.
+var ErrRegionOwned = errors.New("gaddr: region already owned")
+
+// Server is the address-space server (§3.1). It is the only authority that
+// assigns regions to nodes. Nodes receive an initial pool at startup and call
+// Extend when the pool runs dry. The server also answers OwnerOf queries so a
+// node can lazily learn the owner of a region it has never seen (the paper:
+// "a reference to the node that owns each heap region is obtained from the
+// address space server when the region is first mapped").
+type Server struct {
+	mu sync.Mutex
+	// next is the lowest never-granted region. Region 0 is reserved so that
+	// Addr 0 is never a valid object address.
+	next Region
+	// limit bounds the address space (exclusive).
+	limit Region
+	owner map[Region]NodeID
+}
+
+// NewServer returns a server managing maxRegions regions (region 0 reserved).
+// maxRegions <= 0 selects a very large default (2^40 regions ≈ full 60-bit
+// space), effectively unbounded.
+func NewServer(maxRegions int64) *Server {
+	if maxRegions <= 0 {
+		maxRegions = 1 << 40
+	}
+	return &Server{next: 1, limit: Region(maxRegions), owner: make(map[Region]NodeID)}
+}
+
+// Grant assigns the next n free regions to node and returns them.
+func (s *Server) Grant(node NodeID, n int) ([]Region, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gaddr: grant of %d regions", n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.next+Region(n) > s.limit {
+		return nil, ErrSpaceExhausted
+	}
+	regs := make([]Region, n)
+	for i := range regs {
+		regs[i] = s.next
+		s.owner[s.next] = node
+		s.next++
+	}
+	return regs, nil
+}
+
+// GrantSpecific assigns one specific region, failing if it is taken. It is
+// used by tests and by deterministic layouts.
+func (s *Server) GrantSpecific(node NodeID, r Region) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r == 0 || r >= s.limit {
+		return fmt.Errorf("gaddr: region %d out of range", r)
+	}
+	if _, ok := s.owner[r]; ok {
+		return ErrRegionOwned
+	}
+	s.owner[r] = node
+	if r >= s.next {
+		s.next = r + 1
+	}
+	return nil
+}
+
+// OwnerOf reports the node owning region r, or NoNode.
+func (s *Server) OwnerOf(r Region) NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.owner[r]; ok {
+		return n
+	}
+	return NoNode
+}
+
+// Snapshot returns a copy of the full region table (used to seed node-local
+// caches at startup and by tests).
+func (s *Server) Snapshot() map[Region]NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make(map[Region]NodeID, len(s.owner))
+	for r, n := range s.owner {
+		m[r] = n
+	}
+	return m
+}
+
+// Granted reports how many regions have been granted so far.
+func (s *Server) Granted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.owner)
+}
+
+// Table is a node-local replica of the region-ownership map. Lookups that
+// miss are resolved through the resolve callback (an RPC to the server in a
+// distributed deployment) and cached, mirroring the paper's lazy mapping.
+type Table struct {
+	mu      sync.RWMutex
+	owner   map[Region]NodeID
+	resolve func(Region) NodeID
+}
+
+// NewTable builds a table with an optional initial snapshot and resolver.
+func NewTable(snapshot map[Region]NodeID, resolve func(Region) NodeID) *Table {
+	m := make(map[Region]NodeID, len(snapshot))
+	for r, n := range snapshot {
+		m[r] = n
+	}
+	return &Table{owner: m, resolve: resolve}
+}
+
+// HomeOf returns the home node of address a: the owner of a's region. If the
+// region is unknown locally it consults the resolver and caches the answer.
+func (t *Table) HomeOf(a Addr) NodeID {
+	r := RegionOf(a)
+	t.mu.RLock()
+	n, ok := t.owner[r]
+	t.mu.RUnlock()
+	if ok {
+		return n
+	}
+	if t.resolve == nil {
+		return NoNode
+	}
+	n = t.resolve(r)
+	if n != NoNode {
+		t.mu.Lock()
+		t.owner[r] = n
+		t.mu.Unlock()
+	}
+	return n
+}
+
+// Learn records region ownership learned out of band (e.g. piggybacked on a
+// message).
+func (t *Table) Learn(r Region, node NodeID) {
+	t.mu.Lock()
+	t.owner[r] = node
+	t.mu.Unlock()
+}
+
+// Allocator mints addresses for one node from its granted regions. The paper
+// constrains the heap so that blocks, once freed, are never split; we get the
+// analogous guarantee by never reusing addresses at all: each allocation is a
+// fresh range, so a stale reference can never alias a younger object. (The
+// 64-bit space makes this affordable; the paper's 32-bit VAX space could not.)
+type Allocator struct {
+	mu      sync.Mutex
+	node    NodeID
+	regions []Region
+	cur     int  // index into regions
+	off     Addr // next free offset within regions[cur]
+	extend  func(n int) ([]Region, error)
+	// allocated counts addresses handed out, for stats.
+	allocated uint64
+}
+
+// NewAllocator builds an allocator for node using the given initial regions.
+// extend is called (with a region count) when the pool is exhausted; in a
+// deployment it is an RPC to the address-space server.
+func NewAllocator(node NodeID, initial []Region, extend func(n int) ([]Region, error)) *Allocator {
+	regs := make([]Region, len(initial))
+	copy(regs, initial)
+	return &Allocator{node: node, regions: regs, extend: extend}
+}
+
+// Node returns the owning node of this allocator.
+func (a *Allocator) Node() NodeID { return a.node }
+
+// ErrNoRegions is returned by Alloc when the allocator has no regions and no
+// way to extend.
+var ErrNoRegions = errors.New("gaddr: allocator has no regions")
+
+// Alloc reserves size bytes of the global address space and returns the base
+// address. size must be in (0, RegionSize]. Allocations never span regions,
+// matching the paper's heap-block discipline.
+func (a *Allocator) Alloc(size int) (Addr, error) {
+	if size <= 0 || size > RegionSize {
+		return Nil, fmt.Errorf("gaddr: bad allocation size %d", size)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		if a.cur < len(a.regions) {
+			if int64(a.off)+int64(size) <= RegionSize {
+				base := a.regions[a.cur].Base() + a.off
+				a.off += Addr(size)
+				a.allocated++
+				return base, nil
+			}
+			// Region too full for this block: move on. The tail is wasted,
+			// as in any bump allocator.
+			a.cur++
+			a.off = 0
+			continue
+		}
+		if a.extend == nil {
+			return Nil, ErrNoRegions
+		}
+		regs, err := a.extend(1)
+		if err != nil {
+			return Nil, err
+		}
+		a.regions = append(a.regions, regs...)
+	}
+}
+
+// Allocated reports how many allocations this node has performed.
+func (a *Allocator) Allocated() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.allocated
+}
+
+// Regions returns a copy of the regions currently held.
+func (a *Allocator) Regions() []Region {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Region, len(a.regions))
+	copy(out, a.regions)
+	return out
+}

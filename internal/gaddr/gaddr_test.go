@@ -1,0 +1,344 @@
+package gaddr
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionOfBaseRoundTrip(t *testing.T) {
+	for _, r := range []Region{1, 2, 17, 1 << 30} {
+		if got := RegionOf(r.Base()); got != r {
+			t.Errorf("RegionOf(%d.Base()) = %d", r, got)
+		}
+		if got := RegionOf(r.Base() + regionMask); got != r {
+			t.Errorf("last byte of region %d maps to %d", r, got)
+		}
+		if got := RegionOf(r.Base() + RegionSize); got != r+1 {
+			t.Errorf("first byte past region %d maps to %d", r, got)
+		}
+	}
+}
+
+func TestServerGrantDisjoint(t *testing.T) {
+	s := NewServer(0)
+	seen := make(map[Region]NodeID)
+	for node := NodeID(0); node < 8; node++ {
+		regs, err := s.Grant(node, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 4 {
+			t.Fatalf("granted %d regions, want 4", len(regs))
+		}
+		for _, r := range regs {
+			if r == 0 {
+				t.Fatal("region 0 must stay reserved")
+			}
+			if prev, dup := seen[r]; dup {
+				t.Fatalf("region %d granted to both %d and %d", r, prev, node)
+			}
+			seen[r] = node
+			if got := s.OwnerOf(r); got != node {
+				t.Fatalf("OwnerOf(%d) = %d, want %d", r, got, node)
+			}
+		}
+	}
+	if s.Granted() != 32 {
+		t.Fatalf("Granted() = %d, want 32", s.Granted())
+	}
+}
+
+func TestServerGrantInvalid(t *testing.T) {
+	s := NewServer(0)
+	if _, err := s.Grant(1, 0); err == nil {
+		t.Fatal("Grant(_,0) should fail")
+	}
+	if _, err := s.Grant(1, -3); err == nil {
+		t.Fatal("Grant(_,-3) should fail")
+	}
+}
+
+func TestServerExhaustion(t *testing.T) {
+	s := NewServer(4) // regions 1..3 usable
+	if _, err := s.Grant(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Grant(2, 1); !errors.Is(err, ErrSpaceExhausted) {
+		t.Fatalf("want ErrSpaceExhausted, got %v", err)
+	}
+}
+
+func TestGrantSpecific(t *testing.T) {
+	s := NewServer(0)
+	if err := s.GrantSpecific(3, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GrantSpecific(4, 100); !errors.Is(err, ErrRegionOwned) {
+		t.Fatalf("want ErrRegionOwned, got %v", err)
+	}
+	if err := s.GrantSpecific(4, 0); err == nil {
+		t.Fatal("region 0 must be unassignable")
+	}
+	// Subsequent sequential grants must skip past the specific grant.
+	regs, err := s.Grant(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs[0] <= 100 {
+		t.Fatalf("sequential grant %d did not skip specific grant 100", regs[0])
+	}
+}
+
+func TestServerConcurrentGrantsDisjoint(t *testing.T) {
+	s := NewServer(0)
+	var mu sync.Mutex
+	seen := make(map[Region]bool)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for node := NodeID(0); node < 16; node++ {
+		wg.Add(1)
+		go func(n NodeID) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				regs, err := s.Grant(n, 2)
+				if err != nil {
+					errs <- err
+					return
+				}
+				mu.Lock()
+				for _, r := range regs {
+					if seen[r] {
+						errs <- fmt.Errorf("region %d granted twice", r)
+					}
+					seen[r] = true
+				}
+				mu.Unlock()
+			}
+		}(node)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if len(seen) != 16*50*2 {
+		t.Fatalf("granted %d distinct regions, want %d", len(seen), 16*50*2)
+	}
+}
+
+func TestTableHomeOfAndResolver(t *testing.T) {
+	s := NewServer(0)
+	regs, _ := s.Grant(2, 1)
+	calls := 0
+	tab := NewTable(nil, func(r Region) NodeID {
+		calls++
+		return s.OwnerOf(r)
+	})
+	a := regs[0].Base() + 42
+	if got := tab.HomeOf(a); got != 2 {
+		t.Fatalf("HomeOf = %d, want 2", got)
+	}
+	// Second lookup must hit the cache.
+	tab.HomeOf(a)
+	if calls != 1 {
+		t.Fatalf("resolver called %d times, want 1", calls)
+	}
+	// Unknown region with a resolver that answers NoNode is not cached.
+	if got := tab.HomeOf(Region(9999).Base()); got != NoNode {
+		t.Fatalf("HomeOf(unowned) = %d, want NoNode", got)
+	}
+	if calls != 2 {
+		t.Fatalf("resolver calls = %d, want 2", calls)
+	}
+	tab.HomeOf(Region(9999).Base())
+	if calls != 3 {
+		t.Fatal("NoNode result must not be cached")
+	}
+}
+
+func TestTableLearnAndNilResolver(t *testing.T) {
+	tab := NewTable(nil, nil)
+	if got := tab.HomeOf(Region(5).Base()); got != NoNode {
+		t.Fatalf("HomeOf with nil resolver = %d, want NoNode", got)
+	}
+	tab.Learn(5, 7)
+	if got := tab.HomeOf(Region(5).Base() + 10); got != 7 {
+		t.Fatalf("after Learn, HomeOf = %d, want 7", got)
+	}
+}
+
+func TestTableSnapshotSeed(t *testing.T) {
+	s := NewServer(0)
+	s.Grant(1, 3)
+	tab := NewTable(s.Snapshot(), nil)
+	for _, r := range []Region{1, 2, 3} {
+		if got := tab.HomeOf(r.Base()); got != 1 {
+			t.Fatalf("HomeOf(region %d) = %d, want 1", r, got)
+		}
+	}
+}
+
+func TestAllocatorBasic(t *testing.T) {
+	s := NewServer(0)
+	regs, _ := s.Grant(0, 1)
+	al := NewAllocator(0, regs, nil)
+	a1, err := al.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := al.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == Nil || a2 == Nil {
+		t.Fatal("allocated Nil address")
+	}
+	if a2 < a1+64 {
+		t.Fatalf("overlapping allocations: %d then %d", a1, a2)
+	}
+	if RegionOf(a1) != regs[0] {
+		t.Fatalf("allocation outside granted region")
+	}
+	if al.Allocated() != 2 {
+		t.Fatalf("Allocated = %d, want 2", al.Allocated())
+	}
+}
+
+func TestAllocatorBadSizes(t *testing.T) {
+	al := NewAllocator(0, nil, nil)
+	for _, sz := range []int{0, -1, RegionSize + 1} {
+		if _, err := al.Alloc(sz); err == nil {
+			t.Errorf("Alloc(%d) should fail", sz)
+		}
+	}
+}
+
+func TestAllocatorExtension(t *testing.T) {
+	s := NewServer(0)
+	regs, _ := s.Grant(3, 1)
+	extensions := 0
+	al := NewAllocator(3, regs, func(n int) ([]Region, error) {
+		extensions++
+		return s.Grant(3, n)
+	})
+	// Exhaust the first region with half-region blocks, then force extension.
+	for i := 0; i < 5; i++ {
+		if _, err := al.Alloc(RegionSize / 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if extensions == 0 {
+		t.Fatal("allocator never extended")
+	}
+	if len(al.Regions()) < 2 {
+		t.Fatalf("allocator holds %d regions, want >= 2", len(al.Regions()))
+	}
+}
+
+func TestAllocatorNoExtension(t *testing.T) {
+	al := NewAllocator(0, nil, nil)
+	if _, err := al.Alloc(8); !errors.Is(err, ErrNoRegions) {
+		t.Fatalf("want ErrNoRegions, got %v", err)
+	}
+}
+
+func TestAllocatorRegionNeverSpanned(t *testing.T) {
+	s := NewServer(0)
+	regs, _ := s.Grant(1, 1)
+	al := NewAllocator(1, regs, func(n int) ([]Region, error) { return s.Grant(1, n) })
+	// Allocate blocks that don't divide the region evenly; every block must
+	// sit wholly inside one region.
+	for i := 0; i < 2000; i++ {
+		sz := 700 + i%3000
+		a, err := al.Alloc(sz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if RegionOf(a) != RegionOf(a+Addr(sz-1)) {
+			t.Fatalf("allocation [%d,%d) spans regions", a, a+Addr(sz))
+		}
+	}
+}
+
+// Property: concurrent allocations from per-node allocators sharing one
+// server never overlap, across nodes or within a node.
+func TestAllocDisjointnessProperty(t *testing.T) {
+	type interval struct {
+		base Addr
+		size int
+	}
+	s := NewServer(0)
+	var mu sync.Mutex
+	var all []interval
+	var wg sync.WaitGroup
+	for node := NodeID(0); node < 6; node++ {
+		regs, err := s.Grant(node, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		al := NewAllocator(node, regs, func(n int) ([]Region, error) { return s.Grant(node, n) })
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				sz := 1 + rng.Intn(100_000)
+				a, err := al.Alloc(sz)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				all = append(all, interval{a, sz})
+				mu.Unlock()
+			}
+		}(int64(node))
+	}
+	wg.Wait()
+	// O(n log n) overlap check.
+	sortIntervals := func(iv []interval) {
+		for i := 1; i < len(iv); i++ {
+			for j := i; j > 0 && iv[j].base < iv[j-1].base; j-- {
+				iv[j], iv[j-1] = iv[j-1], iv[j]
+			}
+		}
+	}
+	sortIntervals(all)
+	for i := 1; i < len(all); i++ {
+		prev, cur := all[i-1], all[i]
+		if prev.base+Addr(prev.size) > cur.base {
+			t.Fatalf("overlap: [%d,+%d) and [%d,+%d)", prev.base, prev.size, cur.base, cur.size)
+		}
+	}
+}
+
+// Property (testing/quick): for any address built from a granted region and
+// in-range offset, HomeOf returns the granting node.
+func TestHomeOfProperty(t *testing.T) {
+	s := NewServer(0)
+	tab := NewTable(nil, s.OwnerOf)
+	granted := make([]Region, 0, 64)
+	var gmu sync.Mutex
+	f := func(nodeRaw uint8, off uint32, pick uint16) bool {
+		node := NodeID(nodeRaw % 16)
+		gmu.Lock()
+		defer gmu.Unlock()
+		if len(granted) < 64 {
+			regs, err := s.Grant(node, 1)
+			if err != nil {
+				return false
+			}
+			granted = append(granted, regs[0])
+			return tab.HomeOf(regs[0].Base()+Addr(off&regionMask)) == node
+		}
+		r := granted[int(pick)%len(granted)]
+		return tab.HomeOf(r.Base()+Addr(off&regionMask)) == s.OwnerOf(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,505 @@
+package ivy
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newDSM(t testing.TB, nodes int, kind ManagerKind) *System {
+	t.Helper()
+	s, err := NewSystem(Config{Nodes: nodes, PageSize: 256, NumPages: 8, Manager: kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+var allKinds = []ManagerKind{FixedDistributed, Centralized, DynamicDistributed}
+
+func TestConfigValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{Nodes: 0, PageSize: 256, NumPages: 1},
+		{Nodes: 1, PageSize: 4, NumPages: 1},
+		{Nodes: 1, PageSize: 256, NumPages: 0},
+	} {
+		if _, err := NewSystem(bad); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+}
+
+func TestAccessValidation(t *testing.T) {
+	s := newDSM(t, 1, FixedDistributed)
+	n := s.Node(0)
+	if _, err := n.Read(-1, 4); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("negative addr: %v", err)
+	}
+	if _, err := n.Read(256*8-2, 4); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("past end: %v", err)
+	}
+	// Spanning reads/writes are legal (they fault page by page)...
+	if err := n.Write(250, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}); err != nil {
+		t.Errorf("spanning write: %v", err)
+	}
+	b, err := n.Read(250, 12)
+	if err != nil || b[0] != 1 || b[11] != 12 {
+		t.Errorf("spanning read: %v %v", b, err)
+	}
+	// ...but CAS must stay within one page (it is atomic).
+	if _, err := n.CAS(252, 0, 1); !errors.Is(err, ErrCrossPage) {
+		t.Errorf("cross-page CAS: %v", err)
+	}
+}
+
+func TestLocalReadWrite(t *testing.T) {
+	s := newDSM(t, 1, FixedDistributed)
+	n := s.Node(0)
+	if err := n.WriteU64(16, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	v, err := n.ReadU64(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeef {
+		t.Fatalf("read %x", v)
+	}
+}
+
+func TestRemoteReadSeesWrite(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			s := newDSM(t, 3, kind)
+			if err := s.Node(0).WriteU64(8, 42); err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < 3; i++ {
+				v, err := s.Node(i).ReadU64(8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != 42 {
+					t.Fatalf("node %d read %d", i, v)
+				}
+			}
+			// All three hold read copies now.
+			for i := 0; i < 3; i++ {
+				if s.Node(i).Access(0) < int(pageRead) {
+					t.Fatalf("node %d lost read access", i)
+				}
+			}
+		})
+	}
+}
+
+func TestWriteInvalidatesReaders(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			s := newDSM(t, 3, kind)
+			s.Node(0).WriteU64(8, 1)
+			s.Node(1).ReadU64(8)
+			s.Node(2).ReadU64(8)
+			// Node 2 writes: nodes 0 and 1 must lose their copies.
+			if err := s.Node(2).WriteU64(8, 2); err != nil {
+				t.Fatal(err)
+			}
+			if s.Node(0).Access(0) != int(pageInvalid) {
+				t.Fatal("node 0 kept a stale copy")
+			}
+			if s.Node(1).Access(0) != int(pageInvalid) {
+				t.Fatal("node 1 kept a stale copy")
+			}
+			v, _ := s.Node(0).ReadU64(8)
+			if v != 2 {
+				t.Fatalf("node 0 re-read %d, want 2", v)
+			}
+		})
+	}
+}
+
+func TestOwnershipMigratesWithWrites(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			s := newDSM(t, 4, kind)
+			// The page bounces across every node; each increments a word.
+			addr := 512 // page 2
+			for round := 0; round < 3; round++ {
+				for i := 0; i < 4; i++ {
+					n := s.Node(i)
+					v, err := n.ReadU64(addr)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := n.WriteU64(addr, v+1); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			v, _ := s.Node(0).ReadU64(addr)
+			if v != 12 {
+				t.Fatalf("counter = %d, want 12", v)
+			}
+		})
+	}
+}
+
+func TestSWMRInvariant(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			s := newDSM(t, 4, kind)
+			s.Node(3).WriteU64(0, 7)
+			// Exactly one node may have write access to page 0.
+			writers := 0
+			for i := 0; i < 4; i++ {
+				if s.Node(i).Access(0) == int(pageWrite) {
+					writers++
+				}
+			}
+			if writers != 1 {
+				t.Fatalf("%d writers, want 1", writers)
+			}
+		})
+	}
+}
+
+func TestFullPageTransfersAreAtomic(t *testing.T) {
+	// Writers fill a page with a single repeated byte + write a version;
+	// readers must never observe a torn page.
+	for _, kind := range []ManagerKind{FixedDistributed, DynamicDistributed} {
+		t.Run(kind.String(), func(t *testing.T) {
+			s, err := NewSystem(Config{Nodes: 3, PageSize: 128, NumPages: 2, Manager: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			errs := make(chan error, 8)
+			// Two writers alternate patterns on page 1.
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					n := s.Node(w)
+					buf := make([]byte, 128)
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						fill := byte(w*16 + i%8)
+						for j := range buf {
+							buf[j] = fill
+						}
+						if err := n.Write(128, buf); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(w)
+			}
+			// A reader checks page uniformity.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				n := s.Node(2)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					b, err := n.Read(128, 128)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for j := 1; j < len(b); j++ {
+						if b[j] != b[0] {
+							errs <- fmt.Errorf("torn page: b[0]=%d b[%d]=%d", b[0], j, b[j])
+							return
+						}
+					}
+				}
+			}()
+			time.Sleep(200 * time.Millisecond)
+			close(stop)
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCASLockAcrossNodes(t *testing.T) {
+	// A spinlock implemented with a shared word — the §4.1 pattern. The
+	// protected counter lives on the same page, maximizing contention.
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			s := newDSM(t, 3, kind)
+			const lockAddr, ctrAddr = 0, 8
+			const perWorker = 10
+			var wg sync.WaitGroup
+			errs := make(chan error, 8)
+			for w := 0; w < 3; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					n := s.Node(w)
+					for i := 0; i < perWorker; i++ {
+						// Acquire.
+						for {
+							ok, err := n.CAS(lockAddr, 0, uint64(w)+1)
+							if err != nil {
+								errs <- err
+								return
+							}
+							if ok {
+								break
+							}
+						}
+						v, err := n.ReadU64(ctrAddr)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if err := n.WriteU64(ctrAddr, v+1); err != nil {
+							errs <- err
+							return
+						}
+						// Release.
+						if err := n.WriteU64(lockAddr, 0); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			v, _ := s.Node(0).ReadU64(ctrAddr)
+			if v != 3*perWorker {
+				t.Fatalf("counter = %d, want %d (lost updates)", v, 3*perWorker)
+			}
+			// The §4.1 point: the lock page shuttled between nodes.
+			transfers := int64(0)
+			for i := 0; i < 3; i++ {
+				transfers += s.Node(i).Stats().Value("ownership_transfers")
+			}
+			// Each worker must have taken ownership at least once; with
+			// true concurrency the page ping-pongs far more, but a worker
+			// can also run all its critical sections back-to-back.
+			if transfers < 2 {
+				t.Fatalf("only %d ownership transfers; lock page never moved", transfers)
+			}
+		})
+	}
+}
+
+func TestFalseSharingCausesTransfers(t *testing.T) {
+	// Two nodes write disjoint words that share a page: every write faults.
+	s := newDSM(t, 2, FixedDistributed)
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		if err := s.Node(0).WriteU64(0, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Node(1).WriteU64(64, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	transfers := s.Node(0).Stats().Value("ownership_transfers") +
+		s.Node(1).Stats().Value("ownership_transfers")
+	if transfers < rounds {
+		t.Fatalf("transfers = %d; false sharing should shuttle the page every round", transfers)
+	}
+	// Control: words on distinct pages do not interfere.
+	s2 := newDSM(t, 2, FixedDistributed)
+	s2.Node(0).WriteU64(0, 1)
+	s2.Node(1).WriteU64(256, 1)
+	for i := 0; i < rounds; i++ {
+		s2.Node(0).WriteU64(0, uint64(i))
+		s2.Node(1).WriteU64(256, uint64(i))
+	}
+	transfers2 := s2.Node(0).Stats().Value("ownership_transfers") +
+		s2.Node(1).Stats().Value("ownership_transfers")
+	if transfers2 > 2 {
+		t.Fatalf("distinct pages caused %d transfers", transfers2)
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	for _, kind := range []ManagerKind{FixedDistributed, DynamicDistributed} {
+		t.Run(kind.String(), func(t *testing.T) {
+			s, err := NewSystem(Config{Nodes: 4, PageSize: 64, NumPages: 16, Manager: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			var wg sync.WaitGroup
+			errs := make(chan error, 16)
+			// Each worker owns a distinct word on a distinct page and also
+			// reads everyone else's words.
+			const rounds = 25
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					n := s.Node(w)
+					myAddr := w * 64 * 4 // page 4w
+					for i := 1; i <= rounds; i++ {
+						if err := n.WriteU64(myAddr, uint64(i)); err != nil {
+							errs <- err
+							return
+						}
+						for o := 0; o < 4; o++ {
+							v, err := n.ReadU64(o * 64 * 4)
+							if err != nil {
+								errs <- err
+								return
+							}
+							if o == w && v != uint64(i) {
+								errs <- fmt.Errorf("node %d read back %d, want %d", w, v, i)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			// Quiescent check: everyone agrees on final values.
+			for o := 0; o < 4; o++ {
+				want := uint64(rounds)
+				for w := 0; w < 4; w++ {
+					v, err := s.Node(w).ReadU64(o * 64 * 4)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if v != want {
+						t.Fatalf("node %d sees %d at page %d, want %d", w, v, 4*o, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPageDataIsolation(t *testing.T) {
+	// A read copy must be a copy: mutating the returned slice or the
+	// owner's page later must not affect the other.
+	s := newDSM(t, 2, FixedDistributed)
+	s.Node(0).Write(0, bytes.Repeat([]byte{7}, 16))
+	b, _ := s.Node(1).Read(0, 16)
+	b[0] = 99
+	b2, _ := s.Node(1).Read(0, 16)
+	if b2[0] != 7 {
+		t.Fatal("caller mutation leaked into the page")
+	}
+}
+
+func TestRPCLocks(t *testing.T) {
+	s := newDSM(t, 3, FixedDistributed)
+	// Mutual exclusion across nodes, counter on a shared page.
+	const perWorker = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := s.Node(w)
+			for i := 0; i < perWorker; i++ {
+				if err := n.RPCLockAcquire(42); err != nil {
+					errs <- err
+					return
+				}
+				v, err := n.ReadU64(64)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := n.WriteU64(64, v+1); err != nil {
+					errs <- err
+					return
+				}
+				if err := n.RPCLockRelease(42); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	v, _ := s.Node(0).ReadU64(64)
+	if v != 3*perWorker {
+		t.Fatalf("counter = %d, want %d (RPC lock failed to exclude)", v, 3*perWorker)
+	}
+}
+
+func TestRPCLockErrors(t *testing.T) {
+	s := newDSM(t, 2, FixedDistributed)
+	if err := s.Node(1).RPCLockRelease(7); err == nil {
+		t.Fatal("release of never-acquired lock should fail")
+	}
+	// Distinct lock IDs are independent.
+	if err := s.Node(0).RPCLockAcquire(1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Node(1).RPCLockAcquire(2) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("independent lock blocked")
+	}
+	s.Node(0).RPCLockRelease(1)
+	s.Node(1).RPCLockRelease(2)
+}
+
+func TestRPCLockQueuedGrant(t *testing.T) {
+	s := newDSM(t, 2, FixedDistributed)
+	if err := s.Node(0).RPCLockAcquire(9); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan struct{})
+	go func() {
+		s.Node(1).RPCLockAcquire(9)
+		close(got)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-got:
+		t.Fatal("second acquire succeeded while held")
+	default:
+	}
+	if err := s.Node(0).RPCLockRelease(9); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued grant never delivered")
+	}
+}

@@ -1,0 +1,93 @@
+package ivy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRandomOpsAgainstReferenceMemory model-checks the DSM: a random
+// sequence of reads and writes from random nodes must behave exactly like a
+// flat reference array, for every manager scheme. Operations are issued
+// sequentially (one at a time), so the reference semantics are exact; the
+// concurrency of the protocol itself is exercised by the other tests.
+func TestRandomOpsAgainstReferenceMemory(t *testing.T) {
+	const (
+		nodes    = 4
+		pageSize = 64
+		numPages = 6
+		ops      = 1500
+	)
+	for _, kind := range allKinds {
+		for _, seed := range []int64{3, 11, 1989} {
+			t.Run(fmt.Sprintf("%v/seed=%d", kind, seed), func(t *testing.T) {
+				s, err := NewSystem(Config{
+					Nodes: nodes, PageSize: pageSize, NumPages: numPages, Manager: kind,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+				ref := make([]byte, pageSize*numPages)
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < ops; i++ {
+					n := s.Node(rng.Intn(nodes))
+					switch rng.Intn(4) {
+					case 0: // word write
+						addr := rng.Intn(len(ref)/8) * 8
+						v := rng.Uint64()
+						if err := n.WriteU64(addr, v); err != nil {
+							t.Fatalf("op %d: %v", i, err)
+						}
+						binary.LittleEndian.PutUint64(ref[addr:], v)
+					case 1: // word read
+						addr := rng.Intn(len(ref)/8) * 8
+						v, err := n.ReadU64(addr)
+						if err != nil {
+							t.Fatalf("op %d: %v", i, err)
+						}
+						want := binary.LittleEndian.Uint64(ref[addr:])
+						if v != want {
+							t.Fatalf("op %d: node read %x at %d, want %x", i, v, addr, want)
+						}
+					case 2: // block write (possibly spanning pages)
+						size := 1 + rng.Intn(100)
+						addr := rng.Intn(len(ref) - size)
+						buf := make([]byte, size)
+						rng.Read(buf)
+						if err := n.Write(addr, buf); err != nil {
+							t.Fatalf("op %d: %v", i, err)
+						}
+						copy(ref[addr:], buf)
+					case 3: // block read
+						size := 1 + rng.Intn(100)
+						addr := rng.Intn(len(ref) - size)
+						got, err := n.Read(addr, size)
+						if err != nil {
+							t.Fatalf("op %d: %v", i, err)
+						}
+						for j := range got {
+							if got[j] != ref[addr+j] {
+								t.Fatalf("op %d: byte %d differs: %d vs %d",
+									i, addr+j, got[j], ref[addr+j])
+							}
+						}
+					}
+				}
+				// Final audit from every node.
+				for w := 0; w < nodes; w++ {
+					got, err := s.Node(w).Read(0, len(ref))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for j := range got {
+						if got[j] != ref[j] {
+							t.Fatalf("audit node %d: byte %d differs", w, j)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package ivy
+
+import (
+	"fmt"
+	"sync"
+
+	"amber/internal/rpc"
+	"amber/internal/wire"
+)
+
+// RPC locks: the fix later versions of Ivy adopted for lock thrashing
+// (Amber paper §4.1: "Recent versions of Ivy have handled this problem by
+// deviating from the data-shipping model and accessing shared lock
+// variables with remote procedure calls"). Node 0 runs a lock server;
+// acquiring a lock is one RPC instead of a page ownership transfer. Data
+// pages still ship — only the synchronization traffic changes.
+
+const (
+	procLockAcquire rpc.Proc = 23
+	procLockRelease rpc.Proc = 24
+)
+
+type lockMsg struct{ Lock int }
+
+// lockServer serializes grants per lock ID.
+type lockServer struct {
+	mu    sync.Mutex
+	locks map[int]*serverLock
+}
+
+type serverLock struct {
+	held bool
+	q    []func() // deferred grants
+}
+
+func newLockServer() *lockServer {
+	return &lockServer{locks: make(map[int]*serverLock)}
+}
+
+// acquire grants the lock now (calling grant) or queues the grant.
+func (ls *lockServer) acquire(id int, grant func()) {
+	ls.mu.Lock()
+	l := ls.locks[id]
+	if l == nil {
+		l = &serverLock{}
+		ls.locks[id] = l
+	}
+	if !l.held {
+		l.held = true
+		ls.mu.Unlock()
+		grant()
+		return
+	}
+	l.q = append(l.q, grant)
+	ls.mu.Unlock()
+}
+
+// release passes the lock to the next waiter or frees it.
+func (ls *lockServer) release(id int) error {
+	ls.mu.Lock()
+	l := ls.locks[id]
+	if l == nil || !l.held {
+		ls.mu.Unlock()
+		return fmt.Errorf("ivy: release of free lock %d", id)
+	}
+	if len(l.q) > 0 {
+		grant := l.q[0]
+		l.q = l.q[1:]
+		ls.mu.Unlock()
+		grant() // ownership transfers directly
+		return nil
+	}
+	l.held = false
+	ls.mu.Unlock()
+	return nil
+}
+
+// installLockServer attaches the server role to node 0 (called from
+// newNode).
+func (n *Node) installLockServer() {
+	if n.id != 0 {
+		return
+	}
+	n.locksrv = newLockServer()
+	n.ep.HandleProc(procLockAcquire, func(rc *rpc.Ctx) {
+		var msg lockMsg
+		if err := wire.UnmarshalFrom(rc.Body, &msg); err != nil {
+			rc.Reply(nil, err)
+			return
+		}
+		// Reply is deferred until the lock is granted.
+		n.locksrv.acquire(msg.Lock, func() { rc.Reply(nil, nil) })
+	})
+	n.ep.HandleProc(procLockRelease, func(rc *rpc.Ctx) {
+		var msg lockMsg
+		if err := wire.UnmarshalFrom(rc.Body, &msg); err != nil {
+			rc.Reply(nil, err)
+			return
+		}
+		rc.Reply(nil, n.locksrv.release(msg.Lock))
+	})
+}
+
+// RPCLockAcquire blocks until lock id is granted by the lock server.
+func (n *Node) RPCLockAcquire(id int) error {
+	n.counts.Inc("rpc_lock_acquires")
+	if n.id == 0 {
+		ch := make(chan struct{})
+		n.locksrv.acquire(id, func() { close(ch) })
+		<-ch
+		return nil
+	}
+	body, err := wire.MarshalInto(&lockMsg{Lock: id})
+	if err != nil {
+		return err
+	}
+	_, err = n.ep.Call(0, procLockAcquire, body)
+	return err
+}
+
+// RPCLockRelease releases lock id at the server.
+func (n *Node) RPCLockRelease(id int) error {
+	if n.id == 0 {
+		return n.locksrv.release(id)
+	}
+	body, err := wire.MarshalInto(&lockMsg{Lock: id})
+	if err != nil {
+		return err
+	}
+	_, err = n.ep.Call(0, procLockRelease, body)
+	return err
+}

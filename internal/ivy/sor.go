@@ -1,0 +1,268 @@
+package ivy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// This file implements Red/Black SOR directly on the page-based DSM — the
+// experiment the Amber paper could not run (§6: "we have not implemented
+// this application under a system with a page-oriented distributed virtual
+// memory, so it is impossible to make exact comparisons"). With both systems
+// in one repository the comparison becomes measurable: the harness runs the
+// same grid on Amber objects and on Ivy pages and counts the communication
+// each incurs.
+//
+// The Ivy program follows the discipline a careful SVM programmer would use
+// (§6's closing discussion): the grid is laid out row-major so each worker's
+// strip occupies its own pages, workers communicate only through the
+// boundary rows, and iteration synchronization uses a small coordination
+// page. Row padding to page boundaries (avoiding false sharing) is the
+// programmer's job, exactly as the paper warns.
+
+// SORConfig describes a DSM SOR run.
+type SORConfig struct {
+	Rows, Cols int
+	Omega      float64
+	Eps        float64
+	MaxIters   int
+	// Workers is the number of worker processes, one per node.
+	Workers int
+	// PageSize for the DSM (0 = 4096).
+	PageSize int
+	// Manager selects the coherence scheme.
+	Manager ManagerKind
+}
+
+// SORResult reports the outcome and the communication bill.
+type SORResult struct {
+	Iters     int
+	Grid      [][]float64
+	Msgs      int64
+	Bytes     int64
+	PageStats map[string]int64
+}
+
+const f64 = 8
+
+// SolveSOR runs Red/Black SOR over the DSM and returns the converged grid.
+// The update order matches the sequential solver in internal/sor, so results
+// are directly comparable.
+func SolveSOR(cfg SORConfig) (*SORResult, error) {
+	if cfg.Rows < 3 || cfg.Cols < 3 {
+		return nil, fmt.Errorf("ivy: grid %dx%d too small", cfg.Rows, cfg.Cols)
+	}
+	if cfg.Omega <= 0 || cfg.Omega >= 2 {
+		return nil, fmt.Errorf("ivy: omega %g outside (0,2)", cfg.Omega)
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 4096
+	}
+	interior := cfg.Rows - 2
+	if cfg.Workers > interior {
+		return nil, fmt.Errorf("ivy: %d workers over %d interior rows", cfg.Workers, interior)
+	}
+
+	// Layout: each grid row is padded to a whole number of pages so rows
+	// never share a page (the §4.2 data-structuring burden, paid here by
+	// the programmer). A trailing coordination region holds the reduction
+	// slots.
+	rowBytes := ((cfg.Cols*f64 + cfg.PageSize - 1) / cfg.PageSize) * cfg.PageSize
+	gridBytes := rowBytes * cfg.Rows
+	// Reduction slots are padded to one page per worker — more programmer-
+	// managed layout, avoiding false sharing among the reporters (§4.2).
+	coordBase := gridBytes
+	numPages := gridBytes/cfg.PageSize + cfg.Workers
+
+	sys, err := NewSystem(Config{
+		Nodes:    cfg.Workers,
+		PageSize: cfg.PageSize,
+		NumPages: numPages,
+		Manager:  cfg.Manager,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+
+	rowAddr := func(i int) int { return i * rowBytes }
+
+	// Node 0 initializes the boundary (it owns all pages initially).
+	init := sys.Node(0)
+	writeRow := func(i int, vals []float64) error {
+		buf := make([]byte, cfg.Cols*f64)
+		for j, v := range vals {
+			binary.LittleEndian.PutUint64(buf[j*f64:], math.Float64bits(v))
+		}
+		return init.Write(rowAddr(i), buf)
+	}
+	top := make([]float64, cfg.Cols)
+	for j := range top {
+		top[j] = 100 // the hot edge of sor.DefaultProblem
+	}
+	if err := writeRow(0, top); err != nil {
+		return nil, err
+	}
+	zero := make([]float64, cfg.Cols)
+	for i := 1; i < cfg.Rows; i++ {
+		if err := writeRow(i, zero); err != nil {
+			return nil, err
+		}
+	}
+
+	// Partition interior rows among the workers like the Amber driver.
+	base := interior / cfg.Workers
+	extra := interior % cfg.Workers
+	starts := make([]int, cfg.Workers+1)
+	starts[0] = 1
+	for w := 0; w < cfg.Workers; w++ {
+		n := base
+		if w < extra {
+			n++
+		}
+		starts[w+1] = starts[w] + n
+	}
+
+	// Coordination: per-iteration max-delta slots, one page per worker.
+	// The convergence data flows through the DSM (and is charged to the
+	// bill); a host-side WaitGroup supplies only the barrier *scheduling*.
+	deltaSlot := func(w int) int { return coordBase + w*cfg.PageSize }
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	iterations := 0
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		iterations = iter
+		for _, color := range []int{0, 1} {
+			wg.Add(cfg.Workers)
+			for w := 0; w < cfg.Workers; w++ {
+				go func(w int) {
+					defer wg.Done()
+					n := sys.Node(w)
+					maxDelta := 0.0
+					for i := starts[w]; i < starts[w+1]; i++ {
+						// Read the three rows the stencil touches. Reading
+						// whole rows at once is the SVM analogue of the
+						// "transfer an entire edge in one invocation"
+						// optimization — one fault per page, not per cell.
+						up, err := n.Read(rowAddr(i-1), cfg.Cols*f64)
+						if err != nil {
+							fail(err)
+							return
+						}
+						down, err := n.Read(rowAddr(i+1), cfg.Cols*f64)
+						if err != nil {
+							fail(err)
+							return
+						}
+						cur, err := n.Read(rowAddr(i), cfg.Cols*f64)
+						if err != nil {
+							fail(err)
+							return
+						}
+						get := func(b []byte, j int) float64 {
+							return math.Float64frombits(binary.LittleEndian.Uint64(b[j*f64:]))
+						}
+						changed := false
+						for j := 1; j < cfg.Cols-1; j++ {
+							if (i+j)%2 != color {
+								continue
+							}
+							old := get(cur, j)
+							avg := (get(up, j) + get(down, j) + get(cur, j-1) + get(cur, j+1)) / 4
+							next := old + cfg.Omega*(avg-old)
+							binary.LittleEndian.PutUint64(cur[j*f64:], math.Float64bits(next))
+							if d := math.Abs(next - old); d > maxDelta {
+								maxDelta = d
+							}
+							changed = true
+						}
+						if changed {
+							// Write the whole updated row back (one write
+							// fault on the row's page if not already owned).
+							if err := n.Write(rowAddr(i), cur); err != nil {
+								fail(err)
+								return
+							}
+						}
+					}
+					// Fold this phase's delta into the worker's slot; the
+					// red phase maxes with the black phase's value so the
+					// convergence test matches the sequential solver's.
+					if color == 1 {
+						bits, err := n.ReadU64(deltaSlot(w))
+						if err != nil {
+							fail(err)
+							return
+						}
+						if prev := math.Float64frombits(bits); prev > maxDelta {
+							maxDelta = prev
+						}
+					}
+					if err := n.WriteU64(deltaSlot(w), math.Float64bits(maxDelta)); err != nil {
+						fail(err)
+					}
+				}(w)
+			}
+			wg.Wait()
+			if firstErr != nil {
+				return nil, firstErr
+			}
+		}
+		// Convergence: node 0 reduces the delta slots through the DSM.
+		globalMax := 0.0
+		for w := 0; w < cfg.Workers; w++ {
+			bits, err := sys.Node(0).ReadU64(deltaSlot(w))
+			if err != nil {
+				return nil, err
+			}
+			if d := math.Float64frombits(bits); d > globalMax {
+				globalMax = d
+			}
+		}
+		if globalMax < cfg.Eps {
+			break
+		}
+	}
+
+	// Gather the grid (node 0 faults everything in — also counted).
+	grid := make([][]float64, cfg.Rows)
+	for i := range grid {
+		raw, err := sys.Node(0).Read(rowAddr(i), cfg.Cols*f64)
+		if err != nil {
+			return nil, err
+		}
+		grid[i] = make([]float64, cfg.Cols)
+		for j := range grid[i] {
+			grid[i][j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[j*f64:]))
+		}
+	}
+
+	res := &SORResult{
+		Iters:     iterations,
+		Grid:      grid,
+		Msgs:      sys.Fabric().Stats().Value("msgs_sent"),
+		Bytes:     sys.Fabric().Stats().Value("bytes_sent"),
+		PageStats: map[string]int64{},
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		for k, v := range sys.Node(w).Stats().Snapshot() {
+			res.PageStats[k] += v
+		}
+	}
+	return res, nil
+}

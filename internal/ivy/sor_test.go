@@ -1,0 +1,80 @@
+package ivy
+
+import (
+	"math"
+	"testing"
+
+	"amber/internal/sor"
+)
+
+func TestIvySORMatchesSequential(t *testing.T) {
+	p := sor.DefaultProblem(18, 20)
+	const omega, eps = 1.5, 1e-4
+	want, wantIters, err := sor.SolveSequential(p, omega, eps, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []ManagerKind{FixedDistributed, DynamicDistributed} {
+		for _, workers := range []int{1, 2, 4} {
+			res, err := SolveSOR(SORConfig{
+				Rows: p.Rows, Cols: p.Cols, Omega: omega, Eps: eps,
+				MaxIters: 5000, Workers: workers, PageSize: 64, Manager: kind,
+			})
+			if err != nil {
+				t.Fatalf("%v/%d workers: %v", kind, workers, err)
+			}
+			if res.Iters != wantIters {
+				t.Fatalf("%v/%d workers: %d iterations, sequential %d",
+					kind, workers, res.Iters, wantIters)
+			}
+			maxDiff := 0.0
+			for i := range want {
+				for j := range want[i] {
+					if d := math.Abs(want[i][j] - res.Grid[i][j]); d > maxDiff {
+						maxDiff = d
+					}
+				}
+			}
+			if maxDiff > 1e-9 {
+				t.Fatalf("%v/%d workers: grids differ by %g", kind, workers, maxDiff)
+			}
+		}
+	}
+}
+
+func TestIvySORValidation(t *testing.T) {
+	if _, err := SolveSOR(SORConfig{Rows: 2, Cols: 5, Omega: 1.5, Eps: 1e-3, MaxIters: 5}); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+	if _, err := SolveSOR(SORConfig{Rows: 10, Cols: 10, Omega: 3, Eps: 1e-3, MaxIters: 5}); err == nil {
+		t.Fatal("bad omega accepted")
+	}
+	if _, err := SolveSOR(SORConfig{Rows: 5, Cols: 5, Omega: 1.5, Eps: 1e-3, MaxIters: 5, Workers: 99}); err == nil {
+		t.Fatal("oversubscribed workers accepted")
+	}
+}
+
+func TestIvySORCommunicationGrowsWithWorkers(t *testing.T) {
+	run := func(workers int) *SORResult {
+		t.Helper()
+		res, err := SolveSOR(SORConfig{
+			Rows: 20, Cols: 20, Omega: 1.5, Eps: 1e-3,
+			MaxIters: 300, Workers: workers, PageSize: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := run(1)
+	four := run(4)
+	// A single worker still pays the gather + init, but the parallel run
+	// pays per-iteration boundary traffic.
+	if four.Msgs <= one.Msgs {
+		t.Fatalf("4 workers sent %d msgs, 1 worker %d; boundary traffic missing",
+			four.Msgs, one.Msgs)
+	}
+	if four.PageStats["read_faults"] == 0 || four.PageStats["ownership_transfers"] == 0 {
+		t.Fatalf("page machinery unused: %v", four.PageStats)
+	}
+}

@@ -1,0 +1,68 @@
+// Package perf regenerates the paper's evaluation (§5–§6): Table 1 operation
+// latencies measured on the real runtime under the 1989 network profile, the
+// SOR speedup studies of Figures 2 and 3 on the discrete-event model of the
+// Firefly testbed, and the §4 microbenchmarks comparing Amber's object
+// coherence with Ivy's page coherence.
+package perf
+
+import (
+	"time"
+)
+
+// Model holds the calibrated cost parameters of the paper's hardware: 4-CPU
+// CVAX Fireflies on 10 Mbit/s Ethernet with Topaz RPC.
+type Model struct {
+	// PointUpdate is the CPU time to relax one SOR grid point on a CVAX.
+	PointUpdate time.Duration
+	// MsgLatency is the fixed one-way message cost that is *not* CPU or
+	// wire occupancy (propagation, interrupt dispatch, protocol waits).
+	MsgLatency time.Duration
+	// BandwidthBps is the wire bandwidth in bytes/second.
+	BandwidthBps int64
+	// MsgCPU is processor time consumed at each end per message
+	// (marshalling, Topaz RPC software).
+	MsgCPU time.Duration
+	// MsgHeader approximates framing bytes charged to the wire.
+	MsgHeader int
+}
+
+// CVAX1989 is the calibration used throughout EXPERIMENTS.md. Its
+// consistency with Table 1: a remote invoke/return is two small messages
+// (≈200 B + ≈100 B): 2·latency + tx + 4·MsgCPU ≈ 3.45·2 + 0.34 + 1.0 ≈
+// 8.2 ms against the paper's 8.32 ms.
+var CVAX1989 = Model{
+	PointUpdate:  10 * time.Microsecond,
+	MsgLatency:   3450 * time.Microsecond,
+	BandwidthBps: 10_000_000 / 8,
+	MsgCPU:       250 * time.Microsecond,
+	MsgHeader:    64,
+}
+
+// TransmitTime is the wire occupancy of a message with the given payload.
+func (m Model) TransmitTime(bytes int) time.Duration {
+	if m.BandwidthBps <= 0 {
+		return 0
+	}
+	return time.Duration(bytes+m.MsgHeader) * time.Second / time.Duration(m.BandwidthBps)
+}
+
+// OneWay is the full unloaded one-way message time (CPU both ends + wire +
+// latency).
+func (m Model) OneWay(bytes int) time.Duration {
+	return 2*m.MsgCPU + m.TransmitTime(bytes) + m.MsgLatency
+}
+
+// RemoteInvoke models Table 1's remote invoke/return: a small request and a
+// small reply.
+func (m Model) RemoteInvoke() time.Duration {
+	return m.OneWay(200) + m.OneWay(100)
+}
+
+// ObjectMove models Table 1's object move under its stated conditions: the
+// destination found via a one-hop forwarding chain and the object fitting
+// in one packet (≈1 KB): request, one forwarding hop, and the shipment
+// (whose arrival completes the move; the reply to the mover overlaps the
+// tail).
+func (m Model) ObjectMove() time.Duration {
+	return m.OneWay(150) + m.OneWay(150) + m.OneWay(1024)
+}

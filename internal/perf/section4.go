@@ -1,0 +1,339 @@
+package perf
+
+import (
+	"fmt"
+	"time"
+
+	"amber/internal/core"
+	"amber/internal/ivy"
+)
+
+// CompareRow is one line of a §4 comparison: a system/configuration, the
+// messages and bytes it put on the wire, and the time those messages would
+// cost on the 1989 network (serial approximation: each message pays latency
+// and CPU; bytes pay bandwidth).
+type CompareRow struct {
+	System   string
+	Msgs     int64
+	Bytes    int64
+	Model    time.Duration
+	PerUnit  time.Duration // modelled time per critical section / update / scan
+	Units    int
+	Footnote string
+}
+
+func modelTime(m Model, msgs, bytes int64) time.Duration {
+	return time.Duration(msgs)*(m.MsgLatency+2*m.MsgCPU) +
+		time.Duration(bytes)*time.Second/time.Duration(m.BandwidthBps)
+}
+
+func newRow(system string, units int, msgs, bytes int64, note string) CompareRow {
+	r := CompareRow{System: system, Msgs: msgs, Bytes: bytes, Units: units, Footnote: note}
+	r.Model = modelTime(CVAX1989, msgs, bytes)
+	if units > 0 {
+		r.PerUnit = r.Model / time.Duration(units)
+	}
+	return r
+}
+
+// lockBox is a counter guarded by its class's own monitor-style operation:
+// the "clustered" Amber pattern where one invocation is one critical
+// section.
+type lockBox struct{ N int }
+
+// Bump is an entire critical section in one operation.
+func (b *lockBox) Bump() int { b.N++; return b.N }
+
+// LockContention reproduces the §4.1 claim: threads on two nodes contend on
+// one lock. Amber pays one or three RPCs per critical section; Ivy shuttles
+// the lock's page. iters critical sections alternate strictly between the
+// two nodes (the worst — and common — case for page coherence).
+func LockContention(iters int) ([]CompareRow, error) {
+	var rows []CompareRow
+
+	// --- Amber, clustered: lock+data encapsulated in one object ---
+	{
+		reg := core.NewRegistry()
+		cl, err := core.NewCluster(core.ClusterConfig{Nodes: 2, ProcsPerNode: 2, Registry: reg})
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.Register(&lockBox{}); err != nil {
+			return nil, err
+		}
+		box, err := cl.Node(0).Root().New(&lockBox{})
+		if err != nil {
+			return nil, err
+		}
+		ctx0, ctx1 := cl.Node(0).Root(), cl.Node(1).Root()
+		before := cl.NetStats().Value("msgs_sent")
+		beforeB := cl.NetStats().Value("bytes_sent")
+		for i := 0; i < iters; i++ {
+			c := ctx0
+			if i%2 == 1 {
+				c = ctx1
+			}
+			if _, err := c.Invoke(box, "Bump"); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, newRow("Amber (object encapsulates lock+data)", iters,
+			cl.NetStats().Value("msgs_sent")-before, cl.NetStats().Value("bytes_sent")-beforeB,
+			"one function-shipped invocation per critical section"))
+		cl.Close()
+	}
+
+	// --- Ivy, lock word and data on one page (§4.1's thrashing case) ---
+	for _, layout := range []struct {
+		name  string
+		lockA int
+		ctrA  int
+		note  string
+	}{
+		{"Ivy (lock and data share a page)", 0, 8, "every acquire+update shuttles one page"},
+		{"Ivy (lock and data on separate pages)", 0, 4096, "two pages shuttle instead of one"},
+	} {
+		s, err := ivy.NewSystem(ivy.Config{
+			Nodes: 2, PageSize: 4096, NumPages: 4, Manager: ivy.FixedDistributed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		before := s.Fabric().Stats().Value("msgs_sent")
+		beforeB := s.Fabric().Stats().Value("bytes_sent")
+		for i := 0; i < iters; i++ {
+			n := s.Node(i % 2)
+			// Spin-acquire via CAS on the shared lock word.
+			for {
+				ok, err := n.CAS(layout.lockA, 0, 1)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					break
+				}
+			}
+			v, err := n.ReadU64(layout.ctrA)
+			if err != nil {
+				return nil, err
+			}
+			if err := n.WriteU64(layout.ctrA, v+1); err != nil {
+				return nil, err
+			}
+			if err := n.WriteU64(layout.lockA, 0); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, newRow(layout.name, iters,
+			s.Fabric().Stats().Value("msgs_sent")-before,
+			s.Fabric().Stats().Value("bytes_sent")-beforeB,
+			layout.note))
+		s.Close()
+	}
+
+	// --- Ivy with RPC locks: the fix §4.1 says later Ivy adopted ---
+	{
+		s, err := ivy.NewSystem(ivy.Config{
+			Nodes: 2, PageSize: 4096, NumPages: 4, Manager: ivy.FixedDistributed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		before := s.Fabric().Stats().Value("msgs_sent")
+		beforeB := s.Fabric().Stats().Value("bytes_sent")
+		for i := 0; i < iters; i++ {
+			n := s.Node(i % 2)
+			if err := n.RPCLockAcquire(1); err != nil {
+				return nil, err
+			}
+			v, err := n.ReadU64(8)
+			if err != nil {
+				return nil, err
+			}
+			if err := n.WriteU64(8, v+1); err != nil {
+				return nil, err
+			}
+			if err := n.RPCLockRelease(1); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, newRow("Ivy (RPC locks — later Ivy's fix; data pages still ship)", iters,
+			s.Fabric().Stats().Value("msgs_sent")-before,
+			s.Fabric().Stats().Value("bytes_sent")-beforeB,
+			"no lock-page thrash, but the data page still shuttles"))
+		s.Close()
+	}
+	return rows, nil
+}
+
+// smallCell is a tiny per-node object for the false-sharing experiment.
+type smallCell struct{ V uint64 }
+
+// Set stores a value.
+func (c *smallCell) Set(v uint64) { c.V = v }
+
+// FalseSharing reproduces §4.2's sub-page claim: two nodes repeatedly update
+// logically unrelated small data items. Under Ivy they thrash if the items
+// share a page; under Amber each object simply lives where it is written.
+func FalseSharing(iters int) ([]CompareRow, error) {
+	var rows []CompareRow
+
+	// Amber: one object per node; all writes are local.
+	{
+		reg := core.NewRegistry()
+		cl, err := core.NewCluster(core.ClusterConfig{Nodes: 2, ProcsPerNode: 1, Registry: reg})
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.Register(&smallCell{}); err != nil {
+			return nil, err
+		}
+		a, _ := cl.Node(0).Root().New(&smallCell{})
+		b, _ := cl.Node(1).Root().New(&smallCell{})
+		before := cl.NetStats().Value("msgs_sent")
+		beforeB := cl.NetStats().Value("bytes_sent")
+		for i := 0; i < iters; i++ {
+			if _, err := cl.Node(0).Root().Invoke(a, "Set", uint64(i)); err != nil {
+				return nil, err
+			}
+			if _, err := cl.Node(1).Root().Invoke(b, "Set", uint64(i)); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, newRow("Amber (one object per writer)", 2*iters,
+			cl.NetStats().Value("msgs_sent")-before, cl.NetStats().Value("bytes_sent")-beforeB,
+			"objects live on their writers; zero communication"))
+		cl.Close()
+	}
+
+	// Ivy: both words on one page, then on separate pages.
+	for _, layout := range []struct {
+		name  string
+		addrB int
+		note  string
+	}{
+		{"Ivy (items share a page)", 64, "artificial sharing: page ping-pongs every update"},
+		{"Ivy (items on separate pages)", 4096, "programmer padded the data to page boundaries"},
+	} {
+		s, err := ivy.NewSystem(ivy.Config{
+			Nodes: 2, PageSize: 4096, NumPages: 2, Manager: ivy.FixedDistributed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		before := s.Fabric().Stats().Value("msgs_sent")
+		beforeB := s.Fabric().Stats().Value("bytes_sent")
+		for i := 0; i < iters; i++ {
+			if err := s.Node(0).WriteU64(0, uint64(i)); err != nil {
+				return nil, err
+			}
+			if err := s.Node(1).WriteU64(layout.addrB, uint64(i)); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, newRow(layout.name, 2*iters,
+			s.Fabric().Stats().Value("msgs_sent")-before,
+			s.Fabric().Stats().Value("bytes_sent")-beforeB,
+			layout.note))
+		s.Close()
+	}
+	return rows, nil
+}
+
+// bigBlob is a large object scanned remotely.
+type bigBlob struct{ Data []byte }
+
+// Sum scans the whole object (the operation executes at the data under
+// function shipping).
+func (b *bigBlob) Sum() uint64 {
+	var s uint64
+	for _, x := range b.Data {
+		s += uint64(x)
+	}
+	return s
+}
+
+// BigObject reproduces §4.2's large-object claim: a node scans a remote
+// object larger than a page. Ivy pays one fault per page; Amber pays one
+// remote invocation (function shipping) or one bulk move.
+func BigObject(sizeKB int) ([]CompareRow, error) {
+	if sizeKB < 8 {
+		sizeKB = 8
+	}
+	size := sizeKB * 1024
+	var rows []CompareRow
+
+	// Amber: single remote invocation; and the explicit bulk-move variant.
+	{
+		reg := core.NewRegistry()
+		cl, err := core.NewCluster(core.ClusterConfig{Nodes: 2, ProcsPerNode: 1, Registry: reg})
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.Register(&bigBlob{}); err != nil {
+			return nil, err
+		}
+		blob := &bigBlob{Data: make([]byte, size)}
+		for i := range blob.Data {
+			blob.Data[i] = byte(i)
+		}
+		ref, err := cl.Node(1).Root().New(blob)
+		if err != nil {
+			return nil, err
+		}
+		ctx := cl.Node(0).Root()
+		before := cl.NetStats().Value("msgs_sent")
+		beforeB := cl.NetStats().Value("bytes_sent")
+		if _, err := ctx.Invoke(ref, "Sum"); err != nil {
+			return nil, err
+		}
+		rows = append(rows, newRow("Amber (function ships to the data)", 1,
+			cl.NetStats().Value("msgs_sent")-before, cl.NetStats().Value("bytes_sent")-beforeB,
+			"one remote invocation; the scan runs at the data"))
+
+		before = cl.NetStats().Value("msgs_sent")
+		beforeB = cl.NetStats().Value("bytes_sent")
+		if err := ctx.MoveTo(ref, 0); err != nil {
+			return nil, err
+		}
+		if _, err := ctx.Invoke(ref, "Sum"); err != nil {
+			return nil, err
+		}
+		rows = append(rows, newRow("Amber (bulk MoveTo, then local scan)", 1,
+			cl.NetStats().Value("msgs_sent")-before, cl.NetStats().Value("bytes_sent")-beforeB,
+			"one bulk transfer regardless of layout (§4.2)"))
+		cl.Close()
+	}
+
+	// Ivy: the object occupies size/4096 pages owned by node 1; node 0
+	// scans them.
+	{
+		pages := (size + 4095) / 4096
+		s, err := ivy.NewSystem(ivy.Config{
+			Nodes: 2, PageSize: 4096, NumPages: pages, Manager: ivy.FixedDistributed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Node 1 writes the data (becomes owner of every page).
+		buf := make([]byte, 4096)
+		for p := 0; p < pages; p++ {
+			if err := s.Node(1).Write(p*4096, buf); err != nil {
+				return nil, err
+			}
+		}
+		before := s.Fabric().Stats().Value("msgs_sent")
+		beforeB := s.Fabric().Stats().Value("bytes_sent")
+		for p := 0; p < pages; p++ {
+			if _, err := s.Node(0).Read(p*4096, 4096); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, newRow(fmt.Sprintf("Ivy (%d page faults)", pages), 1,
+			s.Fabric().Stats().Value("msgs_sent")-before,
+			s.Fabric().Stats().Value("bytes_sent")-beforeB,
+			"one fault and one round trip per page"))
+		s.Close()
+	}
+	return rows, nil
+}

@@ -1,0 +1,88 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// E12: the §5 prediction, quantified. The paper closes its cost section
+// with: "As processors get faster the CPU overhead of using any distributed
+// system becomes less significant, and the performance of the system is
+// dominated by network latency, which will remain roughly constant despite
+// the advent of new high-throughput networks." The DES model lets us test
+// that forecast: scale CPU speed and network characteristics independently
+// and watch where SOR speedup goes.
+
+// SensitivityRow is one machine-evolution scenario.
+type SensitivityRow struct {
+	Scenario string
+	Model    Model
+	Point    SORPoint
+	Note     string
+}
+
+// scaleCPU returns m with processors f× faster (point updates and
+// per-message CPU shrink together — both are instructions).
+func scaleCPU(m Model, f float64) Model {
+	m.PointUpdate = time.Duration(float64(m.PointUpdate) / f)
+	m.MsgCPU = time.Duration(float64(m.MsgCPU) / f)
+	return m
+}
+
+// RunSensitivity evaluates the 8N×4P SOR configuration under machine
+// evolutions: faster CPUs with the 1989 network, faster wires with 1989
+// latency, and a genuinely lower-latency network.
+func RunSensitivity(iters int) ([]SensitivityRow, error) {
+	if iters <= 0 {
+		iters = 25
+	}
+	base := CVAX1989
+
+	fastCPU := scaleCPU(base, 100)
+
+	fastWire := fastCPU
+	fastWire.BandwidthBps = base.BandwidthBps * 1000 // 10 Gbit/s
+	// MsgLatency unchanged: "roughly constant".
+
+	lowLatency := fastWire
+	lowLatency.MsgLatency = base.MsgLatency / 100 // ≈35 µs
+
+	rows := []SensitivityRow{
+		{Scenario: "1989 baseline (CVAX + 10 Mbit Ethernet)", Model: base,
+			Note: "the paper's testbed"},
+		{Scenario: "100x CPUs, 1989 network", Model: fastCPU,
+			Note: "the forecast case: compute shrinks, latency does not"},
+		{Scenario: "100x CPUs, 1000x bandwidth, 1989 latency", Model: fastWire,
+			Note: "high-throughput networks alone do not help"},
+		{Scenario: "100x CPUs, 1000x bandwidth, 100x lower latency", Model: lowLatency,
+			Note: "only lower latency restores the balance"},
+	}
+	for i := range rows {
+		cfg := SORConfig{
+			Nodes: 8, ProcsPerNode: 4, Sections: 8,
+			Rows: PaperGridRows, Cols: PaperGridCols,
+			Iters: iters, Overlap: true, Model: rows[i].Model,
+		}
+		pt, err := SimulateSOR(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows[i].Point = pt
+	}
+	return rows, nil
+}
+
+// FormatSensitivity renders E12.
+func FormatSensitivity(rows []SensitivityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E12: the §5 prediction — scale CPUs and network independently (8Nx4P SOR)\n")
+	fmt.Fprintf(&b, "%-52s %9s %15s\n", "scenario", "speedup", "par/iter (ms)")
+	for _, r := range rows {
+		perIter := r.Point.Parallel / time.Duration(r.Point.Config.Iters)
+		fmt.Fprintf(&b, "%-52s %9.2f %15.3f   # %s\n",
+			r.Scenario, r.Point.Speedup,
+			float64(perIter)/float64(time.Millisecond), r.Note)
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package perf
+
+import (
+	"fmt"
+	"time"
+
+	"amber/internal/core"
+	"amber/internal/ivy"
+	"amber/internal/sor"
+)
+
+// SORCompareRow is one line of the Amber-vs-Ivy application comparison
+// (E11): the same grid solved on both systems, with the communication each
+// billed.
+type SORCompareRow struct {
+	System  string
+	Workers int
+	Iters   int
+	Msgs    int64
+	Bytes   int64
+	// Model is the 1989-modelled cost of the run's communication.
+	Model time.Duration
+	// PerIter is communication per iteration.
+	PerIterMsgs float64
+	Note        string
+}
+
+// CompareSORSystems runs the paper's application on the real Amber runtime
+// and on the real Ivy DSM — the comparison §6 could only speculate about —
+// and reports the communication each system generated. Both runs use the
+// same grid, tolerance, and partitioning, and both are verified (iteration
+// counts must agree with the sequential solver, which both implementations
+// match bitwise; see their test suites).
+func CompareSORSystems(rows, cols, workers, iters int) ([]SORCompareRow, error) {
+	if workers < 1 {
+		workers = 2
+	}
+	const omega, eps = 1.5, 1e-4
+	p := sor.DefaultProblem(rows, cols)
+
+	var out []SORCompareRow
+
+	// Amber.
+	{
+		reg := core.NewRegistry()
+		cl, err := core.NewCluster(core.ClusterConfig{
+			Nodes: workers, ProcsPerNode: 1, Registry: reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sor.RegisterAll(cl); err != nil {
+			cl.Close()
+			return nil, err
+		}
+		res, err := sor.RunDistributed(cl, sor.Config{
+			Problem: p, Omega: omega, Eps: eps, MaxIters: iters,
+			Sections: workers, Overlap: true, ComputeThreads: 1,
+		})
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		msgs := cl.NetStats().Value("msgs_sent")
+		bytes := cl.NetStats().Value("bytes_sent")
+		out = append(out, SORCompareRow{
+			System: "Amber (object sections, overlapped edges)", Workers: workers,
+			Iters: res.Iters, Msgs: msgs, Bytes: bytes,
+			Model:       modelTime(CVAX1989, msgs, bytes),
+			PerIterMsgs: float64(msgs) / float64(res.Iters),
+			Note:        "edge rows ship as single invocations",
+		})
+		cl.Close()
+	}
+
+	// Ivy, both manager schemes.
+	for _, kind := range []ivy.ManagerKind{ivy.FixedDistributed, ivy.DynamicDistributed} {
+		res, err := ivy.SolveSOR(ivy.SORConfig{
+			Rows: rows, Cols: cols, Omega: omega, Eps: eps, MaxIters: iters,
+			Workers: workers, PageSize: 1024, Manager: kind,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SORCompareRow{
+			System: fmt.Sprintf("Ivy (%s manager, 1 KiB pages)", kind), Workers: workers,
+			Iters: res.Iters, Msgs: res.Msgs, Bytes: res.Bytes,
+			Model:       modelTime(CVAX1989, res.Msgs, res.Bytes),
+			PerIterMsgs: float64(res.Msgs) / float64(res.Iters),
+			Note:        "boundary rows fault page by page",
+		})
+	}
+	return out, nil
+}
+
+// FormatSORCompare renders E11.
+func FormatSORCompare(rows []SORCompareRow, gridRows, gridCols int) string {
+	s := fmt.Sprintf("E11: Red/Black SOR, %dx%d grid, %d workers — Amber objects vs Ivy pages\n",
+		gridRows, gridCols, rows[0].Workers)
+	s += fmt.Sprintf("%-46s %7s %9s %10s %12s %10s\n",
+		"system", "iters", "msgs", "KB", "model (s)", "msgs/iter")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-46s %7d %9d %10.1f %12.3f %10.1f   # %s\n",
+			r.System, r.Iters, r.Msgs, float64(r.Bytes)/1024,
+			r.Model.Seconds(), r.PerIterMsgs, r.Note)
+	}
+	return s
+}

@@ -1,0 +1,278 @@
+package perf
+
+import (
+	"fmt"
+	"time"
+
+	"amber/internal/sim"
+)
+
+// SORConfig describes one point of Figure 2 or 3: a grid, a machine
+// configuration, and the program variant.
+type SORConfig struct {
+	Nodes        int
+	ProcsPerNode int
+	// Sections partitions the grid (0 = one per node). The paper used 8
+	// sections in most Figure 2 runs and 6 for the 3- and 6-node runs.
+	Sections int
+	Rows     int
+	Cols     int
+	// Iters fixes the iteration count: speedup is a ratio of per-iteration
+	// times, so convergence detail is irrelevant to the figure.
+	Iters int
+	// Overlap selects the communication/computation overlap variant.
+	Overlap bool
+	Model   Model
+}
+
+// SORPoint is one measured point: modelled parallel time, modelled
+// sequential time, their ratio, and processor utilization.
+type SORPoint struct {
+	Config   SORConfig
+	Parallel time.Duration
+	Seq      time.Duration
+	Speedup  float64
+	Messages int64
+	// Utilization is busy processor-time over available processor-time.
+	Utilization float64
+}
+
+// Label renders the paper's configuration naming, e.g. "4Nx2P".
+func (p SORPoint) Label() string {
+	s := fmt.Sprintf("%dNx%dP", p.Config.Nodes, p.Config.ProcsPerNode)
+	if !p.Config.Overlap {
+		s += " (no overlap)"
+	}
+	return s
+}
+
+// SimulateSOR runs the Red/Black SOR performance model on the DES testbed
+// and returns the modelled times. The program structure mirrors §6 and
+// Figure 1: one controller process per section; compute fans out over the
+// node's processors; edge rows of each color are pushed to the neighbours
+// (overlapping interior compute in the overlap variant); each half-iteration
+// waits for the neighbours' pushed edges of the color it needs; and every
+// iteration ends with a convergence reduction against a master on node 0.
+func SimulateSOR(cfg SORConfig) (SORPoint, error) {
+	if cfg.Nodes < 1 || cfg.ProcsPerNode < 1 || cfg.Rows < 3 || cfg.Cols < 3 || cfg.Iters < 1 {
+		return SORPoint{}, fmt.Errorf("perf: bad SOR config %+v", cfg)
+	}
+	S := cfg.Sections
+	if S <= 0 {
+		S = cfg.Nodes
+	}
+	interior := cfg.Rows - 2
+	if S > interior {
+		return SORPoint{}, fmt.Errorf("perf: %d sections over %d interior rows", S, interior)
+	}
+	m := cfg.Model
+
+	k := sim.New()
+	cpus := make([]*sim.Resource, cfg.Nodes)
+	links := make([]*sim.Resource, cfg.Nodes)
+	for i := range cpus {
+		cpus[i] = k.NewResource(cfg.ProcsPerNode)
+		links[i] = k.NewResource(1)
+	}
+	var messages int64
+
+	// message models one push/request from node src to node dst: sender
+	// CPU, wire occupancy, latency, receiver CPU.
+	message := func(p *sim.Proc, src, dst, bytes int) {
+		messages++
+		p.Use(cpus[src], m.MsgCPU)
+		p.Use(links[src], m.TransmitTime(bytes))
+		p.Sleep(m.MsgLatency)
+		p.Use(cpus[dst], m.MsgCPU)
+	}
+
+	// Ghost boxes: cumulative arrival counters per section per color.
+	type ghostBox struct {
+		arrived int
+		ev      *sim.Event
+	}
+	ghosts := make([][2]*ghostBox, S)
+	for i := range ghosts {
+		ghosts[i] = [2]*ghostBox{{ev: k.NewEvent()}, {ev: k.NewEvent()}}
+	}
+	ghostArrive := func(sec, color int) {
+		g := ghosts[sec][color]
+		g.arrived++
+		g.ev.Fire()
+		g.ev = k.NewEvent()
+	}
+	ghostWait := func(p *sim.Proc, sec, color, target int) {
+		for ghosts[sec][color].arrived < target {
+			g := ghosts[sec][color]
+			p.Wait(g.ev)
+		}
+	}
+
+	// Reduction master bookkeeping (one reduction per iteration).
+	redCount := 0
+	redEv := k.NewEvent()
+
+	nodeOf := func(sec int) int { return sec * cfg.Nodes / S }
+
+	// Partition rows like the real driver.
+	base := interior / S
+	extra := interior % S
+
+	edgeBytes := cfg.Cols/2*8 + 32 // one color's worth of one row
+
+	for secIdx := 0; secIdx < S; secIdx++ {
+		sec := secIdx
+		rows := base
+		if sec < extra {
+			rows++
+		}
+		node := nodeOf(sec)
+		neighbors := 0
+		if sec > 0 {
+			neighbors++
+		}
+		if sec < S-1 {
+			neighbors++
+		}
+		pointsPerColor := rows * (cfg.Cols - 2) / 2
+		edgeRows := 1
+		if rows > 1 {
+			edgeRows = 2
+		}
+		edgePoints := edgeRows * (cfg.Cols - 2) / 2
+		interiorPoints := pointsPerColor - edgePoints
+
+		// computePar models relaxing `points` points using the node's
+		// processors: fan out over up to P workers.
+		computePar := func(p *sim.Proc, points int) {
+			if points <= 0 {
+				return
+			}
+			workers := cfg.ProcsPerNode
+			if workers > rows {
+				workers = rows
+			}
+			if workers <= 1 {
+				p.Use(cpus[node], time.Duration(points)*m.PointUpdate)
+				return
+			}
+			done := k.NewEvent()
+			remaining := workers
+			chunk := time.Duration(points) * m.PointUpdate / time.Duration(workers)
+			for w := 0; w < workers; w++ {
+				k.Go(fmt.Sprintf("s%d-w%d", sec, w), func(wp *sim.Proc) {
+					wp.Use(cpus[node], chunk)
+					remaining--
+					if remaining == 0 {
+						done.Fire()
+					}
+				})
+			}
+			p.Wait(done)
+		}
+
+		// pushEdges models the edge-exchange threads: one message per
+		// neighbour carrying the freshly-relaxed edge cells.
+		pushEdges := func(color int) *sim.Event {
+			done := k.NewEvent()
+			remaining := neighbors
+			if remaining == 0 {
+				done.Fire()
+				return done
+			}
+			send := func(dst int, dstSec int) {
+				k.Go(fmt.Sprintf("s%d-push", sec), func(pp *sim.Proc) {
+					message(pp, node, dst, edgeBytes)
+					ghostArrive(dstSec, color)
+					remaining--
+					if remaining == 0 {
+						done.Fire()
+					}
+				})
+			}
+			if sec > 0 {
+				send(nodeOf(sec-1), sec-1)
+			}
+			if sec < S-1 {
+				send(nodeOf(sec+1), sec+1)
+			}
+			return done
+		}
+
+		k.Go(fmt.Sprintf("section%d", sec), func(p *sim.Proc) {
+			for iter := 1; iter <= cfg.Iters; iter++ {
+				for _, color := range []int{0, 1} {
+					// Wait for the ghosts this color's relaxation reads:
+					// color 0 (black) of iteration i needs the red pushes
+					// of iteration i-1; red needs this iteration's black.
+					var need int
+					if color == 0 {
+						need = (iter - 1) * neighbors
+					} else {
+						need = iter * neighbors
+					}
+					// Color index the ghosts were pushed under:
+					ghostColor := 1 - color
+					ghostWait(p, sec, ghostColor, need)
+
+					if cfg.Overlap {
+						computePar(p, edgePoints)
+						pushed := pushEdges(color)
+						computePar(p, interiorPoints)
+						p.Wait(pushed)
+					} else {
+						computePar(p, pointsPerColor)
+						p.Wait(pushEdges(color))
+					}
+				}
+				// Convergence reduction with the master on node 0 (§6's
+				// "one additional thread per section communicating with a
+				// single master regarding convergence").
+				if node != 0 {
+					message(p, node, 0, 64)
+				} else {
+					p.Use(cpus[0], m.MsgCPU)
+				}
+				redCount++
+				if redCount == S {
+					redCount = 0
+					ev := redEv
+					redEv = k.NewEvent()
+					ev.Fire()
+				} else {
+					p.Wait(redEv)
+				}
+				// Master's reply back to this section (its CPU use
+				// naturally serializes at node 0).
+				if node != 0 {
+					message(p, 0, node, 64)
+				} else {
+					p.Use(cpus[0], m.MsgCPU)
+				}
+			}
+		})
+	}
+
+	par, err := k.Run()
+	if err != nil {
+		return SORPoint{}, err
+	}
+
+	seq := time.Duration(interior*(cfg.Cols-2)) * m.PointUpdate * time.Duration(cfg.Iters)
+	pt := SORPoint{
+		Config:   cfg,
+		Parallel: par,
+		Seq:      seq,
+		Messages: messages,
+	}
+	if par > 0 {
+		pt.Speedup = float64(seq) / float64(par)
+		var busy time.Duration
+		for _, c := range cpus {
+			busy += c.BusyTime()
+		}
+		avail := par * time.Duration(cfg.Nodes*cfg.ProcsPerNode)
+		pt.Utilization = float64(busy) / float64(avail)
+	}
+	return pt, nil
+}

@@ -1,0 +1,292 @@
+// Package rpc provides the remote-procedure-call layer Amber builds on,
+// modelled on Topaz/Firefly RPC (Birrell & Nelson; Schroeder & Burrows). It
+// matches requests to replies by call ID and supports two patterns beyond
+// plain request/response:
+//
+//   - Oneway: fire-and-forget messages (location-cache updates, thread
+//     completion notices).
+//   - Detached reply: a handler may decline to reply and instead forward the
+//     request (carrying its origin and call ID) to another node; whichever
+//     node finally executes it replies *directly* to the origin. This is how
+//     invocations chase forwarding-address chains with a single reply hop,
+//     as in §3.3 of the paper.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amber/internal/gaddr"
+	"amber/internal/stats"
+	"amber/internal/transport"
+	"amber/internal/wire"
+)
+
+// Proc identifies a registered procedure.
+type Proc uint8
+
+// Message kinds at the transport level.
+const (
+	kindRequest transport.Kind = 1
+	kindReply   transport.Kind = 2
+	kindOneway  transport.Kind = 3
+)
+
+// requestMsg is the wire form of a request or oneway.
+type requestMsg struct {
+	CallID uint64
+	Origin gaddr.NodeID
+	Proc   Proc
+	Body   []byte
+}
+
+// replyMsg is the wire form of a reply.
+type replyMsg struct {
+	CallID uint64
+	Body   []byte
+	Err    string
+}
+
+// ErrTimeout is returned by CallTimeout when the reply does not arrive.
+var ErrTimeout = errors.New("rpc: call timed out")
+
+// RemoteError wraps an error string propagated from another node.
+type RemoteError struct {
+	Node gaddr.NodeID
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote error from node %d: %s", e.Node, e.Msg)
+}
+
+// Ctx is passed to procedure handlers.
+type Ctx struct {
+	ep *Endpoint
+	// From is the node that sent this message (the previous hop).
+	From gaddr.NodeID
+	// Origin is the node whose Call awaits the reply (equals From unless the
+	// request has been forwarded).
+	Origin gaddr.NodeID
+	// CallID matches the reply to the origin's pending call. Zero for
+	// oneways.
+	CallID uint64
+	// Body is the request payload.
+	Body []byte
+
+	replied atomic.Bool
+}
+
+// IsCall reports whether the sender awaits a reply.
+func (c *Ctx) IsCall() bool { return c.CallID != 0 }
+
+// Reply sends the response to the origin node. It is a no-op for oneways and
+// panics if called twice.
+func (c *Ctx) Reply(body []byte, err error) {
+	if !c.IsCall() {
+		return
+	}
+	if !c.replied.CompareAndSwap(false, true) {
+		panic("rpc: double reply")
+	}
+	msg := replyMsg{CallID: c.CallID}
+	if err != nil {
+		msg.Err = err.Error()
+	} else {
+		msg.Body = body
+	}
+	c.ep.sendReply(c.Origin, &msg)
+}
+
+// Forward re-sends this request to another node, preserving origin and call
+// ID so the eventual executor replies directly to the origin. The handler
+// must not also Reply.
+func (c *Ctx) Forward(to gaddr.NodeID, proc Proc, body []byte) error {
+	if !c.replied.CompareAndSwap(false, true) {
+		panic("rpc: forward after reply")
+	}
+	msg := requestMsg{CallID: c.CallID, Origin: c.Origin, Proc: proc, Body: body}
+	return c.ep.sendRequest(to, &msg, c.IsCall())
+}
+
+// Handler processes one inbound request or oneway.
+type Handler func(*Ctx)
+
+// Endpoint is one node's RPC engine.
+type Endpoint struct {
+	tr       transport.Transport
+	mu       sync.Mutex
+	pending  map[uint64]chan replyOutcome
+	handlers [256]Handler
+	nextID   atomic.Uint64
+	counts   *stats.Set
+	// Dispatch controls how request handlers run. By default each request
+	// handler runs on its own goroutine (replies are processed inline so
+	// they can never be stuck behind a slow handler). Core overrides this to
+	// route execution through the node's scheduler.
+	Dispatch func(func())
+}
+
+type replyOutcome struct {
+	body []byte
+	err  error
+}
+
+// NewEndpoint wraps a transport. The endpoint installs itself as the
+// transport's handler.
+func NewEndpoint(tr transport.Transport) *Endpoint {
+	ep := &Endpoint{
+		tr:      tr,
+		pending: make(map[uint64]chan replyOutcome),
+		counts:  stats.NewSet(),
+	}
+	ep.Dispatch = func(f func()) { go f() }
+	tr.SetHandler(ep.onMessage)
+	return ep
+}
+
+// Self returns the owning node's ID.
+func (ep *Endpoint) Self() gaddr.NodeID { return ep.tr.Self() }
+
+// Stats exposes endpoint counters.
+func (ep *Endpoint) Stats() *stats.Set { return ep.counts }
+
+// HandleProc registers the handler for proc. It must be called before
+// traffic arrives; re-registration replaces the handler.
+func (ep *Endpoint) HandleProc(p Proc, h Handler) {
+	ep.mu.Lock()
+	ep.handlers[p] = h
+	ep.mu.Unlock()
+}
+
+func (ep *Endpoint) handler(p Proc) Handler {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.handlers[p]
+}
+
+// Call sends a request and blocks until the reply arrives (from whichever
+// node finally handles it).
+func (ep *Endpoint) Call(to gaddr.NodeID, p Proc, body []byte) ([]byte, error) {
+	return ep.CallTimeout(to, p, body, 0)
+}
+
+// CallTimeout is Call with a deadline; timeout<=0 waits forever.
+func (ep *Endpoint) CallTimeout(to gaddr.NodeID, p Proc, body []byte, timeout time.Duration) ([]byte, error) {
+	id := ep.nextID.Add(1)
+	ch := make(chan replyOutcome, 1)
+	ep.mu.Lock()
+	ep.pending[id] = ch
+	ep.mu.Unlock()
+	defer func() {
+		ep.mu.Lock()
+		delete(ep.pending, id)
+		ep.mu.Unlock()
+	}()
+
+	msg := requestMsg{CallID: id, Origin: ep.Self(), Proc: p, Body: body}
+	if err := ep.sendRequest(to, &msg, true); err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		out := <-ch
+		return out.body, out.err
+	}
+	select {
+	case out := <-ch:
+		return out.body, out.err
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("%w: proc %d to node %d", ErrTimeout, p, to)
+	}
+}
+
+// Oneway sends a request with no reply expected.
+func (ep *Endpoint) Oneway(to gaddr.NodeID, p Proc, body []byte) error {
+	msg := requestMsg{CallID: 0, Origin: ep.Self(), Proc: p, Body: body}
+	return ep.sendRequest(to, &msg, false)
+}
+
+func (ep *Endpoint) sendRequest(to gaddr.NodeID, msg *requestMsg, isCall bool) error {
+	b, err := wire.MarshalInto(msg)
+	if err != nil {
+		return err
+	}
+	kind := kindOneway
+	if isCall {
+		kind = kindRequest
+	}
+	ep.counts.Inc("rpc_sent")
+	return ep.tr.Send(to, kind, b)
+}
+
+func (ep *Endpoint) sendReply(to gaddr.NodeID, msg *replyMsg) {
+	b, err := wire.MarshalInto(msg)
+	if err != nil {
+		// A reply that cannot be marshalled would hang the caller; encode
+		// the failure itself instead.
+		b, _ = wire.MarshalInto(&replyMsg{CallID: msg.CallID, Err: "rpc: reply marshal: " + err.Error()})
+	}
+	ep.counts.Inc("rpc_replies_sent")
+	if to == ep.Self() {
+		// Forwarding brought the request back to its origin; complete the
+		// pending call locally (the transport refuses self-sends).
+		var rm replyMsg
+		if err := wire.UnmarshalFrom(b, &rm); err == nil {
+			ep.completeCall(ep.Self(), &rm)
+		}
+		return
+	}
+	if err := ep.tr.Send(to, kindReply, b); err != nil {
+		ep.counts.Inc("rpc_reply_send_failed")
+	}
+}
+
+func (ep *Endpoint) onMessage(m transport.Message) {
+	switch m.Kind {
+	case kindReply:
+		var rm replyMsg
+		if err := wire.UnmarshalFrom(m.Payload, &rm); err != nil {
+			ep.counts.Inc("rpc_bad_reply")
+			return
+		}
+		ep.completeCall(m.From, &rm)
+	case kindRequest, kindOneway:
+		var rq requestMsg
+		if err := wire.UnmarshalFrom(m.Payload, &rq); err != nil {
+			ep.counts.Inc("rpc_bad_request")
+			return
+		}
+		h := ep.handler(rq.Proc)
+		ctx := &Ctx{ep: ep, From: m.From, Origin: rq.Origin, CallID: rq.CallID, Body: rq.Body}
+		if h == nil {
+			ep.counts.Inc("rpc_unknown_proc")
+			ctx.Reply(nil, fmt.Errorf("rpc: node %d has no handler for proc %d", ep.Self(), rq.Proc))
+			return
+		}
+		ep.counts.Inc("rpc_handled")
+		ep.Dispatch(func() { h(ctx) })
+	default:
+		ep.counts.Inc("rpc_bad_kind")
+	}
+}
+
+func (ep *Endpoint) completeCall(from gaddr.NodeID, rm *replyMsg) {
+	ep.mu.Lock()
+	ch, ok := ep.pending[rm.CallID]
+	if ok {
+		delete(ep.pending, rm.CallID)
+	}
+	ep.mu.Unlock()
+	if !ok {
+		ep.counts.Inc("rpc_orphan_reply")
+		return
+	}
+	out := replyOutcome{body: rm.Body}
+	if rm.Err != "" {
+		out.err = &RemoteError{Node: from, Msg: rm.Err}
+	}
+	ch <- out
+}

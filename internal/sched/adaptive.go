@@ -1,0 +1,59 @@
+package sched
+
+// Adaptive policy: a multilevel-feedback discipline of the kind §2.1 of the
+// paper says applications may install ("priority-based or adaptive policies
+// tuned to the specific application"). Threads that burn their whole
+// timeslice (re-queued by Yield) sink to lower levels; threads that block
+// and return (interactive, communication-bound) float back up. Lower levels
+// run only when higher ones are empty.
+
+// adaptiveLevels is the number of feedback levels.
+const adaptiveLevels = 4
+
+type adaptive struct {
+	levels [adaptiveLevels][]*Task
+	// level remembers each thread's current feedback level.
+	level map[uint64]int
+}
+
+// NewAdaptive returns a multilevel-feedback policy.
+func NewAdaptive() Policy {
+	return &adaptive{level: make(map[uint64]int)}
+}
+
+func (a *adaptive) Name() string { return "adaptive" }
+
+func (a *adaptive) Len() int {
+	n := 0
+	for _, q := range a.levels {
+		n += len(q)
+	}
+	return n
+}
+
+func (a *adaptive) Push(t *Task) {
+	lv := a.level[t.ThreadID]
+	if t.Yielded {
+		// Burned a full quantum: demote.
+		if lv < adaptiveLevels-1 {
+			lv++
+		}
+	} else if lv > 0 {
+		// Came back from a block (or is new): promote one level.
+		lv--
+	}
+	a.level[t.ThreadID] = lv
+	a.levels[lv] = append(a.levels[lv], t)
+}
+
+func (a *adaptive) Pop() *Task {
+	for lv := range a.levels {
+		if len(a.levels[lv]) > 0 {
+			t := a.levels[lv][0]
+			copy(a.levels[lv], a.levels[lv][1:])
+			a.levels[lv] = a.levels[lv][:len(a.levels[lv])-1]
+			return t
+		}
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+// Package sched implements Amber's per-node thread scheduler, derived from
+// Presto (§2.1 of the paper). A node on the original Firefly had a small
+// number of CPUs; Amber multiplexed many cheap threads over them and let an
+// application replace the scheduling discipline at runtime.
+//
+// Here each node has P *processor slots*. An Amber operation must hold a slot
+// while it executes; blocking primitives (lock waits, joins, remote
+// invocations) release the slot so another ready thread can run — which is
+// exactly how the speedup experiments honour "N nodes × P processors" even
+// when the host machine has a different CPU count. The ready discipline is a
+// pluggable Policy (FIFO by default; LIFO and priority provided), replaceable
+// at runtime as in the paper.
+package sched
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"amber/internal/stats"
+)
+
+// Task describes a schedulable unit waiting for a processor slot.
+type Task struct {
+	// ThreadID identifies the Amber thread, for policies and debugging.
+	ThreadID uint64
+	// Priority orders threads under the priority policy; higher runs first.
+	Priority int
+	// Seq is a monotone enqueue sequence assigned by the scheduler; policies
+	// use it for stable FIFO/LIFO ordering.
+	Seq uint64
+	// Yielded marks that this enqueue came from a timeslice yield rather
+	// than a fresh arrival or a block-wakeup; adaptive policies use it to
+	// demote CPU-bound threads.
+	Yielded bool
+
+	grant chan struct{}
+}
+
+// Policy is a ready-queue discipline. Implementations need no internal
+// locking; the scheduler serializes access.
+type Policy interface {
+	// Name identifies the policy ("fifo", "lifo", "priority").
+	Name() string
+	// Push adds a waiting task.
+	Push(*Task)
+	// Pop removes and returns the next task to run, or nil if empty.
+	Pop() *Task
+	// Len reports the number of waiting tasks.
+	Len() int
+}
+
+// Scheduler manages P processor slots for one node.
+type Scheduler struct {
+	mu     sync.Mutex
+	policy Policy
+	slots  int
+	free   int
+	seq    uint64
+	counts *stats.Set
+	// running tracks currently executing tasks for introspection.
+	running atomic.Int64
+}
+
+// New creates a scheduler with the given number of processor slots (minimum
+// 1) and policy (nil selects FIFO).
+func New(slots int, policy Policy) *Scheduler {
+	if slots < 1 {
+		slots = 1
+	}
+	if policy == nil {
+		policy = NewFIFO()
+	}
+	return &Scheduler{policy: policy, slots: slots, free: slots, counts: stats.NewSet()}
+}
+
+// Slots returns the processor count.
+func (s *Scheduler) Slots() int { return s.slots }
+
+// Stats exposes scheduler counters (acquires, yields, blocks).
+func (s *Scheduler) Stats() *stats.Set { return s.counts }
+
+// Running reports how many tasks currently hold slots.
+func (s *Scheduler) Running() int { return int(s.running.Load()) }
+
+// Waiting reports how many tasks are queued for a slot.
+func (s *Scheduler) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.policy.Len()
+}
+
+// PolicyName returns the active policy's name.
+func (s *Scheduler) PolicyName() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.policy.Name()
+}
+
+// SetPolicy replaces the ready discipline at runtime (§2.1: "an application
+// can install a custom scheduling discipline at runtime"). Waiting tasks are
+// transferred to the new policy.
+func (s *Scheduler) SetPolicy(p Policy) {
+	if p == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		t := s.policy.Pop()
+		if t == nil {
+			break
+		}
+		p.Push(t)
+	}
+	s.policy = p
+}
+
+// Acquire blocks until the task is granted a processor slot.
+func (s *Scheduler) Acquire(t *Task) {
+	s.counts.Inc("acquires")
+	s.mu.Lock()
+	if s.free > 0 && s.policy.Len() == 0 {
+		s.free--
+		s.mu.Unlock()
+		s.running.Add(1)
+		return
+	}
+	if t.grant == nil {
+		t.grant = make(chan struct{}, 1)
+	}
+	s.seq++
+	t.Seq = s.seq
+	t.Yielded = false
+	s.policy.Push(t)
+	s.mu.Unlock()
+	<-t.grant
+	s.running.Add(1)
+}
+
+// TryAcquire grants a slot only if one is immediately free and no task is
+// queued ahead; it never blocks.
+func (s *Scheduler) TryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.free > 0 && s.policy.Len() == 0 {
+		s.free--
+		s.running.Add(1)
+		return true
+	}
+	return false
+}
+
+// Release returns the caller's slot to the pool, waking the next queued task
+// per the policy.
+func (s *Scheduler) Release() {
+	s.running.Add(-1)
+	s.mu.Lock()
+	next := s.policy.Pop()
+	if next == nil {
+		s.free++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	next.grant <- struct{}{}
+}
+
+// Yield releases the slot and immediately re-queues the task, implementing
+// cooperative timeslicing. It returns once the task holds a slot again.
+func (s *Scheduler) Yield(t *Task) {
+	s.counts.Inc("yields")
+	s.mu.Lock()
+	if s.policy.Len() == 0 {
+		// No competition: keep the slot.
+		s.mu.Unlock()
+		return
+	}
+	// Hand the slot to the next task, then queue ourselves.
+	next := s.policy.Pop()
+	if t.grant == nil {
+		t.grant = make(chan struct{}, 1)
+	}
+	s.seq++
+	t.Seq = s.seq
+	t.Yielded = true
+	s.policy.Push(t)
+	s.mu.Unlock()
+	s.running.Add(-1)
+	next.grant <- struct{}{}
+	<-t.grant
+	s.running.Add(1)
+}
+
+// Block releases the slot, runs wait (which should block until the task may
+// continue, e.g. on a channel), then re-acquires a slot. It is the bridge
+// between Amber blocking primitives and the processor model.
+func (s *Scheduler) Block(t *Task, wait func()) {
+	s.counts.Inc("blocks")
+	s.Release()
+	wait()
+	s.Acquire(t)
+}
+
+// --- Policies ---
+
+// fifo runs tasks in arrival order.
+type fifo struct{ q []*Task }
+
+// NewFIFO returns a first-in-first-out policy (the default).
+func NewFIFO() Policy { return &fifo{} }
+
+func (f *fifo) Name() string { return "fifo" }
+func (f *fifo) Push(t *Task) { f.q = append(f.q, t) }
+func (f *fifo) Len() int     { return len(f.q) }
+func (f *fifo) Pop() *Task {
+	if len(f.q) == 0 {
+		return nil
+	}
+	t := f.q[0]
+	copy(f.q, f.q[1:])
+	f.q = f.q[:len(f.q)-1]
+	return t
+}
+
+// lifo runs the most recently queued task first (good cache behaviour for
+// fork/join workloads).
+type lifo struct{ q []*Task }
+
+// NewLIFO returns a last-in-first-out policy.
+func NewLIFO() Policy { return &lifo{} }
+
+func (l *lifo) Name() string { return "lifo" }
+func (l *lifo) Push(t *Task) { l.q = append(l.q, t) }
+func (l *lifo) Len() int     { return len(l.q) }
+func (l *lifo) Pop() *Task {
+	if len(l.q) == 0 {
+		return nil
+	}
+	t := l.q[len(l.q)-1]
+	l.q = l.q[:len(l.q)-1]
+	return t
+}
+
+// priority runs the highest-priority task first; FIFO among equals.
+type priority struct{ q []*Task }
+
+// NewPriority returns a strict-priority policy.
+func NewPriority() Policy { return &priority{} }
+
+func (p *priority) Name() string { return "priority" }
+func (p *priority) Len() int     { return len(p.q) }
+
+func (p *priority) Push(t *Task) {
+	p.q = append(p.q, t)
+	// Keep sorted descending by priority, ascending by seq. Insertion sort
+	// via sort.SliceStable keeps this simple; queues are short.
+	sort.SliceStable(p.q, func(i, j int) bool {
+		if p.q[i].Priority != p.q[j].Priority {
+			return p.q[i].Priority > p.q[j].Priority
+		}
+		return p.q[i].Seq < p.q[j].Seq
+	})
+}
+
+func (p *priority) Pop() *Task {
+	if len(p.q) == 0 {
+		return nil
+	}
+	t := p.q[0]
+	copy(p.q, p.q[1:])
+	p.q = p.q[:len(p.q)-1]
+	return t
+}

@@ -1,0 +1,380 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSlotLimitEnforced(t *testing.T) {
+	s := New(2, nil)
+	var cur, max atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			task := &Task{ThreadID: id}
+			s.Acquire(task)
+			c := cur.Add(1)
+			for {
+				m := max.Load()
+				if c <= m || max.CompareAndSwap(m, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			s.Release()
+		}(uint64(i))
+	}
+	wg.Wait()
+	if max.Load() > 2 {
+		t.Fatalf("max concurrent = %d, want <= 2", max.Load())
+	}
+	if s.Running() != 0 {
+		t.Fatalf("Running = %d after drain", s.Running())
+	}
+}
+
+func TestMinimumOneSlot(t *testing.T) {
+	s := New(0, nil)
+	if s.Slots() != 1 {
+		t.Fatalf("Slots = %d, want 1", s.Slots())
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	s := New(1, nil)
+	if !s.TryAcquire() {
+		t.Fatal("first TryAcquire should succeed")
+	}
+	if s.TryAcquire() {
+		t.Fatal("second TryAcquire should fail")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire after Release should succeed")
+	}
+	s.Release()
+}
+
+func TestFIFOOrder(t *testing.T) {
+	s := New(1, NewFIFO())
+	hold := &Task{}
+	s.Acquire(hold)
+
+	var order []uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 1; i <= 5; i++ {
+		wg.Add(1)
+		id := uint64(i)
+		go func() {
+			defer wg.Done()
+			task := &Task{ThreadID: id}
+			s.Acquire(task)
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			s.Release()
+		}()
+		time.Sleep(10 * time.Millisecond) // establish arrival order
+	}
+	s.Release()
+	wg.Wait()
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	s := New(1, NewPriority())
+	hold := &Task{}
+	s.Acquire(hold)
+
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	prios := []int{1, 5, 3, 9, 2}
+	for _, p := range prios {
+		wg.Add(1)
+		prio := p
+		go func() {
+			defer wg.Done()
+			task := &Task{Priority: prio}
+			s.Acquire(task)
+			mu.Lock()
+			order = append(order, prio)
+			mu.Unlock()
+			s.Release()
+		}()
+		time.Sleep(10 * time.Millisecond)
+	}
+	s.Release()
+	wg.Wait()
+	want := []int{9, 5, 3, 2, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("priority order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestLIFOPolicyUnit(t *testing.T) {
+	p := NewLIFO()
+	a, b, c := &Task{ThreadID: 1}, &Task{ThreadID: 2}, &Task{ThreadID: 3}
+	p.Push(a)
+	p.Push(b)
+	p.Push(c)
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if p.Pop() != c || p.Pop() != b || p.Pop() != a || p.Pop() != nil {
+		t.Fatal("LIFO pop order wrong")
+	}
+}
+
+func TestFIFOPolicyUnit(t *testing.T) {
+	p := NewFIFO()
+	if p.Pop() != nil {
+		t.Fatal("empty pop should be nil")
+	}
+	a, b := &Task{ThreadID: 1}, &Task{ThreadID: 2}
+	p.Push(a)
+	p.Push(b)
+	if p.Pop() != a || p.Pop() != b {
+		t.Fatal("FIFO pop order wrong")
+	}
+}
+
+func TestPriorityStableAmongEquals(t *testing.T) {
+	p := NewPriority()
+	tasks := make([]*Task, 5)
+	for i := range tasks {
+		tasks[i] = &Task{ThreadID: uint64(i), Priority: 7, Seq: uint64(i)}
+		p.Push(tasks[i])
+	}
+	for i := range tasks {
+		if got := p.Pop(); got != tasks[i] {
+			t.Fatalf("equal-priority order broken at %d", i)
+		}
+	}
+}
+
+func TestYieldHandsOff(t *testing.T) {
+	s := New(1, nil)
+	me := &Task{ThreadID: 1}
+	s.Acquire(me)
+
+	ran := make(chan struct{})
+	go func() {
+		other := &Task{ThreadID: 2}
+		s.Acquire(other)
+		close(ran)
+		s.Release()
+	}()
+	// Wait for the other task to queue up.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Waiting() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("other task never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Yield(me)
+	select {
+	case <-ran:
+	case <-time.After(2 * time.Second):
+		t.Fatal("yield did not let the other task run")
+	}
+	s.Release()
+	if s.Stats().Value("yields") != 1 {
+		t.Fatalf("yields = %d", s.Stats().Value("yields"))
+	}
+}
+
+func TestYieldNoCompetitionKeepsSlot(t *testing.T) {
+	s := New(1, nil)
+	me := &Task{}
+	s.Acquire(me)
+	done := make(chan struct{})
+	go func() {
+		s.Yield(me) // must return immediately
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Yield with empty queue blocked")
+	}
+	if s.Running() != 1 {
+		t.Fatalf("Running = %d, want 1", s.Running())
+	}
+	s.Release()
+}
+
+func TestBlockReleasesSlot(t *testing.T) {
+	s := New(1, nil)
+	a := &Task{ThreadID: 1}
+	s.Acquire(a)
+
+	proceed := make(chan struct{})
+	blockedRunning := make(chan struct{})
+	go func() {
+		s.Block(a, func() {
+			close(blockedRunning)
+			<-proceed
+		})
+		s.Release()
+	}()
+	<-blockedRunning
+	// While a is blocked, b must be able to run.
+	b := &Task{ThreadID: 2}
+	got := make(chan struct{})
+	go func() {
+		s.Acquire(b)
+		close(got)
+		s.Release()
+	}()
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("slot was not released during Block")
+	}
+	close(proceed)
+}
+
+func TestSetPolicyTransfersWaiters(t *testing.T) {
+	s := New(1, NewFIFO())
+	hold := &Task{}
+	s.Acquire(hold)
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range []int{1, 9, 5} {
+		wg.Add(1)
+		prio := p
+		go func() {
+			defer wg.Done()
+			task := &Task{Priority: prio}
+			s.Acquire(task)
+			mu.Lock()
+			order = append(order, prio)
+			mu.Unlock()
+			s.Release()
+		}()
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Swap to priority while three tasks wait.
+	s.SetPolicy(NewPriority())
+	if s.PolicyName() != "priority" {
+		t.Fatalf("PolicyName = %q", s.PolicyName())
+	}
+	s.Release()
+	wg.Wait()
+	want := []int{9, 5, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order after SetPolicy = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestManyThreadsFewSlotsThroughput(t *testing.T) {
+	s := New(4, nil)
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			task := &Task{ThreadID: id}
+			for j := 0; j < 10; j++ {
+				s.Acquire(task)
+				done.Add(1)
+				s.Release()
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	if done.Load() != 1000 {
+		t.Fatalf("completed %d, want 1000", done.Load())
+	}
+	if s.Running() != 0 || s.Waiting() != 0 {
+		t.Fatalf("Running=%d Waiting=%d after drain", s.Running(), s.Waiting())
+	}
+}
+
+func TestAdaptivePolicyDemotesCPUHogs(t *testing.T) {
+	p := NewAdaptive()
+	if p.Name() != "adaptive" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	hog := &Task{ThreadID: 1, Yielded: true}
+	nice := &Task{ThreadID: 2}
+	// The hog re-queues via yields three times: it sinks.
+	p.Push(hog)
+	if p.Pop() != hog {
+		t.Fatal("lone task should pop")
+	}
+	p.Push(hog)
+	p.Push(nice) // fresh arrival at level 0
+	if got := p.Pop(); got != nice {
+		t.Fatalf("fresh task should preempt the demoted hog, got thread %d", got.ThreadID)
+	}
+	if p.Pop() != hog {
+		t.Fatal("hog should pop once higher levels drain")
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	// A blocked-and-returned thread floats back up one level per push.
+	hog.Yielded = false
+	p.Push(hog) // was at level 2; promotes to 1
+	p.Push(nice)
+	if got := p.Pop(); got != nice {
+		t.Fatalf("level-0 thread should still run first, got %d", got.ThreadID)
+	}
+	if got := p.Pop(); got != hog {
+		t.Fatal("hog should follow")
+	}
+	hog.Yielded = false
+	p.Push(hog) // promotes to 0: back on par
+	p.Push(nice)
+	if got := p.Pop(); got != hog {
+		t.Fatalf("fully promoted thread should run in FIFO order, got %d", got.ThreadID)
+	}
+	p.Pop()
+}
+
+func TestAdaptiveEndToEndWithScheduler(t *testing.T) {
+	s := New(1, NewAdaptive())
+	if s.PolicyName() != "adaptive" {
+		t.Fatalf("policy %q", s.PolicyName())
+	}
+	var wg sync.WaitGroup
+	var done atomic.Int64
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			task := &Task{ThreadID: id}
+			for j := 0; j < 5; j++ {
+				s.Acquire(task)
+				if id%2 == 0 {
+					s.Yield(task) // even threads behave like CPU hogs
+				}
+				done.Add(1)
+				s.Release()
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	if done.Load() != 30 {
+		t.Fatalf("completed %d, want 30", done.Load())
+	}
+}

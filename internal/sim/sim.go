@@ -1,0 +1,275 @@
+// Package sim is a deterministic process-oriented discrete-event simulator,
+// the substrate this reproduction substitutes for the paper's testbed of
+// eight 4-CPU Fireflies (see DESIGN.md §2): the host running this code has
+// too few CPUs to *measure* 32-way speedup, so the speedup experiments of
+// Figures 2 and 3 are *simulated* under a cost model calibrated from
+// Table 1.
+//
+// The kernel runs simulated processes (goroutines) one at a time, handing
+// control back and forth through channels, so virtual time advances
+// deterministically: identical programs produce identical timings on any
+// host. Facilities: Sleep, broadcast Events, m-server Resources (CPUs,
+// links), and counters.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Kernel owns virtual time and the event queue. All simulation activity —
+// spawning processes, firing events — must happen either before Run or from
+// within a simulated process; the kernel is not thread-safe by design
+// (single-runnable-process is what makes it deterministic).
+type Kernel struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	proceed chan struct{}
+	// alive counts spawned-but-unfinished processes; blocked ones with no
+	// pending events indicate a model deadlock.
+	alive   int
+	blocked int
+}
+
+// New creates a kernel at time zero.
+func New() *Kernel {
+	return &Kernel{proceed: make(chan struct{})}
+}
+
+// Now returns current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Proc is a simulated process's handle, confined to its own goroutine.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Name returns the process name (debugging).
+func (p *Proc) Name() string { return p.name }
+
+// Now returns current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// Kernel returns the owning kernel (to spawn children).
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+type event struct {
+	at   time.Duration
+	seq  uint64
+	proc *Proc
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (k *Kernel) push(at time.Duration, p *Proc) {
+	k.seq++
+	heap.Push(&k.queue, event{at: at, seq: k.seq, proc: p})
+}
+
+// Go spawns a process that starts at the current virtual time.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.alive++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.done = true
+		k.alive--
+		k.proceed <- struct{}{}
+	}()
+	k.push(k.now, p)
+	return p
+}
+
+// block yields control to the kernel until the process is resumed.
+func (p *Proc) block() {
+	p.k.blocked++
+	p.k.proceed <- struct{}{}
+	<-p.resume
+	p.k.blocked--
+}
+
+// wake schedules p to resume at virtual time at.
+func (k *Kernel) wake(p *Proc, at time.Duration) { k.push(at, p) }
+
+// Sleep advances the process by d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.push(p.k.now+d, p)
+	p.block()
+}
+
+// Run drives the simulation until no events remain, returning the final
+// virtual time. It returns an error if processes remain blocked with no
+// pending events (a model deadlock).
+func (k *Kernel) Run() (time.Duration, error) {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(event)
+		if e.at < k.now {
+			return k.now, fmt.Errorf("sim: time ran backwards (%v < %v)", e.at, k.now)
+		}
+		k.now = e.at
+		e.proc.resume <- struct{}{}
+		<-k.proceed
+	}
+	if k.alive > 0 {
+		return k.now, fmt.Errorf("sim: deadlock: %d processes blocked with empty event queue", k.alive)
+	}
+	return k.now, nil
+}
+
+// --- events ---
+
+// Event is a broadcast one-shot flag in virtual time.
+type Event struct {
+	k       *Kernel
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent creates an unfired event.
+func (k *Kernel) NewEvent() *Event { return &Event{k: k} }
+
+// Fired reports whether the event has fired.
+func (e *Event) Fired() bool { return e.fired }
+
+// Fire triggers the event at the current virtual time, waking all waiters.
+// Idempotent.
+func (e *Event) Fire() {
+	if e.fired {
+		return
+	}
+	e.fired = true
+	for _, w := range e.waiters {
+		e.k.wake(w, e.k.now)
+	}
+	e.waiters = nil
+}
+
+// Wait blocks the process until the event fires (returns immediately if it
+// already has).
+func (p *Proc) Wait(e *Event) {
+	if e.fired {
+		return
+	}
+	e.waiters = append(e.waiters, p)
+	p.block()
+}
+
+// --- resources ---
+
+// Resource is an m-server resource (CPUs of a node, a network link). FIFO
+// grant order keeps the simulation deterministic.
+type Resource struct {
+	k     *Kernel
+	cap   int
+	inUse int
+	waitq []*Proc
+	// busy accumulates capacity-occupied time for utilization reports.
+	busy     time.Duration
+	lastTick time.Duration
+}
+
+// NewResource creates a resource with the given capacity (min 1).
+func (k *Kernel) NewResource(capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Resource{k: k, cap: capacity}
+}
+
+// Cap returns the capacity.
+func (r *Resource) Cap() int { return r.cap }
+
+// InUse returns current occupancy.
+func (r *Resource) InUse() int { return r.inUse }
+
+func (r *Resource) tick() {
+	r.busy += time.Duration(r.inUse) * (r.k.now - r.lastTick)
+	r.lastTick = r.k.now
+}
+
+// BusyTime returns capacity-seconds consumed so far (for utilization).
+func (r *Resource) BusyTime() time.Duration {
+	r.tick()
+	return r.busy
+}
+
+// Acquire blocks until one unit of the resource is granted.
+func (p *Proc) Acquire(r *Resource) {
+	if r.inUse < r.cap {
+		r.tick()
+		r.inUse++
+		return
+	}
+	r.waitq = append(r.waitq, p)
+	p.block()
+	// Ownership was transferred by Release; nothing to do.
+}
+
+// Release returns one unit, waking the first waiter (which inherits the
+// unit).
+func (p *Proc) Release(r *Resource) {
+	if len(r.waitq) > 0 {
+		next := r.waitq[0]
+		r.waitq = r.waitq[1:]
+		// Occupancy is inherited: inUse stays constant.
+		r.k.wake(next, r.k.now)
+		return
+	}
+	r.tick()
+	r.inUse--
+}
+
+// Use acquires the resource, sleeps d, and releases: the common
+// "occupy a CPU for d" idiom.
+func (p *Proc) Use(r *Resource, d time.Duration) {
+	p.Acquire(r)
+	p.Sleep(d)
+	p.Release(r)
+}
+
+// --- barrier ---
+
+// Barrier synchronizes n processes in virtual time, reusable across epochs.
+type Barrier struct {
+	k       *Kernel
+	parties int
+	count   int
+	ev      *Event
+}
+
+// NewBarrier creates a barrier for n parties.
+func (k *Kernel) NewBarrier(n int) *Barrier {
+	return &Barrier{k: k, parties: n, ev: k.NewEvent()}
+}
+
+// Arrive blocks until all parties of the current epoch have arrived.
+func (p *Proc) Arrive(b *Barrier) {
+	b.count++
+	if b.count >= b.parties {
+		b.count = 0
+		ev := b.ev
+		b.ev = b.k.NewEvent()
+		ev.Fire()
+		return
+	}
+	p.Wait(b.ev)
+}

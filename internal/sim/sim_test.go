@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	k := New()
+	var woke time.Duration
+	k.Go("sleeper", func(p *Proc) {
+		p.Sleep(250 * ms)
+		woke = p.Now()
+	})
+	start := time.Now()
+	end, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if woke != 250*ms || end != 250*ms {
+		t.Fatalf("woke=%v end=%v", woke, end)
+	}
+	// Virtual: must complete in real microseconds, not 250ms.
+	if real := time.Since(start); real > 100*ms {
+		t.Fatalf("simulation took %v of real time", real)
+	}
+}
+
+func TestParallelSleepsOverlap(t *testing.T) {
+	k := New()
+	for i := 0; i < 10; i++ {
+		k.Go(fmt.Sprintf("p%d", i), func(p *Proc) { p.Sleep(100 * ms) })
+	}
+	end, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 100*ms {
+		t.Fatalf("end = %v, want 100ms (sleeps are concurrent)", end)
+	}
+}
+
+func TestNegativeSleepClamped(t *testing.T) {
+	k := New()
+	k.Go("p", func(p *Proc) { p.Sleep(-5 * ms) })
+	if end, err := k.Run(); err != nil || end != 0 {
+		t.Fatalf("end=%v err=%v", end, err)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	k := New()
+	cpu := k.NewResource(2)
+	var finish []time.Duration
+	for i := 0; i < 4; i++ {
+		k.Go(fmt.Sprintf("t%d", i), func(p *Proc) {
+			p.Use(cpu, 10*ms)
+			finish = append(finish, p.Now())
+		})
+	}
+	end, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 tasks × 10ms on 2 servers = 20ms.
+	if end != 20*ms {
+		t.Fatalf("end = %v, want 20ms", end)
+	}
+	if finish[0] != 10*ms || finish[3] != 20*ms {
+		t.Fatalf("finish times %v", finish)
+	}
+	if cpu.BusyTime() != 40*ms {
+		t.Fatalf("busy = %v, want 40ms", cpu.BusyTime())
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	k := New()
+	r := k.NewResource(1)
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		k.Go(name, func(p *Proc) {
+			p.Acquire(r)
+			p.Sleep(ms)
+			order = append(order, name)
+			p.Release(r)
+		})
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[a b c]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEventBroadcast(t *testing.T) {
+	k := New()
+	ev := k.NewEvent()
+	var woke []time.Duration
+	for i := 0; i < 3; i++ {
+		k.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Wait(ev)
+			woke = append(woke, p.Now())
+		})
+	}
+	k.Go("firer", func(p *Proc) {
+		p.Sleep(30 * ms)
+		ev.Fire()
+		ev.Fire() // idempotent
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 3 {
+		t.Fatalf("woke %d waiters", len(woke))
+	}
+	for _, w := range woke {
+		if w != 30*ms {
+			t.Fatalf("waiter woke at %v", w)
+		}
+	}
+	// Waiting on a fired event returns immediately.
+	k2 := New()
+	ev2 := k2.NewEvent()
+	ev2.Fire()
+	k2.Go("late", func(p *Proc) {
+		p.Wait(ev2)
+		if p.Now() != 0 {
+			t.Error("late waiter delayed")
+		}
+	})
+	if _, err := k2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierEpochs(t *testing.T) {
+	k := New()
+	b := k.NewBarrier(3)
+	var passes []time.Duration
+	for i := 0; i < 3; i++ {
+		delay := time.Duration(i+1) * 10 * ms
+		k.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for epoch := 0; epoch < 2; epoch++ {
+				p.Sleep(delay)
+				p.Arrive(b)
+				passes = append(passes, p.Now())
+			}
+		})
+	}
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// First epoch completes when the slowest (30ms) arrives; second at 60ms.
+	if len(passes) != 6 {
+		t.Fatalf("%d passes", len(passes))
+	}
+	for i, at := range passes {
+		want := 30 * ms
+		if i >= 3 {
+			want = 60 * ms
+		}
+		if at != want {
+			t.Fatalf("pass %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := New()
+	ev := k.NewEvent()
+	k.Go("stuck", func(p *Proc) { p.Wait(ev) })
+	if _, err := k.Run(); err == nil {
+		t.Fatal("deadlock not reported")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (time.Duration, []string) {
+		k := New()
+		cpu := k.NewResource(2)
+		link := k.NewResource(1)
+		var log []string
+		for i := 0; i < 6; i++ {
+			i := i
+			k.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+				p.Use(cpu, time.Duration(3+i%3)*ms)
+				p.Use(link, 2*ms)
+				p.Sleep(4 * ms)
+				log = append(log, fmt.Sprintf("%s@%v", p.Name(), p.Now()))
+			})
+		}
+		end, err := k.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end, log
+	}
+	e1, l1 := run()
+	e2, l2 := run()
+	if e1 != e2 || fmt.Sprint(l1) != fmt.Sprint(l2) {
+		t.Fatalf("nondeterministic:\n%v %v\n%v %v", e1, l1, e2, l2)
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	k := New()
+	var childDone time.Duration
+	k.Go("parent", func(p *Proc) {
+		p.Sleep(5 * ms)
+		done := k.NewEvent()
+		k.Go("child", func(c *Proc) {
+			c.Sleep(7 * ms)
+			childDone = c.Now()
+			done.Fire()
+		})
+		p.Wait(done)
+		if p.Now() != 12*ms {
+			t.Errorf("parent resumed at %v", p.Now())
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childDone != 12*ms {
+		t.Fatalf("child done at %v", childDone)
+	}
+}
+
+func TestUseComposition(t *testing.T) {
+	// A pipeline: cpu then link; verify the critical path.
+	k := New()
+	cpu := k.NewResource(1)
+	link := k.NewResource(1)
+	for i := 0; i < 2; i++ {
+		k.Go(fmt.Sprintf("m%d", i), func(p *Proc) {
+			p.Use(cpu, 10*ms)
+			p.Use(link, 5*ms)
+		})
+	}
+	end, err := k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m0: cpu 0-10, link 10-15. m1: cpu 10-20, link 20-25.
+	if end != 25*ms {
+		t.Fatalf("end = %v, want 25ms", end)
+	}
+}

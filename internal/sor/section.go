@@ -1,0 +1,242 @@
+package sor
+
+import (
+	"math"
+	"sync"
+
+	"amber/internal/core"
+)
+
+// Section is one horizontal strip of the grid — the unit of distribution the
+// paper chooses (§6: "one section object per node balances the load and
+// allows the values for an entire edge to be transferred in a single
+// invocation"). A section owns interior rows GlobalStart..GlobalStart+N-1
+// of the full grid and keeps two ghost rows mirroring its neighbours' edge
+// rows (or the fixed plate boundary for the first/last sections).
+type Section struct {
+	Index    int
+	Sections int
+	// GlobalStart is the full-grid row index of the first owned row; it
+	// fixes the red/black parity of every point.
+	GlobalStart int
+	Cols        int
+	Omega       float64
+	// U holds N+2 rows × Cols: U[0] and U[N+1] are ghosts.
+	U [][]float64
+	// Up and Down are the neighbouring sections (NilRef at the plate
+	// boundary).
+	Up, Down core.Ref
+}
+
+// ownedRows reports N, the number of interior rows this section owns.
+func (s *Section) ownedRows() int { return len(s.U) - 2 }
+
+// SetNeighbors wires the section to its neighbours; called once by the
+// master before the computation starts.
+func (s *Section) SetNeighbors(up, down core.Ref) {
+	s.Up = up
+	s.Down = down
+}
+
+// SetGhostColor installs the cells of one color from a neighbour's edge row
+// into a ghost row. which is -1 for the upper ghost (row 0), +1 for the
+// lower ghost. Only cells of the given color are written, so a neighbour's
+// push never races with this section reading the *other* color's cells
+// during an overlapped phase.
+func (s *Section) SetGhostColor(which int, color int, vals []float64) {
+	row := 0
+	grow := s.GlobalStart - 1 // global index of the upper ghost row
+	if which > 0 {
+		row = len(s.U) - 1
+		grow = s.GlobalStart + s.ownedRows()
+	}
+	dst := s.U[row]
+	for j := range dst {
+		if (grow+j)%2 == color {
+			dst[j] = vals[j]
+		}
+	}
+}
+
+// EdgeRow returns a copy of an owned edge row: which=-1 for the first owned
+// row, +1 for the last. This is the single-invocation edge transfer of §6.
+func (s *Section) EdgeRow(which int) []float64 {
+	li := 1
+	if which > 0 {
+		li = s.ownedRows()
+	}
+	out := make([]float64, s.Cols)
+	copy(out, s.U[li])
+	return out
+}
+
+// Rows returns copies of all owned rows, for final assembly.
+func (s *Section) Rows() [][]float64 {
+	out := make([][]float64, s.ownedRows())
+	for i := range out {
+		out[i] = make([]float64, s.Cols)
+		copy(out[i], s.U[i+1])
+	}
+	return out
+}
+
+// ComputeColorRange relaxes all points of one color in owned local rows
+// [from, to] (1-based, inclusive) and returns the largest change. It is
+// invoked both by the section's controller thread and by the extra compute
+// threads a multiprocessor node runs in parallel (Figure 1's "compute
+// threads").
+func (s *Section) ComputeColorRange(color, from, to int) float64 {
+	maxDelta := 0.0
+	for li := from; li <= to; li++ {
+		gi := s.GlobalStart + li - 1
+		row := s.U[li]
+		up := s.U[li-1]
+		down := s.U[li+1]
+		// Interior columns only; 0 and Cols-1 are plate boundary.
+		for j := 1; j < s.Cols-1; j++ {
+			if (gi+j)%2 != color {
+				continue
+			}
+			old := row[j]
+			avg := (up[j] + down[j] + row[j-1] + row[j+1]) / 4
+			next := old + s.Omega*(avg-old)
+			row[j] = next
+			if d := math.Abs(next - old); d > maxDelta {
+				maxDelta = d
+			}
+		}
+	}
+	return maxDelta
+}
+
+// PushEdges sends this section's freshly-updated edge cells of one color to
+// the neighbouring sections' ghost rows. One invocation per neighbour —
+// "a single network exchange per edge per iteration".
+func (s *Section) PushEdges(ctx *core.Ctx, color int) error {
+	if s.Up != core.NilRef {
+		if _, err := ctx.Invoke(s.Up, "SetGhostColor", +1, color, s.EdgeRow(-1)); err != nil {
+			return err
+		}
+	}
+	if s.Down != core.NilRef {
+		if _, err := ctx.Invoke(s.Down, "SetGhostColor", -1, color, s.EdgeRow(+1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// phase performs one half-iteration (one color) with optional
+// communication/computation overlap (§6): edge rows are relaxed first, then
+// edge-exchange threads push them to the neighbours while the interior is
+// relaxed, and finally the exchanges are joined.
+func (s *Section) phase(ctx *core.Ctx, color int, overlap bool, computeThreads int) (float64, error) {
+	n := s.ownedRows()
+	if !overlap {
+		delta := s.computeParallel(ctx, color, 1, n, computeThreads)
+		return delta, s.PushEdges(ctx, color)
+	}
+	// Edge rows first...
+	delta := s.ComputeColorRange(color, 1, 1)
+	if n > 1 {
+		if d := s.ComputeColorRange(color, n, n); d > delta {
+			delta = d
+		}
+	}
+	// ...then ship them while the interior relaxes.
+	var pushErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// The edge-exchange thread of Figure 1: a separate Amber thread so
+		// the invocation's network time overlaps the interior compute.
+		pushErr = s.PushEdges(ctx.Spawn(), color)
+	}()
+	if n > 2 {
+		if d := s.computeParallel(ctx, color, 2, n-1, computeThreads); d > delta {
+			delta = d
+		}
+	}
+	ctx.Block(wg.Wait)
+	return delta, pushErr
+}
+
+// computeParallel relaxes rows [from,to] of one color, fanning out over
+// extra compute threads when the node has processors to use them.
+func (s *Section) computeParallel(ctx *core.Ctx, color, from, to, computeThreads int) float64 {
+	n := to - from + 1
+	if n <= 0 {
+		return 0
+	}
+	if computeThreads <= 1 || n < 2*computeThreads {
+		return s.ComputeColorRange(color, from, to)
+	}
+	type result struct {
+		delta float64
+		err   error
+	}
+	results := make(chan result, computeThreads)
+	chunk := (n + computeThreads - 1) / computeThreads
+	workers := 0
+	for lo := from; lo <= to; lo += chunk {
+		hi := lo + chunk - 1
+		if hi > to {
+			hi = to
+		}
+		workers++
+		lo, hi := lo, hi
+		c := ctx.Spawn()
+		go func() {
+			// Worker threads charge the node's processor slots like any
+			// Amber thread.
+			var d float64
+			c.WithSlot(func() { d = s.ComputeColorRange(color, lo, hi) })
+			results <- result{delta: d}
+		}()
+	}
+	maxDelta := 0.0
+	ctx.Block(func() {
+		for i := 0; i < workers; i++ {
+			r := <-results
+			if r.delta > maxDelta {
+				maxDelta = r.delta
+			}
+		}
+	})
+	return maxDelta
+}
+
+// Run is the section's controller thread (Figure 1): it drives iterations,
+// synchronizes colors at the barrier, and reports convergence through the
+// reducer. It returns the number of iterations executed.
+func (s *Section) Run(ctx *core.Ctx, barrier, reducer core.Ref, eps float64, maxIters int, overlap bool, computeThreads int) (int, error) {
+	for iter := 1; iter <= maxIters; iter++ {
+		dB, err := s.phase(ctx, Black, overlap, computeThreads)
+		if err != nil {
+			return iter, err
+		}
+		// All black pushes complete cluster-wide before red reads ghosts.
+		if _, err := ctx.Invoke(barrier, "Arrive"); err != nil {
+			return iter, err
+		}
+		dR, err := s.phase(ctx, Red, overlap, computeThreads)
+		if err != nil {
+			return iter, err
+		}
+		delta := dB
+		if dR > delta {
+			delta = dR
+		}
+		// The convergence thread's exchange with the master (Figure 1):
+		// a blocking max-reduction that doubles as the iteration barrier.
+		out, err := ctx.Invoke(reducer, "ReduceMax", delta)
+		if err != nil {
+			return iter, err
+		}
+		if out[0].(float64) < eps {
+			return iter, nil
+		}
+	}
+	return maxIters, nil
+}

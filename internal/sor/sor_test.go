@@ -1,0 +1,214 @@
+package sor
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"amber/internal/core"
+)
+
+func TestSequentialConverges(t *testing.T) {
+	p := DefaultProblem(20, 20)
+	g, iters, err := SolveSequential(p, 1.5, 1e-4, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters >= 10_000 {
+		t.Fatalf("did not converge in %d iterations", iters)
+	}
+	// Physical sanity: interior temperatures lie strictly between the
+	// boundary extremes and decrease away from the hot edge.
+	for i := 1; i < p.Rows-1; i++ {
+		for j := 1; j < p.Cols-1; j++ {
+			if g[i][j] <= 0 || g[i][j] >= 100 {
+				t.Fatalf("g[%d][%d] = %g outside (0,100)", i, j, g[i][j])
+			}
+		}
+	}
+	mid := p.Cols / 2
+	if !(g[1][mid] > g[p.Rows/2][mid] && g[p.Rows/2][mid] > g[p.Rows-2][mid]) {
+		t.Fatal("temperature does not fall away from the hot edge")
+	}
+}
+
+func TestSequentialValidation(t *testing.T) {
+	if _, _, err := SolveSequential(Problem{Rows: 2, Cols: 5}, 1.5, 1e-4, 10); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+	if _, _, err := SolveSequential(DefaultProblem(10, 10), 2.5, 1e-4, 10); err == nil {
+		t.Fatal("omega out of range accepted")
+	}
+}
+
+func newSORCluster(t testing.TB, nodes, procs int) *core.Cluster {
+	t.Helper()
+	cl, err := core.NewCluster(core.ClusterConfig{Nodes: nodes, ProcsPerNode: procs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	if err := RegisterAll(cl); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// runBoth solves the same problem sequentially and distributed and compares.
+func runBoth(t *testing.T, nodes, procs, sections, computeThreads int, overlap bool) {
+	t.Helper()
+	p := DefaultProblem(18, 26)
+	const omega, eps = 1.5, 1e-4
+	const maxIters = 5000
+	want, wantIters, err := SolveSequential(p, omega, eps, maxIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := newSORCluster(t, nodes, procs)
+	res, err := RunDistributed(cl, Config{
+		Problem: p, Omega: omega, Eps: eps, MaxIters: maxIters,
+		Sections: sections, Overlap: overlap, ComputeThreads: computeThreads,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != wantIters {
+		t.Fatalf("distributed took %d iterations, sequential %d", res.Iters, wantIters)
+	}
+	if d := MaxAbsDiff(want, res.Grid); d > 1e-9 {
+		t.Fatalf("grids differ by %g", d)
+	}
+}
+
+func TestDistributedMatchesSequential1N1S(t *testing.T) { runBoth(t, 1, 1, 1, 1, false) }
+func TestDistributedMatchesSequential1N2S(t *testing.T) { runBoth(t, 1, 2, 2, 1, false) }
+func TestDistributedMatchesSequential2N(t *testing.T)   { runBoth(t, 2, 1, 2, 1, false) }
+func TestDistributedMatchesSequential3N(t *testing.T)   { runBoth(t, 3, 2, 3, 2, false) }
+func TestDistributedOverlapMatches(t *testing.T)        { runBoth(t, 2, 2, 2, 1, true) }
+func TestDistributedOverlapThreadsMatches(t *testing.T) { runBoth(t, 3, 2, 6, 2, true) }
+func TestMoreSectionsThanNodes(t *testing.T)            { runBoth(t, 2, 2, 5, 1, true) }
+
+func TestSectionsPlacedRoundRobin(t *testing.T) {
+	cl := newSORCluster(t, 4, 1)
+	p := DefaultProblem(20, 12)
+	_, err := RunDistributed(cl, Config{
+		Problem: p, Omega: 1.5, Eps: 1e-3, MaxIters: 500, Sections: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node should have executed compute work: each holds one section
+	// and its controller thread function-shipped to it.
+	for i := 1; i < 4; i++ {
+		if cl.Node(i).Stats().Value("invokes_executed_for_remote") == 0 {
+			t.Fatalf("node %d never executed shipped work", i)
+		}
+	}
+}
+
+func TestTooManySections(t *testing.T) {
+	cl := newSORCluster(t, 1, 1)
+	p := DefaultProblem(6, 6) // 4 interior rows
+	_, err := RunDistributed(cl, Config{Problem: p, Omega: 1.5, Eps: 1e-3, MaxIters: 10, Sections: 5})
+	if err == nil {
+		t.Fatal("oversubscribed sections accepted")
+	}
+}
+
+func TestPrintStructure(t *testing.T) {
+	s := PrintStructure(3)
+	if !strings.Contains(s, "Section[2]") || !strings.Contains(s, "edge exchange") {
+		t.Fatalf("structure rendering incomplete:\n%s", s)
+	}
+}
+
+func TestReducerStandalone(t *testing.T) {
+	cl := newSORCluster(t, 2, 2)
+	ctx := cl.Node(0).Root()
+	red, _ := ctx.New(&Reducer{Parties: 3})
+	var threads []core.Thread
+	for i := 0; i < 3; i++ {
+		th, _ := cl.Node(i%2).Root().StartThread(red, "ReduceMax", float64(i))
+		threads = append(threads, th)
+	}
+	for _, th := range threads {
+		out, err := ctx.Join(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0].(float64) != 2.0 {
+			t.Fatalf("reduction = %v, want 2", out[0])
+		}
+	}
+	// Second epoch is independent.
+	var threads2 []core.Thread
+	for i := 0; i < 3; i++ {
+		th, _ := ctx.StartThread(red, "ReduceMax", float64(10-i))
+		threads2 = append(threads2, th)
+	}
+	for _, th := range threads2 {
+		out, err := ctx.Join(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0].(float64) != 10.0 {
+			t.Fatalf("second reduction = %v, want 10", out[0])
+		}
+	}
+}
+
+func TestReducerZeroParties(t *testing.T) {
+	cl := newSORCluster(t, 1, 1)
+	ctx := cl.Node(0).Root()
+	red, _ := ctx.New(&Reducer{})
+	if _, err := ctx.Invoke(red, "ReduceMax", 1.0); err == nil {
+		t.Fatal("0-party reducer must error")
+	}
+}
+
+// Property: for random grid shapes, partition counts and thread counts, the
+// distributed solver matches the sequential one bitwise.
+func TestQuickRandomConfigsMatchSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized configs in -short mode")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		rows := 8 + rng.Intn(20)
+		cols := 8 + rng.Intn(24)
+		nodes := 1 + rng.Intn(3)
+		procs := 1 + rng.Intn(2)
+		maxSections := rows - 2
+		sections := 1 + rng.Intn(min(maxSections, nodes*2))
+		overlap := rng.Intn(2) == 0
+		threads := 1 + rng.Intn(2)
+
+		p := DefaultProblem(rows, cols)
+		const omega, eps = 1.4, 1e-3
+		want, wantIters, err := SolveSequential(p, omega, eps, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := newSORCluster(t, nodes, procs)
+		res, err := RunDistributed(cl, Config{
+			Problem: p, Omega: omega, Eps: eps, MaxIters: 3000,
+			Sections: sections, Overlap: overlap, ComputeThreads: threads,
+		})
+		if err != nil {
+			t.Fatalf("trial %d (%dx%d, %dN %dP, %d sections, overlap=%v): %v",
+				trial, rows, cols, nodes, procs, sections, overlap, err)
+		}
+		if res.Iters != wantIters || MaxAbsDiff(want, res.Grid) > 1e-9 {
+			t.Fatalf("trial %d (%dx%d, %dN %dP, %d sections, overlap=%v): iters %d vs %d, Δ=%g",
+				trial, rows, cols, nodes, procs, sections, overlap,
+				res.Iters, wantIters, MaxAbsDiff(want, res.Grid))
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+// Package stats provides lightweight instrumentation used by the runtime and
+// the benchmark harness: atomic counters grouped into named sets, and simple
+// latency recorders. EXPERIMENTS.md numbers are produced from these.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is an atomically updated 64-bit counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Set is a named collection of counters, created on first use.
+type Set struct {
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set { return &Set{m: make(map[string]*Counter)} }
+
+// Get returns the counter with the given name, creating it if needed.
+func (s *Set) Get(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.m[name]
+	if !ok {
+		c = &Counter{}
+		s.m[name] = c
+	}
+	return c
+}
+
+// Add is shorthand for Get(name).Add(n).
+func (s *Set) Add(name string, n int64) { s.Get(name).Add(n) }
+
+// Inc is shorthand for Get(name).Inc().
+func (s *Set) Inc(name string) { s.Get(name).Inc() }
+
+// Value returns the current value of the named counter (0 if absent).
+func (s *Set) Value(name string) int64 {
+	s.mu.Lock()
+	c, ok := s.m[name]
+	s.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return c.Load()
+}
+
+// Snapshot returns a sorted copy of all counter values.
+func (s *Set) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.m))
+	for k, c := range s.m {
+		out[k] = c.Load()
+	}
+	return out
+}
+
+// Reset zeroes every counter in the set.
+func (s *Set) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.m {
+		c.Reset()
+	}
+}
+
+// String renders the set sorted by name, one "name=value" per line.
+func (s *Set) String() string {
+	snap := s.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, k := range names {
+		out += fmt.Sprintf("%s=%d\n", k, snap[k])
+	}
+	return out
+}
+
+// Latency accumulates duration samples and reports summary statistics. It is
+// deliberately simple: mean, min, max over all samples, plus the count.
+type Latency struct {
+	mu    sync.Mutex
+	n     int64
+	total time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+// Record adds one sample.
+func (l *Latency) Record(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n == 0 || d < l.min {
+		l.min = d
+	}
+	if d > l.max {
+		l.max = d
+	}
+	l.n++
+	l.total += d
+}
+
+// Count returns the number of samples.
+func (l *Latency) Count() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Mean returns the average sample, or 0 with no samples.
+func (l *Latency) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n == 0 {
+		return 0
+	}
+	return l.total / time.Duration(l.n)
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (l *Latency) Min() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.min
+}
+
+// Max returns the largest sample.
+func (l *Latency) Max() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.max
+}
+
+// Timed runs f and records its duration.
+func (l *Latency) Timed(f func()) {
+	start := time.Now()
+	f()
+	l.Record(time.Since(start))
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("Load = %d, want 5", c.Load())
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatalf("after Reset, Load = %d", c.Load())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Fatalf("Load = %d, want 8000", c.Load())
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet()
+	s.Inc("a")
+	s.Add("b", 3)
+	s.Inc("a")
+	if s.Value("a") != 2 || s.Value("b") != 3 {
+		t.Fatalf("values a=%d b=%d", s.Value("a"), s.Value("b"))
+	}
+	if s.Value("missing") != 0 {
+		t.Fatal("missing counter should read 0")
+	}
+	snap := s.Snapshot()
+	if snap["a"] != 2 || snap["b"] != 3 {
+		t.Fatalf("snapshot %v", snap)
+	}
+	str := s.String()
+	if !strings.Contains(str, "a=2") || !strings.Contains(str, "b=3") {
+		t.Fatalf("String() = %q", str)
+	}
+	// Sorted output: "a=" must come before "b=".
+	if strings.Index(str, "a=") > strings.Index(str, "b=") {
+		t.Fatalf("String() not sorted: %q", str)
+	}
+	s.Reset()
+	if s.Value("a") != 0 || s.Value("b") != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+}
+
+func TestSetConcurrentCreate(t *testing.T) {
+	s := NewSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				s.Inc("shared")
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Value("shared") != 4000 {
+		t.Fatalf("shared = %d, want 4000", s.Value("shared"))
+	}
+}
+
+func TestLatency(t *testing.T) {
+	var l Latency
+	if l.Mean() != 0 || l.Count() != 0 {
+		t.Fatal("empty latency should report zeros")
+	}
+	l.Record(10 * time.Millisecond)
+	l.Record(30 * time.Millisecond)
+	if l.Count() != 2 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	if l.Mean() != 20*time.Millisecond {
+		t.Fatalf("Mean = %v", l.Mean())
+	}
+	if l.Min() != 10*time.Millisecond || l.Max() != 30*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", l.Min(), l.Max())
+	}
+}
+
+func TestLatencyTimed(t *testing.T) {
+	var l Latency
+	l.Timed(func() { time.Sleep(2 * time.Millisecond) })
+	if l.Count() != 1 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	if l.Mean() < 1*time.Millisecond {
+		t.Fatalf("Mean = %v, suspiciously small", l.Mean())
+	}
+}

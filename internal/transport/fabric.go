@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"amber/internal/gaddr"
+	"amber/internal/stats"
+)
+
+// Fabric is an in-process network. Every pair of attached nodes is connected
+// by a dedicated link whose delivery applies the fabric's NetProfile and
+// preserves FIFO order.
+type Fabric struct {
+	profile NetProfile
+	mu      sync.RWMutex
+	ports   map[gaddr.NodeID]*port
+	links   map[linkKey]*link
+	fault   func(Message) bool
+	closed  bool
+	done    chan struct{}
+	counts  *stats.Set
+}
+
+type linkKey struct{ from, to gaddr.NodeID }
+
+// NewFabric creates a fabric with the given delay profile.
+func NewFabric(profile NetProfile) *Fabric {
+	return &Fabric{
+		profile: profile,
+		ports:   make(map[gaddr.NodeID]*port),
+		links:   make(map[linkKey]*link),
+		done:    make(chan struct{}),
+		counts:  stats.NewSet(),
+	}
+}
+
+// Profile returns the fabric's delay model.
+func (f *Fabric) Profile() NetProfile { return f.profile }
+
+// Stats exposes fabric-wide counters: msgs, bytes.
+func (f *Fabric) Stats() *stats.Set { return f.counts }
+
+// SetFault installs a fault hook; messages for which it returns true are
+// silently dropped. Used by tests to exercise error paths. Pass nil to clear.
+func (f *Fabric) SetFault(fn func(Message) bool) {
+	f.mu.Lock()
+	f.fault = fn
+	f.mu.Unlock()
+}
+
+// Attach connects node id to the fabric and returns its transport.
+func (f *Fabric) Attach(id gaddr.NodeID) (Transport, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := f.ports[id]; dup {
+		return nil, fmt.Errorf("transport: node %d already attached", id)
+	}
+	p := &port{fabric: f, id: id}
+	f.ports[id] = p
+	return p, nil
+}
+
+// Close shuts down the fabric and all links.
+func (f *Fabric) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	close(f.done)
+	return nil
+}
+
+// link carries messages from one node to another in FIFO order, honouring
+// the delay model. busyUntil tracks when the wire frees up (bandwidth
+// serialization).
+type link struct {
+	ch        chan timedMessage
+	mu        sync.Mutex
+	busyUntil time.Time
+}
+
+type timedMessage struct {
+	msg       Message
+	deliverAt time.Time
+}
+
+func (f *Fabric) getLink(from, to gaddr.NodeID, dst *port) *link {
+	key := linkKey{from, to}
+	f.mu.RLock()
+	l := f.links[key]
+	f.mu.RUnlock()
+	if l != nil {
+		return l
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if l = f.links[key]; l != nil {
+		return l
+	}
+	if f.closed {
+		return nil
+	}
+	l = &link{ch: make(chan timedMessage, 1024)}
+	f.links[key] = l
+	go f.deliver(l, dst)
+	return l
+}
+
+// deliver sleeps until each message's delivery time, then hands it to the
+// destination handler. One goroutine per link keeps per-link FIFO order.
+func (f *Fabric) deliver(l *link, dst *port) {
+	for {
+		select {
+		case <-f.done:
+			return
+		case tm := <-l.ch:
+			if d := time.Until(tm.deliverAt); d > 0 {
+				select {
+				case <-f.done:
+					return
+				case <-time.After(d):
+				}
+			}
+			h := dst.handler()
+			if h != nil && !dst.isClosed() {
+				h(tm.msg)
+			}
+		}
+	}
+}
+
+type port struct {
+	fabric *Fabric
+	id     gaddr.NodeID
+	mu     sync.RWMutex
+	h      Handler
+	closed bool
+}
+
+func (p *port) Self() gaddr.NodeID { return p.id }
+
+func (p *port) SetHandler(h Handler) {
+	p.mu.Lock()
+	p.h = h
+	p.mu.Unlock()
+}
+
+func (p *port) handler() Handler {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.h
+}
+
+func (p *port) isClosed() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.closed
+}
+
+func (p *port) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *port) Send(to gaddr.NodeID, kind Kind, payload []byte) error {
+	if p.isClosed() {
+		return ErrClosed
+	}
+	if to == p.id {
+		return ErrSelfSend
+	}
+	f := p.fabric
+	f.mu.RLock()
+	dst, ok := f.ports[to]
+	fault := f.fault
+	closed := f.closed
+	f.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok || dst.isClosed() {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	msg := Message{From: p.id, To: to, Kind: kind, Payload: payload}
+	if fault != nil && fault(msg) {
+		f.counts.Inc("msgs_dropped")
+		return nil // dropped silently, like a lossy wire
+	}
+	l := f.getLink(p.id, to, dst)
+	if l == nil {
+		return ErrClosed
+	}
+
+	// Compute delivery time: the wire serializes transmissions, then the
+	// message propagates with the profile latency.
+	now := time.Now()
+	tx := f.profile.TransmitTime(len(payload))
+	l.mu.Lock()
+	start := l.busyUntil
+	if start.Before(now) {
+		start = now
+	}
+	l.busyUntil = start.Add(tx)
+	deliverAt := l.busyUntil.Add(f.profile.Latency)
+	l.mu.Unlock()
+
+	f.counts.Inc("msgs_sent")
+	f.counts.Add("bytes_sent", int64(len(payload)+headerBytes))
+	select {
+	case l.ch <- timedMessage{msg: msg, deliverAt: deliverAt}:
+		return nil
+	case <-f.done:
+		return ErrClosed
+	}
+}

@@ -1,0 +1,55 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadFrame feeds hostile byte streams to the TCP frame parser: it must
+// return errors on garbage, never panic, and never allocate absurd buffers.
+func FuzzReadFrame(f *testing.F) {
+	// Valid frame: length 4, kind 9, payload "abc".
+	var valid bytes.Buffer
+	binary.Write(&valid, binary.BigEndian, uint32(4))
+	valid.WriteByte(9)
+	valid.WriteString("abc")
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 1, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 4; i++ { // a few frames per stream
+			msg, err := readFrame(r, 1, 2)
+			if err != nil {
+				return
+			}
+			if len(msg.Payload) > len(data) {
+				t.Fatalf("payload (%d) longer than input (%d)", len(msg.Payload), len(data))
+			}
+		}
+	})
+}
+
+// FuzzProfileDelays checks the delay arithmetic for overflow-ish inputs.
+func FuzzProfileDelays(f *testing.F) {
+	f.Add(int64(1_250_000), 1500)
+	f.Add(int64(1), 0)
+	f.Add(int64(0), 1<<20)
+	f.Fuzz(func(t *testing.T, bw int64, size int) {
+		if size < 0 || size > 1<<28 {
+			t.Skip()
+		}
+		p := NetProfile{BandwidthBps: bw}
+		d := p.TransmitTime(size)
+		if d < 0 {
+			t.Fatalf("negative transmit time %v for bw=%d size=%d", d, bw, size)
+		}
+		if p.OneWay(size) < d {
+			t.Fatal("one-way below transmit time")
+		}
+	})
+}

@@ -1,0 +1,279 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"amber/internal/gaddr"
+	"amber/internal/stats"
+)
+
+// TCPConfig describes one node's place in a multi-process cluster. Every
+// process must be an execution of the same program image (as in the paper,
+// where Topaz tasks share one binary), so that type and method registries
+// agree.
+type TCPConfig struct {
+	Self   gaddr.NodeID
+	Listen string                  // address to listen on, e.g. ":7701"
+	Peers  map[gaddr.NodeID]string // peer node → dial address (excluding Self)
+}
+
+// TCP is a socket transport. Connections are established lazily on first
+// send and reused; inbound connections are identified by a handshake frame
+// carrying the sender's node ID. Messages on one connection are delivered in
+// order by a per-connection reader goroutine.
+type TCP struct {
+	cfg      TCPConfig
+	ln       net.Listener
+	mu       sync.Mutex
+	outConns map[gaddr.NodeID]*tcpConn
+	inConns  map[net.Conn]struct{}
+	h        Handler
+	hmu      sync.RWMutex
+	closed   bool
+	wg       sync.WaitGroup
+	counts   *stats.Set
+}
+
+type tcpConn struct {
+	mu sync.Mutex // serializes writes
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+const tcpMagic = 0x414d4252 // "AMBR"
+
+// NewTCP starts listening and returns the transport. Peers may be started in
+// any order; dialing retries are the caller's concern (Send returns an error
+// if the peer is unreachable).
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+	}
+	t := &TCP{
+		cfg:      cfg,
+		ln:       ln,
+		outConns: make(map[gaddr.NodeID]*tcpConn),
+		inConns:  make(map[net.Conn]struct{}),
+		counts:   stats.NewSet(),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// SetPeers installs or replaces the peer address map. Useful when peers bind
+// ephemeral ports (":0") and addresses are only known after all listeners
+// are up. Existing connections are unaffected.
+func (t *TCP) SetPeers(peers map[gaddr.NodeID]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := make(map[gaddr.NodeID]string, len(peers))
+	for k, v := range peers {
+		m[k] = v
+	}
+	t.cfg.Peers = m
+}
+
+// Stats exposes transport counters.
+func (t *TCP) Stats() *stats.Set { return t.counts }
+
+func (t *TCP) Self() gaddr.NodeID { return t.cfg.Self }
+
+func (t *TCP) SetHandler(h Handler) {
+	t.hmu.Lock()
+	t.h = h
+	t.hmu.Unlock()
+}
+
+func (t *TCP) handler() Handler {
+	t.hmu.RLock()
+	defer t.hmu.RUnlock()
+	return t.h
+}
+
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.outConns
+	t.outConns = make(map[gaddr.NodeID]*tcpConn)
+	in := make([]net.Conn, 0, len(t.inConns))
+	for c := range t.inConns {
+		in = append(in, c)
+	}
+	t.mu.Unlock()
+	t.ln.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	for _, c := range in {
+		c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			c.Close()
+			return
+		}
+		t.inConns[c] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+// readLoop handles one inbound connection: handshake, then framed messages
+// delivered in order.
+func (t *TCP) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		c.Close()
+		t.mu.Lock()
+		delete(t.inConns, c)
+		t.mu.Unlock()
+	}()
+	r := bufio.NewReader(c)
+	var hs [8]byte
+	if _, err := io.ReadFull(r, hs[:]); err != nil {
+		return
+	}
+	if binary.BigEndian.Uint32(hs[:4]) != tcpMagic {
+		return
+	}
+	from := gaddr.NodeID(int32(binary.BigEndian.Uint32(hs[4:])))
+	for {
+		msg, err := readFrame(r, from, t.cfg.Self)
+		if err != nil {
+			return
+		}
+		t.counts.Inc("msgs_recv")
+		if h := t.handler(); h != nil {
+			h(msg)
+		}
+	}
+}
+
+// Frame layout: length(u32) kind(u8) payload. Length covers kind+payload.
+func readFrame(r *bufio.Reader, from, to gaddr.NodeID) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > 1<<28 {
+		return Message{}, fmt.Errorf("transport: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Message{}, err
+	}
+	return Message{From: from, To: to, Kind: Kind(buf[0]), Payload: buf[1:]}, nil
+}
+
+func (t *TCP) Send(to gaddr.NodeID, kind Kind, payload []byte) error {
+	if to == t.cfg.Self {
+		return ErrSelfSend
+	}
+	conn, err := t.getConn(to)
+	if err != nil {
+		return err
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = byte(kind)
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if _, err := conn.w.Write(hdr[:]); err != nil {
+		t.dropConn(to, conn)
+		return err
+	}
+	if _, err := conn.w.Write(payload); err != nil {
+		t.dropConn(to, conn)
+		return err
+	}
+	if err := conn.w.Flush(); err != nil {
+		t.dropConn(to, conn)
+		return err
+	}
+	t.counts.Inc("msgs_sent")
+	t.counts.Add("bytes_sent", int64(len(payload)+len(hdr)))
+	return nil
+}
+
+func (t *TCP) dropConn(to gaddr.NodeID, conn *tcpConn) {
+	conn.c.Close()
+	t.mu.Lock()
+	if t.outConns[to] == conn {
+		delete(t.outConns, to)
+	}
+	t.mu.Unlock()
+}
+
+func (t *TCP) getConn(to gaddr.NodeID) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := t.outConns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.cfg.Peers[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial node %d (%s): %w", to, addr, err)
+	}
+	conn := &tcpConn{c: raw, w: bufio.NewWriter(raw)}
+	var hs [8]byte
+	binary.BigEndian.PutUint32(hs[:4], tcpMagic)
+	binary.BigEndian.PutUint32(hs[4:], uint32(t.cfg.Self))
+	if _, err := conn.w.Write(hs[:]); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	if err := conn.w.Flush(); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		raw.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.outConns[to]; ok {
+		// Lost a race with another sender; use theirs.
+		raw.Close()
+		return existing, nil
+	}
+	t.outConns[to] = conn
+	return conn, nil
+}

