@@ -275,6 +275,9 @@ func BenchmarkE8ForwardingChains(b *testing.B) {
 	last := rows[len(rows)-1]
 	b.ReportMetric(float64(last.FirstMsgs), "chain-msgs")
 	b.ReportMetric(float64(last.SecondMsgs), "cached-msgs")
+	b.ReportMetric(float64(last.FirstFwd), "chain-fwd")
+	b.ReportMetric(float64(last.SecondFwd), "cached-fwd")
+	b.ReportMetric(float64(last.HintHits), "hint-hits")
 }
 
 func BenchmarkE9Mobility(b *testing.B) {

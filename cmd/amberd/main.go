@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -38,6 +39,30 @@ func (c *DemoCounter) Add(n int) int { c.N += n; return c.N }
 
 // Where reports the executing node.
 func (c *DemoCounter) Where(ctx *core.Ctx) gaddr.NodeID { return ctx.NodeID() }
+
+// printStatus reports this process's message-path statistics: total and
+// per-kind transport bytes, dial retries, and the location-hint cache's
+// hit/miss/retry counters.
+func printStatus(tr *transport.TCP, node *core.Node) {
+	ts := tr.Stats()
+	fmt.Printf("transport: msgs_sent=%d msgs_recv=%d bytes_sent=%d bytes_recv=%d dial_retries=%d\n",
+		ts.Value("msgs_sent"), ts.Value("msgs_recv"),
+		ts.Value("bytes_sent"), ts.Value("bytes_recv"), ts.Value("dial_retries"))
+	for _, prefix := range []string{"bytes_sent_k", "bytes_recv_k"} {
+		kinds := ts.Prefixed(prefix)
+		names := make([]string, 0, len(kinds))
+		for k := range kinds {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Printf("  %s=%d\n", k, kinds[k])
+		}
+	}
+	ns := node.Stats()
+	fmt.Printf("hint cache: hits=%d misses=%d stale_retries=%d\n",
+		ns.Value("hint_hits"), ns.Value("hint_misses"), ns.Value("hint_retries"))
+}
 
 func main() {
 	var (
@@ -136,6 +161,7 @@ func main() {
 			log.Fatal("VERIFICATION FAILED")
 		}
 		fmt.Println("verification passed")
+		printStatus(tr, node)
 		os.Exit(0)
 	}
 
@@ -176,5 +202,6 @@ func main() {
 	}
 	out, _ := ctx.Invoke(ref, "Add", 0)
 	fmt.Printf("final count %v after visiting %d nodes — demo complete\n", out[0], len(all))
+	printStatus(tr, node)
 	os.Exit(0)
 }

@@ -57,6 +57,9 @@ func (n *Node) handleInstall(rc *rpc.Ctx) {
 		}
 		d.cond.Broadcast()
 		d.mu.Unlock()
+		// Any hint for this object is now stale at best; the descriptor is
+		// authoritative.
+		n.hintDrop(snap.Addr)
 	}
 	if msg.Copy {
 		n.counts.Add("replicas_installed", int64(len(msg.Objects)))
@@ -156,6 +159,7 @@ func (n *Node) shipControl(c *Ctx, msg *routedMsg, to gaddr.NodeID) (any, error)
 	if rerr != nil {
 		return nil, mapRemoteError(rerr)
 	}
+	defer wire.PutBuf(resp) // typed replies below copy all fields out
 	switch msg.Op {
 	case opLocate:
 		var lr locateReply

@@ -85,10 +85,16 @@ func (n *Node) resolve(msg *routedMsg) (d *descriptor, act action, to gaddr.Node
 	}
 }
 
-// homeFallback routes a reference with no local descriptor to the object's
-// home node (§3.3: "the kernel forwards the request to the object's home
-// node").
+// homeFallback routes a reference with no local descriptor: first through the
+// location-hint cache (a warm §3.3 forwarding address learnt from replies and
+// oneway chain updates), then to the home node computed from the address
+// ("the kernel forwards the request to the object's home node").
 func (n *Node) homeFallback(obj gaddr.Addr) (action, gaddr.NodeID, error) {
+	if at, ok := n.hintGet(obj); ok && at != n.id {
+		n.counts.Inc("hint_hits")
+		return actForward, at, nil
+	}
+	n.counts.Inc("hint_misses")
 	home := n.homeOf(obj)
 	if home == gaddr.NoNode {
 		return actError, 0, fmt.Errorf("%w: %#x (unallocated region)", ErrNoSuchObject, uint64(obj))
@@ -109,17 +115,31 @@ func (n *Node) invoke(c *Ctx, obj gaddr.Addr, method string, args []any) ([]any,
 	if obj == gaddr.Nil {
 		return nil, fmt.Errorf("%w: nil reference", ErrNoSuchObject)
 	}
-	msg := routedMsg{Op: opInvoke, Obj: obj, Thread: c.rec, Method: method}
-	d, act, to, err := n.resolve(&msg)
-	switch act {
-	case actError:
-		return nil, err
-	case actExecute:
-		n.counts.Inc("invokes_local")
-		return n.runPinned(c, d, obj, method, args)
-	default:
-		return n.shipInvoke(c, &msg, to, args)
+	for attempt := 0; ; attempt++ {
+		msg := routedMsg{Op: opInvoke, Obj: obj, Thread: c.rec, Method: method}
+		d, act, to, err := n.resolve(&msg)
+		switch act {
+		case actError:
+			return nil, err
+		case actExecute:
+			n.counts.Inc("invokes_local")
+			return n.runPinned(c, d, obj, method, args)
+		}
+		res, rerr := n.shipInvoke(c, &msg, to, args)
+		// A routed call that dead-ends may have been steered by a stale
+		// location hint; forget it and retry once through the home node.
+		if rerr != nil && attempt == 0 && staleRouteError(rerr) && n.hintDrop(obj) {
+			n.counts.Inc("hint_retries")
+			continue
+		}
+		return res, rerr
 	}
+}
+
+// staleRouteError reports whether err is consistent with routing through a
+// stale location hint (rather than a definite answer like ErrDeleted).
+func staleRouteError(err error) bool {
+	return errors.Is(err, ErrNoSuchObject) || errors.Is(err, ErrRoutingLost)
 }
 
 // shipInvoke marshals the invocation and moves the thread to the object's
@@ -147,6 +167,7 @@ func (n *Node) shipInvoke(c *Ctx, msg *routedMsg, to gaddr.NodeID, args []any) (
 	}
 	var ir invokeReply
 	if err := wire.UnmarshalFrom(resp, &ir); err != nil {
+		wire.PutBuf(resp)
 		return nil, err
 	}
 	// Return-time check accounting (§3.5): the thread returns to this node;
@@ -155,22 +176,30 @@ func (n *Node) shipInvoke(c *Ctx, msg *routedMsg, to gaddr.NodeID, args []any) (
 	// fail, which is exactly why the protocol is safe.
 	n.counts.Inc("return_checks")
 	n.learnLocation(msg.Obj, ir.Node)
-	return wire.UnmarshalArgs(ir.Results)
+	// ir.Results aliases resp; UnmarshalArgs copies the values out, after
+	// which the reply buffer can go back to the pool.
+	out, err := wire.UnmarshalArgs(ir.Results)
+	wire.PutBuf(resp)
+	return out, err
 }
 
 // learnLocation caches where an object was last seen (the originating node's
-// share of chain caching).
+// share of chain caching): a real descriptor (move tombstone) is refreshed in
+// place; otherwise the location lands in the hint cache.
 func (n *Node) learnLocation(obj gaddr.Addr, at gaddr.NodeID) {
 	if at == n.id || at == gaddr.NoNode {
 		return
 	}
-	d := n.descEnsure(obj)
-	d.mu.Lock()
-	if d.state == 0 || d.state == stateForwarded {
-		d.state = stateForwarded
-		d.fwd = at
+	if d := n.desc(obj); d != nil {
+		d.mu.Lock()
+		if d.state == 0 || d.state == stateForwarded {
+			d.state = stateForwarded
+			d.fwd = at
+		}
+		d.mu.Unlock()
+		return
 	}
-	d.mu.Unlock()
+	n.hintSet(obj, at)
 }
 
 // runPinned executes one operation on a resident object whose descriptor we

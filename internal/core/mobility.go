@@ -525,7 +525,9 @@ func (n *Node) locateInternal(obj gaddr.Addr) (gaddr.NodeID, bool, error) {
 				return gaddr.NoNode, false, mapRemoteError(cerr)
 			}
 			var lr locateReply
-			if derr := wire.UnmarshalFrom(resp, &lr); derr != nil {
+			derr := wire.UnmarshalFrom(resp, &lr)
+			wire.PutBuf(resp)
+			if derr != nil {
 				return gaddr.NoNode, false, derr
 			}
 			n.learnLocation(obj, lr.Node)

@@ -80,6 +80,13 @@ type Node struct {
 	mu    sync.Mutex // guards descs
 	descs map[gaddr.Addr]*descriptor
 
+	// hintMu guards hints, the location-hint cache: last-seen nodes for
+	// objects this node holds no descriptor for (§3.3 chain caching without
+	// fabricating descriptors). Hints are advisory — descriptor state always
+	// wins — and are dropped when a routed call through them fails.
+	hintMu sync.Mutex
+	hints  map[gaddr.Addr]gaddr.NodeID
+
 	// moveMu serializes move/attach topology changes on this node.
 	moveMu sync.Mutex
 
@@ -106,6 +113,7 @@ func NewNode(cfg NodeConfig, reg *Registry, tr transport.Transport, server *gadd
 		sch:    sched.New(cfg.Procs, cfg.Policy),
 		counts: stats.NewSet(),
 		descs:  make(map[gaddr.Addr]*descriptor),
+		hints:  make(map[gaddr.Addr]gaddr.NodeID),
 		server: server,
 	}
 	n.regions = gaddr.NewTable(nil, n.resolveRegion)
@@ -187,8 +195,10 @@ func (n *Node) requestRegions(count int) ([]gaddr.Region, error) {
 		return nil, err
 	}
 	var rr regionReply
-	if err := wire.UnmarshalFrom(resp, &rr); err != nil {
-		return nil, err
+	derr := wire.UnmarshalFrom(resp, &rr)
+	wire.PutBuf(resp)
+	if derr != nil {
+		return nil, derr
 	}
 	return rr.Regions, nil
 }
@@ -219,7 +229,9 @@ func (n *Node) resolveRegion(r gaddr.Region) gaddr.NodeID {
 		return gaddr.NoNode
 	}
 	var rr regionReply
-	if err := wire.UnmarshalFrom(resp, &rr); err != nil {
+	derr := wire.UnmarshalFrom(resp, &rr)
+	wire.PutBuf(resp)
+	if derr != nil {
 		return gaddr.NoNode
 	}
 	return rr.Owner
@@ -300,22 +312,59 @@ func (n *Node) newLocalObject(obj any) (gaddr.Addr, error) {
 
 // --- location update (chain caching, §3.3) ---
 
+// hintGet consults the location-hint cache.
+func (n *Node) hintGet(obj gaddr.Addr) (gaddr.NodeID, bool) {
+	n.hintMu.Lock()
+	at, ok := n.hints[obj]
+	n.hintMu.Unlock()
+	return at, ok
+}
+
+// hintSet records where obj was last seen. Self- and unknown-node hints are
+// useless and dropped.
+func (n *Node) hintSet(obj gaddr.Addr, at gaddr.NodeID) {
+	if at == n.id || at == gaddr.NoNode {
+		return
+	}
+	n.hintMu.Lock()
+	n.hints[obj] = at
+	n.hintMu.Unlock()
+}
+
+// hintDrop forgets a (presumed stale) hint, reporting whether one existed.
+func (n *Node) hintDrop(obj gaddr.Addr) bool {
+	n.hintMu.Lock()
+	_, ok := n.hints[obj]
+	if ok {
+		delete(n.hints, obj)
+	}
+	n.hintMu.Unlock()
+	return ok
+}
+
 func (n *Node) handleLocUpdate(c *rpc.Ctx) {
 	var msg locUpdateMsg
 	if err := wire.UnmarshalFrom(c.Body, &msg); err != nil {
 		return
 	}
-	d := n.descEnsure(msg.Obj)
-	d.mu.Lock()
-	switch d.state {
-	case stateResident, stateMoving, stateDeleted:
-		// We know better than the hint.
-	default:
-		d.state = stateForwarded
-		d.fwd = msg.Node
-		n.counts.Inc("chain_updates_applied")
+	if d := n.desc(msg.Obj); d != nil {
+		d.mu.Lock()
+		switch d.state {
+		case stateResident, stateMoving, stateDeleted:
+			// We know better than the hint.
+		default:
+			// Refresh the forwarding tombstone a real move left behind.
+			d.state = stateForwarded
+			d.fwd = msg.Node
+			n.counts.Inc("chain_updates_applied")
+		}
+		d.mu.Unlock()
+		return
 	}
-	d.mu.Unlock()
+	// Never hosted the object here: remember the location as a cache hint
+	// instead of fabricating a descriptor for it.
+	n.hintSet(msg.Obj, msg.Node)
+	n.counts.Inc("chain_updates_applied")
 }
 
 // sendChainUpdates back-patches the nodes an operation traversed so their
@@ -326,17 +375,15 @@ func (n *Node) sendChainUpdates(obj gaddr.Addr, chain []gaddr.NodeID, origin gad
 	if len(chain) == 0 {
 		return
 	}
-	var body []byte
 	for _, hop := range chain {
 		if hop == n.id || hop == origin {
 			continue
 		}
-		if body == nil {
-			var err error
-			body, err = wire.MarshalInto(&locUpdateMsg{Obj: obj, Node: n.id})
-			if err != nil {
-				return
-			}
+		// A fresh buffer per hop: the transport takes ownership of each
+		// payload it sends, so one buffer cannot fan out to several peers.
+		body, err := wire.MarshalInto(&locUpdateMsg{Obj: obj, Node: n.id})
+		if err != nil {
+			return
 		}
 		if n.ep.Oneway(hop, procLocUpdate, body) == nil {
 			n.counts.Inc("chain_updates_sent")

@@ -12,6 +12,7 @@ import (
 
 	"amber/internal/gaddr"
 	"amber/internal/rpc"
+	"amber/internal/wire"
 )
 
 // Ref is a reference to an Amber object: a global virtual address valid on
@@ -243,4 +244,283 @@ type regionMsg struct {
 type regionReply struct {
 	Regions []gaddr.Region
 	Owner   gaddr.NodeID
+}
+
+// --- fast-path wire codecs (see internal/wire) ---
+//
+// The routed-operation protocol is the hot path of the whole system: every
+// remote invocation, locate, and move crosses the wire as one of the structs
+// below. They implement wire.Codec so MarshalInto/UnmarshalFrom bypass gob
+// and its per-message type descriptors. installMsg/snapshot deliberately stay
+// on the gob fallback: installs are the bulk path, carry arbitrary user state
+// anyway, and exercise the fallback in production.
+
+func (t *ThreadRec) appendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, t.ID)
+	b = wire.AppendVarint(b, int64(t.Home))
+	b = wire.AppendVarint(b, int64(t.Priority))
+	b = wire.AppendUvarint(b, uint64(len(t.Pins)))
+	for _, p := range t.Pins {
+		b = wire.AppendUvarint(b, uint64(p))
+	}
+	return b
+}
+
+func (t *ThreadRec) decodeWire(b []byte) ([]byte, error) {
+	var err error
+	var v int64
+	if t.ID, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	if v, b, err = wire.ReadVarint(b); err != nil {
+		return nil, err
+	}
+	t.Home = gaddr.NodeID(v)
+	if v, b, err = wire.ReadVarint(b); err != nil {
+		return nil, err
+	}
+	t.Priority = int(v)
+	var cnt uint64
+	if cnt, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	t.Pins = nil
+	if cnt > 0 {
+		if cnt > uint64(len(b)) { // each pin costs ≥1 byte
+			return nil, wire.ErrShortBuffer
+		}
+		t.Pins = make([]gaddr.Addr, cnt)
+		for i := range t.Pins {
+			var u uint64
+			if u, b, err = wire.ReadUvarint(b); err != nil {
+				return nil, err
+			}
+			t.Pins[i] = gaddr.Addr(u)
+		}
+	}
+	return b, nil
+}
+
+// AppendWire implements wire.Codec.
+func (m *routedMsg) AppendWire(b []byte) []byte {
+	b = append(b, byte(m.Op))
+	b = wire.AppendUvarint(b, uint64(m.Obj))
+	b = m.Thread.appendWire(b)
+	b = wire.AppendString(b, m.Method)
+	b = wire.AppendBytes(b, m.Args)
+	b = wire.AppendVarint(b, int64(m.Dest))
+	b = wire.AppendUvarint(b, uint64(m.Peer))
+	b = wire.AppendUvarint(b, uint64(len(m.Chain)))
+	for _, hop := range m.Chain {
+		b = wire.AppendVarint(b, int64(hop))
+	}
+	return b
+}
+
+// DecodeWire implements wire.Codec. Args aliases b (zero copy) and is only
+// valid while the enclosing request payload is; UnmarshalArgs copies out of
+// it before the handler returns.
+func (m *routedMsg) DecodeWire(b []byte) ([]byte, error) {
+	if len(b) < 1 {
+		return nil, wire.ErrShortBuffer
+	}
+	m.Op, b = routedOp(b[0]), b[1:]
+	var err error
+	var u uint64
+	var v int64
+	if u, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	m.Obj = gaddr.Addr(u)
+	if b, err = m.Thread.decodeWire(b); err != nil {
+		return nil, err
+	}
+	if m.Method, b, err = wire.ReadString(b); err != nil {
+		return nil, err
+	}
+	if m.Args, b, err = wire.ReadBytes(b); err != nil {
+		return nil, err
+	}
+	if v, b, err = wire.ReadVarint(b); err != nil {
+		return nil, err
+	}
+	m.Dest = gaddr.NodeID(v)
+	if u, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	m.Peer = gaddr.Addr(u)
+	var cnt uint64
+	if cnt, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	m.Chain = nil
+	if cnt > 0 {
+		if cnt > uint64(len(b)) {
+			return nil, wire.ErrShortBuffer
+		}
+		m.Chain = make([]gaddr.NodeID, cnt)
+		for i := range m.Chain {
+			if v, b, err = wire.ReadVarint(b); err != nil {
+				return nil, err
+			}
+			m.Chain[i] = gaddr.NodeID(v)
+		}
+	}
+	return b, nil
+}
+
+// AppendWire implements wire.Codec.
+func (m *invokeReply) AppendWire(b []byte) []byte {
+	b = wire.AppendBytes(b, m.Results)
+	return wire.AppendVarint(b, int64(m.Node))
+}
+
+// DecodeWire implements wire.Codec. Results aliases b; the caller recycles
+// the reply payload only after UnmarshalArgs has copied the values out.
+func (m *invokeReply) DecodeWire(b []byte) ([]byte, error) {
+	var err error
+	var v int64
+	if m.Results, b, err = wire.ReadBytes(b); err != nil {
+		return nil, err
+	}
+	if v, b, err = wire.ReadVarint(b); err != nil {
+		return nil, err
+	}
+	m.Node = gaddr.NodeID(v)
+	return b, nil
+}
+
+// AppendWire implements wire.Codec.
+func (m *locateReply) AppendWire(b []byte) []byte {
+	b = wire.AppendVarint(b, int64(m.Node))
+	if m.Immutable {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// DecodeWire implements wire.Codec.
+func (m *locateReply) DecodeWire(b []byte) ([]byte, error) {
+	var err error
+	var v int64
+	if v, b, err = wire.ReadVarint(b); err != nil {
+		return nil, err
+	}
+	m.Node = gaddr.NodeID(v)
+	if len(b) < 1 {
+		return nil, wire.ErrShortBuffer
+	}
+	m.Immutable, b = b[0] != 0, b[1:]
+	return b, nil
+}
+
+// AppendWire implements wire.Codec.
+func (m *moveReply) AppendWire(b []byte) []byte {
+	if m.Deferred {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return wire.AppendVarint(b, int64(m.Node))
+}
+
+// DecodeWire implements wire.Codec.
+func (m *moveReply) DecodeWire(b []byte) ([]byte, error) {
+	if len(b) < 1 {
+		return nil, wire.ErrShortBuffer
+	}
+	m.Deferred, b = b[0] != 0, b[1:]
+	var err error
+	var v int64
+	if v, b, err = wire.ReadVarint(b); err != nil {
+		return nil, err
+	}
+	m.Node = gaddr.NodeID(v)
+	return b, nil
+}
+
+// AppendWire implements wire.Codec.
+func (m *locUpdateMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(m.Obj))
+	return wire.AppendVarint(b, int64(m.Node))
+}
+
+// DecodeWire implements wire.Codec.
+func (m *locUpdateMsg) DecodeWire(b []byte) ([]byte, error) {
+	var err error
+	var u uint64
+	var v int64
+	if u, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	m.Obj = gaddr.Addr(u)
+	if v, b, err = wire.ReadVarint(b); err != nil {
+		return nil, err
+	}
+	m.Node = gaddr.NodeID(v)
+	return b, nil
+}
+
+// AppendWire implements wire.Codec.
+func (m *regionMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendVarint(b, int64(m.Grant))
+	b = wire.AppendVarint(b, int64(m.Node))
+	return wire.AppendUvarint(b, uint64(m.Query))
+}
+
+// DecodeWire implements wire.Codec.
+func (m *regionMsg) DecodeWire(b []byte) ([]byte, error) {
+	var err error
+	var u uint64
+	var v int64
+	if v, b, err = wire.ReadVarint(b); err != nil {
+		return nil, err
+	}
+	m.Grant = int(v)
+	if v, b, err = wire.ReadVarint(b); err != nil {
+		return nil, err
+	}
+	m.Node = gaddr.NodeID(v)
+	if u, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	m.Query = gaddr.Region(u)
+	return b, nil
+}
+
+// AppendWire implements wire.Codec.
+func (m *regionReply) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(len(m.Regions)))
+	for _, r := range m.Regions {
+		b = wire.AppendUvarint(b, uint64(r))
+	}
+	return wire.AppendVarint(b, int64(m.Owner))
+}
+
+// DecodeWire implements wire.Codec.
+func (m *regionReply) DecodeWire(b []byte) ([]byte, error) {
+	var err error
+	var u, cnt uint64
+	var v int64
+	if cnt, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	m.Regions = nil
+	if cnt > 0 {
+		if cnt > uint64(len(b)) {
+			return nil, wire.ErrShortBuffer
+		}
+		m.Regions = make([]gaddr.Region, cnt)
+		for i := range m.Regions {
+			if u, b, err = wire.ReadUvarint(b); err != nil {
+				return nil, err
+			}
+			m.Regions[i] = gaddr.Region(u)
+		}
+	}
+	if v, b, err = wire.ReadVarint(b); err != nil {
+		return nil, err
+	}
+	m.Owner = gaddr.NodeID(v)
+	return b, nil
 }

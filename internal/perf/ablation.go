@@ -16,8 +16,26 @@ type ChainRow struct {
 	FirstMsgs int64
 	// SecondMsgs is the messages for the second (served by the cache).
 	SecondMsgs int64
+	// FirstFwd/SecondFwd count forwarding hops actually taken inside the
+	// cluster during each reference; the second should be zero once caches
+	// are warm.
+	FirstFwd  int64
+	SecondFwd int64
+	// HintHits counts location-hint cache hits during the second reference
+	// (the origin never hosted the object, so its knowledge lives in the
+	// hint cache rather than a descriptor).
+	HintHits   int64
 	FirstTime  time.Duration
 	SecondTime time.Duration
+}
+
+// sumNodeStat totals one counter across every node of the cluster.
+func sumNodeStat(cl *core.Cluster, name string) int64 {
+	var total int64
+	for i := 0; i < cl.NumNodes(); i++ {
+		total += cl.Node(i).Stats().Value(name)
+	}
+	return total
 }
 
 // chainObj is a trivial target.
@@ -63,6 +81,7 @@ func ForwardingChains(maxHops int) ([]ChainRow, error) {
 		// fallback to node 1, then the chain.
 		ctx := cl.Node(0).Root()
 		before := cl.NetStats().Value("msgs_sent")
+		fwdBefore := sumNodeStat(cl, "forwards")
 		if _, err := ctx.Invoke(ref, "Touch"); err != nil {
 			return nil, err
 		}
@@ -70,18 +89,26 @@ func ForwardingChains(maxHops int) ([]ChainRow, error) {
 		// to land so the first-reference bill is complete.
 		waitForQuiesce(cl)
 		first := cl.NetStats().Value("msgs_sent") - before
+		firstFwd := sumNodeStat(cl, "forwards") - fwdBefore
 
 		before = cl.NetStats().Value("msgs_sent")
+		fwdBefore = sumNodeStat(cl, "forwards")
+		hitsBefore := sumNodeStat(cl, "hint_hits")
 		if _, err := ctx.Invoke(ref, "Touch"); err != nil {
 			return nil, err
 		}
 		second := cl.NetStats().Value("msgs_sent") - before
+		secondFwd := sumNodeStat(cl, "forwards") - fwdBefore
+		hits := sumNodeStat(cl, "hint_hits") - hitsBefore
 		cl.Close()
 
 		rows = append(rows, ChainRow{
 			Hops:       hops,
 			FirstMsgs:  first,
 			SecondMsgs: second,
+			FirstFwd:   firstFwd,
+			SecondFwd:  secondFwd,
+			HintHits:   hits,
 			FirstTime:  modelTime(CVAX1989, first, first*200),
 			SecondTime: modelTime(CVAX1989, second, second*200),
 		})

@@ -43,11 +43,64 @@ type requestMsg struct {
 	Body   []byte
 }
 
+// AppendWire implements wire.Codec: requests ride the fast path.
+func (m *requestMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.CallID)
+	b = wire.AppendVarint(b, int64(m.Origin))
+	b = append(b, byte(m.Proc))
+	return wire.AppendBytes(b, m.Body)
+}
+
+// DecodeWire implements wire.Codec. Body aliases b (zero copy); it is valid
+// until the enclosing payload is recycled after the handler returns.
+func (m *requestMsg) DecodeWire(b []byte) ([]byte, error) {
+	var err error
+	var origin int64
+	if m.CallID, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	if origin, b, err = wire.ReadVarint(b); err != nil {
+		return nil, err
+	}
+	m.Origin = gaddr.NodeID(origin)
+	if len(b) < 1 {
+		return nil, wire.ErrShortBuffer
+	}
+	m.Proc, b = Proc(b[0]), b[1:]
+	if m.Body, b, err = wire.ReadBytes(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
 // replyMsg is the wire form of a reply.
 type replyMsg struct {
 	CallID uint64
 	Body   []byte
 	Err    string
+}
+
+// AppendWire implements wire.Codec.
+func (m *replyMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, m.CallID)
+	b = wire.AppendBytes(b, m.Body)
+	return wire.AppendString(b, m.Err)
+}
+
+// DecodeWire implements wire.Codec. Body aliases b (zero copy); ownership of
+// the backing payload passes to whichever caller consumes the reply.
+func (m *replyMsg) DecodeWire(b []byte) ([]byte, error) {
+	var err error
+	if m.CallID, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	if m.Body, b, err = wire.ReadBytes(b); err != nil {
+		return nil, err
+	}
+	if m.Err, b, err = wire.ReadString(b); err != nil {
+		return nil, err
+	}
+	return b, nil
 }
 
 // ErrTimeout is returned by CallTimeout when the reply does not arrive.
@@ -244,12 +297,18 @@ func (ep *Endpoint) sendReply(to gaddr.NodeID, msg *replyMsg) {
 	}
 }
 
+// onMessage receives inbound payloads from the transport, which hands over
+// ownership: request payloads are recycled once their handler returns (Body
+// aliases the payload, so handlers must not retain it past their return);
+// reply payloads travel onward to the pending caller, who recycles them
+// after decoding.
 func (ep *Endpoint) onMessage(m transport.Message) {
 	switch m.Kind {
 	case kindReply:
 		var rm replyMsg
 		if err := wire.UnmarshalFrom(m.Payload, &rm); err != nil {
 			ep.counts.Inc("rpc_bad_reply")
+			wire.PutBuf(m.Payload)
 			return
 		}
 		ep.completeCall(m.From, &rm)
@@ -257,6 +316,7 @@ func (ep *Endpoint) onMessage(m transport.Message) {
 		var rq requestMsg
 		if err := wire.UnmarshalFrom(m.Payload, &rq); err != nil {
 			ep.counts.Inc("rpc_bad_request")
+			wire.PutBuf(m.Payload)
 			return
 		}
 		h := ep.handler(rq.Proc)
@@ -264,12 +324,18 @@ func (ep *Endpoint) onMessage(m transport.Message) {
 		if h == nil {
 			ep.counts.Inc("rpc_unknown_proc")
 			ctx.Reply(nil, fmt.Errorf("rpc: node %d has no handler for proc %d", ep.Self(), rq.Proc))
+			wire.PutBuf(m.Payload)
 			return
 		}
 		ep.counts.Inc("rpc_handled")
-		ep.Dispatch(func() { h(ctx) })
+		payload := m.Payload
+		ep.Dispatch(func() {
+			h(ctx)
+			wire.PutBuf(payload)
+		})
 	default:
 		ep.counts.Inc("rpc_bad_kind")
+		wire.PutBuf(m.Payload)
 	}
 }
 

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,6 +72,21 @@ func (s *Set) Snapshot() map[string]int64 {
 	out := make(map[string]int64, len(s.m))
 	for k, c := range s.m {
 		out[k] = c.Load()
+	}
+	return out
+}
+
+// Prefixed returns the non-zero counters whose names begin with prefix,
+// as a snapshot map. Useful for surfacing counter families (for example the
+// per-kind byte counters "bytes_sent_k*") without enumerating names.
+func (s *Set) Prefixed(prefix string) map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64)
+	for k, c := range s.m {
+		if v := c.Load(); v != 0 && strings.HasPrefix(k, prefix) {
+			out[k] = v
+		}
 	}
 	return out
 }

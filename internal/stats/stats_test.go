@@ -67,6 +67,21 @@ func TestSet(t *testing.T) {
 	}
 }
 
+func TestPrefixed(t *testing.T) {
+	s := NewSet()
+	s.Add("bytes_sent_k1", 10)
+	s.Add("bytes_sent_k3", 30)
+	s.Add("bytes_recv_k1", 7)
+	s.Get("bytes_sent_k9") // created but zero: must be omitted
+	got := s.Prefixed("bytes_sent_k")
+	if len(got) != 2 || got["bytes_sent_k1"] != 10 || got["bytes_sent_k3"] != 30 {
+		t.Fatalf("Prefixed = %v", got)
+	}
+	if len(s.Prefixed("nope_")) != 0 {
+		t.Fatal("unknown prefix should return an empty map")
+	}
+}
+
 func TestSetConcurrentCreate(t *testing.T) {
 	s := NewSet()
 	var wg sync.WaitGroup

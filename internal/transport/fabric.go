@@ -7,6 +7,7 @@ import (
 
 	"amber/internal/gaddr"
 	"amber/internal/stats"
+	"amber/internal/wire"
 )
 
 // Fabric is an in-process network. Every pair of attached nodes is connected
@@ -130,7 +131,9 @@ func (f *Fabric) deliver(l *link, dst *port) {
 			}
 			h := dst.handler()
 			if h != nil && !dst.isClosed() {
-				h(tm.msg)
+				h(tm.msg) // zero-copy handoff: the handler now owns Payload
+			} else {
+				wire.PutBuf(tm.msg.Payload) // undeliverable; reclaim
 			}
 		}
 	}
@@ -193,7 +196,8 @@ func (p *port) Send(to gaddr.NodeID, kind Kind, payload []byte) error {
 	msg := Message{From: p.id, To: to, Kind: kind, Payload: payload}
 	if fault != nil && fault(msg) {
 		f.counts.Inc("msgs_dropped")
-		return nil // dropped silently, like a lossy wire
+		wire.PutBuf(payload) // accepted (nil return) means we own it
+		return nil           // dropped silently, like a lossy wire
 	}
 	l := f.getLink(p.id, to, dst)
 	if l == nil {
@@ -215,6 +219,7 @@ func (p *port) Send(to gaddr.NodeID, kind Kind, payload []byte) error {
 
 	f.counts.Inc("msgs_sent")
 	f.counts.Add("bytes_sent", int64(len(payload)+headerBytes))
+	f.counts.Add(kindSentBytes[kind], int64(len(payload)))
 	select {
 	case l.ch <- timedMessage{msg: msg, deliverAt: deliverAt}:
 		return nil

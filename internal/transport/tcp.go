@@ -7,9 +7,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"amber/internal/gaddr"
 	"amber/internal/stats"
+	"amber/internal/wire"
 )
 
 // TCPConfig describes one node's place in a multi-process cluster. Every
@@ -20,6 +22,13 @@ type TCPConfig struct {
 	Self   gaddr.NodeID
 	Listen string                  // address to listen on, e.g. ":7701"
 	Peers  map[gaddr.NodeID]string // peer node → dial address (excluding Self)
+	// DialAttempts bounds how many times a Send tries to connect to a peer
+	// that is not answering (cluster members start in arbitrary order, so the
+	// first send often races the peer's listener). 0 means the default (5).
+	DialAttempts int
+	// DialRetryBase is the backoff before the first retry; it doubles on
+	// every subsequent attempt. 0 means the default (20ms).
+	DialRetryBase time.Duration
 }
 
 // TCP is a socket transport. Connections are established lazily on first
@@ -40,16 +49,29 @@ type TCP struct {
 }
 
 type tcpConn struct {
-	mu sync.Mutex // serializes writes
+	mu sync.Mutex // serializes writes into w
 	c  net.Conn
 	w  *bufio.Writer
+	// flushC is the flusher goroutine's doorbell (capacity 1): Send buffers
+	// the frame and rings it; the flusher drains whatever has accumulated in
+	// one socket write. Back-to-back sends coalesce instead of paying one
+	// syscall each.
+	flushC chan struct{}
+	stop   chan struct{}
+	once   sync.Once
+}
+
+// shutdown stops the flusher and closes the socket. Safe to call repeatedly.
+func (c *tcpConn) shutdown() {
+	c.once.Do(func() { close(c.stop) })
+	c.c.Close()
 }
 
 const tcpMagic = 0x414d4252 // "AMBR"
 
 // NewTCP starts listening and returns the transport. Peers may be started in
-// any order; dialing retries are the caller's concern (Send returns an error
-// if the peer is unreachable).
+// any order: a Send to a peer that is not answering yet retries its dial with
+// exponential backoff (see TCPConfig.DialAttempts) before giving up.
 func NewTCP(cfg TCPConfig) (*TCP, error) {
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
@@ -116,7 +138,7 @@ func (t *TCP) Close() error {
 	t.mu.Unlock()
 	t.ln.Close()
 	for _, c := range conns {
-		c.c.Close()
+		c.shutdown()
 	}
 	for _, c := range in {
 		c.Close()
@@ -170,13 +192,18 @@ func (t *TCP) readLoop(c net.Conn) {
 			return
 		}
 		t.counts.Inc("msgs_recv")
+		t.counts.Add("bytes_recv", int64(len(msg.Payload)+5))
+		t.counts.Add(kindRecvBytes[msg.Kind], int64(len(msg.Payload)))
 		if h := t.handler(); h != nil {
-			h(msg)
+			h(msg) // handler owns Payload now
+		} else {
+			wire.PutBuf(msg.Payload)
 		}
 	}
 }
 
 // Frame layout: length(u32) kind(u8) payload. Length covers kind+payload.
+// The payload lands in a pooled buffer owned by the receiving handler.
 func readFrame(r *bufio.Reader, from, to gaddr.NodeID) (Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -186,11 +213,16 @@ func readFrame(r *bufio.Reader, from, to gaddr.NodeID) (Message, error) {
 	if n < 1 || n > 1<<28 {
 		return Message{}, fmt.Errorf("transport: bad frame length %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	kind, err := r.ReadByte()
+	if err != nil {
 		return Message{}, err
 	}
-	return Message{From: from, To: to, Kind: Kind(buf[0]), Payload: buf[1:]}, nil
+	buf := wire.GetBufN(int(n) - 1)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		wire.PutBuf(buf)
+		return Message{}, err
+	}
+	return Message{From: from, To: to, Kind: Kind(kind), Payload: buf}, nil
 }
 
 func (t *TCP) Send(to gaddr.NodeID, kind Kind, payload []byte) error {
@@ -205,26 +237,53 @@ func (t *TCP) Send(to gaddr.NodeID, kind Kind, payload []byte) error {
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
 	hdr[4] = byte(kind)
 	conn.mu.Lock()
-	defer conn.mu.Unlock()
-	if _, err := conn.w.Write(hdr[:]); err != nil {
+	_, err = conn.w.Write(hdr[:])
+	if err == nil {
+		_, err = conn.w.Write(payload)
+	}
+	conn.mu.Unlock()
+	if err != nil {
 		t.dropConn(to, conn)
 		return err
 	}
-	if _, err := conn.w.Write(payload); err != nil {
-		t.dropConn(to, conn)
-		return err
-	}
-	if err := conn.w.Flush(); err != nil {
-		t.dropConn(to, conn)
-		return err
-	}
+	// bufio.Writer copied the frame synchronously (flushing inline only when
+	// its buffer fills), so the payload buffer is free to recycle here.
+	wire.PutBuf(payload)
 	t.counts.Inc("msgs_sent")
 	t.counts.Add("bytes_sent", int64(len(payload)+len(hdr)))
+	t.counts.Add(kindSentBytes[kind], int64(len(payload)))
+	// Ring the flusher's doorbell instead of flushing per message; a burst of
+	// sends drains in one socket write.
+	select {
+	case conn.flushC <- struct{}{}:
+	default: // a flush is already scheduled
+	}
 	return nil
 }
 
+// flushLoop is one outbound connection's flusher: it pushes buffered frames
+// to the socket whenever Send signals, coalescing bursts. Flush errors tear
+// the connection down; the next Send redials.
+func (t *TCP) flushLoop(to gaddr.NodeID, conn *tcpConn) {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-conn.stop:
+			return
+		case <-conn.flushC:
+			conn.mu.Lock()
+			err := conn.w.Flush()
+			conn.mu.Unlock()
+			if err != nil {
+				t.dropConn(to, conn)
+				return
+			}
+		}
+	}
+}
+
 func (t *TCP) dropConn(to gaddr.NodeID, conn *tcpConn) {
-	conn.c.Close()
+	conn.shutdown()
 	t.mu.Lock()
 	if t.outConns[to] == conn {
 		delete(t.outConns, to)
@@ -247,11 +306,51 @@ func (t *TCP) getConn(to gaddr.NodeID) (*tcpConn, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, to)
 	}
-	raw, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial node %d (%s): %w", to, addr, err)
+
+	// Bounded dial retry: cluster processes start in arbitrary order, so the
+	// first send frequently beats the peer's listener. Back off exponentially
+	// between attempts, and re-check for a connection another sender may have
+	// established meanwhile.
+	attempts := t.cfg.DialAttempts
+	if attempts <= 0 {
+		attempts = 5
 	}
-	conn := &tcpConn{c: raw, w: bufio.NewWriter(raw)}
+	backoff := t.cfg.DialRetryBase
+	if backoff <= 0 {
+		backoff = 20 * time.Millisecond
+	}
+	var raw net.Conn
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			t.mu.Lock()
+			closed := t.closed
+			c := t.outConns[to]
+			t.mu.Unlock()
+			if closed {
+				return nil, ErrClosed
+			}
+			if c != nil {
+				return c, nil
+			}
+			t.counts.Inc("dial_retries")
+		}
+		if raw, err = net.Dial("tcp", addr); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial node %d (%s) after %d attempts: %w", to, addr, attempts, err)
+	}
+
+	conn := &tcpConn{
+		c:      raw,
+		w:      bufio.NewWriter(raw),
+		flushC: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
 	var hs [8]byte
 	binary.BigEndian.PutUint32(hs[:4], tcpMagic)
 	binary.BigEndian.PutUint32(hs[4:], uint32(t.cfg.Self))
@@ -264,16 +363,20 @@ func (t *TCP) getConn(to gaddr.NodeID) (*tcpConn, error) {
 		return nil, err
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.closed {
+		t.mu.Unlock()
 		raw.Close()
 		return nil, ErrClosed
 	}
 	if existing, ok := t.outConns[to]; ok {
 		// Lost a race with another sender; use theirs.
+		t.mu.Unlock()
 		raw.Close()
 		return existing, nil
 	}
 	t.outConns[to] = conn
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go t.flushLoop(to, conn)
 	return conn, nil
 }

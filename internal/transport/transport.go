@@ -17,6 +17,7 @@ package transport
 
 import (
 	"errors"
+	"strconv"
 	"time"
 
 	"amber/internal/gaddr"
@@ -39,6 +40,14 @@ type Message struct {
 type Handler func(Message)
 
 // Transport is one node's attachment to the network.
+//
+// Buffer ownership: a successful Send takes ownership of payload — the caller
+// must not touch it afterwards (it may be delivered zero-copy, or recycled
+// into the wire buffer pool once written to a socket). When Send returns an
+// error, ownership stays with the caller. Symmetrically, a Handler receives
+// ownership of Message.Payload; the RPC layer recycles inbound payloads when
+// it is done with them. Recycling is always optional — an orphaned buffer is
+// just garbage-collected.
 type Transport interface {
 	// Self returns the node this transport belongs to.
 	Self() gaddr.NodeID
@@ -50,6 +59,20 @@ type Transport interface {
 	SetHandler(Handler)
 	// Close detaches the node; subsequent Sends fail.
 	Close() error
+}
+
+// Per-kind byte-counter names, precomputed so the send/receive hot paths
+// never format strings. Indexed by Kind.
+var (
+	kindSentBytes [256]string
+	kindRecvBytes [256]string
+)
+
+func init() {
+	for i := range kindSentBytes {
+		kindSentBytes[i] = "bytes_sent_k" + strconv.Itoa(i)
+		kindRecvBytes[i] = "bytes_recv_k" + strconv.Itoa(i)
+	}
 }
 
 // Errors returned by transports.

@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"bytes"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -403,5 +404,107 @@ func TestFrameLengthValidation(t *testing.T) {
 	r = bufio.NewReader(bytes.NewReader([]byte{0, 0, 0, 0}))
 	if _, err := readFrame(r, 0, 1); err == nil {
 		t.Fatal("zero frame length accepted")
+	}
+}
+
+func TestTCPDialRetryWaitsForListener(t *testing.T) {
+	// Reserve a port, then free it so the "slow" peer can bind it later.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	a, err := NewTCP(TCPConfig{
+		Self:          0,
+		Listen:        "127.0.0.1:0",
+		Peers:         map[gaddr.NodeID]string{1: addr},
+		DialAttempts:  12,
+		DialRetryBase: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	got := make(chan Message, 1)
+	peerUp := make(chan *TCP, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond) // peer starts late
+		b, berr := NewTCP(TCPConfig{Self: 1, Listen: addr})
+		if berr != nil {
+			peerUp <- nil
+			return
+		}
+		b.SetHandler(func(m Message) { got <- m })
+		peerUp <- b
+	}()
+	defer func() {
+		if b := <-peerUp; b != nil {
+			b.Close()
+		}
+	}()
+
+	// The first send races the peer's listener; the bounded retry should ride
+	// it out instead of surfacing a dial error.
+	if err := a.Send(1, 1, []byte("first contact before the peer listens")); err != nil {
+		t.Fatalf("send before peer was listening: %v", err)
+	}
+	select {
+	case m := <-got:
+		if string(m.Payload) != "first contact before the peer listens" {
+			t.Fatalf("got %q", m.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message never delivered")
+	}
+	if a.Stats().Value("dial_retries") == 0 {
+		t.Fatal("expected at least one dial retry")
+	}
+}
+
+func TestTCPDialRetryBounded(t *testing.T) {
+	// Nothing ever listens here: the send must fail after the configured
+	// attempts rather than hang.
+	a, err := NewTCP(TCPConfig{
+		Self:          0,
+		Listen:        "127.0.0.1:0",
+		Peers:         map[gaddr.NodeID]string{1: "127.0.0.1:1"},
+		DialAttempts:  3,
+		DialRetryBase: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	start := time.Now()
+	if err := a.Send(1, 1, []byte("doomed")); err == nil {
+		t.Fatal("send to a dead address should fail")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("bounded retry took %v", d)
+	}
+}
+
+func TestPerKindByteCounters(t *testing.T) {
+	f := NewFabric(Instant)
+	defer f.Close()
+	a, _ := f.Attach(0)
+	b, _ := f.Attach(1)
+	chB, _ := collect(b)
+	if err := a.Send(1, 3, []byte("per-kind accounting payload")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-chB:
+	case <-time.After(2 * time.Second):
+		t.Fatal("not delivered")
+	}
+	if got := f.Stats().Value("bytes_sent_k3"); got != 27 {
+		t.Fatalf("bytes_sent_k3 = %d, want 27", got)
+	}
+	if got := f.Stats().Value("bytes_sent_k4"); got != 0 {
+		t.Fatalf("bytes_sent_k4 = %d, want 0", got)
 	}
 }

@@ -1,0 +1,256 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"amber/internal/gaddr"
+)
+
+// benchEnvelope is a stand-in for the protocol structs (rpc envelopes,
+// routedMsg, ...) that implement Codec in other packages: it exercises the
+// same fast-path shape — a few scalars, a string, and a byte payload.
+type benchEnvelope struct {
+	Call uint64
+	Node gaddr.NodeID
+	Name string
+	Body []byte
+}
+
+func (m *benchEnvelope) AppendWire(b []byte) []byte {
+	b = AppendUvarint(b, m.Call)
+	b = AppendVarint(b, int64(m.Node))
+	b = AppendString(b, m.Name)
+	b = AppendBytes(b, m.Body)
+	return b
+}
+
+func (m *benchEnvelope) DecodeWire(b []byte) ([]byte, error) {
+	call, b, err := ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	node, b, err := ReadVarint(b)
+	if err != nil {
+		return nil, err
+	}
+	name, b, err := ReadString(b)
+	if err != nil {
+		return nil, err
+	}
+	body, b, err := ReadBytes(b)
+	if err != nil {
+		return nil, err
+	}
+	m.Call, m.Node, m.Name, m.Body = call, gaddr.NodeID(node), name, body
+	return b, nil
+}
+
+// gobEnvelope is the same shape without a Codec implementation, so
+// MarshalInto takes the gob fallback.
+type gobEnvelope struct {
+	Call uint64
+	Node gaddr.NodeID
+	Name string
+	Body []byte
+}
+
+// TestGobFallback pins the fallback contract explicitly: a non-Codec struct
+// is carried by gob under the fmtGob tag and round-trips; a Codec struct is
+// carried under fmtFast; and a registered user type inside an argument
+// vector rides the per-value gob fallback (vGob).
+func TestGobFallback(t *testing.T) {
+	in := gobEnvelope{Call: 7, Node: 3, Name: "Touch", Body: []byte{1, 2, 3}}
+	b, err := MarshalInto(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != fmtGob {
+		t.Fatalf("non-Codec struct: format tag %#x, want fmtGob %#x", b[0], fmtGob)
+	}
+	var out gobEnvelope
+	if err := UnmarshalFrom(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("gob fallback round trip: got %#v want %#v", out, in)
+	}
+
+	fast := benchEnvelope{Call: 7, Node: 3, Name: "Touch", Body: []byte{1, 2, 3}}
+	fb, err := MarshalInto(&fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb[0] != fmtFast {
+		t.Fatalf("Codec struct: format tag %#x, want fmtFast %#x", fb[0], fmtFast)
+	}
+	PutBuf(fb)
+
+	// Per-value fallback: a registered user type has no fast-path tag of its
+	// own, so AppendValue must wrap it as vGob.
+	vb, err := Marshal(customPayload{Name: "n", Scores: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vb[0] != vGob {
+		t.Fatalf("registered user type: value tag %#x, want vGob %#x", vb[0], vGob)
+	}
+	got, err := Unmarshal(vb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(customPayload).Name != "n" {
+		t.Fatalf("vGob round trip: got %#v", got)
+	}
+	PutBuf(vb)
+}
+
+// --- microbenchmarks: one per hot message shape, allocs/op reported ---
+
+func benchMarshalValue(b *testing.B, v any) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := Marshal(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		PutBuf(buf)
+	}
+}
+
+func benchUnmarshalValue(b *testing.B, v any) {
+	buf, err := Marshal(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	b.Run("int64", func(b *testing.B) { benchMarshalValue(b, int64(123456)) })
+	b.Run("string", func(b *testing.B) { benchMarshalValue(b, "a-method-name") })
+	b.Run("addr", func(b *testing.B) { benchMarshalValue(b, gaddr.Addr(0xdeadbeef)) })
+	b.Run("bytes256", func(b *testing.B) { benchMarshalValue(b, make([]byte, 256)) })
+	b.Run("f64slice", func(b *testing.B) { benchMarshalValue(b, make([]float64, 64)) })
+	b.Run("gob-custom", func(b *testing.B) { benchMarshalValue(b, customPayload{Name: "x"}) })
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	b.Run("int64", func(b *testing.B) { benchUnmarshalValue(b, int64(123456)) })
+	b.Run("string", func(b *testing.B) { benchUnmarshalValue(b, "a-method-name") })
+	b.Run("addr", func(b *testing.B) { benchUnmarshalValue(b, gaddr.Addr(0xdeadbeef)) })
+	b.Run("bytes256", func(b *testing.B) { benchUnmarshalValue(b, make([]byte, 256)) })
+	b.Run("f64slice", func(b *testing.B) { benchUnmarshalValue(b, make([]float64, 64)) })
+	b.Run("gob-custom", func(b *testing.B) { benchUnmarshalValue(b, customPayload{Name: "x"}) })
+}
+
+// BenchmarkMarshalArgs covers the invocation argument vectors the runtime
+// actually ships: empty (the common no-arg invoke), small scalars, and an
+// SOR-style float section.
+func BenchmarkMarshalArgs(b *testing.B) {
+	shapes := map[string][]any{
+		"empty":   {},
+		"scalars": {int(7), "row", gaddr.Addr(42)},
+		"section": {int(3), make([]float64, 128)},
+	}
+	for name, args := range shapes {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf, err := MarshalArgs(args)
+				if err != nil {
+					b.Fatal(err)
+				}
+				PutBuf(buf)
+			}
+		})
+	}
+}
+
+func BenchmarkUnmarshalArgs(b *testing.B) {
+	shapes := map[string][]any{
+		"empty":   {},
+		"scalars": {int(7), "row", gaddr.Addr(42)},
+		"section": {int(3), make([]float64, 128)},
+	}
+	for name, args := range shapes {
+		b.Run(name, func(b *testing.B) {
+			buf, err := MarshalArgs(args)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := UnmarshalArgs(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMarshalInto contrasts the two whole-message encodings: the
+// fast-path Codec implementation against the gob fallback on an identical
+// struct.
+func BenchmarkMarshalInto(b *testing.B) {
+	body := make([]byte, 64)
+	b.Run("fast", func(b *testing.B) {
+		m := &benchEnvelope{Call: 99, Node: 2, Name: "Touch", Body: body}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf, err := MarshalInto(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			PutBuf(buf)
+		}
+	})
+	b.Run("gob", func(b *testing.B) {
+		m := &gobEnvelope{Call: 99, Node: 2, Name: "Touch", Body: body}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := MarshalInto(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkUnmarshalFrom(b *testing.B) {
+	body := make([]byte, 64)
+	b.Run("fast", func(b *testing.B) {
+		buf, err := MarshalInto(&benchEnvelope{Call: 99, Node: 2, Name: "Touch", Body: body})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var m benchEnvelope
+			if err := UnmarshalFrom(buf, &m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gob", func(b *testing.B) {
+		buf, err := MarshalInto(&gobEnvelope{Call: 99, Node: 2, Name: "Touch", Body: body})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var m gobEnvelope
+			if err := UnmarshalFrom(buf, &m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

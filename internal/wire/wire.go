@@ -3,11 +3,19 @@
 // state, and thread records. It corresponds to the argument-marshalling half
 // of Topaz RPC in the original system.
 //
-// Everything is encoded with encoding/gob. Values carried as interfaces (user
-// argument types, user object state) must be registered with Register, the
-// analogue of the original requirement that all nodes run the same program
-// image: registration happens in package init/main code, which is identical
-// in every process of a deployment.
+// Two encodings share the wire, distinguished by a one-byte tag:
+//
+//   - A hand-rolled fast path (fastcodec.go) covers the hot message shapes —
+//     primitive and slice argument vectors, addresses, and protocol structs
+//     that implement the Codec interface. It appends into pooled []byte
+//     buffers (GetBuf/PutBuf) and allocates nothing per message beyond the
+//     decoded values themselves.
+//   - encoding/gob remains the fallback for user argument types and object
+//     state the fast path does not know. Values carried as interfaces must
+//     be registered with Register, the analogue of the original requirement
+//     that all nodes run the same program image: registration happens in
+//     package init/main code, which is identical in every process of a
+//     deployment.
 package wire
 
 import (
@@ -21,12 +29,11 @@ import (
 // box wraps an interface value so gob records the concrete type.
 type box struct{ V any }
 
-// argsBox carries an argument or result vector.
-type argsBox struct{ Vs []any }
-
 func init() {
 	// Pre-register the types any Amber program is likely to pass across the
-	// wire without further ceremony.
+	// wire without further ceremony. All of these also have fast-path
+	// encodings; registration keeps them valid inside gob-encoded user
+	// structures.
 	gob.Register(int(0))
 	gob.Register(int8(0))
 	gob.Register(int16(0))
@@ -60,47 +67,43 @@ func init() {
 // node, normally from an init function or before cluster startup.
 func Register(v any) { gob.Register(v) }
 
-// Marshal encodes a single interface value.
+// Marshal encodes a single interface value into a pooled buffer.
 func Marshal(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&box{V: v}); err != nil {
-		return nil, fmt.Errorf("wire: marshal %T: %w", v, err)
+	b, err := AppendValue(GetBuf(), v)
+	if err != nil {
+		return nil, err
 	}
-	return buf.Bytes(), nil
+	return b, nil
 }
 
 // Unmarshal decodes a value encoded by Marshal.
 func Unmarshal(b []byte) (any, error) {
-	var bx box
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&bx); err != nil {
-		return nil, fmt.Errorf("wire: unmarshal: %w", err)
-	}
-	return bx.V, nil
+	v, _, err := DecodeValue(b)
+	return v, err
 }
 
-// MarshalArgs encodes an argument (or result) vector.
+// MarshalArgs encodes an argument (or result) vector into a pooled buffer.
 func MarshalArgs(args []any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&argsBox{Vs: args}); err != nil {
-		return nil, fmt.Errorf("wire: marshal args: %w", err)
-	}
-	return buf.Bytes(), nil
+	return AppendArgs(GetBuf(), args)
 }
 
-// UnmarshalArgs decodes a vector encoded by MarshalArgs.
+// UnmarshalArgs decodes a vector encoded by MarshalArgs. The returned values
+// own their memory; b may be recycled afterwards.
 func UnmarshalArgs(b []byte) ([]any, error) {
-	var bx argsBox
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&bx); err != nil {
-		return nil, fmt.Errorf("wire: unmarshal args: %w", err)
-	}
-	return bx.Vs, nil
+	vs, _, err := DecodeArgs(b)
+	return vs, err
 }
 
-// MarshalInto encodes v (a concrete struct pointer, not an interface wrapper)
-// into a fresh buffer. It is used for protocol message structs whose static
-// type is known on both sides.
+// MarshalInto encodes a protocol message struct into a pooled buffer. Types
+// implementing Codec take the fast path; anything else (and every user
+// payload embedded via interface fields) is gob-encoded. Both sides carry a
+// format tag, so UnmarshalFrom never guesses.
 func MarshalInto(v any) ([]byte, error) {
+	if c, ok := v.(Codec); ok {
+		return c.AppendWire(append(GetBuf(), fmtFast)), nil
+	}
 	var buf bytes.Buffer
+	buf.WriteByte(fmtGob)
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 		return nil, fmt.Errorf("wire: encode %T: %w", v, err)
 	}
@@ -110,8 +113,25 @@ func MarshalInto(v any) ([]byte, error) {
 // UnmarshalFrom decodes into v, which must be a pointer to the same static
 // type that was encoded.
 func UnmarshalFrom(b []byte, v any) error {
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
-		return fmt.Errorf("wire: decode %T: %w", v, err)
+	if len(b) == 0 {
+		return fmt.Errorf("wire: decode %T: %w", v, ErrShortBuffer)
 	}
-	return nil
+	switch b[0] {
+	case fmtFast:
+		c, ok := v.(Codec)
+		if !ok {
+			return fmt.Errorf("wire: decode %T: fast-path payload for a non-Codec type", v)
+		}
+		if _, err := c.DecodeWire(b[1:]); err != nil {
+			return fmt.Errorf("wire: decode %T: %w", v, err)
+		}
+		return nil
+	case fmtGob:
+		if err := gob.NewDecoder(bytes.NewReader(b[1:])).Decode(v); err != nil {
+			return fmt.Errorf("wire: decode %T: %w", v, err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("wire: decode %T: unknown format tag %#x", v, b[0])
+	}
 }

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# bench.sh — run the headline Amber benchmarks and record the numbers.
+#
+# Runs the Table 1 remote-invocation benchmark, the E8 forwarding-chain
+# ablation, the E9 mobility ablation, and the wire codec microbenchmarks,
+# then writes every reported metric to BENCH_pr1.json at the repo root,
+# alongside the pre-pipeline seed baselines for comparison.
+#
+# Usage: scripts/bench.sh [benchtime]     (default 1s; e.g. "100x" or "3s")
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1s}"
+OUT=BENCH_pr1.json
+
+echo "== headline benchmarks (benchtime=$BENCHTIME) =="
+HEAD_RAW=$(go test -run '^$' \
+	-bench '^(BenchmarkTable1RemoteInvoke|BenchmarkE8ForwardingChains|BenchmarkE9Mobility)$' \
+	-benchmem -benchtime "$BENCHTIME" -count 1 .)
+echo "$HEAD_RAW"
+
+echo
+echo "== wire codec microbenchmarks =="
+WIRE_RAW=$(go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" -count 1 ./internal/wire/)
+echo "$WIRE_RAW"
+
+# Turn `go test -bench` output lines into JSON objects, one per benchmark:
+# "name": {"iters": N, "ns/op": X, "B/op": Y, "allocs/op": Z, ...extra metrics}
+tojson() {
+	awk '
+		/^Benchmark/ {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			if (n++) printf(",\n")
+			printf("    \"%s\": {\"iters\": %s", name, $2)
+			for (i = 3; i + 1 <= NF; i += 2) printf(", \"%s\": %s", $(i+1), $i)
+			printf("}")
+		}
+		END { if (n) printf("\n") }
+	'
+}
+
+{
+	printf '{\n'
+	printf '  "pr": "pr1-hot-path-message-pipeline",\n'
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
+	printf '  "benchtime": "%s",\n' "$BENCHTIME"
+	printf '  "seed_baseline": {\n'
+	printf '    "BenchmarkTable1RemoteInvoke": {"ns/op": 143558, "B/op": 58018, "allocs/op": 1191},\n'
+	printf '    "BenchmarkE8ForwardingChains": {"ns/op": 11750000, "chain-msgs": 8.0, "cached-msgs": 2.0}\n'
+	printf '  },\n'
+	printf '  "results": {\n'
+	{ echo "$HEAD_RAW"; echo "$WIRE_RAW"; } | tojson
+	printf '  }\n'
+	printf '}\n'
+} >"$OUT"
+
+echo
+echo "wrote $OUT"
