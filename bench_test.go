@@ -81,6 +81,35 @@ func BenchmarkTable1RemoteInvoke(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1RemoteInvokeTraced is the same operation with thread-journey
+// tracing enabled; the delta against BenchmarkTable1RemoteInvoke is the
+// tracing tax (a handful of ring-buffer stores per invocation). The untraced
+// benchmark doubles as proof that disabled tracing is free — scripts/bench.sh
+// gates it against the pre-observability baseline.
+func BenchmarkTable1RemoteInvokeTraced(b *testing.B) {
+	cl, err := NewCluster(ClusterConfig{
+		Nodes: 2, ProcsPerNode: 4, Profile: Instant, Registry: NewRegistry(), Tracing: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Close)
+	if err := cl.Register(&benchCounter{}); err != nil {
+		b.Fatal(err)
+	}
+	ctx := cl.Node(0).Root()
+	ref, _ := cl.Node(1).Root().New(&benchCounter{})
+	if _, err := ctx.Invoke(ref, "Poke"); err != nil { // warm location cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Invoke(ref, "Poke"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTable1ObjectMove(b *testing.B) {
 	cl := benchCluster(b, 2, 4, Instant)
 	ctx := cl.Node(0).Root()

@@ -19,15 +19,18 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"amber/internal/core"
+	"amber/internal/debug"
 	"amber/internal/gaddr"
 	"amber/internal/sor"
+	"amber/internal/stats"
+	"amber/internal/trace"
 	"amber/internal/transport"
+	"amber/internal/wire"
 )
 
 // DemoCounter is the demonstration class; identical in every process by
@@ -40,28 +43,49 @@ func (c *DemoCounter) Add(n int) int { c.N += n; return c.N }
 // Where reports the executing node.
 func (c *DemoCounter) Where(ctx *core.Ctx) gaddr.NodeID { return ctx.NodeID() }
 
-// printStatus reports this process's message-path statistics: total and
-// per-kind transport bytes, dial retries, and the location-hint cache's
-// hit/miss/retry counters.
-func printStatus(tr *transport.TCP, node *core.Node) {
-	ts := tr.Stats()
-	fmt.Printf("transport: msgs_sent=%d msgs_recv=%d bytes_sent=%d bytes_recv=%d dial_retries=%d\n",
-		ts.Value("msgs_sent"), ts.Value("msgs_recv"),
-		ts.Value("bytes_sent"), ts.Value("bytes_recv"), ts.Value("dial_retries"))
-	for _, prefix := range []string{"bytes_sent_k", "bytes_recv_k"} {
-		kinds := ts.Prefixed(prefix)
-		names := make([]string, 0, len(kinds))
-		for k := range kinds {
-			names = append(names, k)
-		}
-		sort.Strings(names)
-		for _, k := range names {
-			fmt.Printf("  %s=%d\n", k, kinds[k])
-		}
+// metricFamilies groups this process's stat sets for the shared Prometheus
+// text renderer — the same families back both the stdout status block and
+// the /metrics endpoint, so the two can never disagree about a counter.
+func metricFamilies(tr *transport.TCP, node *core.Node) []stats.Family {
+	return []stats.Family{
+		{Name: "node", Set: node.Stats()},
+		{Name: "rpc", Set: node.RPCStats()},
+		{Name: "transport", Set: tr.Stats()},
 	}
-	ns := node.Stats()
-	fmt.Printf("hint cache: hits=%d misses=%d stale_retries=%d\n",
-		ns.Value("hint_hits"), ns.Value("hint_misses"), ns.Value("hint_retries"))
+}
+
+// extraMetrics are process-wide gauges that live outside any stats set.
+func extraMetrics() []stats.ExtraMetric {
+	return []stats.ExtraMetric{{Name: "wire_gob_fallbacks", Value: wire.GobFallbacks()}}
+}
+
+// printStatus renders every counter and latency histogram (transport byte
+// counters per message kind, hint-cache hits/misses/retries, invoke and move
+// latency quantiles, …) in the same format /metrics serves over HTTP.
+func printStatus(tr *transport.TCP, node *core.Node) {
+	fmt.Print(stats.RenderMetrics(extraMetrics(), metricFamilies(tr, node)...))
+}
+
+// dumpTrace collects the cluster-wide thread-journey trace (this node's ring
+// plus a procTraceDump from every peer) and writes Chrome trace_event JSON.
+func dumpTrace(node *core.Node, peers []gaddr.NodeID, path string) {
+	evs, err := node.CollectTrace(peers, 0)
+	if err != nil {
+		log.Printf("trace collection: %v", err)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("trace output: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := trace.WriteChrome(f, evs); err != nil {
+		log.Printf("trace output: %v", err)
+		return
+	}
+	fmt.Printf("wrote %d trace events to %s (load in chrome://tracing or https://ui.perfetto.dev)\n",
+		len(evs), path)
 }
 
 func main() {
@@ -72,9 +96,12 @@ func main() {
 		procs    = flag.Int("procs", 4, "processor slots on this node")
 		drive    = flag.Bool("drive", false, "run the demo workload from this node, then exit")
 		driveSOR = flag.Bool("sor", false, "run a verified distributed SOR solve from this node, then exit")
-		sorRows  = flag.Int("sor-rows", 26, "SOR grid rows")
-		sorCols  = flag.Int("sor-cols", 26, "SOR grid columns")
-		retries  = flag.Int("retries", 30, "startup retries while peers come up")
+		sorRows   = flag.Int("sor-rows", 26, "SOR grid rows")
+		sorCols   = flag.Int("sor-cols", 26, "SOR grid columns")
+		retries   = flag.Int("retries", 30, "startup retries while peers come up")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /trace and pprof on this address (empty = off)")
+		tracing   = flag.Bool("trace", false, "record thread-journey events from startup (implied by -debug-addr)")
+		traceOut  = flag.String("trace-out", "amber-trace.json", "Chrome trace file written after -drive/-sor when tracing")
 	)
 	flag.Parse()
 
@@ -119,7 +146,14 @@ func main() {
 	if *nodeID == 0 {
 		server = gaddr.NewServer(0)
 	}
-	cfg := core.NodeConfig{ID: gaddr.NodeID(*nodeID), Procs: *procs, ServerNode: 0}
+	// One tracer for the whole process: the node's instrumentation sites and
+	// the process-wide emitters (wire gob fallback, TCP dial retry) share it,
+	// so cross-layer events land in a single ring.
+	traceOn := *tracing || *debugAddr != ""
+	tracer := trace.New(int32(*nodeID), 0)
+	tracer.SetEnabled(traceOn)
+	trace.SetGlobal(tracer)
+	cfg := core.NodeConfig{ID: gaddr.NodeID(*nodeID), Procs: *procs, ServerNode: 0, Tracer: tracer}
 
 	// Nodes other than 0 need the server up to get their initial regions;
 	// retry while the cluster assembles.
@@ -135,6 +169,27 @@ func main() {
 		time.Sleep(time.Second)
 	}
 	log.Printf("amberd node %d up on %s (procs=%d, peers=%d)", *nodeID, tr.Addr(), *procs, len(peers))
+
+	all := make([]gaddr.NodeID, 0, maxID+1)
+	for id := 0; id <= maxID; id++ {
+		all = append(all, gaddr.NodeID(id))
+	}
+
+	if *debugAddr != "" {
+		dbg, err := debug.Serve(*debugAddr, debug.Options{
+			Families: metricFamilies(tr, node),
+			Extras:   extraMetrics,
+			Tracer:   tracer,
+			CollectTrace: func(last int) ([]trace.Event, error) {
+				return node.CollectTrace(all, last)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("introspection on http://%s (/metrics, /trace, /trace.json, /debug/pprof/)", dbg.Addr())
+	}
 
 	if *driveSOR {
 		// The paper's application over real sockets: sections distributed
@@ -162,6 +217,9 @@ func main() {
 		}
 		fmt.Println("verification passed")
 		printStatus(tr, node)
+		if traceOn {
+			dumpTrace(node, all, *traceOut)
+		}
 		os.Exit(0)
 	}
 
@@ -177,10 +235,6 @@ func main() {
 	}
 	fmt.Printf("created counter %#x on node %d\n", uint64(ref), *nodeID)
 
-	all := make([]gaddr.NodeID, 0, maxID+1)
-	for id := 0; id <= maxID; id++ {
-		all = append(all, gaddr.NodeID(id))
-	}
 	for _, dest := range all {
 		start := time.Now()
 		if err := ctx.MoveTo(ref, dest); err != nil {
@@ -203,5 +257,8 @@ func main() {
 	out, _ := ctx.Invoke(ref, "Add", 0)
 	fmt.Printf("final count %v after visiting %d nodes — demo complete\n", out[0], len(all))
 	printStatus(tr, node)
+	if traceOn {
+		dumpTrace(node, all, *traceOut)
+	}
 	os.Exit(0)
 }

@@ -7,6 +7,7 @@ import (
 	"amber/internal/gaddr"
 	"amber/internal/sched"
 	"amber/internal/stats"
+	"amber/internal/trace"
 	"amber/internal/transport"
 )
 
@@ -33,6 +34,11 @@ type ClusterConfig struct {
 	Policy func() sched.Policy
 	// Registry shares class registrations; nil creates a fresh one.
 	Registry *Registry
+	// Tracing enables thread-journey event recording on every node (see
+	// internal/trace); SetTracing can toggle it later.
+	Tracing bool
+	// TraceBuffer is each node's event ring capacity (0 = trace default).
+	TraceBuffer int
 }
 
 // Cluster is an in-process Amber deployment: the moral equivalent of the
@@ -83,6 +89,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			MoveDrainTimeout: cfg.MoveDrainTimeout,
 			RPCTimeout:       cfg.RPCTimeout,
 			DebugImmutable:   cfg.DebugImmutable,
+			Tracing:          cfg.Tracing,
+			TraceBuffer:      cfg.TraceBuffer,
 		}
 		if cfg.Policy != nil {
 			ncfg.Policy = cfg.Policy()
@@ -116,6 +124,24 @@ func (c *Cluster) Fabric() *transport.Fabric { return c.fabric }
 
 // NetStats returns fabric-wide message counters.
 func (c *Cluster) NetStats() *stats.Set { return c.fabric.Stats() }
+
+// SetTracing toggles thread-journey recording on every node.
+func (c *Cluster) SetTracing(on bool) {
+	for _, n := range c.nodes {
+		n.tracer.SetEnabled(on)
+	}
+}
+
+// CollectTrace merges every node's buffered trace events into one
+// timestamp-ordered timeline. In-process clusters read the rings directly —
+// the RPC dump path (Node.CollectTrace) is for multi-process deployments.
+func (c *Cluster) CollectTrace() []trace.Event {
+	sets := make([][]trace.Event, len(c.nodes))
+	for i, n := range c.nodes {
+		sets[i] = n.tracer.Snapshot()
+	}
+	return trace.Collect(sets...)
+}
 
 // Close shuts the cluster down.
 func (c *Cluster) Close() {

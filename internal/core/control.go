@@ -8,6 +8,7 @@ import (
 
 	"amber/internal/gaddr"
 	"amber/internal/rpc"
+	"amber/internal/trace"
 	"amber/internal/wire"
 )
 
@@ -187,13 +188,19 @@ func (n *Node) shipControl(c *Ctx, msg *routedMsg, to gaddr.NodeID) (any, error)
 // once the copy is installed. A self-move (the calling thread is inside the
 // object) is deferred: it completes when the thread leaves the object.
 func (c *Ctx) MoveTo(obj Ref, node gaddr.NodeID) error {
+	start := time.Now()
 	msg := routedMsg{Op: opMove, Obj: obj, Dest: node}
 	rep, err := c.node.control(c, &msg)
+	c.node.histMove.Observe(time.Since(start))
 	if err != nil {
 		return err
 	}
 	if mr, ok := rep.(*moveReply); ok && !mr.Deferred {
 		c.node.learnLocation(obj, mr.Node)
+	}
+	if tr := c.node.tracer; tr.On() {
+		tr.Emit(trace.Event{Kind: trace.KObjectMove, Trace: c.rec.ID, Parent: c.span,
+			Thread: c.rec.ID, Obj: uint64(obj), Arg: int64(node)})
 	}
 	c.node.counts.Inc("moveto_calls")
 	return nil

@@ -9,6 +9,7 @@ import (
 
 	"amber/internal/gaddr"
 	"amber/internal/rpc"
+	"amber/internal/trace"
 	"amber/internal/wire"
 )
 
@@ -92,9 +93,15 @@ func (n *Node) resolve(msg *routedMsg) (d *descriptor, act action, to gaddr.Node
 func (n *Node) homeFallback(obj gaddr.Addr) (action, gaddr.NodeID, error) {
 	if at, ok := n.hintGet(obj); ok && at != n.id {
 		n.counts.Inc("hint_hits")
+		if n.tracer.On() {
+			n.tracer.Emit(trace.Event{Kind: trace.KHintHit, Obj: uint64(obj), Arg: int64(at)})
+		}
 		return actForward, at, nil
 	}
 	n.counts.Inc("hint_misses")
+	if n.tracer.On() {
+		n.tracer.Emit(trace.Event{Kind: trace.KHintMiss, Obj: uint64(obj)})
+	}
 	home := n.homeOf(obj)
 	if home == gaddr.NoNode {
 		return actError, 0, fmt.Errorf("%w: %#x (unallocated region)", ErrNoSuchObject, uint64(obj))
@@ -115,6 +122,18 @@ func (n *Node) invoke(c *Ctx, obj gaddr.Addr, method string, args []any) ([]any,
 	if obj == gaddr.Nil {
 		return nil, fmt.Errorf("%w: nil reference", ErrNoSuchObject)
 	}
+	if tr := n.tracer; tr.On() {
+		span := tr.NextSpan()
+		tr.Emit(trace.Event{Kind: trace.KInvokeStart, Trace: c.rec.ID, Span: span,
+			Parent: c.span, Thread: c.rec.ID, Obj: uint64(obj), Label: method})
+		prev := c.span
+		c.span = span
+		defer func() {
+			c.span = prev
+			tr.Emit(trace.Event{Kind: trace.KInvokeEnd, Trace: c.rec.ID, Span: span,
+				Parent: prev, Thread: c.rec.ID, Obj: uint64(obj), Label: method})
+		}()
+	}
 	for attempt := 0; ; attempt++ {
 		msg := routedMsg{Op: opInvoke, Obj: obj, Thread: c.rec, Method: method}
 		d, act, to, err := n.resolve(&msg)
@@ -123,13 +142,20 @@ func (n *Node) invoke(c *Ctx, obj gaddr.Addr, method string, args []any) ([]any,
 			return nil, err
 		case actExecute:
 			n.counts.Inc("invokes_local")
-			return n.runPinned(c, d, obj, method, args)
+			start := time.Now()
+			res, rerr := n.runPinned(c, d, obj, method, args)
+			n.histLocal.Observe(time.Since(start))
+			return res, rerr
 		}
 		res, rerr := n.shipInvoke(c, &msg, to, args)
 		// A routed call that dead-ends may have been steered by a stale
 		// location hint; forget it and retry once through the home node.
 		if rerr != nil && attempt == 0 && staleRouteError(rerr) && n.hintDrop(obj) {
 			n.counts.Inc("hint_retries")
+			if n.tracer.On() {
+				n.tracer.Emit(trace.Event{Kind: trace.KHintStaleRetry, Trace: c.rec.ID,
+					Span: c.span, Thread: c.rec.ID, Obj: uint64(obj)})
+			}
 			continue
 		}
 		return res, rerr
@@ -147,6 +173,7 @@ func staleRouteError(err error) bool {
 // the thread is away — on the original system the thread simply was not
 // present on this node during that window.
 func (n *Node) shipInvoke(c *Ctx, msg *routedMsg, to gaddr.NodeID, args []any) ([]any, error) {
+	start := time.Now()
 	ab, err := wire.MarshalArgs(args)
 	if err != nil {
 		return nil, err
@@ -159,11 +186,24 @@ func (n *Node) shipInvoke(c *Ctx, msg *routedMsg, to gaddr.NodeID, args []any) (
 		return nil, err
 	}
 	n.counts.Inc("invokes_shipped")
+	// The trace context travels in the rpc envelope: the executor's events
+	// parent under this node's invoke span, stitching the hop.
+	var ti rpc.TraceInfo
+	if tr := n.tracer; tr.On() {
+		ti = rpc.TraceInfo{TraceID: c.rec.ID, SpanID: c.span}
+		tr.Emit(trace.Event{Kind: trace.KMigrateOut, Trace: c.rec.ID, Span: c.span,
+			Thread: c.rec.ID, Obj: uint64(msg.Obj), Arg: int64(to)})
+	}
 	var resp []byte
 	var rerr error
-	c.Block(func() { resp, rerr = n.call(to, procRouted, body) })
+	c.Block(func() { resp, rerr = n.callTraced(to, procRouted, body, ti) })
+	n.histRemote.Observe(time.Since(start))
 	if rerr != nil {
 		return nil, mapRemoteError(rerr)
+	}
+	if tr := n.tracer; tr.On() {
+		tr.Emit(trace.Event{Kind: trace.KMigrateIn, Trace: c.rec.ID, Span: c.span,
+			Thread: c.rec.ID, Obj: uint64(msg.Obj), Arg: int64(n.id)})
 	}
 	var ir invokeReply
 	if err := wire.UnmarshalFrom(resp, &ir); err != nil {
@@ -321,6 +361,10 @@ func (n *Node) handleRouted(rc *rpc.Ctx) {
 				return
 			}
 			n.counts.Inc("forwards")
+			if n.tracer.On() {
+				n.tracer.Emit(trace.Event{Kind: trace.KForward, Trace: rc.Trace.TraceID,
+					Span: rc.Trace.SpanID, Thread: msg.Thread.ID, Obj: uint64(msg.Obj), Arg: int64(to)})
+			}
 			if ferr := rc.Forward(to, procRouted, body); ferr != nil {
 				n.counts.Inc("forward_failed")
 			}
@@ -345,8 +389,31 @@ func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 		// The migrated thread resumes here with its identity and bindings
 		// (§3.4): this context *is* the thread, executing on this node now.
 		c := &Ctx{node: n, rec: msg.Thread}
+		// The arriving thread's journey continues under the shipping span
+		// carried by the rpc envelope: this execution span parents under it.
+		tr := n.tracer
+		traced := tr.On()
+		var tid uint64
+		if traced {
+			if tid = rc.Trace.TraceID; tid == 0 {
+				tid = msg.Thread.ID // origin was not tracing; stitch locally
+			}
+			c.span = tr.NextSpan()
+			tr.Emit(trace.Event{Kind: trace.KMigrateIn, Trace: tid, Span: c.span,
+				Parent: rc.Trace.SpanID, Thread: msg.Thread.ID, Obj: uint64(msg.Obj), Arg: int64(rc.From)})
+			tr.Emit(trace.Event{Kind: trace.KExecStart, Trace: tid, Span: c.span,
+				Parent: rc.Trace.SpanID, Thread: msg.Thread.ID, Obj: uint64(msg.Obj), Label: msg.Method})
+		}
 		n.counts.Inc("invokes_executed_for_remote")
+		start := time.Now()
 		results, err := n.runPinned(c, d, msg.Obj, msg.Method, args)
+		n.histExec.Observe(time.Since(start))
+		if traced {
+			tr.Emit(trace.Event{Kind: trace.KExecEnd, Trace: tid, Span: c.span,
+				Parent: rc.Trace.SpanID, Thread: msg.Thread.ID, Obj: uint64(msg.Obj), Label: msg.Method})
+			tr.Emit(trace.Event{Kind: trace.KMigrateOut, Trace: tid, Span: c.span,
+				Thread: msg.Thread.ID, Obj: uint64(msg.Obj), Arg: int64(rc.Origin)})
+		}
 		if err != nil {
 			rc.Reply(nil, err)
 			n.sendChainUpdates(msg.Obj, msg.Chain, rc.Origin)

@@ -10,6 +10,7 @@ import (
 	"amber/internal/rpc"
 	"amber/internal/sched"
 	"amber/internal/stats"
+	"amber/internal/trace"
 	"amber/internal/transport"
 	"amber/internal/wire"
 )
@@ -46,6 +47,17 @@ type NodeConfig struct {
 	// DebugImmutable enables write detection on immutable objects: state
 	// is snapshotted around each invocation and compared.
 	DebugImmutable bool
+	// Tracing enables thread-journey event recording from startup. The
+	// tracer always exists (so it can be enabled at runtime through the
+	// introspection endpoint); when disabled every instrumentation site
+	// costs a single atomic load.
+	Tracing bool
+	// TraceBuffer is the per-node event ring capacity (0 = trace default).
+	TraceBuffer int
+	// Tracer, when non-nil, is used instead of a freshly created one — the
+	// amberd process shares one tracer between the node and the process-wide
+	// emitters (wire codec, TCP dialer).
+	Tracer *trace.Tracer
 }
 
 func (c *NodeConfig) fill() {
@@ -76,6 +88,14 @@ type Node struct {
 	ep      *rpc.Endpoint
 	sch     *sched.Scheduler
 	counts  *stats.Set
+	tracer  *trace.Tracer
+
+	// Latency histograms on the runtime's hot paths, cached out of counts so
+	// recording is one atomic bucket increment, never a map lookup.
+	histLocal  *stats.Histogram // invoke_local_ns: resident fast path
+	histRemote *stats.Histogram // invoke_remote_ns: full function-ship round trip
+	histExec   *stats.Histogram // invoke_exec_ns: remote execution leg
+	histMove   *stats.Histogram // move_ns: MoveTo round trip
 
 	mu    sync.Mutex // guards descs
 	descs map[gaddr.Addr]*descriptor
@@ -112,15 +132,27 @@ func NewNode(cfg NodeConfig, reg *Registry, tr transport.Transport, server *gadd
 		ep:     rpc.NewEndpoint(tr),
 		sch:    sched.New(cfg.Procs, cfg.Policy),
 		counts: stats.NewSet(),
+		tracer: cfg.Tracer,
 		descs:  make(map[gaddr.Addr]*descriptor),
 		hints:  make(map[gaddr.Addr]gaddr.NodeID),
 		server: server,
 	}
+	if n.tracer == nil {
+		n.tracer = trace.New(int32(cfg.ID), cfg.TraceBuffer)
+	}
+	if cfg.Tracing {
+		n.tracer.SetEnabled(true)
+	}
+	n.histLocal = n.counts.Hist("invoke_local_ns")
+	n.histRemote = n.counts.Hist("invoke_remote_ns")
+	n.histExec = n.counts.Hist("invoke_exec_ns")
+	n.histMove = n.counts.Hist("move_ns")
 	n.regions = gaddr.NewTable(nil, n.resolveRegion)
 	n.alloc = gaddr.NewAllocator(cfg.ID, nil, n.extendRegions)
 	n.ep.HandleProc(procRouted, n.handleRouted)
 	n.ep.HandleProc(procInstall, n.handleInstall)
 	n.ep.HandleProc(procLocUpdate, n.handleLocUpdate)
+	n.ep.HandleProc(procTraceDump, n.handleTraceDump)
 	if server != nil {
 		n.ep.HandleProc(procRegion, n.handleRegion)
 	}
@@ -139,8 +171,58 @@ func NewNode(cfg NodeConfig, reg *Registry, tr transport.Transport, server *gadd
 // ID returns the node's identity.
 func (n *Node) ID() gaddr.NodeID { return n.id }
 
-// Stats exposes the node's runtime counters.
+// Stats exposes the node's runtime counters and latency histograms.
 func (n *Node) Stats() *stats.Set { return n.counts }
+
+// RPCStats exposes the RPC endpoint's counters (for metrics rendering).
+func (n *Node) RPCStats() *stats.Set { return n.ep.Stats() }
+
+// Tracer exposes the node's thread-journey event ring.
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
+
+// --- trace collection (merging per-node rings, §observability) ---
+
+// handleTraceDump serves procTraceDump: it returns this node's buffered
+// trace events so a collector elsewhere in the cluster can stitch journeys.
+// The dump rides the gob fallback — it is an introspection path, not a hot
+// one.
+func (n *Node) handleTraceDump(rc *rpc.Ctx) {
+	var req traceDumpMsg
+	if err := wire.UnmarshalFrom(rc.Body, &req); err != nil {
+		rc.Reply(nil, err)
+		return
+	}
+	body, err := wire.MarshalInto(&traceDumpReply{Events: n.tracer.Last(req.Last)})
+	rc.Reply(body, err)
+}
+
+// CollectTrace merges this node's trace events with those fetched from the
+// given peers into one timestamp-ordered timeline. last bounds the events
+// requested per node (<=0 = everything buffered).
+func (n *Node) CollectTrace(peers []gaddr.NodeID, last int) ([]trace.Event, error) {
+	sets := [][]trace.Event{n.tracer.Last(last)}
+	for _, p := range peers {
+		if p == n.id {
+			continue
+		}
+		body, err := wire.MarshalInto(&traceDumpMsg{Last: last})
+		if err != nil {
+			return nil, err
+		}
+		resp, err := n.call(p, procTraceDump, body)
+		if err != nil {
+			return nil, fmt.Errorf("amber: trace dump from node %d: %w", p, err)
+		}
+		var rep traceDumpReply
+		derr := wire.UnmarshalFrom(resp, &rep)
+		wire.PutBuf(resp)
+		if derr != nil {
+			return nil, derr
+		}
+		sets = append(sets, rep.Events)
+	}
+	return trace.Collect(sets...), nil
+}
 
 // Scheduler exposes the node's thread scheduler (for policy replacement and
 // introspection, §2.1).
@@ -261,6 +343,11 @@ func (n *Node) handleRegion(c *rpc.Ctx) {
 // call performs an internode request honouring the node's RPC timeout.
 func (n *Node) call(to gaddr.NodeID, p rpc.Proc, body []byte) ([]byte, error) {
 	return n.ep.CallTimeout(to, p, body, n.cfg.RPCTimeout)
+}
+
+// callTraced is call with an explicit trace context in the envelope.
+func (n *Node) callTraced(to gaddr.NodeID, p rpc.Proc, body []byte, ti rpc.TraceInfo) ([]byte, error) {
+	return n.ep.CallTraced(to, p, body, n.cfg.RPCTimeout, ti)
 }
 
 // --- descriptor table ---

@@ -8,6 +8,7 @@ import (
 
 	"amber/internal/gaddr"
 	"amber/internal/sched"
+	"amber/internal/trace"
 )
 
 // Ctx is an Amber thread's execution context on one node: the thread's
@@ -20,6 +21,12 @@ import (
 type Ctx struct {
 	node *Node
 	rec  ThreadRec
+
+	// span is the trace span the thread is currently executing under on
+	// this node (0 = untraced or at the journey root). It is node-local
+	// state: a migrating invocation re-derives it from the rpc envelope's
+	// trace context on the remote side.
+	span uint64
 
 	task         *sched.Task
 	slotDepth    int
@@ -214,6 +221,12 @@ func (c *Ctx) StartThread(obj Ref, method string, args ...any) (Thread, error) {
 	}
 	rec := ThreadRec{ID: n.newThreadID(), Home: n.id, Priority: c.rec.Priority}
 	n.counts.Inc("threads_started")
+	if tr := n.tracer; tr.On() {
+		// The new journey's birth is linked to the starting thread's current
+		// span, so a fan-out's children hang off their parent in the trace.
+		tr.Emit(trace.Event{Kind: trace.KThreadStart, Trace: rec.ID, Parent: c.span,
+			Thread: rec.ID, Obj: uint64(obj), Label: method})
+	}
 	go func() {
 		tc := &Ctx{node: n, rec: rec}
 		results, ierr := n.invoke(tc, obj, method, args)

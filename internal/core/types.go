@@ -12,6 +12,7 @@ import (
 
 	"amber/internal/gaddr"
 	"amber/internal/rpc"
+	"amber/internal/trace"
 	"amber/internal/wire"
 )
 
@@ -108,6 +109,9 @@ const (
 	// procRegion serves the address-space server (grants and ownership
 	// queries, §3.1). Handled only by the server node.
 	procRegion rpc.Proc = 4
+	// procTraceDump returns a node's buffered trace events so a collector
+	// can stitch cross-node thread journeys (observability, DESIGN.md §7).
+	procTraceDump rpc.Proc = 5
 )
 
 // Routed operation codes.
@@ -231,6 +235,18 @@ type installMsg struct {
 type locUpdateMsg struct {
 	Obj  gaddr.Addr
 	Node gaddr.NodeID
+}
+
+// traceDumpMsg requests a node's buffered trace events (Last <= 0 = all).
+// Both dump messages deliberately ride the gob fallback: introspection is
+// not a hot path and exercising the fallback keeps it honest.
+type traceDumpMsg struct {
+	Last int
+}
+
+// traceDumpReply carries the events back.
+type traceDumpReply struct {
+	Events []trace.Event
 }
 
 // regionMsg serves the address-space server protocol.

@@ -1,0 +1,127 @@
+// Package debug is the opt-in live introspection endpoint for an Amber
+// process (amberd -debug-addr). It serves:
+//
+//   - /metrics      — Prometheus-style text rendering of every registered
+//     stats set and latency histogram (the same renderer amberd uses for its
+//     stdout status block, so the two can never disagree)
+//   - /trace        — plain-text timeline of the node's event ring
+//     (?last=N bounds it)
+//   - /trace.json   — Chrome trace_event JSON of the cluster-wide merged
+//     trace (load in chrome://tracing or Perfetto)
+//   - /debug/pprof/ — the standard Go profiler endpoints
+//
+// The server holds no state of its own: everything renders on demand from
+// the live stats sets and trace rings, so a scrape always sees the present.
+package debug
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"amber/internal/stats"
+	"amber/internal/trace"
+)
+
+// Options wires the server to a process's observability state.
+type Options struct {
+	// Families are the stat sets rendered on /metrics.
+	Families []stats.Family
+	// Extras are standalone gauges appended to /metrics (may be nil).
+	Extras func() []stats.ExtraMetric
+	// Tracer is the local node's event ring, served on /trace. Nil disables
+	// the trace endpoints.
+	Tracer *trace.Tracer
+	// CollectTrace, when non-nil, gathers the cluster-wide merged trace for
+	// /trace.json (e.g. Node.CollectTrace over all peers). When nil the
+	// local ring is used.
+	CollectTrace func(last int) ([]trace.Event, error)
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts the endpoint on addr (":0" picks a free port; see Addr).
+func Serve(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "amber introspection endpoints:\n"+
+			"  /metrics      counters and latency histograms (Prometheus text)\n"+
+			"  /trace        plain-text event timeline (?last=N, ?on=0|1 toggles recording)\n"+
+			"  /trace.json   Chrome trace_event JSON (cluster-wide merge)\n"+
+			"  /debug/pprof/ Go profiler\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		var extras []stats.ExtraMetric
+		if opts.Extras != nil {
+			extras = opts.Extras()
+		}
+		stats.WriteMetrics(w, extras, opts.Families...)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Tracer == nil {
+			http.Error(w, "tracing not wired", http.StatusNotFound)
+			return
+		}
+		if on := r.URL.Query().Get("on"); on != "" {
+			opts.Tracer.SetEnabled(on != "0" && on != "false")
+		}
+		last, _ := strconv.Atoi(r.URL.Query().Get("last"))
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintf(w, "tracing enabled=%v buffered=%d overwritten=%d\n\n",
+			opts.Tracer.On(), opts.Tracer.Len(), opts.Tracer.Dropped())
+		trace.WriteTimeline(w, opts.Tracer.Last(last))
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		last, _ := strconv.Atoi(r.URL.Query().Get("last"))
+		var evs []trace.Event
+		var err error
+		switch {
+		case opts.CollectTrace != nil:
+			evs, err = opts.CollectTrace(last)
+		case opts.Tracer != nil:
+			evs = opts.Tracer.Last(last)
+		default:
+			http.Error(w, "tracing not wired", http.StatusNotFound)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.WriteChrome(w, evs); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}, ln: ln}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr reports the bound address (resolves ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,119 @@
+package debug
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"amber/internal/stats"
+	"amber/internal/trace"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	set := stats.NewSet()
+	set.Add("hint_hits", 3)
+	set.Observe("invoke_remote_ns", 12*time.Microsecond)
+	tr := trace.New(0, 64)
+	tr.SetEnabled(true)
+	tr.Emit(trace.Event{Kind: trace.KInvokeStart, Trace: 9, Span: 1, Thread: 9, Label: "Poke"})
+	tr.Emit(trace.Event{Kind: trace.KInvokeEnd, Trace: 9, Span: 1, Thread: 9, Label: "Poke"})
+
+	srv, err := Serve("127.0.0.1:0", Options{
+		Families: []stats.Family{{Name: "node", Set: set}},
+		Extras:   func() []stats.ExtraMetric { return []stats.ExtraMetric{{Name: "wire_gob_fallbacks", Value: 2}} },
+		Tracer:   tr,
+		CollectTrace: func(last int) ([]trace.Event, error) {
+			return tr.Last(last), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"amber_node_hint_hits 3",
+		"# TYPE amber_node_invoke_remote_ns histogram",
+		"amber_node_invoke_remote_ns_p95",
+		"amber_wire_gob_fallbacks 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/trace?last=10")
+	if code != http.StatusOK || !strings.Contains(body, "invoke.start") || !strings.Contains(body, "Poke") {
+		t.Fatalf("/trace = %d:\n%s", code, body)
+	}
+
+	code, body = get(t, base+"/trace.json")
+	if code != http.StatusOK {
+		t.Fatalf("/trace.json status %d", code)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/trace.json is not valid chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("/trace.json has no events")
+	}
+
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("pprof status %d", code)
+	}
+
+	// /trace?on=0 disables recording through the endpoint.
+	if code, _ = get(t, base+"/trace?on=0"); code != http.StatusOK {
+		t.Fatalf("/trace?on=0 status %d", code)
+	}
+	if tr.On() {
+		t.Fatal("?on=0 did not disable the tracer")
+	}
+
+	if code, _ = get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}
+
+func TestServerWithoutTracer(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, _ := get(t, fmt.Sprintf("http://%s/trace", srv.Addr()))
+	if code != http.StatusNotFound {
+		t.Fatalf("/trace without tracer = %d, want 404", code)
+	}
+	code, _ = get(t, fmt.Sprintf("http://%s/trace.json", srv.Addr()))
+	if code != http.StatusNotFound {
+		t.Fatalf("/trace.json without tracer = %d, want 404", code)
+	}
+}

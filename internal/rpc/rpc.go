@@ -35,11 +35,22 @@ const (
 	kindOneway  transport.Kind = 3
 )
 
+// TraceInfo is the trace context that rides every request envelope: the
+// logical thread's journey ID and the span the request was issued under.
+// Zero values mean "untraced" and cost one wire byte each, so the envelope
+// carries observability identity at no measurable expense when tracing is
+// off.
+type TraceInfo struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
 // requestMsg is the wire form of a request or oneway.
 type requestMsg struct {
 	CallID uint64
 	Origin gaddr.NodeID
 	Proc   Proc
+	Trace  TraceInfo
 	Body   []byte
 }
 
@@ -48,6 +59,8 @@ func (m *requestMsg) AppendWire(b []byte) []byte {
 	b = wire.AppendUvarint(b, m.CallID)
 	b = wire.AppendVarint(b, int64(m.Origin))
 	b = append(b, byte(m.Proc))
+	b = wire.AppendUvarint(b, m.Trace.TraceID)
+	b = wire.AppendUvarint(b, m.Trace.SpanID)
 	return wire.AppendBytes(b, m.Body)
 }
 
@@ -67,6 +80,12 @@ func (m *requestMsg) DecodeWire(b []byte) ([]byte, error) {
 		return nil, wire.ErrShortBuffer
 	}
 	m.Proc, b = Proc(b[0]), b[1:]
+	if m.Trace.TraceID, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	if m.Trace.SpanID, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
 	if m.Body, b, err = wire.ReadBytes(b); err != nil {
 		return nil, err
 	}
@@ -127,6 +146,10 @@ type Ctx struct {
 	// CallID matches the reply to the origin's pending call. Zero for
 	// oneways.
 	CallID uint64
+	// Trace is the trace context the request carried (zero when the sender
+	// was not tracing). Forward propagates it unchanged, so a journey's
+	// events on every node share one trace ID and parent correctly.
+	Trace TraceInfo
 	// Body is the request payload.
 	Body []byte
 
@@ -161,7 +184,7 @@ func (c *Ctx) Forward(to gaddr.NodeID, proc Proc, body []byte) error {
 	if !c.replied.CompareAndSwap(false, true) {
 		panic("rpc: forward after reply")
 	}
-	msg := requestMsg{CallID: c.CallID, Origin: c.Origin, Proc: proc, Body: body}
+	msg := requestMsg{CallID: c.CallID, Origin: c.Origin, Proc: proc, Trace: c.Trace, Body: body}
 	return c.ep.sendRequest(to, &msg, c.IsCall())
 }
 
@@ -229,6 +252,12 @@ func (ep *Endpoint) Call(to gaddr.NodeID, p Proc, body []byte) ([]byte, error) {
 
 // CallTimeout is Call with a deadline; timeout<=0 waits forever.
 func (ep *Endpoint) CallTimeout(to gaddr.NodeID, p Proc, body []byte, timeout time.Duration) ([]byte, error) {
+	return ep.CallTraced(to, p, body, timeout, TraceInfo{})
+}
+
+// CallTraced is CallTimeout carrying an explicit trace context in the
+// request envelope. The receiving handler sees it as Ctx.Trace.
+func (ep *Endpoint) CallTraced(to gaddr.NodeID, p Proc, body []byte, timeout time.Duration, ti TraceInfo) ([]byte, error) {
 	id := ep.nextID.Add(1)
 	ch := make(chan replyOutcome, 1)
 	ep.mu.Lock()
@@ -240,7 +269,7 @@ func (ep *Endpoint) CallTimeout(to gaddr.NodeID, p Proc, body []byte, timeout ti
 		ep.mu.Unlock()
 	}()
 
-	msg := requestMsg{CallID: id, Origin: ep.Self(), Proc: p, Body: body}
+	msg := requestMsg{CallID: id, Origin: ep.Self(), Proc: p, Trace: ti, Body: body}
 	if err := ep.sendRequest(to, &msg, true); err != nil {
 		return nil, err
 	}
@@ -320,7 +349,7 @@ func (ep *Endpoint) onMessage(m transport.Message) {
 			return
 		}
 		h := ep.handler(rq.Proc)
-		ctx := &Ctx{ep: ep, From: m.From, Origin: rq.Origin, CallID: rq.CallID, Body: rq.Body}
+		ctx := &Ctx{ep: ep, From: m.From, Origin: rq.Origin, CallID: rq.CallID, Trace: rq.Trace, Body: rq.Body}
 		if h == nil {
 			ep.counts.Inc("rpc_unknown_proc")
 			ctx.Reply(nil, fmt.Errorf("rpc: node %d has no handler for proc %d", ep.Self(), rq.Proc))

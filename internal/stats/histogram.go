@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds samples whose
+// duration in nanoseconds has bit-length i, i.e. d ∈ [2^(i-1), 2^i). 48
+// log2 buckets span 1ns to ~3.2 days, which covers every latency the runtime
+// can plausibly record with ~2x resolution — adequate for p50/p95/p99 on
+// paths whose interesting variation is orders of magnitude (local call vs.
+// one network hop vs. a forwarding chain).
+const histBuckets = 48
+
+// Histogram is a fixed-bucket, log2-scaled latency histogram. All operations
+// are lock-free atomics: Observe is safe on hot paths (no allocation, no
+// mutex), and readers take an approximate-but-race-free snapshot.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	ns := uint64(d)
+	if d < 0 {
+		ns = 0
+	}
+	i := bits.Len64(ns)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper is bucket i's exclusive upper bound in nanoseconds.
+func bucketUpper(i int) int64 { return int64(1) << uint(i) }
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the total of all samples.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean reports the average sample, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the log2 bucket containing it. With ~2x bucket resolution the
+// estimate is within a factor of two of the true value, which is the right
+// fidelity for "is this path 10µs or 10ms".
+func (h *Histogram) Quantile(q float64) time.Duration {
+	return h.Snapshot().Quantile(q)
+}
+
+// P50, P95 and P99 are the conventional summary quantiles.
+func (h *Histogram) P50() time.Duration { return h.Quantile(0.50) }
+
+// P95 estimates the 95th percentile.
+func (h *Histogram) P95() time.Duration { return h.Quantile(0.95) }
+
+// P99 estimates the 99th percentile.
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
+
+// Timed runs f and records its duration.
+func (h *Histogram) Timed(f func()) {
+	start := time.Now()
+	f()
+	h.Observe(time.Since(start))
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Snapshot takes a point-in-time copy of the histogram. Individual loads are
+// atomic; concurrent Observes may straddle the copy, shifting totals by a
+// few in-flight samples, which is harmless for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a plain-value copy of a Histogram, safe to iterate
+// and render without further synchronization.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64 // nanoseconds
+	Buckets [histBuckets]int64
+}
+
+// Quantile estimates the q-th quantile of the snapshot.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q*float64(s.Count-1)) + 1
+	var cum int64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			lo := int64(0)
+			if i > 0 {
+				lo = bucketUpper(i - 1)
+			}
+			hi := bucketUpper(i)
+			// Position of the target within this bucket, interpolated
+			// linearly between the bucket bounds.
+			frac := float64(target-cum) / float64(c)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return time.Duration(s.Sum) // unreachable unless racing; any sane value
+}
+
+// Mean reports the snapshot's average sample.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.P50() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	// 100 samples of 1µs, 10 of 1ms: p50 lands in the 1µs bucket, p99 in the
+	// 1ms bucket. Log2 buckets are ~2x wide, so assert by bucket, not value.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if got := h.Count(); got != 110 {
+		t.Fatalf("Count = %d, want 110", got)
+	}
+	if p50 := h.P50(); p50 < 512*time.Nanosecond || p50 > 2*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~1µs", p50)
+	}
+	if p99 := h.P99(); p99 < 512*time.Microsecond || p99 > 2*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~1ms", p99)
+	}
+	if mean := h.Mean(); mean < 50*time.Microsecond || mean > 200*time.Microsecond {
+		t.Fatalf("mean = %v, want ~92µs", mean)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.P95() != 0 {
+		t.Fatal("Reset did not clear the histogram")
+	}
+}
+
+func TestHistogramEdgeSamples(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-time.Second)        // clamped to bucket 0
+	h.Observe(1 << 62)             // clamped to the top bucket
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	if q := h.Quantile(1); q <= 0 {
+		t.Fatalf("max quantile = %v, want positive", q)
+	}
+}
+
+func TestHistogramObserveAllocatesNothing(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(time.Microsecond) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocated %v per op, want 0", allocs)
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	var l Latency
+	for i := 0; i < 50; i++ {
+		l.Record(2 * time.Microsecond)
+	}
+	if p50 := l.P50(); p50 < time.Microsecond || p50 > 4*time.Microsecond {
+		t.Fatalf("Latency p50 = %v, want ~2µs", p50)
+	}
+	if l.P95() == 0 || l.P99() == 0 {
+		t.Fatal("Latency p95/p99 must be populated")
+	}
+}
+
+func TestSetHistogramsAndConsistentSnapshot(t *testing.T) {
+	s := NewSet()
+	s.Inc("ops")
+	s.Observe("op_ns", 3*time.Microsecond)
+	h := s.Hist("op_ns")
+	if h.Count() != 1 {
+		t.Fatalf("Hist count = %d, want 1", h.Count())
+	}
+	if h2 := s.Hist("op_ns"); h2 != h {
+		t.Fatal("Hist must return the same histogram per name")
+	}
+
+	// The snapshot must be internally consistent under concurrent writers:
+	// taken under the set mutex, it can never observe a half-registered name.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Inc("ops")
+				s.Observe("op_ns", time.Duration(i%1000)*time.Nanosecond)
+			}
+		}(w)
+	}
+	for i := 0; i < 100; i++ {
+		snap := s.SnapshotAll()
+		if snap.Counters["ops"] < 1 {
+			t.Error("snapshot lost the ops counter")
+		}
+		if _, ok := snap.Histograms["op_ns"]; !ok {
+			t.Error("snapshot lost the op_ns histogram")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	snap := s.SnapshotAll()
+	if snap.Histograms["op_ns"].Count != snap.Counters["ops"] {
+		// Every writer pairs one Inc with one Observe and they were quiesced
+		// before this snapshot, so totals must match exactly.
+		t.Fatalf("histogram count %d != counter %d after quiesce",
+			snap.Histograms["op_ns"].Count, snap.Counters["ops"])
+	}
+}
+
+func TestWriteMetricsFormat(t *testing.T) {
+	s := NewSet()
+	s.Add("bytes_sent", 123)
+	s.Observe("invoke_remote_ns", 11922*time.Nanosecond)
+	out := RenderMetrics(
+		[]ExtraMetric{{Name: "wire_gob_fallbacks", Value: 7}},
+		Family{Name: "transport", Set: s},
+	)
+	for _, want := range []string{
+		"# TYPE amber_transport_bytes_sent counter",
+		"amber_transport_bytes_sent 123",
+		"# TYPE amber_transport_invoke_remote_ns histogram",
+		`amber_transport_invoke_remote_ns_bucket{le="+Inf"} 1`,
+		"amber_transport_invoke_remote_ns_count 1",
+		"amber_transport_invoke_remote_ns_p99",
+		"amber_wire_gob_fallbacks 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "le=\"+Inf\"} 0\namber_transport_bytes") {
+		t.Fatal("unexpected ordering")
+	}
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Family pairs a stat Set with the namespace it is rendered under. amberd
+// and the debug HTTP endpoint both render the same families through
+// WriteMetrics, so the stdout status block and the /metrics page can never
+// drift apart.
+type Family struct {
+	// Name namespaces the set's counters, e.g. "transport" → amber_transport_*.
+	Name string
+	// Set holds the counters and histograms.
+	Set *Set
+}
+
+// ExtraMetric is a standalone gauge rendered alongside the families (for
+// package-level counters that live outside any Set, like the wire codec's
+// gob-fallback count).
+type ExtraMetric struct {
+	Name  string
+	Value int64
+}
+
+// WriteMetrics renders the families in Prometheus text exposition format:
+// counters as `amber_<family>_<name>`, histograms as cumulative
+// `..._bucket{le="…"}` series (bounds in seconds) plus `_sum`, `_count` and
+// `_p50`/`_p95`/`_p99` summary gauges. Each family is snapshotted
+// consistently (SnapshotAll) before rendering. Output is sorted, so
+// successive scrapes diff cleanly.
+func WriteMetrics(w io.Writer, extras []ExtraMetric, families ...Family) {
+	for _, f := range families {
+		if f.Set == nil {
+			continue
+		}
+		snap := f.Set.SnapshotAll()
+		prefix := "amber_" + sanitize(f.Name) + "_"
+
+		names := make([]string, 0, len(snap.Counters))
+		for k := range snap.Counters {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			name := prefix + sanitize(k)
+			fmt.Fprintf(w, "# TYPE %s counter\n", name)
+			fmt.Fprintf(w, "%s %d\n", name, snap.Counters[k])
+		}
+
+		hnames := make([]string, 0, len(snap.Histograms))
+		for k := range snap.Histograms {
+			hnames = append(hnames, k)
+		}
+		sort.Strings(hnames)
+		for _, k := range hnames {
+			writeHistogram(w, prefix+sanitize(k), snap.Histograms[k])
+		}
+	}
+	for _, e := range extras {
+		name := "amber_" + sanitize(e.Name)
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, e.Value)
+	}
+}
+
+// writeHistogram renders one histogram snapshot. Only buckets up to the
+// highest occupied one are emitted (the log2 ladder has 48 rungs; emitting
+// empty tail buckets would bloat every scrape).
+func writeHistogram(w io.Writer, name string, s HistogramSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	top := 0
+	for i, c := range s.Buckets {
+		if c > 0 {
+			top = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += s.Buckets[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(bucketUpper(i))/1e9, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(s.Sum)/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_p50 %g\n", name, s.Quantile(0.50).Seconds())
+	fmt.Fprintf(w, "%s_p95 %g\n", name, s.Quantile(0.95).Seconds())
+	fmt.Fprintf(w, "%s_p99 %g\n", name, s.Quantile(0.99).Seconds())
+}
+
+// RenderMetrics returns WriteMetrics output as a string (the stdout form).
+func RenderMetrics(extras []ExtraMetric, families ...Family) string {
+	var b strings.Builder
+	WriteMetrics(&b, extras, families...)
+	return b.String()
+}
+
+// sanitize maps an arbitrary counter name into the Prometheus metric-name
+// alphabet.
+func sanitize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

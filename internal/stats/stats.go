@@ -27,14 +27,18 @@ func (c *Counter) Load() int64 { return c.v.Load() }
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.v.Store(0) }
 
-// Set is a named collection of counters, created on first use.
+// Set is a named collection of counters and latency histograms, created on
+// first use.
 type Set struct {
 	mu sync.Mutex
 	m  map[string]*Counter
+	h  map[string]*Histogram
 }
 
 // NewSet returns an empty counter set.
-func NewSet() *Set { return &Set{m: make(map[string]*Counter)} }
+func NewSet() *Set {
+	return &Set{m: make(map[string]*Counter), h: make(map[string]*Histogram)}
+}
 
 // Get returns the counter with the given name, creating it if needed.
 func (s *Set) Get(name string) *Counter {
@@ -65,13 +69,58 @@ func (s *Set) Value(name string) int64 {
 	return c.Load()
 }
 
-// Snapshot returns a sorted copy of all counter values.
+// Hist returns the histogram with the given name, creating it if needed.
+// Callers on hot paths should cache the returned pointer rather than pay the
+// map lookup per sample.
+func (s *Set) Hist(name string) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.h[name]
+	if !ok {
+		h = &Histogram{}
+		s.h[name] = h
+	}
+	return h
+}
+
+// Observe is shorthand for Hist(name).Observe(d).
+func (s *Set) Observe(name string, d time.Duration) { s.Hist(name).Observe(d) }
+
+// Snapshot returns a copy of all counter values. The name table is copied
+// under the set's mutex, so concurrent Get calls cannot race the iteration;
+// each value is one atomic load.
 func (s *Set) Snapshot() map[string]int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[string]int64, len(s.m))
 	for k, c := range s.m {
 		out[k] = c.Load()
+	}
+	return out
+}
+
+// SetSnapshot is a consistent point-in-time copy of a Set: plain values only,
+// safe to iterate, sort and render with no further locking.
+type SetSnapshot struct {
+	Counters   map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// SnapshotAll copies every counter and histogram under the mutex, so readers
+// (printStatus, the /metrics endpoint) can never race concurrent writers or
+// a Get that grows the maps mid-iteration.
+func (s *Set) SnapshotAll() SetSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := SetSnapshot{
+		Counters:   make(map[string]int64, len(s.m)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.h)),
+	}
+	for k, c := range s.m {
+		out.Counters[k] = c.Load()
+	}
+	for k, h := range s.h {
+		out.Histograms[k] = h.Snapshot()
 	}
 	return out
 }
@@ -91,12 +140,15 @@ func (s *Set) Prefixed(prefix string) map[string]int64 {
 	return out
 }
 
-// Reset zeroes every counter in the set.
+// Reset zeroes every counter and histogram in the set.
 func (s *Set) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, c := range s.m {
 		c.Reset()
+	}
+	for _, h := range s.h {
+		h.Reset()
 	}
 }
 
@@ -115,20 +167,21 @@ func (s *Set) String() string {
 	return out
 }
 
-// Latency accumulates duration samples and reports summary statistics. It is
-// deliberately simple: mean, min, max over all samples, plus the count.
+// Latency accumulates duration samples and reports summary statistics:
+// mean, min, max and count, plus p50/p95/p99 estimated from a fixed-bucket
+// log2 histogram fed by the same samples.
 type Latency struct {
 	mu    sync.Mutex
 	n     int64
 	total time.Duration
 	min   time.Duration
 	max   time.Duration
+	hist  Histogram
 }
 
 // Record adds one sample.
 func (l *Latency) Record(d time.Duration) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.n == 0 || d < l.min {
 		l.min = d
 	}
@@ -137,7 +190,21 @@ func (l *Latency) Record(d time.Duration) {
 	}
 	l.n++
 	l.total += d
+	l.mu.Unlock()
+	l.hist.Observe(d)
 }
+
+// Hist exposes the underlying histogram (for rendering).
+func (l *Latency) Hist() *Histogram { return &l.hist }
+
+// P50 estimates the median sample.
+func (l *Latency) P50() time.Duration { return l.hist.P50() }
+
+// P95 estimates the 95th-percentile sample.
+func (l *Latency) P95() time.Duration { return l.hist.P95() }
+
+// P99 estimates the 99th-percentile sample.
+func (l *Latency) P99() time.Duration { return l.hist.P99() }
 
 // Count returns the number of samples.
 func (l *Latency) Count() int64 {

@@ -1,0 +1,161 @@
+// Chrome trace_event export: one "process" per Amber node, one "thread" per
+// logical Amber thread, so chrome://tracing (or Perfetto's legacy loader)
+// shows a migrating thread as aligned spans hopping between node swimlanes.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one record of the trace_event JSON array format.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"` // microseconds
+	Pid   int64          `json:"pid"`
+	Tid   uint64         `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders events (any mix of nodes, typically Collect output) as
+// a Chrome trace_event JSON document.
+func WriteChrome(w io.Writer, evs []Event) error {
+	out := make([]chromeEvent, 0, 2*len(evs)+8)
+
+	// Metadata: name each node "process" and each logical thread, so the
+	// viewer labels swimlanes meaningfully.
+	nodes := map[int32]bool{}
+	threads := map[int32]map[uint64]bool{}
+	for _, ev := range evs {
+		nodes[ev.Node] = true
+		if ev.Thread != 0 {
+			if threads[ev.Node] == nil {
+				threads[ev.Node] = map[uint64]bool{}
+			}
+			threads[ev.Node][ev.Thread] = true
+		}
+	}
+	nodeIDs := make([]int32, 0, len(nodes))
+	for id := range nodes {
+		nodeIDs = append(nodeIDs, id)
+	}
+	sort.Slice(nodeIDs, func(i, j int) bool { return nodeIDs[i] < nodeIDs[j] })
+	for _, id := range nodeIDs {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: int64(id),
+			Args: map[string]any{"name": fmt.Sprintf("node %d", id)},
+		})
+		tids := make([]uint64, 0, len(threads[id]))
+		for tid := range threads[id] {
+			tids = append(tids, tid)
+		}
+		sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+		for _, tid := range tids {
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: int64(id), Tid: tid,
+				Args: map[string]any{"name": fmt.Sprintf("amber thread %#x", tid)},
+			})
+		}
+	}
+
+	for _, ev := range evs {
+		ce := chromeEvent{
+			Ts:  float64(ev.TimeNs) / 1e3,
+			Pid: int64(ev.Node),
+			Tid: ev.Thread,
+			Cat: "amber",
+		}
+		args := map[string]any{}
+		if ev.Trace != 0 {
+			args["trace"] = hexID(ev.Trace)
+		}
+		if ev.Span != 0 {
+			args["span"] = hexID(ev.Span)
+		}
+		if ev.Parent != 0 {
+			args["parent"] = hexID(ev.Parent)
+		}
+		if ev.Obj != 0 {
+			args["obj"] = hexID(ev.Obj)
+		}
+		switch ev.Kind {
+		case KInvokeStart, KExecStart:
+			ce.Ph = "B"
+			ce.Name = spanName(ev)
+		case KInvokeEnd, KExecEnd:
+			ce.Ph = "E"
+			ce.Name = spanName(ev)
+		default:
+			ce.Ph = "i"
+			ce.Scope = "t"
+			ce.Name = ev.Kind.String()
+			if ev.Arg != 0 || ev.Kind == KMigrateIn || ev.Kind == KMigrateOut {
+				args["arg"] = ev.Arg
+			}
+			if ev.Label != "" {
+				args["label"] = ev.Label
+			}
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		out = append(out, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{out})
+}
+
+func spanName(ev Event) string {
+	prefix := "invoke"
+	if ev.Kind == KExecStart || ev.Kind == KExecEnd {
+		prefix = "exec"
+	}
+	if ev.Label != "" {
+		return prefix + " " + ev.Label
+	}
+	return prefix
+}
+
+func hexID(v uint64) string { return fmt.Sprintf("%#x", v) }
+
+// WriteTimeline renders events as a plain-text timeline, one line per event,
+// with timestamps relative to the first event. This is the human-readable
+// dump behind /trace?last=N.
+func WriteTimeline(w io.Writer, evs []Event) {
+	if len(evs) == 0 {
+		fmt.Fprintln(w, "(no trace events)")
+		return
+	}
+	t0 := evs[0].TimeNs
+	for _, ev := range evs {
+		fmt.Fprintf(w, "%+12.3fus node=%d", float64(ev.TimeNs-t0)/1e3, ev.Node)
+		if ev.Thread != 0 {
+			fmt.Fprintf(w, " thread=%#x", ev.Thread)
+		}
+		fmt.Fprintf(w, " %-16s", ev.Kind.String())
+		if ev.Obj != 0 {
+			fmt.Fprintf(w, " obj=%#x", ev.Obj)
+		}
+		if ev.Label != "" {
+			fmt.Fprintf(w, " %s", ev.Label)
+		}
+		if ev.Span != 0 {
+			fmt.Fprintf(w, " span=%#x", ev.Span)
+		}
+		if ev.Parent != 0 {
+			fmt.Fprintf(w, " parent=%#x", ev.Parent)
+		}
+		if ev.Arg != 0 {
+			fmt.Fprintf(w, " arg=%d", ev.Arg)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,297 @@
+// Package trace records the journey of logical Amber threads across the
+// cluster. Amber's signature mechanism is function shipping — a thread *moves*
+// to the object's node on remote invocation (§2, §4 of the paper) — so the
+// natural unit of observability is one thread's sequence of hops, stitched
+// across nodes into a single trace.
+//
+// Each node owns a Tracer: a lock-free ring buffer of fixed-shape typed
+// events. Writers claim a slot with one atomic increment and publish the
+// event with one atomic pointer store; the ring overwrites the oldest events
+// once full (last-N semantics), and readers never block writers. The whole
+// layer is zero-cost when disabled: every instrumentation site performs a
+// single atomic enabled-check and allocates nothing on that path.
+//
+// Identity model: a trace ID is the logical thread's cluster-unique ID (the
+// journey *is* the thread), and span IDs are node-salted sequence numbers
+// minted wherever a span begins. Both ride in the rpc request envelope, so
+// the events a migrating thread leaves on different nodes reassemble into one
+// parented tree (see Collect / ChromeTrace).
+package trace
+
+import (
+	"math/bits"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Kind tags one event type. The taxonomy follows the runtime's hot paths:
+// invocation spans, thread migration, object mobility, location-hint cache
+// traffic, and slow-path escapes (gob fallback, dial retry).
+type Kind uint8
+
+const (
+	// KInvokeStart/KInvokeEnd bracket an invocation span on the node where
+	// the invoking thread currently is (local execution or the shipping leg).
+	KInvokeStart Kind = iota + 1
+	KInvokeEnd
+	// KExecStart/KExecEnd bracket the remote execution span on the node the
+	// thread migrated to.
+	KExecStart
+	KExecEnd
+	// KMigrateOut: the thread left this node (Arg = destination node).
+	KMigrateOut
+	// KMigrateIn: the thread arrived on this node (Arg = previous node).
+	KMigrateIn
+	// KObjectMove: an object migration completed (Arg = destination node).
+	KObjectMove
+	// KForward: a routed request was forwarded along the chain (Arg = next).
+	KForward
+	// KHintHit/KHintMiss/KHintStaleRetry: location-hint cache traffic (§3.3).
+	KHintHit
+	KHintMiss
+	KHintStaleRetry
+	// KGobFallback: a message missed the fast wire codec (Label = type).
+	KGobFallback
+	// KDialRetry: the TCP transport retried a peer dial (Arg = peer node).
+	KDialRetry
+	// KThreadStart: a new Amber thread was started (Trace = its journey ID).
+	KThreadStart
+)
+
+// String names the event kind for timelines and the introspection endpoint.
+func (k Kind) String() string {
+	switch k {
+	case KInvokeStart:
+		return "invoke.start"
+	case KInvokeEnd:
+		return "invoke.end"
+	case KExecStart:
+		return "exec.start"
+	case KExecEnd:
+		return "exec.end"
+	case KMigrateOut:
+		return "migrate.out"
+	case KMigrateIn:
+		return "migrate.in"
+	case KObjectMove:
+		return "object.move"
+	case KForward:
+		return "forward"
+	case KHintHit:
+		return "hint.hit"
+	case KHintMiss:
+		return "hint.miss"
+	case KHintStaleRetry:
+		return "hint.stale-retry"
+	case KGobFallback:
+		return "gob.fallback"
+	case KDialRetry:
+		return "dial.retry"
+	case KThreadStart:
+		return "thread.start"
+	}
+	return "unknown"
+}
+
+// Event is one ring-buffer record. All fields are exported so dumps cross
+// the wire on the gob fallback without ceremony.
+type Event struct {
+	// TimeNs is the wall-clock timestamp (UnixNano). Per-node clocks are
+	// assumed loosely synchronized (same-machine deployments are exact); the
+	// collector merges by this field.
+	TimeNs int64
+	// Trace identifies the logical thread's journey (== the thread's
+	// cluster-unique ID for thread-driven events; 0 for node-level events).
+	Trace uint64
+	// Span identifies this event's span; Parent is the span it nests under
+	// (0 = root). Span IDs are node-salted and therefore cluster-unique.
+	Span   uint64
+	Parent uint64
+	// Thread is the logical Amber thread ID (may equal Trace).
+	Thread uint64
+	// Node is the node the event was recorded on.
+	Node int32
+	// Kind tags the event type.
+	Kind Kind
+	// Obj is the object address involved, if any.
+	Obj uint64
+	// Arg is kind-specific: destination/previous node for migrations and
+	// forwards, byte counts for transport events.
+	Arg int64
+	// Label is kind-specific text: the method name for invocation spans, the
+	// Go type for gob fallbacks.
+	Label string
+}
+
+// DefaultRingSize is the per-node event capacity when TracerConfig leaves it
+// zero. At ~10 events per remote invocation this holds the last few thousand
+// operations.
+const DefaultRingSize = 1 << 13
+
+// Tracer is one node's event ring. The zero value is unusable; use New.
+type Tracer struct {
+	node    int32
+	on      atomic.Bool
+	head    atomic.Uint64
+	spanSeq atomic.Uint64
+	mask    uint64
+	slots   []atomic.Pointer[Event]
+	nowNs   func() int64
+	dropped atomic.Int64
+}
+
+// New creates a tracer for the given node with the given ring capacity
+// (rounded up to a power of two; 0 = DefaultRingSize). It starts disabled.
+func New(node int32, size int) *Tracer {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	if size&(size-1) != 0 {
+		size = 1 << bits.Len(uint(size))
+	}
+	return &Tracer{
+		node:  node,
+		mask:  uint64(size - 1),
+		slots: make([]atomic.Pointer[Event], size),
+	}
+}
+
+// Node reports the node this tracer records for.
+func (t *Tracer) Node() int32 { return t.node }
+
+// SetEnabled turns event recording on or off. Safe to call concurrently with
+// Emit; in-flight emits may land just after disabling.
+func (t *Tracer) SetEnabled(on bool) {
+	if t == nil {
+		return
+	}
+	t.on.Store(on)
+}
+
+// On reports whether recording is enabled. This is the single atomic check
+// instrumentation sites perform on the fast path; when false the caller must
+// do nothing else (in particular, it must not build an Event).
+func (t *Tracer) On() bool { return t != nil && t.on.Load() }
+
+// NextSpan mints a cluster-unique span ID (node-salted sequence).
+func (t *Tracer) NextSpan() uint64 {
+	return uint64(uint32(t.node))<<40 | (t.spanSeq.Add(1) & (1<<40 - 1))
+}
+
+// Emit records one event if the tracer is enabled. The Node field is stamped
+// by the tracer; TimeNs is stamped unless the caller pre-filled it. Emit is
+// lock-free: one atomic fetch-add claims a slot, one atomic store publishes.
+func (t *Tracer) Emit(ev Event) {
+	if !t.On() {
+		return
+	}
+	ev.Node = t.node
+	if ev.TimeNs == 0 {
+		ev.TimeNs = t.now()
+	}
+	i := t.head.Add(1) - 1
+	if i > t.mask { // ring wrapped: the oldest event is overwritten
+		t.dropped.Add(1)
+	}
+	t.slots[i&t.mask].Store(&ev)
+}
+
+// now returns the current timestamp; tests may override nowNs for
+// deterministic ordering.
+func (t *Tracer) now() int64 {
+	if t.nowNs != nil {
+		return t.nowNs()
+	}
+	return time.Now().UnixNano()
+}
+
+// Dropped reports how many events the ring has overwritten since Reset.
+func (t *Tracer) Dropped() int64 { return t.dropped.Load() }
+
+// Len reports how many events are currently held (≤ ring capacity).
+func (t *Tracer) Len() int {
+	h := t.head.Load()
+	if h > t.mask {
+		return int(t.mask + 1)
+	}
+	return int(h)
+}
+
+// Snapshot copies out the buffered events sorted by timestamp. Events being
+// written concurrently may be missed or included; each returned event is
+// internally consistent (pointer publication, never torn).
+func (t *Tracer) Snapshot() []Event {
+	out := make([]Event, 0, t.Len())
+	for i := range t.slots {
+		if p := t.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TimeNs < out[j].TimeNs })
+	return out
+}
+
+// Last returns the most recent n events (all of them if n <= 0).
+func (t *Tracer) Last(n int) []Event {
+	evs := t.Snapshot()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// Reset discards all buffered events (enabled state is unchanged).
+func (t *Tracer) Reset() {
+	for i := range t.slots {
+		t.slots[i].Store(nil)
+	}
+	t.head.Store(0)
+	t.dropped.Store(0)
+}
+
+// Collect merges event sets from several nodes into one timeline, sorted by
+// timestamp. It is the cross-node stitch: because trace and span IDs
+// propagate in the rpc envelope, events that share a Trace form one journey
+// regardless of which node's ring they came from.
+func Collect(sets ...[]Event) []Event {
+	var total int
+	for _, s := range sets {
+		total += len(s)
+	}
+	out := make([]Event, 0, total)
+	for _, s := range sets {
+		out = append(out, s...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TimeNs < out[j].TimeNs })
+	return out
+}
+
+// FilterTrace returns the events belonging to one journey.
+func FilterTrace(evs []Event, traceID uint64) []Event {
+	out := make([]Event, 0, len(evs))
+	for _, ev := range evs {
+		if ev.Trace == traceID {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// --- global (process-level) tracer ---
+
+// Process-wide subsystems that have no node handle (the wire codec's gob
+// fallback, the TCP dialer) emit through a global tracer installed by the
+// process owner (amberd, or a test).
+var global atomic.Pointer[Tracer]
+
+// SetGlobal installs the process-level tracer (nil uninstalls).
+func SetGlobal(t *Tracer) { global.Store(t) }
+
+// GlobalOn reports whether a process-level tracer is installed and enabled.
+// Callers must check this before building an Event for GlobalEmit, so the
+// disabled path stays allocation-free.
+func GlobalOn() bool { return global.Load().On() }
+
+// GlobalEmit records an event on the process-level tracer, if enabled.
+func GlobalEmit(ev Event) { global.Load().Emit(ev) }

@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fakeClock makes event timestamps deterministic and strictly increasing.
+func fakeClock(t *Tracer) func() int64 {
+	var n int64
+	t.nowNs = func() int64 { n++; return n }
+	return t.nowNs
+}
+
+func TestDisabledEmitsNothing(t *testing.T) {
+	tr := New(3, 16)
+	if tr.On() {
+		t.Fatal("tracer should start disabled")
+	}
+	tr.Emit(Event{Kind: KInvokeStart})
+	if got := tr.Len(); got != 0 {
+		t.Fatalf("disabled tracer buffered %d events", got)
+	}
+	var nilTracer *Tracer
+	if nilTracer.On() {
+		t.Fatal("nil tracer must report off")
+	}
+	nilTracer.Emit(Event{Kind: KInvokeStart}) // must not panic
+	nilTracer.SetEnabled(true)                // must not panic
+}
+
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	// The zero-cost contract: a disabled instrumentation site is one atomic
+	// load, no Event construction, no allocation. The guard pattern below is
+	// exactly what every call site in core/transport/wire uses.
+	tr := New(0, 16)
+	SetGlobal(tr)
+	defer SetGlobal(nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr.On() {
+			tr.Emit(Event{Kind: KInvokeStart, Label: "never"})
+		}
+		if GlobalOn() {
+			GlobalEmit(Event{Kind: KGobFallback, Label: "never"})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %v per op, want 0", allocs)
+	}
+}
+
+func TestRingOverwriteKeepsLastN(t *testing.T) {
+	tr := New(1, 8)
+	fakeClock(tr)
+	tr.SetEnabled(true)
+	for i := 0; i < 20; i++ {
+		tr.Emit(Event{Kind: KInvokeStart, Span: uint64(i + 1)})
+	}
+	if got := tr.Len(); got != 8 {
+		t.Fatalf("Len = %d, want ring capacity 8", got)
+	}
+	if got := tr.Dropped(); got != 12 {
+		t.Fatalf("Dropped = %d, want 12", got)
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 8 {
+		t.Fatalf("snapshot holds %d events, want 8", len(evs))
+	}
+	// Last-N semantics: spans 13..20 survive, oldest first.
+	for i, ev := range evs {
+		if want := uint64(13 + i); ev.Span != want {
+			t.Fatalf("event %d has span %d, want %d", i, ev.Span, want)
+		}
+	}
+	last := tr.Last(3)
+	if len(last) != 3 || last[0].Span != 18 || last[2].Span != 20 {
+		t.Fatalf("Last(3) = %+v, want spans 18..20", last)
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("Reset did not clear the ring")
+	}
+}
+
+func TestSizeRoundsUpToPowerOfTwo(t *testing.T) {
+	tr := New(0, 100)
+	tr.SetEnabled(true)
+	for i := 0; i < 200; i++ {
+		tr.Emit(Event{Kind: KHintHit})
+	}
+	if got := tr.Len(); got != 128 {
+		t.Fatalf("ring capacity = %d, want 128 (100 rounded up)", got)
+	}
+}
+
+func TestNextSpanIsNodeSalted(t *testing.T) {
+	a, b := New(1, 16), New(2, 16)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		for _, s := range []uint64{a.NextSpan(), b.NextSpan()} {
+			if seen[s] {
+				t.Fatalf("span %#x minted twice", s)
+			}
+			seen[s] = true
+		}
+	}
+	if a.NextSpan()>>40 != 1 || b.NextSpan()>>40 != 2 {
+		t.Fatal("span IDs do not carry their node salt")
+	}
+}
+
+func TestCollectMergesByTimestamp(t *testing.T) {
+	n0 := []Event{{TimeNs: 10, Node: 0, Trace: 7}, {TimeNs: 40, Node: 0, Trace: 7}}
+	n1 := []Event{{TimeNs: 20, Node: 1, Trace: 7}, {TimeNs: 30, Node: 1, Trace: 9}}
+	all := Collect(n0, n1)
+	if len(all) != 4 {
+		t.Fatalf("merged %d events, want 4", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].TimeNs < all[i-1].TimeNs {
+			t.Fatalf("merge out of order at %d: %+v", i, all)
+		}
+	}
+	j := FilterTrace(all, 7)
+	if len(j) != 3 {
+		t.Fatalf("FilterTrace(7) = %d events, want 3", len(j))
+	}
+}
+
+func TestWriteChromeProducesLoadableJSON(t *testing.T) {
+	tr := New(0, 64)
+	fakeClock(tr)
+	tr.SetEnabled(true)
+	tr.Emit(Event{Kind: KThreadStart, Trace: 42, Thread: 42, Label: "Relay"})
+	tr.Emit(Event{Kind: KInvokeStart, Trace: 42, Span: 1, Thread: 42, Obj: 0xbeef, Label: "Relay"})
+	tr.Emit(Event{Kind: KMigrateOut, Trace: 42, Span: 1, Thread: 42, Arg: 1})
+	tr.Emit(Event{Kind: KInvokeEnd, Trace: 42, Span: 1, Thread: 42, Obj: 0xbeef, Label: "Relay"})
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var phases []string
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases = append(phases, ph)
+	}
+	joined := strings.Join(phases, "")
+	if !strings.Contains(joined, "M") || !strings.Contains(joined, "B") ||
+		!strings.Contains(joined, "E") || !strings.Contains(joined, "i") {
+		t.Fatalf("chrome trace missing expected phases (got %q)", joined)
+	}
+	// Spans must be balanced or the viewer renders garbage.
+	if strings.Count(joined, "B") != strings.Count(joined, "E") {
+		t.Fatalf("unbalanced B/E phases: %q", joined)
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	tr := New(2, 16)
+	fakeClock(tr)
+	tr.SetEnabled(true)
+	tr.Emit(Event{Kind: KHintHit, Obj: 0x10, Arg: 3})
+	tr.Emit(Event{Kind: KExecStart, Trace: 5, Span: 9, Thread: 5, Label: "Add"})
+	var buf bytes.Buffer
+	WriteTimeline(&buf, tr.Snapshot())
+	out := buf.String()
+	for _, want := range []string{"hint.hit", "exec.start", "Add"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGlobalTracer(t *testing.T) {
+	if GlobalOn() {
+		t.Fatal("no global tracer installed, GlobalOn must be false")
+	}
+	GlobalEmit(Event{Kind: KDialRetry}) // no-op, must not panic
+	tr := New(7, 16)
+	tr.SetEnabled(true)
+	SetGlobal(tr)
+	defer SetGlobal(nil)
+	if !GlobalOn() {
+		t.Fatal("GlobalOn false after install")
+	}
+	GlobalEmit(Event{Kind: KDialRetry, Arg: 2})
+	evs := tr.Snapshot()
+	if len(evs) != 1 || evs[0].Kind != KDialRetry || evs[0].Node != 7 {
+		t.Fatalf("global emit landed wrong: %+v", evs)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"amber/internal/gaddr"
 	"amber/internal/stats"
+	"amber/internal/trace"
 	"amber/internal/wire"
 )
 
@@ -46,6 +47,9 @@ type TCP struct {
 	closed   bool
 	wg       sync.WaitGroup
 	counts   *stats.Set
+	// flushHist times each coalesced socket flush (cached out of counts so
+	// the flusher never pays a map lookup).
+	flushHist *stats.Histogram
 }
 
 type tcpConn struct {
@@ -84,6 +88,7 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 		inConns:  make(map[net.Conn]struct{}),
 		counts:   stats.NewSet(),
 	}
+	t.flushHist = t.counts.Hist("flush_ns")
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -271,9 +276,11 @@ func (t *TCP) flushLoop(to gaddr.NodeID, conn *tcpConn) {
 		case <-conn.stop:
 			return
 		case <-conn.flushC:
+			start := time.Now()
 			conn.mu.Lock()
 			err := conn.w.Flush()
 			conn.mu.Unlock()
+			t.flushHist.Observe(time.Since(start))
 			if err != nil {
 				t.dropConn(to, conn)
 				return
@@ -336,6 +343,10 @@ func (t *TCP) getConn(to gaddr.NodeID) (*tcpConn, error) {
 				return c, nil
 			}
 			t.counts.Inc("dial_retries")
+			if trace.GlobalOn() {
+				trace.GlobalEmit(trace.Event{Kind: trace.KDialRetry,
+					Node: int32(t.cfg.Self), Arg: int64(to)})
+			}
 		}
 		if raw, err = net.Dial("tcp", addr); err == nil {
 			break

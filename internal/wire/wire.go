@@ -22,8 +22,10 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync/atomic"
 
 	"amber/internal/gaddr"
+	"amber/internal/trace"
 )
 
 // box wraps an interface value so gob records the concrete type.
@@ -102,6 +104,10 @@ func MarshalInto(v any) ([]byte, error) {
 	if c, ok := v.(Codec); ok {
 		return c.AppendWire(append(GetBuf(), fmtFast)), nil
 	}
+	gobFallbacks.Add(1)
+	if trace.GlobalOn() {
+		trace.GlobalEmit(trace.Event{Kind: trace.KGobFallback, Label: fmt.Sprintf("%T", v)})
+	}
 	var buf bytes.Buffer
 	buf.WriteByte(fmtGob)
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
@@ -109,6 +115,13 @@ func MarshalInto(v any) ([]byte, error) {
 	}
 	return buf.Bytes(), nil
 }
+
+// gobFallbacks counts protocol messages that missed the fast codec and fell
+// back to gob — a growing number on a hot path is a performance bug.
+var gobFallbacks atomic.Int64
+
+// GobFallbacks reports how many MarshalInto calls took the gob fallback.
+func GobFallbacks() int64 { return gobFallbacks.Load() }
 
 // UnmarshalFrom decodes into v, which must be a pointer to the same static
 // type that was encoded.

@@ -1,21 +1,29 @@
 #!/usr/bin/env bash
 # bench.sh — run the headline Amber benchmarks and record the numbers.
 #
-# Runs the Table 1 remote-invocation benchmark, the E8 forwarding-chain
-# ablation, the E9 mobility ablation, and the wire codec microbenchmarks,
-# then writes every reported metric to BENCH_pr1.json at the repo root,
-# alongside the pre-pipeline seed baselines for comparison.
+# Runs the Table 1 remote-invocation benchmark (tracing off AND on — the
+# delta is the observability tax), the E8 forwarding-chain ablation, the E9
+# mobility ablation, and the wire codec microbenchmarks, then writes every
+# reported metric to BENCH_pr2.json at the repo root, alongside the PR1 and
+# seed baselines for comparison.
+#
+# Regression gate: the tracing-off remote invoke is the hot path this PR
+# promised not to touch. If its ns/op regresses more than 5% against the
+# BENCH_pr1.json baseline, the script fails loudly (exit 1).
 #
 # Usage: scripts/bench.sh [benchtime]     (default 1s; e.g. "100x" or "3s")
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT=BENCH_pr1.json
+OUT=BENCH_pr2.json
+BASELINE_FILE=BENCH_pr1.json
+# PR1's measured BenchmarkTable1RemoteInvoke, used if BENCH_pr1.json is gone.
+BASELINE_NS_FALLBACK=11922
 
 echo "== headline benchmarks (benchtime=$BENCHTIME) =="
 HEAD_RAW=$(go test -run '^$' \
-	-bench '^(BenchmarkTable1RemoteInvoke|BenchmarkE8ForwardingChains|BenchmarkE9Mobility)$' \
+	-bench '^(BenchmarkTable1RemoteInvoke|BenchmarkTable1RemoteInvokeTraced|BenchmarkE8ForwardingChains|BenchmarkE9Mobility)$' \
 	-benchmem -benchtime "$BENCHTIME" -count 1 .)
 echo "$HEAD_RAW"
 
@@ -39,15 +47,44 @@ tojson() {
 	'
 }
 
+# bench_ns <raw> <name>: extract a benchmark's ns/op.
+bench_ns() {
+	echo "$1" | awk -v name="$2" '$1 ~ "^"name"(-[0-9]+)?$" { print $3; exit }'
+}
+
+OFF_NS=$(bench_ns "$HEAD_RAW" BenchmarkTable1RemoteInvoke)
+ON_NS=$(bench_ns "$HEAD_RAW" BenchmarkTable1RemoteInvokeTraced)
+
+BASELINE_NS=$BASELINE_NS_FALLBACK
+if [ -f "$BASELINE_FILE" ]; then
+	# The measured result line carries "iters"; the seed-baseline line does not.
+	FROM_FILE=$(awk '/"BenchmarkTable1RemoteInvoke":/ && /"iters"/ {
+		if (match($0, /"ns\/op": [0-9.]+/)) { print substr($0, RSTART+9, RLENGTH-9); exit }
+	}' "$BASELINE_FILE")
+	[ -n "$FROM_FILE" ] && BASELINE_NS=$FROM_FILE
+fi
+
+OVERHEAD_PCT=$(awk -v on="$ON_NS" -v off="$OFF_NS" 'BEGIN { printf("%.1f", (on-off)*100.0/off) }')
+REGRESS_PCT=$(awk -v now="$OFF_NS" -v base="$BASELINE_NS" 'BEGIN { printf("%.1f", (now-base)*100.0/base) }')
+
 {
 	printf '{\n'
-	printf '  "pr": "pr1-hot-path-message-pipeline",\n'
+	printf '  "pr": "pr2-thread-journey-tracing-and-introspection",\n'
 	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 	printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
 	printf '  "seed_baseline": {\n'
 	printf '    "BenchmarkTable1RemoteInvoke": {"ns/op": 143558, "B/op": 58018, "allocs/op": 1191},\n'
 	printf '    "BenchmarkE8ForwardingChains": {"ns/op": 11750000, "chain-msgs": 8.0, "cached-msgs": 2.0}\n'
+	printf '  },\n'
+	printf '  "pr1_baseline": {\n'
+	printf '    "BenchmarkTable1RemoteInvoke": {"ns/op": %s}\n' "$BASELINE_NS"
+	printf '  },\n'
+	printf '  "tracing_overhead": {\n'
+	printf '    "off_ns_op": %s,\n' "$OFF_NS"
+	printf '    "on_ns_op": %s,\n' "$ON_NS"
+	printf '    "overhead_pct": %s,\n' "$OVERHEAD_PCT"
+	printf '    "off_vs_pr1_pct": %s\n' "$REGRESS_PCT"
 	printf '  },\n'
 	printf '  "results": {\n'
 	{ echo "$HEAD_RAW"; echo "$WIRE_RAW"; } | tojson
@@ -57,3 +94,14 @@ tojson() {
 
 echo
 echo "wrote $OUT"
+echo "tracing overhead: off=${OFF_NS}ns/op on=${ON_NS}ns/op (+${OVERHEAD_PCT}%)"
+echo "tracing-off vs PR1 baseline (${BASELINE_NS}ns/op): ${REGRESS_PCT}%"
+
+if awk -v now="$OFF_NS" -v base="$BASELINE_NS" 'BEGIN { exit !(now > base * 1.05) }'; then
+	echo >&2
+	echo "FAIL: tracing-off remote invoke regressed ${REGRESS_PCT}% against the" >&2
+	echo "      PR1 baseline (${OFF_NS}ns/op vs ${BASELINE_NS}ns/op, limit +5%)." >&2
+	echo "      The disabled tracing path is supposed to be free — find the leak." >&2
+	exit 1
+fi
+echo "regression gate passed (limit +5%)"

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's full static + test gate: vet, build, and the test suite
+# under the race detector. The trace ring and stats histograms are lock-free
+# hot-path structures, so -race is not optional here.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo
+echo "ci: all gates passed"
