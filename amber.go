@@ -28,6 +28,8 @@
 package amber
 
 import (
+	"time"
+
 	"amber/internal/amsync"
 	"amber/internal/core"
 	"amber/internal/gaddr"
@@ -90,6 +92,62 @@ var (
 	ErrImmutableViolated = core.ErrImmutableViolated
 	ErrNotAttached       = core.ErrNotAttached
 )
+
+// Failure taxonomy. Every cross-node failure returned by Invoke, MoveTo,
+// Locate and Join is errors.Is-matchable against exactly one of these three
+// sentinels; no lower-layer (rpc/transport) error ever leaks through the
+// public API:
+//
+//   - ErrTimeout: the request did not complete within its deadline, but the
+//     remote node answered a health probe — it is alive, just slow or behind
+//     a lossy link. Retrying may succeed; the operation may also have
+//     executed (the reply could be what was lost).
+//   - ErrNodeDown: the remote node failed a health probe — it has crashed or
+//     is unreachable. Whether in-flight operations executed is unknowable
+//     until the node restarts. WithRetry makes retries safe here: each
+//     attempt carries an idempotency token, so a restarted or slow node
+//     executes the operation at most once.
+//   - ErrOrphaned: a thread started with StartThread shipped into a node
+//     that then went down. Join returns the thread's fate instead of
+//     hanging; errors.Is(err, ErrNodeDown) is also true for the wrapped
+//     cause.
+//
+// Errors cross nodes as strings, but sentinel identity is rehydrated on the
+// way back — errors.Is keeps working across any number of hops.
+var (
+	// ErrTimeout: deadline expired but the target node is alive.
+	ErrTimeout = core.ErrTimeout
+	// ErrNodeDown: the target node is crashed or unreachable.
+	ErrNodeDown = core.ErrNodeDown
+	// ErrOrphaned: a started thread was lost to a node failure.
+	ErrOrphaned = core.ErrOrphaned
+)
+
+// Per-call failure-handling options (pass to Invoke — mixed into the
+// argument list — or to MoveTo / Locate as trailing arguments):
+//
+//	out, err := ctx.Invoke(ref, "Add", 5,
+//	    amber.WithDeadline(time.Second),
+//	    amber.WithRetry(amber.RetryPolicy{MaxAttempts: 3}))
+type (
+	// CallOption shapes failure handling for one call.
+	CallOption = core.CallOption
+	// RetryPolicy bounds automatic retries (see WithRetry).
+	RetryPolicy = core.RetryPolicy
+)
+
+// WithDeadline bounds one call: the call fails with ErrTimeout (node alive)
+// or ErrNodeDown (node crashed) when d elapses without a reply. It overrides
+// the cluster-wide RPCTimeout for this call only.
+func WithDeadline(d time.Duration) CallOption { return core.WithDeadline(d) }
+
+// WithRetry retries a failed remote call with capped exponential backoff.
+// Retried requests carry an idempotency token and every attempt reuses the
+// same call identity, so the remote node executes the operation at most
+// once even when a reply (rather than a request) was lost — the duplicate
+// is answered from the callee's dedup window. Retrying stops early when the
+// target is probed down and stays down.
+func WithRetry(p RetryPolicy) CallOption { return core.WithRetry(p) }
 
 // NewCluster starts an in-process cluster of cfg.Nodes nodes with
 // cfg.ProcsPerNode processor slots each, connected by a fabric with

@@ -99,9 +99,12 @@ func main() {
 		sorRows   = flag.Int("sor-rows", 26, "SOR grid rows")
 		sorCols   = flag.Int("sor-cols", 26, "SOR grid columns")
 		retries   = flag.Int("retries", 30, "startup retries while peers come up")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /trace and pprof on this address (empty = off)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /trace, /faults and pprof on this address (empty = off)")
 		tracing   = flag.Bool("trace", false, "record thread-journey events from startup (implied by -debug-addr)")
 		traceOut  = flag.String("trace-out", "amber-trace.json", "Chrome trace file written after -drive/-sor when tracing")
+		faultSeed = flag.Int64("fault-seed", 0, "attach a seeded fault injector to this node's transport (0 = off)")
+		faultsArg = flag.String("faults", "", "fault script applied at startup, rules separated by ';' (e.g. 'drop 0 1 0.1; delay 1 2 1ms 5ms'); requires -fault-seed")
+		rpcTO     = flag.Duration("rpc-timeout", 0, "bound internode requests (0 = wait forever); set when injecting faults")
 	)
 	flag.Parse()
 
@@ -134,6 +137,19 @@ func main() {
 	}
 	defer tr.Close()
 
+	var faults *transport.Faults
+	if *faultSeed != 0 {
+		faults = transport.NewFaults(*faultSeed)
+		tr.SetFaults(faults)
+		if *faultsArg != "" {
+			if err := faults.ApplyScript(*faultsArg); err != nil {
+				log.Fatal(err)
+			}
+		}
+	} else if *faultsArg != "" {
+		log.Fatal("-faults requires -fault-seed")
+	}
+
 	reg := core.NewRegistry()
 	if err := reg.Register(&DemoCounter{}); err != nil {
 		log.Fatal(err)
@@ -153,7 +169,14 @@ func main() {
 	tracer := trace.New(int32(*nodeID), 0)
 	tracer.SetEnabled(traceOn)
 	trace.SetGlobal(tracer)
-	cfg := core.NodeConfig{ID: gaddr.NodeID(*nodeID), Procs: *procs, ServerNode: 0, Tracer: tracer}
+	// The generation number distinguishes this incarnation of the node from
+	// any earlier one: peers that probe us after a restart see it change and
+	// drop stale location hints.
+	cfg := core.NodeConfig{
+		ID: gaddr.NodeID(*nodeID), Procs: *procs, ServerNode: 0, Tracer: tracer,
+		RPCTimeout: *rpcTO,
+		Generation: uint64(time.Now().UnixNano()),
+	}
 
 	// Nodes other than 0 need the server up to get their initial regions;
 	// retry while the cluster assembles.
@@ -183,12 +206,13 @@ func main() {
 			CollectTrace: func(last int) ([]trace.Event, error) {
 				return node.CollectTrace(all, last)
 			},
+			Faults: faults,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer dbg.Close()
-		log.Printf("introspection on http://%s (/metrics, /trace, /trace.json, /debug/pprof/)", dbg.Addr())
+		log.Printf("introspection on http://%s (/metrics, /trace, /trace.json, /faults, /debug/pprof/)", dbg.Addr())
 	}
 
 	if *driveSOR {

@@ -28,6 +28,12 @@ type ClusterConfig struct {
 	// RPCTimeout bounds internode requests (see NodeConfig.RPCTimeout);
 	// set it when using fault injection so lost messages surface as errors.
 	RPCTimeout time.Duration
+	// ProbeTimeout bounds health probes (see NodeConfig.ProbeTimeout).
+	ProbeTimeout time.Duration
+	// FaultSeed, when non-zero, attaches a seeded fault injector to the
+	// fabric (reachable via Faults()): crash/restart/partition/loss rules
+	// replay identically for a given seed.
+	FaultSeed int64
 	// DebugImmutable enables immutable write detection (see NodeConfig).
 	DebugImmutable bool
 	// Policy builds each node's initial scheduling policy (nil = FIFO).
@@ -70,6 +76,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		server: gaddr.NewServer(0),
 		reg:    reg,
 	}
+	if cfg.FaultSeed != 0 {
+		cl.fabric.SetFaults(transport.NewFaults(cfg.FaultSeed))
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		id := gaddr.NodeID(i)
 		tr, err := cl.fabric.Attach(id)
@@ -88,6 +97,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Quantum:          cfg.Quantum,
 			MoveDrainTimeout: cfg.MoveDrainTimeout,
 			RPCTimeout:       cfg.RPCTimeout,
+			ProbeTimeout:     cfg.ProbeTimeout,
 			DebugImmutable:   cfg.DebugImmutable,
 			Tracing:          cfg.Tracing,
 			TraceBuffer:      cfg.TraceBuffer,
@@ -121,6 +131,18 @@ func (c *Cluster) Registry() *Registry { return c.reg }
 // Fabric exposes the underlying network (stats and fault injection in
 // tests).
 func (c *Cluster) Fabric() *transport.Fabric { return c.fabric }
+
+// Faults returns the cluster's fault injector, attaching a fresh one (seed
+// 1) if ClusterConfig.FaultSeed did not already. See transport.Faults for
+// the crash/partition/loss model and the scripting grammar.
+func (c *Cluster) Faults() *transport.Faults {
+	if f := c.fabric.Faults(); f != nil {
+		return f
+	}
+	f := transport.NewFaults(1)
+	c.fabric.SetFaults(f)
+	return f
+}
 
 // NetStats returns fabric-wide message counters.
 func (c *Cluster) NetStats() *stats.Set { return c.fabric.Stats() }

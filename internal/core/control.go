@@ -73,7 +73,7 @@ func (n *Node) handleInstall(rc *rpc.Ctx) {
 // control drives a mobility/control operation initiated locally by thread c:
 // run the entry protocol here, execute if the object is local, otherwise
 // ship the request and decode the typed reply.
-func (n *Node) control(c *Ctx, msg *routedMsg) (any, error) {
+func (n *Node) control(c *Ctx, msg *routedMsg, o callOpts) (any, error) {
 	msg.Thread = c.rec
 	for retries := 0; ; retries++ {
 		d, act, to, err := n.resolve(msg)
@@ -91,7 +91,7 @@ func (n *Node) control(c *Ctx, msg *routedMsg) (any, error) {
 			}
 			return nil, err
 		case actForward:
-			return n.shipControl(c, msg, to)
+			return n.shipControl(c, msg, to, o)
 		}
 	}
 }
@@ -145,7 +145,7 @@ func (f *forwardedTo) Error() string {
 // shipControl sends a control request to another node and decodes the typed
 // reply. The thread blocks (releasing its processor slot) while the request
 // is away, like any remote operation.
-func (n *Node) shipControl(c *Ctx, msg *routedMsg, to gaddr.NodeID) (any, error) {
+func (n *Node) shipControl(c *Ctx, msg *routedMsg, to gaddr.NodeID, o callOpts) (any, error) {
 	msg.Chain = append(msg.Chain, n.id)
 	if len(msg.Chain) > n.cfg.MaxHops {
 		return nil, ErrRoutingLost
@@ -156,7 +156,7 @@ func (n *Node) shipControl(c *Ctx, msg *routedMsg, to gaddr.NodeID) (any, error)
 	}
 	var resp []byte
 	var rerr error
-	c.Block(func() { resp, rerr = n.call(to, procRouted, body) })
+	c.Block(func() { resp, rerr = n.callWith(to, procRouted, body, rpc.TraceInfo{}, o) })
 	if rerr != nil {
 		return nil, mapRemoteError(rerr)
 	}
@@ -187,10 +187,12 @@ func (n *Node) shipControl(c *Ctx, msg *routedMsg, to gaddr.NodeID) (any, error)
 // given node. Moving an immutable object copies it instead; the call returns
 // once the copy is installed. A self-move (the calling thread is inside the
 // object) is deferred: it completes when the thread leaves the object.
-func (c *Ctx) MoveTo(obj Ref, node gaddr.NodeID) error {
+// Options (WithDeadline, WithRetry) bound and retry the shipped request;
+// move retries are idempotency-protected like invokes.
+func (c *Ctx) MoveTo(obj Ref, node gaddr.NodeID, opts ...CallOption) error {
 	start := time.Now()
 	msg := routedMsg{Op: opMove, Obj: obj, Dest: node}
-	rep, err := c.node.control(c, &msg)
+	rep, err := c.node.control(c, &msg, gatherOptions(opts))
 	c.node.histMove.Observe(time.Since(start))
 	if err != nil {
 		return err
@@ -208,9 +210,10 @@ func (c *Ctx) MoveTo(obj Ref, node gaddr.NodeID) error {
 
 // Locate reports the node where the object currently resides. For an
 // immutable object it reports the nearest node known to hold a copy.
-func (c *Ctx) Locate(obj Ref) (gaddr.NodeID, error) {
+// Options (WithDeadline, WithRetry) bound and retry the routed request.
+func (c *Ctx) Locate(obj Ref, opts ...CallOption) (gaddr.NodeID, error) {
 	msg := routedMsg{Op: opLocate, Obj: obj}
-	rep, err := c.node.control(c, &msg)
+	rep, err := c.node.control(c, &msg, gatherOptions(opts))
 	if err != nil {
 		return gaddr.NoNode, err
 	}
@@ -221,7 +224,7 @@ func (c *Ctx) Locate(obj Ref) (gaddr.NodeID, error) {
 // MoveTo calls copy the object, allowing replicas on many nodes.
 func (c *Ctx) SetImmutable(obj Ref) error {
 	msg := routedMsg{Op: opSetImmutable, Obj: obj}
-	_, err := c.node.control(c, &msg)
+	_, err := c.node.control(c, &msg, callOpts{})
 	return err
 }
 
@@ -229,7 +232,7 @@ func (c *Ctx) SetImmutable(obj Ref) error {
 // ErrDeleted. Immutable (replicated) objects cannot be deleted.
 func (c *Ctx) Delete(obj Ref) error {
 	msg := routedMsg{Op: opDelete, Obj: obj}
-	_, err := c.node.control(c, &msg)
+	_, err := c.node.control(c, &msg, callOpts{})
 	return err
 }
 
@@ -241,7 +244,7 @@ func (c *Ctx) Delete(obj Ref) error {
 func (c *Ctx) Attach(obj, peer Ref) error {
 	msg := routedMsg{Op: opAttach, Obj: obj, Peer: peer}
 	for hops := 0; hops < 8; hops++ {
-		_, err := c.node.control(c, &msg)
+		_, err := c.node.control(c, &msg, callOpts{})
 		var fw *forwardedTo
 		if errors.As(err, &fw) {
 			// Continue at the node the child moved to; reset the chain so
@@ -257,7 +260,7 @@ func (c *Ctx) Attach(obj, peer Ref) error {
 // Unattach removes the attachment between obj and peer.
 func (c *Ctx) Unattach(obj, peer Ref) error {
 	msg := routedMsg{Op: opUnattach, Obj: obj, Peer: peer}
-	_, err := c.node.control(c, &msg)
+	_, err := c.node.control(c, &msg, callOpts{})
 	return err
 }
 
@@ -288,6 +291,14 @@ func (c *Ctx) New(obj any) (Ref, error) {
 // Invoke performs a (possibly remote) operation on obj. Arguments and
 // results must be wire-registered types when the call crosses nodes; local
 // calls pass values directly.
+//
+// CallOptions may be mixed into the argument list to shape failure behavior
+// per call — they are filtered out before dispatch, so they never reach the
+// method:
+//
+//	ctx.Invoke(ref, "Add", 5, amber.WithDeadline(time.Second),
+//	    amber.WithRetry(amber.RetryPolicy{MaxAttempts: 3}))
 func (c *Ctx) Invoke(obj Ref, method string, args ...any) ([]any, error) {
-	return c.node.invoke(c, obj, method, args)
+	rest, o := splitOptions(args)
+	return c.node.invoke(c, obj, method, rest, o)
 }

@@ -36,10 +36,11 @@ func TestLostInvocationSurfacesTimeout(t *testing.T) {
 	if _, err := ctx.Invoke(ref, "Add", 1); err != nil {
 		t.Fatal(err)
 	}
-	// Drop everything from node 0 to node 1: the shipped invocation never
-	// arrives, and the caller gets a timeout instead of hanging forever.
+	// Drop requests from node 0 to node 1 but let health probes through:
+	// the node is alive, just lossy, so the caller gets ErrTimeout (not
+	// ErrNodeDown) instead of hanging forever.
 	cl.Fabric().SetFault(func(m transport.Message) bool {
-		return m.From == 0 && m.To == 1
+		return m.From == 0 && m.To == 1 && !rpc.IsHealthProbe(m.Kind)
 	})
 	_, err := ctx.Invoke(ref, "Add", 1)
 	if !errors.Is(err, rpc.ErrTimeout) {
@@ -69,7 +70,7 @@ func TestLostReplySurfacesTimeout(t *testing.T) {
 	// application's concern, exactly as with 1980s RPC.
 	var executedBefore = cl.Node(1).Stats().Value("invokes_executed_for_remote")
 	cl.Fabric().SetFault(func(m transport.Message) bool {
-		return m.From == 1 && m.To == 0
+		return m.From == 1 && m.To == 0 && !rpc.IsHealthProbe(m.Kind)
 	})
 	_, err := ctx.Invoke(ref, "Add", 1)
 	if !errors.Is(err, rpc.ErrTimeout) {

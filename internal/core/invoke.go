@@ -90,13 +90,22 @@ func (n *Node) resolve(msg *routedMsg) (d *descriptor, act action, to gaddr.Node
 // location-hint cache (a warm §3.3 forwarding address learnt from replies and
 // oneway chain updates), then to the home node computed from the address
 // ("the kernel forwards the request to the object's home node").
+//
+// A hint pointing at a peer currently believed dead is dropped rather than
+// followed — hint-cache repair, so stale hints cannot keep routing threads
+// into a dead node — and the request falls back to the home path.
 func (n *Node) homeFallback(obj gaddr.Addr) (action, gaddr.NodeID, error) {
 	if at, ok := n.hintGet(obj); ok && at != n.id {
-		n.counts.Inc("hint_hits")
-		if n.tracer.On() {
-			n.tracer.Emit(trace.Event{Kind: trace.KHintHit, Obj: uint64(obj), Arg: int64(at)})
+		if n.ep.PeerDown(at) {
+			n.hintDrop(obj)
+			n.counts.Inc("hints_dropped_down")
+		} else {
+			n.counts.Inc("hint_hits")
+			if n.tracer.On() {
+				n.tracer.Emit(trace.Event{Kind: trace.KHintHit, Obj: uint64(obj), Arg: int64(at)})
+			}
+			return actForward, at, nil
 		}
-		return actForward, at, nil
 	}
 	n.counts.Inc("hint_misses")
 	if n.tracer.On() {
@@ -118,7 +127,7 @@ func (n *Node) homeFallback(obj gaddr.Addr) (action, gaddr.NodeID, error) {
 // invoke is the local entry point for an invocation by thread c. Local
 // invocations take the fast path — a residency check plus a direct
 // reflective call, no marshalling. Remote ones ship the thread (§3.4).
-func (n *Node) invoke(c *Ctx, obj gaddr.Addr, method string, args []any) ([]any, error) {
+func (n *Node) invoke(c *Ctx, obj gaddr.Addr, method string, args []any, o callOpts) ([]any, error) {
 	if obj == gaddr.Nil {
 		return nil, fmt.Errorf("%w: nil reference", ErrNoSuchObject)
 	}
@@ -147,7 +156,7 @@ func (n *Node) invoke(c *Ctx, obj gaddr.Addr, method string, args []any) ([]any,
 			n.histLocal.Observe(time.Since(start))
 			return res, rerr
 		}
-		res, rerr := n.shipInvoke(c, &msg, to, args)
+		res, rerr := n.shipInvoke(c, &msg, to, args, o)
 		// A routed call that dead-ends may have been steered by a stale
 		// location hint; forget it and retry once through the home node.
 		if rerr != nil && attempt == 0 && staleRouteError(rerr) && n.hintDrop(obj) {
@@ -164,15 +173,19 @@ func (n *Node) invoke(c *Ctx, obj gaddr.Addr, method string, args []any) ([]any,
 
 // staleRouteError reports whether err is consistent with routing through a
 // stale location hint (rather than a definite answer like ErrDeleted).
+// ErrNodeDown counts: the hint may have steered the call into a dead node
+// while the object lives elsewhere, so one retry through the home node is
+// warranted before giving up.
 func staleRouteError(err error) bool {
-	return errors.Is(err, ErrNoSuchObject) || errors.Is(err, ErrRoutingLost)
+	return errors.Is(err, ErrNoSuchObject) || errors.Is(err, ErrRoutingLost) ||
+		errors.Is(err, ErrNodeDown)
 }
 
 // shipInvoke marshals the invocation and moves the thread to the object's
 // (believed) node. The calling goroutine gives up its processor slot while
 // the thread is away — on the original system the thread simply was not
 // present on this node during that window.
-func (n *Node) shipInvoke(c *Ctx, msg *routedMsg, to gaddr.NodeID, args []any) ([]any, error) {
+func (n *Node) shipInvoke(c *Ctx, msg *routedMsg, to gaddr.NodeID, args []any, o callOpts) ([]any, error) {
 	start := time.Now()
 	ab, err := wire.MarshalArgs(args)
 	if err != nil {
@@ -196,7 +209,7 @@ func (n *Node) shipInvoke(c *Ctx, msg *routedMsg, to gaddr.NodeID, args []any) (
 	}
 	var resp []byte
 	var rerr error
-	c.Block(func() { resp, rerr = n.callTraced(to, procRouted, body, ti) })
+	c.Block(func() { resp, rerr = n.callWith(to, procRouted, body, ti, o) })
 	n.histRemote.Observe(time.Since(start))
 	if rerr != nil {
 		return nil, mapRemoteError(rerr)
@@ -346,6 +359,19 @@ func (n *Node) handleRouted(rc *rpc.Ctx) {
 				rc.Reply(nil, fmt.Errorf("%w: %s %#x", ErrRoutingLost, msg.Op, uint64(msg.Obj)))
 				return
 			}
+			// Forwarding-chain repair: refuse to forward into a peer this
+			// node believes dead — answer the origin with ErrNodeDown now
+			// instead of letting the request vanish into silence. The async
+			// watch below is what taught us (and keeps re-checking, so a
+			// restarted peer becomes routable again within the recheck
+			// window).
+			if n.ep.PeerDown(to) {
+				n.counts.Inc("forwards_refused_down")
+				rc.Reply(nil, fmt.Errorf("%w: next hop %d for %s %#x",
+					ErrNodeDown, to, msg.Op, uint64(msg.Obj)))
+				return
+			}
+			n.ep.WatchPeer(to)
 			// Anti-livelock: a long chain means we are chasing an object
 			// that migrates as fast as we follow — possible only on a
 			// fabric with no latency; the original system never needed

@@ -492,7 +492,7 @@ func TestDeleteFromInsideRejected(t *testing.T) {
 	// class would be overkill; instead check the pin rule directly through
 	// the control path.
 	msg := routedMsg{Op: opDelete, Obj: ref, Thread: ThreadRec{ID: 1, Pins: []gaddr.Addr{ref}}}
-	_, err := cl.Node(0).control(&Ctx{node: cl.Node(0), rec: ThreadRec{ID: 1, Pins: []gaddr.Addr{ref}}}, &msg)
+	_, err := cl.Node(0).control(&Ctx{node: cl.Node(0), rec: ThreadRec{ID: 1, Pins: []gaddr.Addr{ref}}}, &msg, callOpts{})
 	if !errors.Is(err, ErrNotMovable) {
 		t.Fatalf("self delete: %v", err)
 	}

@@ -44,6 +44,15 @@ type NodeConfig struct {
 	// no retransmission layer, faithfully to the original, which ran over
 	// a LAN it trusted).
 	RPCTimeout time.Duration
+	// ProbeTimeout bounds the health probe used to classify a timed-out call
+	// as ErrTimeout (peer alive) vs ErrNodeDown (peer dead). Zero uses the
+	// rpc default (250ms).
+	ProbeTimeout time.Duration
+	// Generation is this node's incarnation number, reported in health-probe
+	// answers; a peer that sees it change knows this node restarted and lost
+	// its memory. Zero keeps the rpc default (1). Real deployments derive it
+	// from the process start time.
+	Generation uint64
 	// DebugImmutable enables write detection on immutable objects: state
 	// is snapshotted around each invocation and compared.
 	DebugImmutable bool
@@ -149,6 +158,17 @@ func NewNode(cfg NodeConfig, reg *Registry, tr transport.Transport, server *gadd
 	n.histMove = n.counts.Hist("move_ns")
 	n.regions = gaddr.NewTable(nil, n.resolveRegion)
 	n.alloc = gaddr.NewAllocator(cfg.ID, nil, n.extendRegions)
+	if cfg.Generation != 0 {
+		n.ep.SetGeneration(cfg.Generation)
+	}
+	// When a peer restarts it lost its memory: every hint steering threads
+	// toward its old incarnation is garbage. Forwarding tombstones stay — the
+	// objects they point at died with the peer, and routing through them now
+	// surfaces ErrNodeDown/ErrNoSuchObject honestly instead of silently.
+	n.ep.OnPeerRestart(func(peer gaddr.NodeID) {
+		n.counts.Inc("peer_restarts_observed")
+		n.dropHintsTo(peer)
+	})
 	n.ep.HandleProc(procRouted, n.handleRouted)
 	n.ep.HandleProc(procInstall, n.handleInstall)
 	n.ep.HandleProc(procLocUpdate, n.handleLocUpdate)
@@ -176,6 +196,10 @@ func (n *Node) Stats() *stats.Set { return n.counts }
 
 // RPCStats exposes the RPC endpoint's counters (for metrics rendering).
 func (n *Node) RPCStats() *stats.Set { return n.ep.Stats() }
+
+// Endpoint exposes the node's RPC engine (health inspection: PeerDown,
+// WatchPeer, generations).
+func (n *Node) Endpoint() *rpc.Endpoint { return n.ep }
 
 // Tracer exposes the node's thread-journey event ring.
 func (n *Node) Tracer() *trace.Tracer { return n.tracer }
@@ -427,6 +451,19 @@ func (n *Node) hintDrop(obj gaddr.Addr) bool {
 	}
 	n.hintMu.Unlock()
 	return ok
+}
+
+// dropHintsTo forgets every hint pointing at a peer (used when the peer is
+// discovered to have restarted without its memory).
+func (n *Node) dropHintsTo(peer gaddr.NodeID) {
+	n.hintMu.Lock()
+	for obj, at := range n.hints {
+		if at == peer {
+			delete(n.hints, obj)
+			n.counts.Inc("hints_dropped_restart")
+		}
+	}
+	n.hintMu.Unlock()
 }
 
 func (n *Node) handleLocUpdate(c *rpc.Ctx) {

@@ -1,0 +1,33 @@
+package core
+
+import "testing"
+
+// The option plumbing rides every Invoke, so the zero-option path must not
+// allocate — this is the invariant the bench.sh allocs/op gate enforces
+// end to end.
+func TestSplitOptionsNoOptionPathAllocatesNothing(t *testing.T) {
+	args := []any{1, "x", 3.5}
+	n := testing.AllocsPerRun(1000, func() {
+		out, _ := splitOptions(args)
+		_ = out
+	})
+	if n != 0 {
+		t.Fatalf("splitOptions(no options) allocates %v per call, want 0", n)
+	}
+}
+
+func TestSplitOptionsExtractsOptions(t *testing.T) {
+	args := []any{1, WithDeadline(5), "x", WithRetry(RetryPolicy{MaxAttempts: 3})}
+	rest, o := splitOptions(args)
+	if len(rest) != 2 || rest[0] != 1 || rest[1] != "x" {
+		t.Fatalf("rest = %v", rest)
+	}
+	if o.deadline != 5 || o.retry.MaxAttempts != 3 {
+		t.Fatalf("opts = %+v", o)
+	}
+	// Later options win field-wise.
+	o = gatherOptions([]CallOption{WithDeadline(5), WithDeadline(7)})
+	if o.deadline != 7 {
+		t.Fatalf("deadline = %v, want 7", o.deadline)
+	}
+}

@@ -229,7 +229,16 @@ func (c *Ctx) StartThread(obj Ref, method string, args ...any) (Thread, error) {
 	}
 	go func() {
 		tc := &Ctx{node: n, rec: rec}
-		results, ierr := n.invoke(tc, obj, method, args)
+		rest, o := splitOptions(args)
+		results, ierr := n.invoke(tc, obj, method, rest, o)
+		if ierr != nil && errors.Is(ierr, ErrNodeDown) {
+			// The thread shipped into a node that died: it will never come
+			// back, and whether it executed is unknowable. Unwind it at its
+			// origin as orphaned so Join gets a typed answer (§failure
+			// semantics) instead of hanging or a bare transport error.
+			n.counts.Inc("threads_orphaned")
+			ierr = fmt.Errorf("%w: %v", ErrOrphaned, ierr)
+		}
 		// The thread object lives on this node and never moves; complete
 		// it directly.
 		tobj.complete(results, ierr)
@@ -259,14 +268,16 @@ func (c *Ctx) ThreadDone(t Thread) (bool, error) {
 }
 
 // unpackThreadOutcome converts threadObject.Join's wire shape back into
-// (results, error).
+// (results, error). The outcome crossed the wire as a bare string, so
+// sentinel identity (ErrOrphaned, ErrNodeDown, ErrDeleted, …) is rehydrated
+// — errors.Is keeps working across Join.
 func unpackThreadOutcome(out []any) ([]any, error) {
 	if len(out) != 2 {
 		return nil, errors.New("amber: malformed thread outcome")
 	}
 	results, _ := out[0].([]any)
 	if msg, _ := out[1].(string); msg != "" {
-		return results, errors.New(msg)
+		return results, rehydrateError(msg)
 	}
 	return results, nil
 }

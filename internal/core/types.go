@@ -56,25 +56,56 @@ var (
 	ErrImmutableViolated = errors.New("amber: immutable object was mutated")
 	// ErrNotAttached is returned by Unattach when no attachment exists.
 	ErrNotAttached = errors.New("amber: objects are not attached")
+	// ErrOrphaned means a started thread shipped to a node that then died:
+	// the thread's fate is unknown (it may have executed) and it will never
+	// report back. Join surfaces it at the thread's origin.
+	ErrOrphaned = errors.New("amber: thread orphaned by node failure")
+)
+
+// Cross-node failure classification, re-exported from the rpc layer so user
+// code never imports it:
+var (
+	// ErrTimeout: the peer answers health probes but the call's reply did
+	// not arrive in time — slow execution or a lost message. The operation
+	// may or may not have executed.
+	ErrTimeout = rpc.ErrTimeout
+	// ErrNodeDown: the peer also fails health probes — crashed, partitioned
+	// away, or gone.
+	ErrNodeDown = rpc.ErrNodeDown
 )
 
 // sentinelErrors are runtime errors whose identity must survive a trip
-// through the RPC layer (which flattens errors to strings).
+// through the RPC layer (which flattens errors to strings). A flattened
+// error rehydrates against every sentinel whose message it embeds — usually
+// exactly one, but an ErrOrphaned message embeds its ErrNodeDown cause and
+// must keep matching both.
 var sentinelErrors = []error{
 	ErrNoSuchObject, ErrDeleted, ErrUnknownMethod, ErrUnknownType,
 	ErrNotMovable, ErrMoveTimeout, ErrImmutableDelete, ErrRoutingLost,
 	ErrBadArgument, ErrImmutableViolated, ErrNotAttached,
+	ErrOrphaned, ErrNodeDown, ErrTimeout,
 }
 
 // remoteAppError rehydrates a sentinel from a remote error string so that
-// errors.Is works across node boundaries.
+// errors.Is works across node boundaries. Matches stack: inner may itself be
+// a remoteAppError carrying a second sentinel.
 type remoteAppError struct {
 	sentinel error
 	inner    error
 }
 
-func (e *remoteAppError) Error() string { return e.inner.Error() }
-func (e *remoteAppError) Unwrap() error { return e.sentinel }
+func (e *remoteAppError) Error() string   { return e.inner.Error() }
+func (e *remoteAppError) Unwrap() []error { return []error{e.sentinel, e.inner} }
+
+// rehydrate wraps inner with every sentinel its message embeds.
+func rehydrate(msg string, inner error) error {
+	for _, s := range sentinelErrors {
+		if strings.Contains(msg, s.Error()) {
+			inner = &remoteAppError{sentinel: s, inner: inner}
+		}
+	}
+	return inner
+}
 
 // mapRemoteError restores sentinel identity on errors propagated from other
 // nodes.
@@ -86,12 +117,14 @@ func mapRemoteError(err error) error {
 	if !errors.As(err, &re) {
 		return err
 	}
-	for _, s := range sentinelErrors {
-		if strings.Contains(re.Msg, s.Error()) {
-			return &remoteAppError{sentinel: s, inner: err}
-		}
-	}
-	return err
+	return rehydrate(re.Msg, err)
+}
+
+// rehydrateError restores sentinel identity on an error that crossed the
+// wire as a bare string (the thread-outcome path, which flattens errors even
+// harder than the RPC layer does).
+func rehydrateError(msg string) error {
+	return rehydrate(msg, errors.New(msg))
 }
 
 // RPC procedure numbers.

@@ -8,6 +8,9 @@
 //     (?last=N bounds it)
 //   - /trace.json   — Chrome trace_event JSON of the cluster-wide merged
 //     trace (load in chrome://tracing or Perfetto)
+//   - /faults       — fault-injection status and control (GET shows active
+//     rules as a replayable script; POST applies rule lines — see
+//     transport.Faults for the grammar)
 //   - /debug/pprof/ — the standard Go profiler endpoints
 //
 // The server holds no state of its own: everything renders on demand from
@@ -16,6 +19,7 @@ package debug
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -24,6 +28,7 @@ import (
 
 	"amber/internal/stats"
 	"amber/internal/trace"
+	"amber/internal/transport"
 )
 
 // Options wires the server to a process's observability state.
@@ -39,6 +44,9 @@ type Options struct {
 	// /trace.json (e.g. Node.CollectTrace over all peers). When nil the
 	// local ring is used.
 	CollectTrace func(last int) ([]trace.Event, error)
+	// Faults is the process's fault injector, served on /faults. Nil
+	// disables the endpoint.
+	Faults *transport.Faults
 }
 
 // Server is a running introspection endpoint.
@@ -63,6 +71,7 @@ func Serve(addr string, opts Options) (*Server, error) {
 			"  /metrics      counters and latency histograms (Prometheus text)\n"+
 			"  /trace        plain-text event timeline (?last=N, ?on=0|1 toggles recording)\n"+
 			"  /trace.json   Chrome trace_event JSON (cluster-wide merge)\n"+
+			"  /faults       fault injection: GET = active rules, POST = apply script\n"+
 			"  /debug/pprof/ Go profiler\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -107,6 +116,31 @@ func Serve(addr string, opts Options) (*Server, error) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := trace.WriteChrome(w, evs); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/faults", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Faults == nil {
+			http.Error(w, "fault injection not wired (start with -fault-seed)", http.StatusNotFound)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			w.Header().Set("Content-Type", "text/plain")
+			fmt.Fprintf(w, "# seed %d\n%s", opts.Faults.Seed(), opts.Faults.Status())
+		case http.MethodPost:
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := opts.Faults.ApplyScript(string(body)); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain")
+			fmt.Fprintf(w, "# seed %d\n%s", opts.Faults.Seed(), opts.Faults.Status())
+		default:
+			http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
 		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,119 @@
+package rpc
+
+import (
+	"fmt"
+	"time"
+
+	"amber/internal/gaddr"
+	"amber/internal/trace"
+)
+
+// CallOpts shapes one logical call's failure behavior. The zero value is a
+// plain call: wait forever, one attempt, no idempotency token.
+type CallOpts struct {
+	// Timeout bounds each attempt; <=0 waits forever (and disables retry
+	// classification, since nothing ever times out).
+	Timeout time.Duration
+	// MaxAttempts is the total number of attempts (<=1 means exactly one).
+	// Retries reuse the call ID, so whichever attempt's reply arrives first
+	// completes the call.
+	MaxAttempts int
+	// Backoff is the pause before the second attempt; it doubles per retry,
+	// capped at MaxBackoff. Defaults: 10ms doubling to 500ms.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Idempotent stamps every attempt with the same idempotency token so the
+	// callee's dedup window guarantees at-most-once execution. Retrying a
+	// non-idempotent call can execute it more than once; callers opt in.
+	Idempotent bool
+	// ProbeTimeout bounds the health probe used to classify a timeout
+	// (ErrTimeout vs ErrNodeDown); <=0 uses DefaultProbeTimeout.
+	ProbeTimeout time.Duration
+	// Trace is the trace context to carry in the request envelope.
+	Trace TraceInfo
+}
+
+// CallWith sends a request governed by opts and blocks until a reply, a
+// classified failure, or attempt exhaustion. Failure classification: after a
+// timed-out attempt the peer is probed — if the probe round-trips the error
+// is ErrTimeout (alive but slow/lossy), otherwise ErrNodeDown. Both surface
+// wrapped, errors.Is-matchable.
+func (ep *Endpoint) CallWith(to gaddr.NodeID, p Proc, body []byte, opts CallOpts) ([]byte, error) {
+	id := ep.nextID.Add(1)
+	ch := make(chan replyOutcome, 1)
+	ep.mu.Lock()
+	ep.pending[id] = ch
+	ep.mu.Unlock()
+	defer func() {
+		ep.mu.Lock()
+		delete(ep.pending, id)
+		ep.mu.Unlock()
+	}()
+
+	msg := requestMsg{CallID: id, Origin: ep.Self(), Proc: p, Trace: opts.Trace, Body: body}
+	if opts.Idempotent {
+		msg.Idem = id
+	}
+	attempts := opts.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	maxBackoff := opts.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 500 * time.Millisecond
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			ep.counts.Inc("rpc_retries")
+			if trace.GlobalOn() {
+				trace.GlobalEmit(trace.Event{Kind: trace.KRetry,
+					Node: int32(ep.Self()), Trace: opts.Trace.TraceID, Arg: int64(attempt)})
+			}
+			// Capped exponential backoff — but a straggling reply from an
+			// earlier attempt still wins the race.
+			select {
+			case out := <-ch:
+				return out.body, out.err
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		if err := ep.sendRequest(to, &msg, true); err != nil {
+			// The transport refused the send (dead socket, failed dial). Worth
+			// retrying — the peer may be rebooting — but classify on the way
+			// out so exhaustion surfaces as ErrNodeDown, not a dial error.
+			lastErr = err
+			if attempt == attempts-1 || opts.Timeout <= 0 {
+				if ep.checkDown(to, opts.ProbeTimeout) {
+					return nil, fmt.Errorf("%w: proc %d to node %d: %v", ErrNodeDown, p, to, err)
+				}
+				return nil, err
+			}
+			continue
+		}
+		if opts.Timeout <= 0 {
+			out := <-ch
+			return out.body, out.err
+		}
+		select {
+		case out := <-ch:
+			return out.body, out.err
+		case <-time.After(opts.Timeout):
+		}
+		// The attempt timed out: probe to tell a slow peer from a dead one.
+		if ep.checkDown(to, opts.ProbeTimeout) {
+			lastErr = fmt.Errorf("%w: proc %d to node %d", ErrNodeDown, p, to)
+		} else {
+			lastErr = fmt.Errorf("%w: proc %d to node %d", ErrTimeout, p, to)
+		}
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,284 @@
+package rpc
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amber/internal/gaddr"
+	"amber/internal/trace"
+	"amber/internal/transport"
+	"amber/internal/wire"
+)
+
+// Per-peer health detection. The design goal is a hot path that costs one
+// atomic load when every peer is healthy: probes are sent only on suspicion
+// (a call timed out, or a forwarder is about to route into a peer), never
+// periodically, and all bookkeeping hides behind the downCount guard.
+//
+// A probe is a ping answered directly from the transport handler with a pong
+// carrying the responder's *generation* — a number chosen at process start.
+// A pong with a changed generation means the peer restarted since we last
+// spoke: its memory (objects, hint caches, dedup window) is gone, and the
+// OnPeerRestart callback lets upper layers discard state that pointed into
+// the old incarnation.
+
+// DefaultProbeTimeout bounds a health probe round-trip when the caller does
+// not supply one. Probes bypass scheduling on both ends, so even a loaded
+// peer answers within network latency.
+const DefaultProbeTimeout = 250 * time.Millisecond
+
+// DefaultRecheck is how long a down-mark is trusted before PeerDown kicks a
+// fresh asynchronous probe to notice recovery.
+const DefaultRecheck = time.Second
+
+type peerHealth struct {
+	down      bool
+	downSince time.Time
+	lastProbe time.Time
+	probing   bool
+	gen       uint64 // last generation seen in a pong (0 = never probed)
+}
+
+type healthState struct {
+	mu        sync.Mutex
+	peers     map[gaddr.NodeID]*peerHealth
+	downCount atomic.Int64 // fast-path guard: number of peers marked down
+	probes    map[uint64]chan uint64
+	probeID   atomic.Uint64
+	gen       atomic.Uint64
+	onRestart atomic.Pointer[func(gaddr.NodeID)]
+	recheck   time.Duration
+}
+
+func (h *healthState) init() {
+	h.peers = make(map[gaddr.NodeID]*peerHealth)
+	h.probes = make(map[uint64]chan uint64)
+	h.gen.Store(1)
+	h.recheck = DefaultRecheck
+}
+
+func (h *healthState) peer(id gaddr.NodeID) *peerHealth {
+	p := h.peers[id]
+	if p == nil {
+		p = &peerHealth{}
+		h.peers[id] = p
+	}
+	return p
+}
+
+// SetGeneration sets the incarnation number this endpoint reports in pongs.
+// Real deployments derive it from the process start time; in-process tests
+// bump it to simulate a restart that lost memory.
+func (ep *Endpoint) SetGeneration(gen uint64) {
+	if gen == 0 {
+		gen = 1
+	}
+	ep.health.gen.Store(gen)
+}
+
+// Generation returns this endpoint's incarnation number.
+func (ep *Endpoint) Generation() uint64 { return ep.health.gen.Load() }
+
+// OnPeerRestart registers a callback invoked (on a fresh goroutine) when a
+// pong reveals that a peer is running a different incarnation than the one
+// we last spoke to — i.e. it crashed and came back without its memory.
+func (ep *Endpoint) OnPeerRestart(fn func(peer gaddr.NodeID)) {
+	ep.health.onRestart.Store(&fn)
+}
+
+// PeerDown reports whether peer is currently believed dead. While any peer
+// is marked down, a stale mark (older than the recheck window) triggers an
+// asynchronous re-probe so recovery is noticed without blocking the caller.
+// The healthy-cluster cost is one atomic load.
+func (ep *Endpoint) PeerDown(peer gaddr.NodeID) bool {
+	h := &ep.health
+	if h.downCount.Load() == 0 {
+		return false
+	}
+	h.mu.Lock()
+	p := h.peers[peer]
+	down := p != nil && p.down
+	stale := down && time.Since(p.lastProbe) > h.recheck
+	h.mu.Unlock()
+	if stale {
+		ep.WatchPeer(peer)
+	}
+	return down
+}
+
+// WatchPeer kicks an asynchronous health probe of peer, if one is not
+// already in flight (singleflight) and the last probe is older than the
+// recheck window (rate limit — forwarders call this on every hop). The
+// result lands in the health table, not in the caller's lap.
+func (ep *Endpoint) WatchPeer(peer gaddr.NodeID) {
+	if peer == ep.Self() {
+		return
+	}
+	h := &ep.health
+	h.mu.Lock()
+	p := h.peer(peer)
+	if p.probing || (!p.lastProbe.IsZero() && time.Since(p.lastProbe) < h.recheck) {
+		h.mu.Unlock()
+		return
+	}
+	p.probing = true
+	p.lastProbe = time.Now()
+	h.mu.Unlock()
+	go func() {
+		err := ep.probe(peer, DefaultProbeTimeout)
+		h.mu.Lock()
+		h.peer(peer).probing = false
+		h.mu.Unlock()
+		if err != nil {
+			ep.markDown(peer)
+		}
+		// Success already marked the peer up via the pong's noteAlive.
+	}()
+}
+
+// checkDown classifies a call timeout: it synchronously probes the peer and
+// reports true (dead) when the probe also fails. probeTimeout<=0 uses the
+// default.
+func (ep *Endpoint) checkDown(peer gaddr.NodeID, probeTimeout time.Duration) bool {
+	if probeTimeout <= 0 {
+		probeTimeout = DefaultProbeTimeout
+	}
+	ep.health.mu.Lock()
+	ep.health.peer(peer).lastProbe = time.Now()
+	ep.health.mu.Unlock()
+	if err := ep.probe(peer, probeTimeout); err != nil {
+		ep.markDown(peer)
+		return true
+	}
+	return false
+}
+
+// probe sends one ping and waits for its pong (or the timeout). A pong from
+// any probe of the same peer does not satisfy it — pings are matched by ID —
+// which keeps the accounting trivial and probes cheap enough not to share.
+func (ep *Endpoint) probe(peer gaddr.NodeID, timeout time.Duration) error {
+	h := &ep.health
+	id := h.probeID.Add(1)
+	ch := make(chan uint64, 1)
+	h.mu.Lock()
+	h.probes[id] = ch
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.probes, id)
+		h.mu.Unlock()
+	}()
+
+	buf := wire.AppendUvarint(wire.GetBuf(), id)
+	ep.counts.Inc("rpc_probes_sent")
+	if err := ep.tr.Send(peer, kindPing, buf); err != nil {
+		ep.counts.Inc("rpc_probe_failures")
+		return err
+	}
+	select {
+	case gen := <-ch:
+		ep.noteGeneration(peer, gen)
+		return nil
+	case <-time.After(timeout):
+		ep.counts.Inc("rpc_probe_failures")
+		return ErrTimeout
+	}
+}
+
+// handlePing answers a probe inline with this endpoint's generation.
+func (ep *Endpoint) handlePing(m transport.Message) {
+	id, _, err := wire.ReadUvarint(m.Payload)
+	wire.PutBuf(m.Payload)
+	if err != nil {
+		ep.counts.Inc("rpc_bad_request")
+		return
+	}
+	buf := wire.AppendUvarint(wire.GetBuf(), id)
+	buf = wire.AppendUvarint(buf, ep.health.gen.Load())
+	ep.tr.Send(m.From, kindPong, buf)
+}
+
+// handlePong completes the matching probe.
+func (ep *Endpoint) handlePong(m transport.Message) {
+	id, rest, err := wire.ReadUvarint(m.Payload)
+	if err != nil {
+		wire.PutBuf(m.Payload)
+		ep.counts.Inc("rpc_bad_reply")
+		return
+	}
+	gen, _, err := wire.ReadUvarint(rest)
+	wire.PutBuf(m.Payload)
+	if err != nil {
+		ep.counts.Inc("rpc_bad_reply")
+		return
+	}
+	h := &ep.health
+	h.mu.Lock()
+	ch := h.probes[id]
+	delete(h.probes, id)
+	h.mu.Unlock()
+	if ch != nil {
+		ch <- gen
+	}
+}
+
+// markDown records that peer failed a probe.
+func (ep *Endpoint) markDown(peer gaddr.NodeID) {
+	h := &ep.health
+	h.mu.Lock()
+	p := h.peer(peer)
+	was := p.down
+	if !was {
+		p.down = true
+		p.downSince = time.Now()
+		h.downCount.Add(1)
+	}
+	p.lastProbe = time.Now()
+	h.mu.Unlock()
+	if !was {
+		ep.counts.Inc("rpc_peer_down_marks")
+		if trace.GlobalOn() {
+			trace.GlobalEmit(trace.Event{Kind: trace.KPeerDown,
+				Node: int32(ep.Self()), Arg: int64(peer)})
+		}
+	}
+}
+
+// noteAlive clears a down-mark when any traffic arrives from the peer. Called
+// from onMessage only while downCount != 0.
+func (ep *Endpoint) noteAlive(peer gaddr.NodeID) {
+	h := &ep.health
+	h.mu.Lock()
+	p := h.peers[peer]
+	was := p != nil && p.down
+	if was {
+		p.down = false
+		h.downCount.Add(-1)
+	}
+	h.mu.Unlock()
+	if was {
+		if trace.GlobalOn() {
+			trace.GlobalEmit(trace.Event{Kind: trace.KPeerUp,
+				Node: int32(ep.Self()), Arg: int64(peer)})
+		}
+	}
+}
+
+// noteGeneration records the incarnation a pong reported and fires the
+// restart callback when it changed. The pong itself also cleared any
+// down-mark via noteAlive.
+func (ep *Endpoint) noteGeneration(peer gaddr.NodeID, gen uint64) {
+	h := &ep.health
+	h.mu.Lock()
+	p := h.peer(peer)
+	prev := p.gen
+	p.gen = gen
+	h.mu.Unlock()
+	if prev != 0 && prev != gen {
+		ep.counts.Inc("rpc_peer_restarts_seen")
+		if fn := h.onRestart.Load(); fn != nil {
+			go (*fn)(peer)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"amber/internal/gaddr"
 	"amber/internal/stats"
+	"amber/internal/trace"
 	"amber/internal/transport"
 	"amber/internal/wire"
 )
@@ -33,7 +34,18 @@ const (
 	kindRequest transport.Kind = 1
 	kindReply   transport.Kind = 2
 	kindOneway  transport.Kind = 3
+	// kindPing/kindPong carry health probes. They are answered directly in
+	// onMessage — never dispatched through the scheduler — so a node whose
+	// processors are saturated still answers probes (busy ≠ down).
+	kindPing transport.Kind = 4
+	kindPong transport.Kind = 5
 )
+
+// IsHealthProbe reports whether a transport kind carries a health probe
+// (ping/pong). Fault hooks that model a lossy-but-alive link should let
+// these through so failure classification stays ErrTimeout rather than
+// escalating to ErrNodeDown.
+func IsHealthProbe(k transport.Kind) bool { return k == kindPing || k == kindPong }
 
 // TraceInfo is the trace context that rides every request envelope: the
 // logical thread's journey ID and the span the request was issued under.
@@ -51,7 +63,11 @@ type requestMsg struct {
 	Origin gaddr.NodeID
 	Proc   Proc
 	Trace  TraceInfo
-	Body   []byte
+	// Idem is the request's idempotency token (0 = none). Retried attempts of
+	// one logical call carry the same token, so the callee's dedup window can
+	// suppress re-execution and replay the original reply. See CallOpts.
+	Idem uint64
+	Body []byte
 }
 
 // AppendWire implements wire.Codec: requests ride the fast path.
@@ -61,6 +77,7 @@ func (m *requestMsg) AppendWire(b []byte) []byte {
 	b = append(b, byte(m.Proc))
 	b = wire.AppendUvarint(b, m.Trace.TraceID)
 	b = wire.AppendUvarint(b, m.Trace.SpanID)
+	b = wire.AppendUvarint(b, m.Idem)
 	return wire.AppendBytes(b, m.Body)
 }
 
@@ -84,6 +101,9 @@ func (m *requestMsg) DecodeWire(b []byte) ([]byte, error) {
 		return nil, err
 	}
 	if m.Trace.SpanID, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	if m.Idem, b, err = wire.ReadUvarint(b); err != nil {
 		return nil, err
 	}
 	if m.Body, b, err = wire.ReadBytes(b); err != nil {
@@ -122,8 +142,16 @@ func (m *replyMsg) DecodeWire(b []byte) ([]byte, error) {
 	return b, nil
 }
 
-// ErrTimeout is returned by CallTimeout when the reply does not arrive.
+// ErrTimeout is returned when a reply does not arrive but the callee still
+// answers health probes: the node is alive, the call was slow or the message
+// was lost. The operation may or may not have executed.
 var ErrTimeout = errors.New("rpc: call timed out")
+
+// ErrNodeDown is returned when a reply does not arrive and the callee fails
+// its health probe too: the node is crashed, partitioned away, or gone. It is
+// deliberately distinct from ErrTimeout so callers can treat "dead peer"
+// (reroute, unwind, give up) differently from "slow peer" (wait, retry).
+var ErrNodeDown = errors.New("rpc: node down")
 
 // RemoteError wraps an error string propagated from another node.
 type RemoteError struct {
@@ -150,6 +178,9 @@ type Ctx struct {
 	// was not tracing). Forward propagates it unchanged, so a journey's
 	// events on every node share one trace ID and parent correctly.
 	Trace TraceInfo
+	// Idem is the request's idempotency token (0 = none). Reply records the
+	// outcome in the dedup window under this token; Forward propagates it.
+	Idem uint64
 	// Body is the request payload.
 	Body []byte
 
@@ -174,6 +205,12 @@ func (c *Ctx) Reply(body []byte, err error) {
 	} else {
 		msg.Body = body
 	}
+	if c.Idem != 0 {
+		// Record the outcome before sending: if the reply is lost, a retry
+		// carrying the same token replays this outcome instead of re-running
+		// the handler.
+		c.ep.dedup.complete(c.Origin, c.Idem, msg.Body, msg.Err)
+	}
 	c.ep.sendReply(c.Origin, &msg)
 }
 
@@ -184,7 +221,13 @@ func (c *Ctx) Forward(to gaddr.NodeID, proc Proc, body []byte) error {
 	if !c.replied.CompareAndSwap(false, true) {
 		panic("rpc: forward after reply")
 	}
-	msg := requestMsg{CallID: c.CallID, Origin: c.Origin, Proc: proc, Trace: c.Trace, Body: body}
+	if c.Idem != 0 {
+		// This node is a forwarder, not the executor: abandon its in-flight
+		// dedup entry so a retry arriving here is forwarded again rather than
+		// dropped waiting for a completion that will never happen locally.
+		c.ep.dedup.abandon(c.Origin, c.Idem)
+	}
+	msg := requestMsg{CallID: c.CallID, Origin: c.Origin, Proc: proc, Trace: c.Trace, Idem: c.Idem, Body: body}
 	return c.ep.sendRequest(to, &msg, c.IsCall())
 }
 
@@ -199,6 +242,8 @@ type Endpoint struct {
 	handlers [256]Handler
 	nextID   atomic.Uint64
 	counts   *stats.Set
+	health   healthState
+	dedup    dedupTable
 	// Dispatch controls how request handlers run. By default each request
 	// handler runs on its own goroutine (replies are processed inline so
 	// they can never be stuck behind a slow handler). Core overrides this to
@@ -220,6 +265,8 @@ func NewEndpoint(tr transport.Transport) *Endpoint {
 		counts:  stats.NewSet(),
 	}
 	ep.Dispatch = func(f func()) { go f() }
+	ep.health.init()
+	ep.dedup.init()
 	tr.SetHandler(ep.onMessage)
 	return ep
 }
@@ -257,32 +304,12 @@ func (ep *Endpoint) CallTimeout(to gaddr.NodeID, p Proc, body []byte, timeout ti
 
 // CallTraced is CallTimeout carrying an explicit trace context in the
 // request envelope. The receiving handler sees it as Ctx.Trace.
+//
+// Like every timed call it classifies failure: a timeout probes the peer, so
+// the error is ErrNodeDown when the peer is dead and ErrTimeout when it is
+// merely slow (see CallWith for the full policy surface).
 func (ep *Endpoint) CallTraced(to gaddr.NodeID, p Proc, body []byte, timeout time.Duration, ti TraceInfo) ([]byte, error) {
-	id := ep.nextID.Add(1)
-	ch := make(chan replyOutcome, 1)
-	ep.mu.Lock()
-	ep.pending[id] = ch
-	ep.mu.Unlock()
-	defer func() {
-		ep.mu.Lock()
-		delete(ep.pending, id)
-		ep.mu.Unlock()
-	}()
-
-	msg := requestMsg{CallID: id, Origin: ep.Self(), Proc: p, Trace: ti, Body: body}
-	if err := ep.sendRequest(to, &msg, true); err != nil {
-		return nil, err
-	}
-	if timeout <= 0 {
-		out := <-ch
-		return out.body, out.err
-	}
-	select {
-	case out := <-ch:
-		return out.body, out.err
-	case <-time.After(timeout):
-		return nil, fmt.Errorf("%w: proc %d to node %d", ErrTimeout, p, to)
-	}
+	return ep.CallWith(to, p, body, CallOpts{Timeout: timeout, Trace: ti})
 }
 
 // Oneway sends a request with no reply expected.
@@ -332,6 +359,11 @@ func (ep *Endpoint) sendReply(to gaddr.NodeID, msg *replyMsg) {
 // reply payloads travel onward to the pending caller, who recycles them
 // after decoding.
 func (ep *Endpoint) onMessage(m transport.Message) {
+	// Any inbound traffic proves the sender is alive; only pay the map lookup
+	// while at least one peer is marked down.
+	if ep.health.downCount.Load() != 0 {
+		ep.noteAlive(m.From)
+	}
 	switch m.Kind {
 	case kindReply:
 		var rm replyMsg
@@ -349,12 +381,35 @@ func (ep *Endpoint) onMessage(m transport.Message) {
 			return
 		}
 		h := ep.handler(rq.Proc)
-		ctx := &Ctx{ep: ep, From: m.From, Origin: rq.Origin, CallID: rq.CallID, Trace: rq.Trace, Body: rq.Body}
+		ctx := &Ctx{ep: ep, From: m.From, Origin: rq.Origin, CallID: rq.CallID, Trace: rq.Trace, Idem: rq.Idem, Body: rq.Body}
 		if h == nil {
 			ep.counts.Inc("rpc_unknown_proc")
 			ctx.Reply(nil, fmt.Errorf("rpc: node %d has no handler for proc %d", ep.Self(), rq.Proc))
 			wire.PutBuf(m.Payload)
 			return
+		}
+		if rq.Idem != 0 {
+			switch verdict, body, errStr := ep.dedup.admit(rq.Origin, rq.Idem); verdict {
+			case dedupReplay:
+				// A retry of a call that already executed here: replay the
+				// recorded outcome without re-running the handler.
+				ep.counts.Inc("rpc_dedup_hits")
+				if trace.GlobalOn() {
+					trace.GlobalEmit(trace.Event{Kind: trace.KDedupHit,
+						Node: int32(ep.Self()), Arg: int64(rq.Origin)})
+				}
+				rm := replyMsg{CallID: rq.CallID, Body: body, Err: errStr}
+				ep.sendReply(rq.Origin, &rm)
+				wire.PutBuf(m.Payload)
+				return
+			case dedupInflight:
+				// A retry racing the original execution: drop it. The origin
+				// keeps the same token, so a later retry replays the outcome
+				// once the first execution completes.
+				ep.counts.Inc("rpc_dedup_inflight_drops")
+				wire.PutBuf(m.Payload)
+				return
+			}
 		}
 		ep.counts.Inc("rpc_handled")
 		payload := m.Payload
@@ -362,6 +417,10 @@ func (ep *Endpoint) onMessage(m transport.Message) {
 			h(ctx)
 			wire.PutBuf(payload)
 		})
+	case kindPing:
+		ep.handlePing(m)
+	case kindPong:
+		ep.handlePong(m)
 	default:
 		ep.counts.Inc("rpc_bad_kind")
 		wire.PutBuf(m.Payload)

@@ -86,6 +86,14 @@ func TestSetHistogramsAndConsistentSnapshot(t *testing.T) {
 
 	// The snapshot must be internally consistent under concurrent writers:
 	// taken under the set mutex, it can never observe a half-registered name.
+	// The writers model the failure path, which bumps its counters in bursts
+	// (a retry increments rpc_retries at the caller while the callee records
+	// a dedup hit and a probe failure) — every burst member is paired 1:1
+	// with ops, so after quiesce all totals must agree exactly.
+	failureCounters := []string{"rpc_retries", "rpc_dedup_hits", "rpc_probe_failures"}
+	for _, c := range failureCounters {
+		s.Inc(c) // pre-register, paired with the Inc("ops") above
+	}
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	for w := 0; w < 4; w++ {
@@ -99,6 +107,9 @@ func TestSetHistogramsAndConsistentSnapshot(t *testing.T) {
 				default:
 				}
 				s.Inc("ops")
+				for _, c := range failureCounters {
+					s.Inc(c)
+				}
 				s.Observe("op_ns", time.Duration(i%1000)*time.Nanosecond)
 			}
 		}(w)
@@ -111,6 +122,12 @@ func TestSetHistogramsAndConsistentSnapshot(t *testing.T) {
 		if _, ok := snap.Histograms["op_ns"]; !ok {
 			t.Error("snapshot lost the op_ns histogram")
 		}
+		// A registered counter may never vanish from a snapshot.
+		for _, c := range failureCounters {
+			if _, ok := snap.Counters[c]; !ok {
+				t.Errorf("snapshot lost the %s counter", c)
+			}
+		}
 	}
 	close(stop)
 	wg.Wait()
@@ -120,6 +137,12 @@ func TestSetHistogramsAndConsistentSnapshot(t *testing.T) {
 		// before this snapshot, so totals must match exactly.
 		t.Fatalf("histogram count %d != counter %d after quiesce",
 			snap.Histograms["op_ns"].Count, snap.Counters["ops"])
+	}
+	for _, c := range failureCounters {
+		if snap.Counters[c] != snap.Counters["ops"] {
+			t.Fatalf("%s = %d, want %d (paired with ops) after quiesce",
+				c, snap.Counters[c], snap.Counters["ops"])
+		}
 	}
 }
 

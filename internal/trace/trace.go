@@ -57,6 +57,16 @@ const (
 	KDialRetry
 	// KThreadStart: a new Amber thread was started (Trace = its journey ID).
 	KThreadStart
+	// KRetry: a call attempt timed out and was retried (Arg = attempt number).
+	KRetry
+	// KPeerDown: a peer failed its health probe and was marked down
+	// (Arg = peer node).
+	KPeerDown
+	// KPeerUp: a down peer answered again and was marked up (Arg = peer node).
+	KPeerUp
+	// KDedupHit: a retried idempotent request was answered from the dedup
+	// window instead of re-executing (Arg = origin node).
+	KDedupHit
 )
 
 // String names the event kind for timelines and the introspection endpoint.
@@ -90,6 +100,14 @@ func (k Kind) String() string {
 		return "dial.retry"
 	case KThreadStart:
 		return "thread.start"
+	case KRetry:
+		return "rpc.retry"
+	case KPeerDown:
+		return "peer.down"
+	case KPeerUp:
+		return "peer.up"
+	case KDedupHit:
+		return "dedup.hit"
 	}
 	return "unknown"
 }

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"amber/internal/gaddr"
@@ -19,6 +20,7 @@ type Fabric struct {
 	ports   map[gaddr.NodeID]*port
 	links   map[linkKey]*link
 	fault   func(Message) bool
+	faults  atomic.Pointer[Faults]
 	closed  bool
 	done    chan struct{}
 	counts  *stats.Set
@@ -50,6 +52,15 @@ func (f *Fabric) SetFault(fn func(Message) bool) {
 	f.fault = fn
 	f.mu.Unlock()
 }
+
+// SetFaults attaches a scriptable fault injector. Pass nil to detach. Unlike
+// the SetFault hook (an all-or-nothing drop predicate for tests), a Faults
+// controller models crashes, partitions and lossy links with seeded
+// randomness — see Faults for the full model.
+func (f *Fabric) SetFaults(fl *Faults) { f.faults.Store(fl) }
+
+// Faults returns the attached fault injector (nil if none).
+func (f *Fabric) Faults() *Faults { return f.faults.Load() }
 
 // Attach connects node id to the fabric and returns its transport.
 func (f *Fabric) Attach(id gaddr.NodeID) (Transport, error) {
@@ -129,6 +140,14 @@ func (f *Fabric) deliver(l *link, dst *port) {
 				case <-time.After(d):
 				}
 			}
+			// Delivery-time recheck: a crash or cut that lands while the
+			// message is in flight still loses it (the wire had it, the
+			// destination never will).
+			if !f.faults.Load().DeliverOK(tm.msg.From, tm.msg.To) {
+				f.counts.Inc("msgs_dropped")
+				wire.PutBuf(tm.msg.Payload)
+				continue
+			}
 			h := dst.handler()
 			if h != nil && !dst.isClosed() {
 				h(tm.msg) // zero-copy handoff: the handler now owns Payload
@@ -187,6 +206,7 @@ func (p *port) Send(to gaddr.NodeID, kind Kind, payload []byte) error {
 	fault := f.fault
 	closed := f.closed
 	f.mu.RUnlock()
+	faults := f.faults.Load()
 	if closed {
 		return ErrClosed
 	}
@@ -199,13 +219,19 @@ func (p *port) Send(to gaddr.NodeID, kind Kind, payload []byte) error {
 		wire.PutBuf(payload) // accepted (nil return) means we own it
 		return nil           // dropped silently, like a lossy wire
 	}
+	verdict := faults.Judge(p.id, to)
+	if verdict.Drop {
+		f.counts.Inc("msgs_dropped")
+		wire.PutBuf(payload)
+		return nil // fail-stop silence: the sender cannot tell
+	}
 	l := f.getLink(p.id, to, dst)
 	if l == nil {
 		return ErrClosed
 	}
 
 	// Compute delivery time: the wire serializes transmissions, then the
-	// message propagates with the profile latency.
+	// message propagates with the profile latency, plus any injected delay.
 	now := time.Now()
 	tx := f.profile.TransmitTime(len(payload))
 	l.mu.Lock()
@@ -214,12 +240,26 @@ func (p *port) Send(to gaddr.NodeID, kind Kind, payload []byte) error {
 		start = now
 	}
 	l.busyUntil = start.Add(tx)
-	deliverAt := l.busyUntil.Add(f.profile.Latency)
+	deliverAt := l.busyUntil.Add(f.profile.Latency + verdict.Delay)
 	l.mu.Unlock()
 
 	f.counts.Inc("msgs_sent")
 	f.counts.Add("bytes_sent", int64(len(payload)+headerBytes))
 	f.counts.Add(kindSentBytes[kind], int64(len(payload)))
+	if verdict.Duplicate {
+		// The transport owns each sent buffer exactly once, so the duplicate
+		// needs its own pooled copy of the payload.
+		dup := wire.GetBufN(len(payload))
+		copy(dup, payload)
+		dmsg := msg
+		dmsg.Payload = dup
+		select {
+		case l.ch <- timedMessage{msg: dmsg, deliverAt: deliverAt}:
+		case <-f.done:
+			wire.PutBuf(dup)
+			return ErrClosed
+		}
+	}
 	select {
 	case l.ch <- timedMessage{msg: msg, deliverAt: deliverAt}:
 		return nil

@@ -1,0 +1,507 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amber/internal/gaddr"
+	"amber/internal/stats"
+)
+
+// Faults is a scriptable fault injector shared by the Fabric and TCP
+// transports. It models the failures the original Amber system assumed away
+// (§6 of the paper: "Amber currently provides no support for recovering from
+// processor failures"):
+//
+//   - Crash: a node goes silent — everything it sends or receives is dropped.
+//     Restart lifts the silence. Because crash is modelled at the network
+//     (fail-stop silence), an in-process node keeps its memory across
+//     crash/restart, which is exactly the "partitioned then healed" view the
+//     rest of the cluster cannot distinguish from a fast reboot.
+//   - Cut: a one-way partition from one node to another (Partition cuts both
+//     directions). Heal reverses either.
+//   - Link rules: probabilistic message drop and duplication plus uniform
+//     extra delay on a (from, to) link, with * wildcards.
+//
+// Probabilistic decisions come from a single seeded PRNG, so a fault script
+// replays identically for a given seed — the property the deterministic
+// failure scenarios in internal/sim and internal/core rely on.
+//
+// The zero-cost contract: when no fault is armed, Judge is one atomic load.
+// Transports must therefore consult Judge via the nil-safe helpers below on
+// every message without measurable hot-path cost.
+type Faults struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	seed    int64
+	armed   atomic.Int32
+	crashed map[gaddr.NodeID]bool
+	cut     map[[2]gaddr.NodeID]bool
+	links   map[[2]gaddr.NodeID]LinkRule
+	counts  *stats.Set
+	timers  []*time.Timer
+}
+
+// LinkRule is the probabilistic fault configuration of one directed link.
+type LinkRule struct {
+	// Drop is the probability ([0,1]) that a message is silently lost.
+	Drop float64
+	// Dup is the probability that a message is delivered twice.
+	Dup float64
+	// DelayMin/DelayMax bound a uniform extra delivery delay.
+	DelayMin, DelayMax time.Duration
+}
+
+func (r LinkRule) empty() bool {
+	return r.Drop == 0 && r.Dup == 0 && r.DelayMin == 0 && r.DelayMax == 0
+}
+
+// Verdict is Judge's decision about one message.
+type Verdict struct {
+	// Drop: do not deliver (the wire ate it).
+	Drop bool
+	// Delay: extra delivery latency on top of the transport's own model.
+	Delay time.Duration
+	// Duplicate: deliver a second copy as well.
+	Duplicate bool
+}
+
+// Wildcard matches any node in a cut or link-rule endpoint.
+const Wildcard = gaddr.NoNode
+
+// NewFaults creates an injector whose probabilistic decisions derive from
+// seed (0 is replaced by 1 so the zero value of a flag still seeds).
+func NewFaults(seed int64) *Faults {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Faults{
+		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
+		crashed: make(map[gaddr.NodeID]bool),
+		cut:     make(map[[2]gaddr.NodeID]bool),
+		links:   make(map[[2]gaddr.NodeID]LinkRule),
+		counts:  stats.NewSet(),
+	}
+}
+
+// Seed reports the injector's PRNG seed.
+func (f *Faults) Seed() int64 { return f.seed }
+
+// Stats exposes fault counters (drops by reason, delays, duplicates).
+func (f *Faults) Stats() *stats.Set { return f.counts }
+
+// rearm recomputes the fast-path guard; called with f.mu held.
+func (f *Faults) rearm() {
+	if len(f.crashed)+len(f.cut)+len(f.links) > 0 {
+		f.armed.Store(1)
+	} else {
+		f.armed.Store(0)
+	}
+}
+
+// Armed reports whether any fault is currently configured.
+func (f *Faults) Armed() bool { return f != nil && f.armed.Load() != 0 }
+
+// Crash silences node id: every message to or from it is dropped until
+// Restart.
+func (f *Faults) Crash(id gaddr.NodeID) {
+	f.mu.Lock()
+	f.crashed[id] = true
+	f.rearm()
+	f.mu.Unlock()
+	f.counts.Inc("faults_crashes")
+}
+
+// Restart lifts a crash.
+func (f *Faults) Restart(id gaddr.NodeID) {
+	f.mu.Lock()
+	delete(f.crashed, id)
+	f.rearm()
+	f.mu.Unlock()
+	f.counts.Inc("faults_restarts")
+}
+
+// Crashed reports whether node id is currently crashed.
+func (f *Faults) Crashed(id gaddr.NodeID) bool {
+	if f == nil || f.armed.Load() == 0 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed[id]
+}
+
+// Cut installs a one-way partition: messages from → to are dropped.
+// Either side may be Wildcard.
+func (f *Faults) Cut(from, to gaddr.NodeID) {
+	f.mu.Lock()
+	f.cut[[2]gaddr.NodeID{from, to}] = true
+	f.rearm()
+	f.mu.Unlock()
+}
+
+// Partition cuts both directions between a and b.
+func (f *Faults) Partition(a, b gaddr.NodeID) {
+	f.Cut(a, b)
+	f.Cut(b, a)
+}
+
+// Heal removes the one-way cut from → to (both directions when called twice
+// with swapped arguments, or use HealAll).
+func (f *Faults) Heal(from, to gaddr.NodeID) {
+	f.mu.Lock()
+	delete(f.cut, [2]gaddr.NodeID{from, to})
+	delete(f.cut, [2]gaddr.NodeID{to, from})
+	f.rearm()
+	f.mu.Unlock()
+}
+
+// SetLink installs (or, with a zero rule, clears) the probabilistic rule for
+// the from → to link. Either side may be Wildcard.
+func (f *Faults) SetLink(from, to gaddr.NodeID, r LinkRule) {
+	key := [2]gaddr.NodeID{from, to}
+	f.mu.Lock()
+	if r.empty() {
+		delete(f.links, key)
+	} else {
+		f.links[key] = r
+	}
+	f.rearm()
+	f.mu.Unlock()
+}
+
+// HealAll clears every configured fault (crashes, cuts, link rules) and
+// cancels pending scheduled rules. Counters are preserved.
+func (f *Faults) HealAll() {
+	f.mu.Lock()
+	f.crashed = make(map[gaddr.NodeID]bool)
+	f.cut = make(map[[2]gaddr.NodeID]bool)
+	f.links = make(map[[2]gaddr.NodeID]LinkRule)
+	timers := f.timers
+	f.timers = nil
+	f.rearm()
+	f.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+}
+
+// cutLocked reports whether any cut (exact or wildcard) severs from → to.
+func (f *Faults) cutLocked(from, to gaddr.NodeID) bool {
+	return f.cut[[2]gaddr.NodeID{from, to}] ||
+		f.cut[[2]gaddr.NodeID{from, Wildcard}] ||
+		f.cut[[2]gaddr.NodeID{Wildcard, to}] ||
+		f.cut[[2]gaddr.NodeID{Wildcard, Wildcard}]
+}
+
+// linkLocked returns the most specific link rule for from → to.
+func (f *Faults) linkLocked(from, to gaddr.NodeID) (LinkRule, bool) {
+	for _, key := range [][2]gaddr.NodeID{
+		{from, to}, {from, Wildcard}, {Wildcard, to}, {Wildcard, Wildcard},
+	} {
+		if r, ok := f.links[key]; ok {
+			return r, true
+		}
+	}
+	return LinkRule{}, false
+}
+
+// Judge decides the fate of one message from → to. Nil receivers and the
+// unarmed state deliver everything at full speed.
+func (f *Faults) Judge(from, to gaddr.NodeID) Verdict {
+	if f == nil || f.armed.Load() == 0 {
+		return Verdict{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case f.crashed[from]:
+		f.counts.Inc("faults_dropped_crash")
+		return Verdict{Drop: true}
+	case f.crashed[to]:
+		f.counts.Inc("faults_dropped_crash")
+		return Verdict{Drop: true}
+	case f.cutLocked(from, to):
+		f.counts.Inc("faults_dropped_partition")
+		return Verdict{Drop: true}
+	}
+	r, ok := f.linkLocked(from, to)
+	if !ok {
+		return Verdict{}
+	}
+	var v Verdict
+	if r.Drop > 0 && f.rng.Float64() < r.Drop {
+		f.counts.Inc("faults_dropped_loss")
+		return Verdict{Drop: true}
+	}
+	if r.DelayMax > 0 {
+		v.Delay = r.DelayMin
+		if span := r.DelayMax - r.DelayMin; span > 0 {
+			v.Delay += time.Duration(f.rng.Int63n(int64(span) + 1))
+		}
+		f.counts.Inc("faults_delayed")
+	}
+	if r.Dup > 0 && f.rng.Float64() < r.Dup {
+		v.Duplicate = true
+		f.counts.Inc("faults_duplicated")
+	}
+	return v
+}
+
+// DeliverOK is the delivery-time recheck: a message already in flight when
+// its destination crashes (or a cut lands) is still lost.
+func (f *Faults) DeliverOK(from, to gaddr.NodeID) bool {
+	if f == nil || f.armed.Load() == 0 {
+		return true
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed[from] || f.crashed[to] || f.cutLocked(from, to) {
+		f.counts.Inc("faults_dropped_in_flight")
+		return false
+	}
+	return true
+}
+
+// --- rule language (amberd -faults flag and the /faults debug endpoint) ---
+
+// Apply parses and applies one fault rule. The grammar, one rule per call
+// (fields are whitespace-separated; node endpoints are integers or "*"):
+//
+//	crash <node>            restart <node>
+//	cut <from> <to>         partition <a> <b>
+//	heal <from> <to>        heal all
+//	drop <from> <to> <prob>
+//	delay <from> <to> <min> <max>
+//	dup <from> <to> <prob>
+//
+// A trailing "@<duration>" token defers the rule: "crash 2 @5s" crashes node
+// 2 five seconds from now (used to script failures from the command line).
+func (f *Faults) Apply(rule string) error {
+	fields := strings.Fields(rule)
+	if len(fields) == 0 {
+		return fmt.Errorf("faults: empty rule")
+	}
+	var after time.Duration
+	if last := fields[len(fields)-1]; strings.HasPrefix(last, "@") {
+		d, err := time.ParseDuration(last[1:])
+		if err != nil {
+			return fmt.Errorf("faults: bad schedule %q: %v", last, err)
+		}
+		after = d
+		fields = fields[:len(fields)-1]
+		if len(fields) == 0 {
+			return fmt.Errorf("faults: schedule with no rule")
+		}
+	}
+	apply, err := f.compile(fields)
+	if err != nil {
+		return err
+	}
+	if after <= 0 {
+		apply()
+		return nil
+	}
+	t := time.AfterFunc(after, apply)
+	f.mu.Lock()
+	f.timers = append(f.timers, t)
+	f.mu.Unlock()
+	return nil
+}
+
+// ApplyScript applies a semicolon- or newline-separated sequence of rules.
+func (f *Faults) ApplyScript(script string) error {
+	for _, rule := range strings.FieldsFunc(script, func(r rune) bool { return r == ';' || r == '\n' }) {
+		if strings.TrimSpace(rule) == "" {
+			continue
+		}
+		if err := f.Apply(rule); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseNode(s string) (gaddr.NodeID, error) {
+	if s == "*" {
+		return Wildcard, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("faults: bad node %q", s)
+	}
+	return gaddr.NodeID(n), nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("faults: bad probability %q (want 0..1)", s)
+	}
+	return p, nil
+}
+
+// compile turns tokenized rule fields into a closure so scheduled rules parse
+// eagerly (errors surface at Apply time) but execute later.
+func (f *Faults) compile(fields []string) (func(), error) {
+	verb := fields[0]
+	argc := len(fields) - 1
+	need := func(n int) error {
+		if argc != n {
+			return fmt.Errorf("faults: %s wants %d args, got %d", verb, n, argc)
+		}
+		return nil
+	}
+	switch verb {
+	case "crash", "restart":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		id, err := parseNode(fields[1])
+		if err != nil || id == Wildcard {
+			return nil, fmt.Errorf("faults: %s wants a concrete node, got %q", verb, fields[1])
+		}
+		if verb == "crash" {
+			return func() { f.Crash(id) }, nil
+		}
+		return func() { f.Restart(id) }, nil
+	case "cut", "partition", "heal":
+		if verb == "heal" && argc == 1 && fields[1] == "all" {
+			return f.HealAll, nil
+		}
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		from, err := parseNode(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		to, err := parseNode(fields[2])
+		if err != nil {
+			return nil, err
+		}
+		switch verb {
+		case "cut":
+			return func() { f.Cut(from, to) }, nil
+		case "partition":
+			return func() { f.Partition(from, to) }, nil
+		default:
+			return func() { f.Heal(from, to) }, nil
+		}
+	case "drop", "dup":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		from, err := parseNode(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		to, err := parseNode(fields[2])
+		if err != nil {
+			return nil, err
+		}
+		p, err := parseProb(fields[3])
+		if err != nil {
+			return nil, err
+		}
+		return func() {
+			f.mu.Lock()
+			key := [2]gaddr.NodeID{from, to}
+			r := f.links[key]
+			if verb == "drop" {
+				r.Drop = p
+			} else {
+				r.Dup = p
+			}
+			if r.empty() {
+				delete(f.links, key)
+			} else {
+				f.links[key] = r
+			}
+			f.rearm()
+			f.mu.Unlock()
+		}, nil
+	case "delay":
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		from, err := parseNode(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		to, err := parseNode(fields[2])
+		if err != nil {
+			return nil, err
+		}
+		min, err := time.ParseDuration(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("faults: bad delay %q: %v", fields[3], err)
+		}
+		max, err := time.ParseDuration(fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("faults: bad delay %q: %v", fields[4], err)
+		}
+		if min < 0 || max < min {
+			return nil, fmt.Errorf("faults: delay wants 0 <= min <= max")
+		}
+		return func() {
+			f.mu.Lock()
+			key := [2]gaddr.NodeID{from, to}
+			r := f.links[key]
+			r.DelayMin, r.DelayMax = min, max
+			if r.empty() {
+				delete(f.links, key)
+			} else {
+				f.links[key] = r
+			}
+			f.rearm()
+			f.mu.Unlock()
+		}, nil
+	default:
+		return nil, fmt.Errorf("faults: unknown rule %q", verb)
+	}
+}
+
+// Status renders the live fault configuration, one line per fault, in the
+// rule grammar (so status output can be replayed as a script).
+func (f *Faults) Status() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var lines []string
+	nodeStr := func(id gaddr.NodeID) string {
+		if id == Wildcard {
+			return "*"
+		}
+		return strconv.Itoa(int(id))
+	}
+	for id := range f.crashed {
+		lines = append(lines, "crash "+nodeStr(id))
+	}
+	for key := range f.cut {
+		lines = append(lines, "cut "+nodeStr(key[0])+" "+nodeStr(key[1]))
+	}
+	for key, r := range f.links {
+		l := nodeStr(key[0]) + " " + nodeStr(key[1])
+		if r.Drop > 0 {
+			lines = append(lines, fmt.Sprintf("drop %s %g", l, r.Drop))
+		}
+		if r.Dup > 0 {
+			lines = append(lines, fmt.Sprintf("dup %s %g", l, r.Dup))
+		}
+		if r.DelayMax > 0 {
+			lines = append(lines, fmt.Sprintf("delay %s %v %v", l, r.DelayMin, r.DelayMax))
+		}
+	}
+	sort.Strings(lines)
+	if len(lines) == 0 {
+		return "no faults armed\n"
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

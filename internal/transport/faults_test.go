@@ -1,0 +1,277 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"amber/internal/gaddr"
+)
+
+// faultNet builds a 3-node instant fabric with an attached injector and
+// per-node collectors.
+func faultNet(t *testing.T, seed int64) (*Fabric, *Faults, []Transport, []<-chan Message) {
+	t.Helper()
+	f := NewFabric(Instant)
+	t.Cleanup(func() { f.Close() })
+	fl := NewFaults(seed)
+	f.SetFaults(fl)
+	trs := make([]Transport, 3)
+	chans := make([]<-chan Message, 3)
+	for i := range trs {
+		tr, err := f.Attach(gaddr.NodeID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[i] = tr
+		ch, _ := collect(tr)
+		chans[i] = ch
+	}
+	return f, fl, trs, chans
+}
+
+func expectDelivery(t *testing.T, ch <-chan Message, want string) {
+	t.Helper()
+	select {
+	case m := <-ch:
+		if string(m.Payload) != want {
+			t.Fatalf("payload = %q, want %q", m.Payload, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("message %q not delivered", want)
+	}
+}
+
+func expectSilence(t *testing.T, ch <-chan Message, d time.Duration) {
+	t.Helper()
+	select {
+	case m := <-ch:
+		t.Fatalf("unexpected delivery %q", m.Payload)
+	case <-time.After(d):
+	}
+}
+
+func TestFaultsCrashAndRestart(t *testing.T) {
+	_, fl, trs, chans := faultNet(t, 42)
+	fl.Crash(1)
+	if !fl.Crashed(1) || fl.Crashed(0) {
+		t.Fatal("Crashed bookkeeping wrong")
+	}
+	// Nothing in, nothing out: fail-stop silence.
+	if err := trs[0].Send(1, 7, []byte("in")); err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[1].Send(0, 7, []byte("out")); err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, chans[1], 50*time.Millisecond)
+	expectSilence(t, chans[0], 10*time.Millisecond)
+	// Uninvolved links keep working.
+	if err := trs[0].Send(2, 7, []byte("bystander")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, chans[2], "bystander")
+
+	fl.Restart(1)
+	if fl.Crashed(1) {
+		t.Fatal("restart did not lift the crash")
+	}
+	if err := trs[0].Send(1, 7, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, chans[1], "back")
+	if fl.Stats().Value("faults_dropped_crash") < 2 {
+		t.Fatalf("crash drops = %d, want >= 2", fl.Stats().Value("faults_dropped_crash"))
+	}
+}
+
+func TestFaultsOneWayCut(t *testing.T) {
+	_, fl, trs, chans := faultNet(t, 42)
+	fl.Cut(0, 1)
+	if err := trs[0].Send(1, 7, []byte("cut")); err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, chans[1], 50*time.Millisecond)
+	// The reverse direction is untouched: the partition is one-way.
+	if err := trs[1].Send(0, 7, []byte("reverse")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, chans[0], "reverse")
+
+	fl.Heal(0, 1)
+	if err := trs[0].Send(1, 7, []byte("healed")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, chans[1], "healed")
+}
+
+func TestFaultsWildcardCut(t *testing.T) {
+	_, fl, trs, chans := faultNet(t, 42)
+	// Isolate node 2's inbound side only.
+	fl.Cut(Wildcard, 2)
+	if err := trs[0].Send(2, 7, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[1].Send(2, 7, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, chans[2], 50*time.Millisecond)
+	if err := trs[2].Send(0, 7, []byte("outbound ok")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, chans[0], "outbound ok")
+	fl.HealAll()
+	if fl.Armed() {
+		t.Fatal("HealAll left faults armed")
+	}
+}
+
+func TestFaultsDuplication(t *testing.T) {
+	_, fl, trs, chans := faultNet(t, 42)
+	fl.SetLink(0, 1, LinkRule{Dup: 1.0})
+	if err := trs[0].Send(1, 7, []byte("twice")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, chans[1], "twice")
+	expectDelivery(t, chans[1], "twice")
+	if fl.Stats().Value("faults_duplicated") != 1 {
+		t.Fatalf("duplicated = %d", fl.Stats().Value("faults_duplicated"))
+	}
+}
+
+func TestFaultsDelay(t *testing.T) {
+	_, fl, trs, chans := faultNet(t, 42)
+	fl.SetLink(0, 1, LinkRule{DelayMin: 30 * time.Millisecond, DelayMax: 30 * time.Millisecond})
+	start := time.Now()
+	if err := trs[0].Send(1, 7, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, chans[1], "late")
+	if since := time.Since(start); since < 25*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= 30ms of injected delay", since)
+	}
+}
+
+// TestFaultsSeededDeterminism is the property the deterministic failure
+// scenarios rely on: the same seed produces the same drop pattern.
+func TestFaultsSeededDeterminism(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		fl := NewFaults(seed)
+		fl.SetLink(0, 1, LinkRule{Drop: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = fl.Judge(0, 1).Drop
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 7 diverged at message %d", i)
+		}
+	}
+	dropped := 0
+	for _, d := range a {
+		if d {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == len(a) {
+		t.Fatalf("drop 0.5 dropped %d/%d — not probabilistic", dropped, len(a))
+	}
+}
+
+func TestFaultsInFlightDrop(t *testing.T) {
+	_, fl, trs, chans := faultNet(t, 42)
+	// Hold the message in flight long enough to crash its destination.
+	fl.SetLink(0, 1, LinkRule{DelayMin: 60 * time.Millisecond, DelayMax: 60 * time.Millisecond})
+	if err := trs[0].Send(1, 7, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	fl.Crash(1)
+	expectSilence(t, chans[1], 120*time.Millisecond)
+	if fl.Stats().Value("faults_dropped_in_flight") != 1 {
+		t.Fatalf("in-flight drops = %d", fl.Stats().Value("faults_dropped_in_flight"))
+	}
+}
+
+func TestFaultsRuleParser(t *testing.T) {
+	fl := NewFaults(1)
+	good := []string{
+		"crash 2", "restart 2", "cut 0 1", "partition 1 2", "heal 0 1",
+		"heal all", "drop 0 1 0.25", "dup * 2 0.5", "delay 0 * 1ms 5ms",
+		"crash 2 @1h", // scheduled far in the future; cancelled by HealAll
+	}
+	for _, r := range good {
+		if err := fl.Apply(r); err != nil {
+			t.Errorf("Apply(%q) = %v", r, err)
+		}
+	}
+	bad := []string{
+		"", "explode 1", "crash", "crash *", "crash x", "cut 0",
+		"drop 0 1 1.5", "drop 0 1 x", "delay 0 1 5ms 1ms", "delay 0 1 zz 1ms",
+		"crash 2 @soon", "@5s",
+	}
+	for _, r := range bad {
+		if err := fl.Apply(r); err == nil {
+			t.Errorf("Apply(%q) succeeded, want error", r)
+		}
+	}
+	fl.HealAll()
+}
+
+func TestFaultsScriptStatusRoundTrip(t *testing.T) {
+	fl := NewFaults(1)
+	script := "crash 2; cut 0 1\ndrop 1 2 0.25; dup * 0 0.5; delay 0 2 1ms 5ms"
+	if err := fl.ApplyScript(script); err != nil {
+		t.Fatal(err)
+	}
+	status := fl.Status()
+	replay := NewFaults(1)
+	if err := replay.ApplyScript(status); err != nil {
+		t.Fatalf("Status output is not a valid script: %v\n%s", err, status)
+	}
+	if got := replay.Status(); got != status {
+		t.Fatalf("status round-trip mismatch:\n--- original\n%s--- replayed\n%s", status, got)
+	}
+	fl.HealAll()
+	if !strings.Contains(fl.Status(), "no faults armed") {
+		t.Fatalf("healed status = %q", fl.Status())
+	}
+}
+
+func TestFaultsScheduledRule(t *testing.T) {
+	_, fl, trs, chans := faultNet(t, 42)
+	if err := fl.Apply("crash 1 @40ms"); err != nil {
+		t.Fatal(err)
+	}
+	// Before the schedule fires the link works.
+	if err := trs[0].Send(1, 7, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, chans[1], "before")
+	deadline := time.Now().Add(2 * time.Second)
+	for !fl.Crashed(1) {
+		if time.Now().After(deadline) {
+			t.Fatal("scheduled crash never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := trs[0].Send(1, 7, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	expectSilence(t, chans[1], 50*time.Millisecond)
+}
+
+func TestFaultsNilSafety(t *testing.T) {
+	var fl *Faults
+	if v := fl.Judge(0, 1); v.Drop || v.Duplicate || v.Delay != 0 {
+		t.Fatal("nil Faults must deliver everything")
+	}
+	if !fl.DeliverOK(0, 1) {
+		t.Fatal("nil Faults must deliver everything")
+	}
+	if fl.Armed() || fl.Crashed(0) {
+		t.Fatal("nil Faults must report nothing armed")
+	}
+}

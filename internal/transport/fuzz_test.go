@@ -4,7 +4,10 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"sync"
 	"testing"
+
+	"amber/internal/gaddr"
 )
 
 // FuzzReadFrame feeds hostile byte streams to the TCP frame parser: it must
@@ -31,6 +34,51 @@ func FuzzReadFrame(f *testing.F) {
 				t.Fatalf("payload (%d) longer than input (%d)", len(msg.Payload), len(data))
 			}
 		}
+	})
+}
+
+// FuzzFaultRules feeds hostile scripts to the fault-rule parser while other
+// goroutines judge traffic: the parser must reject garbage without panicking,
+// and (under -race) concurrent Apply/Judge/DeliverOK must stay data-race
+// free — the contract the amberd /faults endpoint relies on, since operators
+// post rules while the transport is live.
+func FuzzFaultRules(f *testing.F) {
+	f.Add("crash 1")
+	f.Add("crash 1; restart 1\npartition 0 2")
+	f.Add("drop * 1 0.5; dup 1 * 1.0; delay 0 1 1ms 5ms")
+	f.Add("heal all")
+	f.Add("cut 0 1 @1h")
+	f.Add("crash -1; drop 0 1 2.0; delay a b c d; @")
+	f.Fuzz(func(t *testing.T, script string) {
+		fl := NewFaults(99)
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					from, to := gaddr.NodeID(i%4), gaddr.NodeID((i+1+g)%4)
+					v := fl.Judge(from, to)
+					if v.Delay < 0 {
+						t.Errorf("negative injected delay %v", v.Delay)
+						return
+					}
+					fl.DeliverOK(from, to)
+					fl.Crashed(from)
+				}
+			}(g)
+		}
+		fl.ApplyScript(script) // error or not — must never panic
+		fl.Status()
+		close(stop)
+		wg.Wait()
+		fl.HealAll() // cancels any timers the script scheduled
 	})
 }
 

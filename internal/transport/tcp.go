@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"amber/internal/gaddr"
@@ -47,6 +48,7 @@ type TCP struct {
 	closed   bool
 	wg       sync.WaitGroup
 	counts   *stats.Set
+	faults   atomic.Pointer[Faults]
 	// flushHist times each coalesced socket flush (cached out of counts so
 	// the flusher never pays a map lookup).
 	flushHist *stats.Histogram
@@ -112,6 +114,16 @@ func (t *TCP) SetPeers(peers map[gaddr.NodeID]string) {
 
 // Stats exposes transport counters.
 func (t *TCP) Stats() *stats.Set { return t.counts }
+
+// SetFaults attaches a scriptable fault injector (nil to detach). Over real
+// sockets the injector models crash silence, one-way cuts, probabilistic
+// drop and duplication; injected link *delay* is a fabric-only feature (a
+// socket write cannot be deferred without reordering the stream) — delay
+// rules are accepted but ignored here.
+func (t *TCP) SetFaults(fl *Faults) { t.faults.Store(fl) }
+
+// Faults returns the attached fault injector (nil if none).
+func (t *TCP) Faults() *Faults { return t.faults.Load() }
 
 func (t *TCP) Self() gaddr.NodeID { return t.cfg.Self }
 
@@ -196,6 +208,13 @@ func (t *TCP) readLoop(c net.Conn) {
 		if err != nil {
 			return
 		}
+		// Receive-side fault check: a crashed or partitioned-off receiver
+		// never sees frames already pushed into the kernel socket buffers.
+		if !t.faults.Load().DeliverOK(from, t.cfg.Self) {
+			t.counts.Inc("msgs_dropped")
+			wire.PutBuf(msg.Payload)
+			continue
+		}
 		t.counts.Inc("msgs_recv")
 		t.counts.Add("bytes_recv", int64(len(msg.Payload)+5))
 		t.counts.Add(kindRecvBytes[msg.Kind], int64(len(msg.Payload)))
@@ -234,6 +253,12 @@ func (t *TCP) Send(to gaddr.NodeID, kind Kind, payload []byte) error {
 	if to == t.cfg.Self {
 		return ErrSelfSend
 	}
+	verdict := t.faults.Load().Judge(t.cfg.Self, to)
+	if verdict.Drop {
+		t.counts.Inc("msgs_dropped")
+		wire.PutBuf(payload)
+		return nil // fail-stop silence: the sender cannot tell
+	}
 	conn, err := t.getConn(to)
 	if err != nil {
 		return err
@@ -245,6 +270,13 @@ func (t *TCP) Send(to gaddr.NodeID, kind Kind, payload []byte) error {
 	_, err = conn.w.Write(hdr[:])
 	if err == nil {
 		_, err = conn.w.Write(payload)
+	}
+	if err == nil && verdict.Duplicate {
+		// Two identical frames back to back on the stream; delivered in order.
+		_, err = conn.w.Write(hdr[:])
+		if err == nil {
+			_, err = conn.w.Write(payload)
+		}
 	}
 	conn.mu.Unlock()
 	if err != nil {

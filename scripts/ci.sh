@@ -16,5 +16,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== fault suite (crash/partition injection, retry, dedup) =="
+# The failure-domain scenarios are timing-sensitive by nature, so they run a
+# second time under -race with fresh state: seeded injectors make the fault
+# schedules deterministic, and any flake here is a real ordering bug.
+go test -race -count=1 \
+	-run 'TestFaults|FuzzFaultRules|TestTimeoutClassified|TestRetry|TestIdempotent|TestNonIdempotent|TestGeneration|TestWatchPeer|TestDedup|TestCrash|TestOrphaned|TestForwardingChainRepair|TestThreeNodeCrash|TestSimCrash' \
+	./internal/transport/ ./internal/rpc/ ./internal/core/ ./internal/sim/
+
 echo
 echo "ci: all gates passed"
