@@ -14,6 +14,7 @@
 package amber
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"amber/internal/ivy"
@@ -136,6 +137,41 @@ func BenchmarkTable1ThreadStartJoin(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkLocalInvokeParallel measures local-invocation scalability across
+// goroutines (run with -cpu 1,8: the ns/op ratio is the scaling factor the
+// sharded object space is accountable for). Each goroutine is its own Amber
+// thread invoking its own object, so the only shared structures on the path
+// are the object-space table and the node's counters — exactly what the
+// lock-striped layout is supposed to keep uncontended. The goroutine holds
+// its processor slot across the loop (WithSlot) so the scheduler's admission
+// queue is paid once, not per op.
+func BenchmarkLocalInvokeParallel(b *testing.B) {
+	cl := benchCluster(b, 1, 64, Instant)
+	root := cl.Node(0).Root()
+	const objs = 64
+	refs := make([]Ref, objs)
+	for i := range refs {
+		r, err := root.New(&benchCounter{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs[i] = r
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := root.Spawn()
+		ref := refs[int(next.Add(1))%objs]
+		ctx.WithSlot(func() {
+			for pb.Next() {
+				if _, err := ctx.Invoke(ref, "Poke"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }
 
 // --- E10: residency-check overhead on the local fast path ---

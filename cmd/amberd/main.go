@@ -54,16 +54,19 @@ func metricFamilies(tr *transport.TCP, node *core.Node) []stats.Family {
 	}
 }
 
-// extraMetrics are process-wide gauges that live outside any stats set.
-func extraMetrics() []stats.ExtraMetric {
-	return []stats.ExtraMetric{{Name: "wire_gob_fallbacks", Value: wire.GobFallbacks()}}
+// extraMetrics are process-wide gauges that live outside any stats set: the
+// wire codec's gob-fallback count plus the sharded object space's aggregate
+// counters (descriptor/hint population, stripe lock contention, evictions).
+func extraMetrics(node *core.Node) []stats.ExtraMetric {
+	out := []stats.ExtraMetric{{Name: "wire_gob_fallbacks", Value: wire.GobFallbacks()}}
+	return append(out, stats.MapMetrics("objspace_", node.SpaceStats())...)
 }
 
 // printStatus renders every counter and latency histogram (transport byte
 // counters per message kind, hint-cache hits/misses/retries, invoke and move
 // latency quantiles, …) in the same format /metrics serves over HTTP.
 func printStatus(tr *transport.TCP, node *core.Node) {
-	fmt.Print(stats.RenderMetrics(extraMetrics(), metricFamilies(tr, node)...))
+	fmt.Print(stats.RenderMetrics(extraMetrics(node), metricFamilies(tr, node)...))
 }
 
 // dumpTrace collects the cluster-wide thread-journey trace (this node's ring
@@ -90,21 +93,23 @@ func dumpTrace(node *core.Node, peers []gaddr.NodeID, path string) {
 
 func main() {
 	var (
-		nodeID   = flag.Int("node", 0, "this node's ID (node 0 hosts the address-space server)")
-		listen   = flag.String("listen", ":7700", "TCP listen address")
-		peerArg  = flag.String("peers", "", "comma-separated peer list: id=host:port,...")
-		procs    = flag.Int("procs", 4, "processor slots on this node")
-		drive    = flag.Bool("drive", false, "run the demo workload from this node, then exit")
-		driveSOR = flag.Bool("sor", false, "run a verified distributed SOR solve from this node, then exit")
-		sorRows   = flag.Int("sor-rows", 26, "SOR grid rows")
-		sorCols   = flag.Int("sor-cols", 26, "SOR grid columns")
-		retries   = flag.Int("retries", 30, "startup retries while peers come up")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /trace, /faults and pprof on this address (empty = off)")
-		tracing   = flag.Bool("trace", false, "record thread-journey events from startup (implied by -debug-addr)")
-		traceOut  = flag.String("trace-out", "amber-trace.json", "Chrome trace file written after -drive/-sor when tracing")
-		faultSeed = flag.Int64("fault-seed", 0, "attach a seeded fault injector to this node's transport (0 = off)")
-		faultsArg = flag.String("faults", "", "fault script applied at startup, rules separated by ';' (e.g. 'drop 0 1 0.1; delay 1 2 1ms 5ms'); requires -fault-seed")
-		rpcTO     = flag.Duration("rpc-timeout", 0, "bound internode requests (0 = wait forever); set when injecting faults")
+		nodeID      = flag.Int("node", 0, "this node's ID (node 0 hosts the address-space server)")
+		listen      = flag.String("listen", ":7700", "TCP listen address")
+		peerArg     = flag.String("peers", "", "comma-separated peer list: id=host:port,...")
+		procs       = flag.Int("procs", 4, "processor slots on this node")
+		drive       = flag.Bool("drive", false, "run the demo workload from this node, then exit")
+		driveSOR    = flag.Bool("sor", false, "run a verified distributed SOR solve from this node, then exit")
+		sorRows     = flag.Int("sor-rows", 26, "SOR grid rows")
+		sorCols     = flag.Int("sor-cols", 26, "SOR grid columns")
+		retries     = flag.Int("retries", 30, "startup retries while peers come up")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /trace, /faults and pprof on this address (empty = off)")
+		tracing     = flag.Bool("trace", false, "record thread-journey events from startup (implied by -debug-addr)")
+		traceOut    = flag.String("trace-out", "amber-trace.json", "Chrome trace file written after -drive/-sor when tracing")
+		spaceShards = flag.Int("space-shards", 0, "lock stripes in the object space (0 = default, rounded up to a power of two)")
+		hintCache   = flag.Int("hint-cache", 0, "total location-hint cache capacity, split across shards (0 = default)")
+		faultSeed   = flag.Int64("fault-seed", 0, "attach a seeded fault injector to this node's transport (0 = off)")
+		faultsArg   = flag.String("faults", "", "fault script applied at startup, rules separated by ';' (e.g. 'drop 0 1 0.1; delay 1 2 1ms 5ms'); requires -fault-seed")
+		rpcTO       = flag.Duration("rpc-timeout", 0, "bound internode requests (0 = wait forever); set when injecting faults")
 	)
 	flag.Parse()
 
@@ -174,8 +179,10 @@ func main() {
 	// drop stale location hints.
 	cfg := core.NodeConfig{
 		ID: gaddr.NodeID(*nodeID), Procs: *procs, ServerNode: 0, Tracer: tracer,
-		RPCTimeout: *rpcTO,
-		Generation: uint64(time.Now().UnixNano()),
+		RPCTimeout:  *rpcTO,
+		Generation:  uint64(time.Now().UnixNano()),
+		SpaceShards: *spaceShards,
+		HintCache:   *hintCache,
 	}
 
 	// Nodes other than 0 need the server up to get their initial regions;
@@ -201,8 +208,21 @@ func main() {
 	if *debugAddr != "" {
 		dbg, err := debug.Serve(*debugAddr, debug.Options{
 			Families: metricFamilies(tr, node),
-			Extras:   extraMetrics,
+			Extras:   func() []stats.ExtraMetric { return extraMetrics(node) },
 			Tracer:   tracer,
+			Space: func() ([]debug.SpaceShard, map[string]int64) {
+				raw := node.Space().ShardStats()
+				shards := make([]debug.SpaceShard, len(raw))
+				for i, st := range raw {
+					shards[i] = debug.SpaceShard{
+						Shard:       i,
+						Descriptors: st.Descriptors,
+						Hints:       st.Hints,
+						Evictions:   int64(st.Evictions),
+					}
+				}
+				return shards, node.SpaceStats()
+			},
 			CollectTrace: func(last int) ([]trace.Event, error) {
 				return node.CollectTrace(all, last)
 			},

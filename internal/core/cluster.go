@@ -34,6 +34,12 @@ type ClusterConfig struct {
 	// fabric (reachable via Faults()): crash/restart/partition/loss rules
 	// replay identically for a given seed.
 	FaultSeed int64
+	// SpaceShards sets each node's object-space stripe count (see
+	// NodeConfig.SpaceShards; 0 = default).
+	SpaceShards int
+	// HintCache caps each node's location-hint cache (see
+	// NodeConfig.HintCache; 0 = default).
+	HintCache int
 	// DebugImmutable enables immutable write detection (see NodeConfig).
 	DebugImmutable bool
 	// Policy builds each node's initial scheduling policy (nil = FIFO).
@@ -101,6 +107,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			DebugImmutable:   cfg.DebugImmutable,
 			Tracing:          cfg.Tracing,
 			TraceBuffer:      cfg.TraceBuffer,
+			SpaceShards:      cfg.SpaceShards,
+			HintCache:        cfg.HintCache,
 		}
 		if cfg.Policy != nil {
 			ncfg.Policy = cfg.Policy()

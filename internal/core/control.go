@@ -45,19 +45,39 @@ func (n *Node) handleInstall(rc *rpc.Ctx) {
 		}
 
 		d := n.descEnsure(snap.Addr)
-		d.mu.Lock()
-		d.state = stateResident
-		d.obj = pv
-		d.ti = ti
-		d.immutable = snap.Immutable
-		d.replica = msg.Copy
-		d.fwd = gaddr.NoNode
-		d.attach = nil
-		for _, p := range snap.Attached {
-			d.addAttach(p)
+		d.Lock()
+		if !msg.Copy && snap.Epoch != 0 && snap.Epoch <= d.Epoch() {
+			// Stale or duplicate install: this node already has newer
+			// information about the object (the residency the snapshot
+			// describes has been and gone). Installing it would wind the
+			// epoch backward and corrupt routing.
+			d.Unlock()
+			n.counts.Inc("installs_stale")
+			continue
 		}
-		d.cond.Broadcast()
-		d.mu.Unlock()
+		if d.State() == stateMoving {
+			// Pre-flip window of an outbound move: the object left here and
+			// is already coming back. This inbound residency supersedes the
+			// outbound op — clearing Mv turns its pending tombstone flip
+			// into a no-op (see ship).
+			d.Mv = nil
+			n.counts.Inc("installs_superseded_move")
+		}
+		// Publication order matters: the payload, mode bits and edges are all
+		// in place before the state word flips to resident — the transition
+		// is what licenses lock-free TryPin readers to look at the payload.
+		d.Payload = payload{obj: pv, ti: ti}
+		d.Fwd = gaddr.NoNode
+		d.ClearAttachLocked()
+		for _, p := range snap.Attached {
+			d.AddAttach(p)
+		}
+		d.SetImmutableLocked(snap.Immutable)
+		d.SetReplicaLocked(msg.Copy)
+		d.SetEpochLocked(snap.Epoch)
+		d.SetStateLocked(stateResident)
+		d.Broadcast()
+		d.Unlock()
 		// Any hint for this object is now stale at best; the descriptor is
 		// authoritative.
 		n.hintDrop(snap.Addr)
@@ -75,6 +95,7 @@ func (n *Node) handleInstall(rc *rpc.Ctx) {
 // ship the request and decode the typed reply.
 func (n *Node) control(c *Ctx, msg *routedMsg, o callOpts) (any, error) {
 	msg.Thread = c.rec
+	restarts := 0
 	for retries := 0; ; retries++ {
 		d, act, to, err := n.resolve(msg)
 		switch act {
@@ -91,7 +112,17 @@ func (n *Node) control(c *Ctx, msg *routedMsg, o callOpts) (any, error) {
 			}
 			return nil, err
 		case actForward:
-			return n.shipControl(c, msg, to, o)
+			rep, err := n.shipControl(c, msg, to, o)
+			// Like invoke: a chase that ran out of hops behind a fast-moving
+			// object restarts with a fresh chain (routing-lost replies are
+			// pre-execution, so this cannot double-apply the operation).
+			if err != nil && errors.Is(err, ErrRoutingLost) && restarts < 4 {
+				restarts++
+				msg.Chain = nil
+				n.counts.Inc("routing_restarts")
+				continue
+			}
+			return rep, err
 		}
 	}
 }
@@ -102,8 +133,8 @@ func (n *Node) control(c *Ctx, msg *routedMsg, o callOpts) (any, error) {
 func (n *Node) executeControlLocal(d *descriptor, msg *routedMsg) (any, error) {
 	switch msg.Op {
 	case opLocate:
-		rep := locateReply{Node: n.id, Immutable: d.immutable}
-		d.mu.Unlock()
+		rep := locateReply{Node: n.id, Immutable: d.Immutable()}
+		d.Unlock()
 		n.counts.Inc("locates_answered")
 		return &rep, nil
 	case opMove:
@@ -129,7 +160,7 @@ func (n *Node) executeControlLocal(d *descriptor, msg *routedMsg) (any, error) {
 	case opUnattach:
 		return nil, n.executeUnattach(d, msg)
 	default:
-		d.mu.Unlock()
+		d.Unlock()
 		return nil, fmt.Errorf("amber: unknown control op %d", msg.Op)
 	}
 }
@@ -167,14 +198,14 @@ func (n *Node) shipControl(c *Ctx, msg *routedMsg, to gaddr.NodeID, o callOpts) 
 		if err := wire.UnmarshalFrom(resp, &lr); err != nil {
 			return nil, err
 		}
-		n.learnLocation(msg.Obj, lr.Node)
+		n.learnLocation(msg.Obj, lr.Node, lr.Epoch)
 		return &lr, nil
 	case opMove:
 		var mr moveReply
 		if err := wire.UnmarshalFrom(resp, &mr); err != nil {
 			return nil, err
 		}
-		n.learnLocation(msg.Obj, mr.Node)
+		n.learnLocation(msg.Obj, mr.Node, mr.Epoch)
 		return &mr, nil
 	default:
 		return nil, nil // empty acks
@@ -198,7 +229,7 @@ func (c *Ctx) MoveTo(obj Ref, node gaddr.NodeID, opts ...CallOption) error {
 		return err
 	}
 	if mr, ok := rep.(*moveReply); ok && !mr.Deferred {
-		c.node.learnLocation(obj, mr.Node)
+		c.node.learnLocation(obj, mr.Node, mr.Epoch)
 	}
 	if tr := c.node.tracer; tr.On() {
 		tr.Emit(trace.Event{Kind: trace.KObjectMove, Trace: c.rec.ID, Parent: c.span,

@@ -352,7 +352,7 @@ func TestReentrantRecursion(t *testing.T) {
 	ref, _ := ctx.New(&Recurser{})
 	// Wire the self-reference.
 	d := cl.Node(0).desc(ref)
-	d.obj.Interface().(*Recurser).Self = ref
+	d.Payload.obj.Interface().(*Recurser).Self = ref
 
 	out, err := ctx.Invoke(ref, "Down", 10)
 	if err != nil {

@@ -2,99 +2,37 @@ package core
 
 import (
 	"reflect"
-	"sync"
 
-	"amber/internal/gaddr"
+	"amber/internal/objspace"
 )
 
-// descState enumerates the lifecycle of an object descriptor on one node
-// (§3.2). There is no explicit "uninitialized" state: an uninitialized
-// descriptor is simply absent from the node's table, just as the paper's
-// uninitialized descriptors are zero-filled pages — both are detected and
-// interpreted as "consult the home node".
-type descState uint8
-
-const (
-	// stateResident: the object (or an immutable replica) lives here and
-	// may be entered.
-	stateResident descState = iota + 1
-	// stateMoving: a move is draining the object's bound threads or
-	// shipping its contents. New entries wait; only threads already bound
-	// (pinned) may re-enter. This is the window in which the paper's
-	// invocation-time and context-switch residency checks bite (§3.5).
-	stateMoving
-	// stateForwarded: the object left this node; fwd is its last known
-	// location, a Fowler forwarding address (§3.3).
-	stateForwarded
-	// stateDeleted: the object was destroyed here; a tombstone remains so
-	// stale references fail cleanly rather than dangling.
-	stateDeleted
-)
-
-// descriptor is the per-node record for one object. The paper embeds it as
-// the first words of the object record at the object's global virtual
-// address; here it is an entry in the node's descriptor table keyed by that
-// address.
-type descriptor struct {
-	mu   sync.Mutex
-	cond *sync.Cond // signalled on state changes and unpins
-
-	state descState
-
-	// obj holds the live object (pointer to struct) while resident.
+// payload is the runtime's per-object content stored inside an objspace
+// descriptor: the live value (pointer to struct) and its class. Writes are
+// guarded by the descriptor mutex; a thread holding a pin may read it
+// without the mutex (see the objspace.Descriptor synchronization contract —
+// payloads are published strictly before the resident transition and cleared
+// only after pins drain).
+type payload struct {
 	obj reflect.Value
 	ti  *typeInfo
-
-	// pins counts operations currently executing inside the object — the
-	// set of bound threads (§3.5). A pin is taken atomically with the
-	// residency check, which is what closes the paper's check-then-enter
-	// race on multiprocessors.
-	pins int
-
-	// immutable marks the object as never again modified (§2.3); moves
-	// become copies and replicas may exist on many nodes.
-	immutable bool
-	// replica marks a resident copy of an immutable object (the original
-	// stays at its birth node).
-	replica bool
-
-	// fwd is the forwarding address while stateForwarded, or a location
-	// hint created by a chain-cache update.
-	fwd gaddr.NodeID
-
-	// attach holds the object's attachment edges (§2.3). Attached objects
-	// form components that move as a unit and are always co-resident.
-	attach map[gaddr.Addr]struct{}
-
-	// mv is the in-progress move operation while stateMoving.
-	mv *moveOp
 }
 
-func newDescriptor() *descriptor {
-	d := &descriptor{}
-	d.cond = sync.NewCond(&d.mu)
-	return d
-}
+// descriptor is the per-node record for one object: the objspace coherence
+// machinery (packed state word, pins, cond, forwarding address, attachment
+// edges) instantiated with the runtime's payload. The paper embeds it as the
+// first words of the object record at the object's global virtual address;
+// here it is an entry in the node's sharded object-space table keyed by that
+// address (§3.2).
+type descriptor = objspace.Descriptor[payload]
 
-// attachPeers returns a copy of the attachment edge set. Caller holds d.mu.
-func (d *descriptor) attachPeers() []gaddr.Addr {
-	if len(d.attach) == 0 {
-		return nil
-	}
-	out := make([]gaddr.Addr, 0, len(d.attach))
-	for a := range d.attach {
-		out = append(out, a)
-	}
-	return out
-}
-
-// addAttach records an edge. Caller holds d.mu.
-func (d *descriptor) addAttach(a gaddr.Addr) {
-	if d.attach == nil {
-		d.attach = make(map[gaddr.Addr]struct{})
-	}
-	d.attach[a] = struct{}{}
-}
+// Descriptor lifecycle states, re-exported for readability at use sites.
+const (
+	stateAbsent    = objspace.StateAbsent
+	stateResident  = objspace.StateResident
+	stateMoving    = objspace.StateMoving
+	stateForwarded = objspace.StateForwarded
+	stateDeleted   = objspace.StateDeleted
+)
 
 // MoveGuard lets an object veto migration. The runtime's thread objects and
 // the synchronization classes use it (a lock with queued waiters cannot ship

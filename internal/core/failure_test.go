@@ -360,6 +360,27 @@ func TestGenerationChangeDropsHints(t *testing.T) {
 // and the final counter values prove each successful operation executed
 // exactly once (the dedup window absorbing every duplicate attempt).
 func TestThreeNodeCrashMidWorkload(t *testing.T) {
+	// The exactly-once audit must hold on every run. Whether a duplicate
+	// attempt actually materialized is probabilistic, though: it needs a
+	// retry to race the flapping reply path inside the fault window, and on
+	// a slow or heavily loaded host every attempt can land after the heal.
+	// So the hard invariants are checked each run, and only the "a duplicate
+	// was demonstrably absorbed" side condition earns reruns.
+	for attempt := 1; ; attempt++ {
+		retries, dedup := runThreeNodeCrashWorkload(t)
+		if t.Failed() || (retries >= 1 && dedup >= 1) {
+			return
+		}
+		if attempt == 3 {
+			t.Errorf("after %d runs: rpc_retries=%d rpc_dedup_hits=%d, want both >= 1 (no duplicate was ever absorbed)",
+				attempt, retries, dedup)
+			return
+		}
+		t.Logf("run %d absorbed no duplicate (retries=%d, dedup_hits=%d); rerunning", attempt, retries, dedup)
+	}
+}
+
+func runThreeNodeCrashWorkload(t *testing.T) (retries, dedup int64) {
 	cl, fl := newFailureCluster(t, 3, 1234)
 	mk := func(node int) Ref {
 		ref, err := cl.Node(node).Root().New(&Counter{})
@@ -447,16 +468,13 @@ func TestThreeNodeCrashMidWorkload(t *testing.T) {
 				target, got, want, failures[target].Load())
 		}
 	}
-	// The flapping reply path must have produced real duplicate suppression:
-	// that is the counter the exactly-once audit above leans on.
-	dedup := cl.Node(1).RPCStats().Value("rpc_dedup_hits") + cl.Node(2).RPCStats().Value("rpc_dedup_hits")
-	if dedup < 1 {
-		t.Errorf("rpc_dedup_hits = %d, want >= 1 (no duplicate was ever absorbed)", dedup)
-	}
-	if cl.Node(0).RPCStats().Value("rpc_retries") < 1 {
-		t.Errorf("rpc_retries = %d, want >= 1", cl.Node(0).RPCStats().Value("rpc_retries"))
-	}
+	// The flapping reply path should have produced real duplicate
+	// suppression — that is the counter the exactly-once audit above leans
+	// on. The caller decides whether a zero here earns a rerun.
+	dedup = cl.Node(1).RPCStats().Value("rpc_dedup_hits") + cl.Node(2).RPCStats().Value("rpc_dedup_hits")
+	retries = cl.Node(0).RPCStats().Value("rpc_retries")
 	t.Logf("workload: target1 ok=%d down=%d, target2 ok=%d down=%d, retries=%d, dedup_hits=%d",
 		successes[0].Load(), failures[0].Load(), successes[1].Load(), failures[1].Load(),
-		cl.Node(0).RPCStats().Value("rpc_retries"), dedup)
+		retries, dedup)
+	return retries, dedup
 }

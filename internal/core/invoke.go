@@ -43,25 +43,32 @@ func (n *Node) resolve(msg *routedMsg) (d *descriptor, act action, to gaddr.Node
 		a, t, e := n.homeFallback(msg.Obj)
 		return nil, a, t, e
 	}
-	d.mu.Lock()
+	// Fast path: for an invocation on a resident object, the residency check
+	// and the pin are one CAS on the packed state word — no shard lock, no
+	// descriptor mutex (§3.5). Everything else (moving, forwarded, deleted,
+	// control ops) falls through to the locked entry protocol below.
+	if msg.Op == opInvoke && d.TryPin() {
+		return d, actExecute, 0, nil
+	}
+	d.Lock()
 	for {
-		switch d.state {
-		case 0:
+		switch st := d.State(); st {
+		case stateAbsent:
 			// Hint entry created but never initialized; treat as absent.
-			d.mu.Unlock()
+			d.Unlock()
 			a, t, e := n.homeFallback(msg.Obj)
 			return nil, a, t, e
 		case stateDeleted:
-			d.mu.Unlock()
+			d.Unlock()
 			return nil, actError, 0, fmt.Errorf("%w: %#x", ErrDeleted, uint64(msg.Obj))
 		case stateForwarded:
-			to := d.fwd
-			d.mu.Unlock()
+			to := d.Fwd
+			d.Unlock()
 			return nil, actForward, to, nil
 		case stateResident:
 			if msg.Op == opInvoke {
-				d.pins++
-				d.mu.Unlock()
+				d.PinLocked()
+				d.Unlock()
 				return d, actExecute, 0, nil
 			}
 			return d, actExecute, 0, nil // d.mu held for control ops
@@ -70,18 +77,18 @@ func (n *Node) resolve(msg *routedMsg) (d *descriptor, act action, to gaddr.Node
 			case msg.Op == opInvoke && msg.Thread.pinned(msg.Obj):
 				// A bound thread re-entering the object it already
 				// occupies; the move is waiting on it anyway.
-				d.pins++
-				d.mu.Unlock()
+				d.PinLocked()
+				d.Unlock()
 				return d, actExecute, 0, nil
 			case msg.Op == opLocate:
 				return d, actExecute, 0, nil // still here; d.mu held
 			default:
 				n.counts.Inc("entries_blocked_on_move")
-				d.cond.Wait()
+				d.Wait()
 			}
 		default:
-			d.mu.Unlock()
-			return nil, actError, 0, fmt.Errorf("amber: descriptor in impossible state %d", d.state)
+			d.Unlock()
+			return nil, actError, 0, fmt.Errorf("amber: descriptor in impossible state %d", st)
 		}
 	}
 }
@@ -100,14 +107,14 @@ func (n *Node) homeFallback(obj gaddr.Addr) (action, gaddr.NodeID, error) {
 			n.hintDrop(obj)
 			n.counts.Inc("hints_dropped_down")
 		} else {
-			n.counts.Inc("hint_hits")
+			n.cHintHits.Inc()
 			if n.tracer.On() {
 				n.tracer.Emit(trace.Event{Kind: trace.KHintHit, Obj: uint64(obj), Arg: int64(at)})
 			}
 			return actForward, at, nil
 		}
 	}
-	n.counts.Inc("hint_misses")
+	n.cHintMisses.Inc()
 	if n.tracer.On() {
 		n.tracer.Emit(trace.Event{Kind: trace.KHintMiss, Obj: uint64(obj)})
 	}
@@ -150,22 +157,32 @@ func (n *Node) invoke(c *Ctx, obj gaddr.Addr, method string, args []any, o callO
 		case actError:
 			return nil, err
 		case actExecute:
-			n.counts.Inc("invokes_local")
+			n.cInvokesLocal.Inc()
 			start := time.Now()
 			res, rerr := n.runPinned(c, d, obj, method, args)
 			n.histLocal.Observe(time.Since(start))
 			return res, rerr
 		}
 		res, rerr := n.shipInvoke(c, &msg, to, args, o)
-		// A routed call that dead-ends may have been steered by a stale
-		// location hint; forget it and retry once through the home node.
-		if rerr != nil && attempt == 0 && staleRouteError(rerr) && n.hintDrop(obj) {
-			n.counts.Inc("hint_retries")
-			if n.tracer.On() {
-				n.tracer.Emit(trace.Event{Kind: trace.KHintStaleRetry, Trace: c.rec.ID,
-					Span: c.span, Thread: c.rec.ID, Obj: uint64(obj)})
+		if rerr != nil && staleRouteError(rerr) {
+			// A routed call that dead-ends may have been steered by a stale
+			// location hint; forget it and retry once through the home node.
+			if attempt == 0 && n.hintDrop(obj) {
+				n.counts.Inc("hint_retries")
+				if n.tracer.On() {
+					n.tracer.Emit(trace.Event{Kind: trace.KHintStaleRetry, Trace: c.rec.ID,
+						Span: c.span, Thread: c.rec.ID, Obj: uint64(obj)})
+				}
+				continue
 			}
-			continue
+			// A lost chase ran out of hops replaying the movement history of
+			// an object that kept migrating ahead of it. Routing-lost replies
+			// are generated before any execution, so restarting with a fresh
+			// chain is safe; bounded so a true routing hole still surfaces.
+			if errors.Is(rerr, ErrRoutingLost) && attempt < 4 {
+				n.counts.Inc("routing_restarts")
+				continue
+			}
 		}
 		return res, rerr
 	}
@@ -228,7 +245,7 @@ func (n *Node) shipInvoke(c *Ctx, msg *routedMsg, to gaddr.NodeID, args []any, o
 	// therefore still resident — under the drain protocol the check cannot
 	// fail, which is exactly why the protocol is safe.
 	n.counts.Inc("return_checks")
-	n.learnLocation(msg.Obj, ir.Node)
+	n.learnLocation(msg.Obj, ir.Node, ir.Epoch)
 	// ir.Results aliases resp; UnmarshalArgs copies the values out, after
 	// which the reply buffer can go back to the pool.
 	out, err := wire.UnmarshalArgs(ir.Results)
@@ -239,17 +256,26 @@ func (n *Node) shipInvoke(c *Ctx, msg *routedMsg, to gaddr.NodeID, args []any, o
 // learnLocation caches where an object was last seen (the originating node's
 // share of chain caching): a real descriptor (move tombstone) is refreshed in
 // place; otherwise the location lands in the hint cache.
-func (n *Node) learnLocation(obj gaddr.Addr, at gaddr.NodeID) {
+//
+// epoch versions the claim (the residency version at the reporting node when
+// it held the object). A tombstone is only overwritten by strictly newer
+// information: replies can be processed long after they were generated — the
+// object may have moved on, even back through this node — and an unversioned
+// refresh could aim this tombstone backward in time, forming a routing cycle
+// with another node's newer tombstone. Epoch zero means "unversioned" (e.g. a
+// deferred move reply) and never touches a descriptor.
+func (n *Node) learnLocation(obj gaddr.Addr, at gaddr.NodeID, epoch uint64) {
 	if at == n.id || at == gaddr.NoNode {
 		return
 	}
 	if d := n.desc(obj); d != nil {
-		d.mu.Lock()
-		if d.state == 0 || d.state == stateForwarded {
-			d.state = stateForwarded
-			d.fwd = at
+		d.Lock()
+		if st := d.State(); (st == stateAbsent || st == stateForwarded) && epoch > d.Epoch() {
+			d.SetStateLocked(stateForwarded)
+			d.Fwd = at
+			d.SetEpochLocked(epoch)
 		}
-		d.mu.Unlock()
+		d.Unlock()
 		return
 	}
 	n.hintSet(obj, at)
@@ -266,13 +292,15 @@ func (n *Node) runPinned(c *Ctx, d *descriptor, obj gaddr.Addr, method string, a
 	}()
 	release := c.ensureSlot(n)
 	defer release()
-	n.counts.Inc("residency_checks")
+	n.cResidency.Inc()
 
-	d.mu.Lock()
-	ti := d.ti
-	objPtr := d.obj
-	checkImmutable := d.immutable && n.cfg.DebugImmutable
-	d.mu.Unlock()
+	// The pin we hold licenses a lock-free read of the payload: it was
+	// published before the word went resident and cannot be cleared until we
+	// unpin (see the objspace.Descriptor synchronization contract). The
+	// immutable bit comes off the packed word — one atomic load.
+	ti := d.Payload.ti
+	objPtr := d.Payload.obj
+	checkImmutable := n.cfg.DebugImmutable && d.Immutable()
 	if ti == nil {
 		return nil, fmt.Errorf("%w: %#x has no type", ErrNoSuchObject, uint64(obj))
 	}
@@ -296,18 +324,11 @@ func (n *Node) runPinned(c *Ctx, d *descriptor, obj gaddr.Addr, method string, a
 }
 
 // unpin releases one pin; the last pin out of a moving object triggers the
-// deferred shipment.
+// deferred shipment. The fast path (resident, no waiters) is a single CAS
+// inside Unpin; only contended descriptors take the mutex.
 func (n *Node) unpin(d *descriptor) {
-	d.mu.Lock()
-	d.pins--
-	var mv *moveOp
-	if d.pins == 0 && d.state == stateMoving && d.mv != nil {
-		mv = d.mv
-	}
-	d.cond.Broadcast()
-	d.mu.Unlock()
-	if mv != nil {
-		mv.memberDrained()
+	if mv := d.Unpin(); mv != nil {
+		mv.MemberDrained()
 	}
 }
 
@@ -321,8 +342,12 @@ func (n *Node) handleRouted(rc *rpc.Ctx) {
 	}
 	if len(msg.Chain) > n.cfg.MaxHops {
 		n.counts.Inc("routing_lost")
-		rc.Reply(nil, fmt.Errorf("%w: %s %#x after %d hops",
-			ErrRoutingLost, msg.Op, uint64(msg.Obj), len(msg.Chain)))
+		tail := msg.Chain
+		if len(tail) > 12 {
+			tail = tail[len(tail)-12:]
+		}
+		rc.Reply(nil, fmt.Errorf("%w: %s %#x after %d hops (tail %v)",
+			ErrRoutingLost, msg.Op, uint64(msg.Obj), len(msg.Chain), tail))
 		return
 	}
 	for retries := 0; ; retries++ {
@@ -372,14 +397,15 @@ func (n *Node) handleRouted(rc *rpc.Ctx) {
 				return
 			}
 			n.ep.WatchPeer(to)
-			// Anti-livelock: a long chain means we are chasing an object
-			// that migrates as fast as we follow — possible only on a
-			// fabric with no latency; the original system never needed
-			// this because Ethernet latency dwarfed move rates. Back off
-			// progressively so the moves settle.
-			if h := len(msg.Chain); h >= 8 {
-				time.Sleep(time.Duration(h) * 500 * time.Microsecond)
-			}
+			// A long chain means we are chasing an object that migrates
+			// about as fast as we follow (possible only on a fabric with no
+			// latency; Ethernet latency dwarfed move rates on the original
+			// system). Forward immediately: every tombstone points forward
+			// in time, so the chase replays the object's movement history
+			// and wins as soon as it arrives inside any residency window —
+			// sleeping here only lets more moves pile up ahead of us.
+			// MaxHops bounds the chase; the origin restarts it with a fresh
+			// chain if the history is longer than that.
 			msg.Chain = append(msg.Chain, n.id)
 			body, merr := wire.MarshalInto(&msg)
 			if merr != nil {
@@ -431,6 +457,9 @@ func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 				Parent: rc.Trace.SpanID, Thread: msg.Thread.ID, Obj: uint64(msg.Obj), Label: msg.Method})
 		}
 		n.counts.Inc("invokes_executed_for_remote")
+		// Read the epoch while still pinned: a pin holds off the shipment, so
+		// this is the version of the residency that executes the call.
+		epoch := d.Epoch()
 		start := time.Now()
 		results, err := n.runPinned(c, d, msg.Obj, msg.Method, args)
 		n.histExec.Observe(time.Since(start))
@@ -442,7 +471,7 @@ func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 		}
 		if err != nil {
 			rc.Reply(nil, err)
-			n.sendChainUpdates(msg.Obj, msg.Chain, rc.Origin)
+			n.sendChainUpdates(msg.Obj, epoch, msg.Chain, rc.Origin)
 			return nil
 		}
 		rb, err := wire.MarshalArgs(results)
@@ -450,18 +479,18 @@ func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 			rc.Reply(nil, err)
 			return nil
 		}
-		body, err := wire.MarshalInto(&invokeReply{Results: rb, Node: n.id})
+		body, err := wire.MarshalInto(&invokeReply{Results: rb, Node: n.id, Epoch: epoch})
 		rc.Reply(body, err)
-		n.sendChainUpdates(msg.Obj, msg.Chain, rc.Origin)
+		n.sendChainUpdates(msg.Obj, epoch, msg.Chain, rc.Origin)
 		return nil
 
 	case opLocate:
-		rep := locateReply{Node: n.id, Immutable: d.immutable}
-		d.mu.Unlock()
+		rep := locateReply{Node: n.id, Immutable: d.Immutable(), Epoch: d.Epoch()}
+		d.Unlock()
 		body, err := wire.MarshalInto(&rep)
 		rc.Reply(body, err)
 		n.counts.Inc("locates_answered")
-		n.sendChainUpdates(msg.Obj, msg.Chain, rc.Origin)
+		n.sendChainUpdates(msg.Obj, rep.Epoch, msg.Chain, rc.Origin)
 		return nil
 
 	case opMove:
@@ -511,7 +540,7 @@ func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 		return nil
 
 	default:
-		d.mu.Unlock()
+		d.Unlock()
 		return fmt.Errorf("amber: unknown routed op %d", msg.Op)
 	}
 }

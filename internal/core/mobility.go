@@ -3,11 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
-	"reflect"
 	"sync"
 	"time"
 
 	"amber/internal/gaddr"
+	"amber/internal/objspace"
 	"amber/internal/wire"
 )
 
@@ -25,15 +25,16 @@ type moveOp struct {
 	mems  []*descriptor
 
 	mu        sync.Mutex
-	remaining int  // members still pinned
-	deferred  bool // requesting thread is bound: ship on last unpin
+	epoch     uint64 // root's post-move residency epoch, set by ship
+	remaining int    // members still pinned
+	deferred  bool   // requesting thread is bound: ship on last unpin
 	aborted   bool
 	drained   chan struct{}
 }
 
-// memberDrained is called by unpin when a member's pin count reaches zero
-// during stateMoving.
-func (op *moveOp) memberDrained() {
+// MemberDrained is called (via objspace.Drainer, from unpin) when a member's
+// pin count reaches zero during stateMoving.
+func (op *moveOp) MemberDrained() {
 	op.mu.Lock()
 	if op.aborted {
 		op.mu.Unlock()
@@ -57,6 +58,13 @@ func (op *moveOp) memberDrained() {
 	}
 }
 
+// shippedEpoch reads the root's post-move epoch recorded by ship.
+func (op *moveOp) shippedEpoch() uint64 {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	return op.epoch
+}
+
 // ship serializes the component and installs it on the destination,
 // then leaves forwarding addresses behind (§3.3, §3.4). On failure the
 // objects revert to resident.
@@ -64,29 +72,48 @@ func (op *moveOp) ship() error {
 	n := op.node
 	snaps := make([]snapshot, len(op.mems))
 	for i, m := range op.mems {
-		m.mu.Lock()
+		m.Lock()
 		s, err := n.snapshotLocked(op.addrs[i], m)
-		m.mu.Unlock()
+		m.Unlock()
 		if err != nil {
 			op.revert()
 			return err
 		}
+		s.Epoch = m.Epoch() + 1 // the residency version after this move
 		snaps[i] = s
 	}
+	op.mu.Lock()
+	op.epoch = snaps[0].Epoch // addrs[0] is the component root
+	op.mu.Unlock()
 	if err := n.installRemote(op.dest, &installMsg{From: n.id, Objects: snaps}); err != nil {
 		op.revert()
 		return err
 	}
-	for _, m := range op.mems {
-		m.mu.Lock()
-		m.state = stateForwarded
-		m.fwd = op.dest
-		m.obj = reflect.Value{}
-		m.ti = nil
-		m.attach = nil
-		m.mv = nil
-		m.cond.Broadcast()
-		m.mu.Unlock()
+	for i, m := range op.mems {
+		m.Lock()
+		// Flip only if our mark is still in effect. Between installRemote
+		// returning and this loop running, the destination can complete a
+		// whole move *back* to this node: handleInstall supersedes our mark
+		// (newer residency, Mv cleared), and writing the tombstone anyway
+		// would destroy that residency — aiming routing backward in time and
+		// clearing a payload new readers may already have pinned.
+		if m.State() != stateMoving || m.Mv != objspace.Drainer(op) {
+			m.Unlock()
+			n.counts.Inc("move_flips_superseded")
+			continue
+		}
+		// Pins have drained and new ones are refused while stateMoving, so
+		// no lock-free reader can still be looking at the payload. The
+		// tombstone takes the destination's epoch: it points at residency
+		// version Epoch, and only gossip newer than that may retarget it.
+		m.SetStateLocked(stateForwarded)
+		m.Fwd = op.dest
+		m.SetEpochLocked(snaps[i].Epoch)
+		m.Payload = payload{}
+		m.ClearAttachLocked()
+		m.Mv = nil
+		m.Broadcast()
+		m.Unlock()
 	}
 	n.counts.Add("objects_moved_out", int64(len(op.mems)))
 	return nil
@@ -96,35 +123,36 @@ func (op *moveOp) ship() error {
 // move.
 func (op *moveOp) revert() {
 	for _, m := range op.mems {
-		m.mu.Lock()
-		if m.state == stateMoving && m.mv == op {
-			m.state = stateResident
-			m.mv = nil
+		m.Lock()
+		if m.State() == stateMoving && m.Mv == objspace.Drainer(op) {
+			m.SetStateLocked(stateResident)
+			m.Mv = nil
 		}
-		m.cond.Broadcast()
-		m.mu.Unlock()
+		m.Broadcast()
+		m.Unlock()
 	}
 }
 
 // snapshotLocked captures one object's migrating state; d.mu held.
 func (n *Node) snapshotLocked(a gaddr.Addr, d *descriptor) (snapshot, error) {
-	if d.ti == nil || !d.ti.serializable {
+	ti := d.Payload.ti
+	if ti == nil || !ti.serializable {
 		return snapshot{}, fmt.Errorf("%w: %#x is not serializable", ErrNotMovable, uint64(a))
 	}
 	var state []byte
-	if d.ti.hasState {
+	if ti.hasState {
 		var err error
-		state, err = wire.Marshal(d.obj.Elem().Interface())
+		state, err = wire.Marshal(d.Payload.obj.Elem().Interface())
 		if err != nil {
 			return snapshot{}, fmt.Errorf("amber: snapshot %#x: %w", uint64(a), err)
 		}
 	}
 	return snapshot{
 		Addr:      a,
-		TypeName:  d.ti.name,
+		TypeName:  ti.name,
 		State:     state,
-		Immutable: d.immutable,
-		Attached:  d.attachPeers(),
+		Immutable: d.Immutable(),
+		Attached:  d.AttachPeers(),
 	}, nil
 }
 
@@ -145,19 +173,20 @@ func (n *Node) installRemote(dest gaddr.NodeID, msg *installMsg) error {
 // errRetryRoute if the state changed under us.
 func (n *Node) executeMove(d *descriptor, msg *routedMsg) (moveReply, error) {
 	dest := msg.Dest
-	if d.state != stateResident {
-		d.mu.Unlock()
+	if d.State() != stateResident {
+		d.Unlock()
 		return moveReply{}, errRetryRoute
 	}
 
 	// Immutable objects copy instead of moving (§2.3); the original stays.
-	if d.immutable {
+	if d.Immutable() {
 		if dest == n.id {
-			d.mu.Unlock()
+			d.Unlock()
 			return moveReply{Node: n.id}, nil
 		}
 		snap, err := n.snapshotLocked(msg.Obj, d)
-		d.mu.Unlock()
+		snap.Epoch = d.Epoch() // a copy, not a move: the version stands
+		d.Unlock()
 		if err != nil {
 			return moveReply{}, err
 		}
@@ -169,17 +198,17 @@ func (n *Node) executeMove(d *descriptor, msg *routedMsg) (moveReply, error) {
 	}
 
 	if dest == n.id {
-		d.mu.Unlock()
+		d.Unlock()
 		return moveReply{Node: n.id}, nil // already here
 	}
-	d.mu.Unlock()
+	d.Unlock()
 
-	// Topology work (component discovery, state marking) is serialized per
-	// node.
-	n.moveMu.Lock()
-	addrs, mems, err := n.component(msg.Obj)
+	// Topology work (component discovery, state marking) serializes per
+	// *shard*, not per node: lockComponent holds the move locks of exactly
+	// the shards the component spans, so moves on disjoint shards proceed
+	// concurrently.
+	addrs, mems, shards, err := n.lockComponent(msg.Obj)
 	if err != nil {
-		n.moveMu.Unlock()
 		if errors.Is(err, errRetryRoute) {
 			return moveReply{}, errRetryRoute
 		}
@@ -189,56 +218,58 @@ func (n *Node) executeMove(d *descriptor, msg *routedMsg) (moveReply, error) {
 
 	// Veto phase: every member must agree to move.
 	for _, m := range mems {
-		m.mu.Lock()
-		if m.state != stateResident {
-			m.mu.Unlock()
-			n.moveMu.Unlock()
+		m.Lock()
+		if m.State() != stateResident {
+			m.Unlock()
+			n.space.UnlockMove(shards)
 			return moveReply{}, errRetryRoute
 		}
-		if m.ti == nil || !m.ti.serializable {
-			m.mu.Unlock()
-			n.moveMu.Unlock()
+		ti := m.Payload.ti
+		if ti == nil || !ti.serializable {
+			m.Unlock()
+			n.space.UnlockMove(shards)
 			return moveReply{}, fmt.Errorf("%w: component member is not serializable", ErrNotMovable)
 		}
-		if g, ok := m.obj.Interface().(MoveGuard); ok {
+		if g, ok := m.Payload.obj.Interface().(MoveGuard); ok {
 			if gerr := g.CanMove(); gerr != nil {
-				m.mu.Unlock()
-				n.moveMu.Unlock()
+				m.Unlock()
+				n.space.UnlockMove(shards)
 				return moveReply{}, gerr
 			}
 		}
-		m.mu.Unlock()
+		m.Unlock()
 	}
 
 	// Mark phase: flip every member to stateMoving. From here on, new
 	// invocations wait (the paper's post-preemption residency check) and
-	// only already-bound threads re-enter.
+	// only already-bound threads re-enter. op.mu is held across the whole
+	// phase so a member whose last pin leaves mid-loop cannot run
+	// MemberDrained before op.remaining is final (it blocks on op.mu; the
+	// pin count it reacted to was captured atomically with the state flip).
 	requesterBound := false
-	pending := 0
+	op.mu.Lock()
 	for i, m := range mems {
-		m.mu.Lock()
-		m.state = stateMoving
-		m.mv = op
-		if m.pins > 0 {
-			pending++
+		m.Lock()
+		m.Mv = op
+		if pins := m.SetStateLocked(stateMoving); pins > 0 {
+			op.remaining++
 		}
 		if msg.Thread.pinned(addrs[i]) {
 			requesterBound = true
 		}
-		m.mu.Unlock()
+		m.Unlock()
 	}
-	op.mu.Lock()
-	op.remaining = pending
+	pending := op.remaining
 	op.deferred = requesterBound && pending > 0
 	op.mu.Unlock()
-	n.moveMu.Unlock()
+	n.space.UnlockMove(shards)
 	n.counts.Inc("moves_started")
 
 	if pending == 0 {
 		if err := op.ship(); err != nil {
 			return moveReply{}, err
 		}
-		return moveReply{Node: dest}, nil
+		return moveReply{Node: dest, Epoch: op.shippedEpoch()}, nil
 	}
 	if requesterBound {
 		// The moving thread is inside the object (a self-move, §3.5): the
@@ -256,7 +287,7 @@ func (n *Node) executeMove(d *descriptor, msg *routedMsg) (moveReply, error) {
 		if err := op.ship(); err != nil {
 			return moveReply{}, err
 		}
-		return moveReply{Node: dest}, nil
+		return moveReply{Node: dest, Epoch: op.shippedEpoch()}, nil
 	case <-time.After(n.cfg.MoveDrainTimeout):
 		op.mu.Lock()
 		if op.remaining == 0 && !op.aborted {
@@ -265,7 +296,7 @@ func (n *Node) executeMove(d *descriptor, msg *routedMsg) (moveReply, error) {
 			if err := op.ship(); err != nil {
 				return moveReply{}, err
 			}
-			return moveReply{Node: dest}, nil
+			return moveReply{Node: dest, Epoch: op.shippedEpoch()}, nil
 		}
 		op.aborted = true
 		op.mu.Unlock()
@@ -275,8 +306,47 @@ func (n *Node) executeMove(d *descriptor, msg *routedMsg) (moveReply, error) {
 	}
 }
 
+// lockComponent discovers root's attachment component and acquires the move
+// locks of every shard holding a member (ascending shard order, the global
+// ordering rule). Discovery is optimistic: walk without locks, lock the
+// shards the walk found, re-walk, and verify the fresh membership stayed
+// inside the locked shard set. A concurrent attach can only have grown the
+// component — and growth into an unlocked shard means unlock and retry with
+// the larger footprint. Once verified, membership is stable for as long as
+// the move locks are held, because any attach or unattach touching a member
+// must itself take that member's shard move lock.
+//
+// On success the caller owns the returned shards' move locks and must
+// release them with n.space.UnlockMove(shards).
+func (n *Node) lockComponent(root gaddr.Addr) (addrs []gaddr.Addr, mems []*descriptor, shards []int, err error) {
+	for attempt := 0; ; attempt++ {
+		addrs, mems, err = n.component(root)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		shards = n.space.ShardsOf(addrs)
+		n.space.LockMove(shards)
+		addrs, mems, err = n.component(root)
+		if err != nil {
+			n.space.UnlockMove(shards)
+			return nil, nil, nil, err
+		}
+		if objspace.ContainsAll(shards, n.space.ShardsOf(addrs)) {
+			return addrs, mems, shards, nil
+		}
+		n.space.UnlockMove(shards)
+		if attempt >= 64 {
+			return nil, nil, nil, fmt.Errorf("amber: attachment component of %#x would not settle", uint64(root))
+		}
+		n.counts.Inc("component_lock_retries")
+	}
+}
+
 // component gathers the attachment component of root (all objects that must
-// move together, §2.3). Caller holds moveMu.
+// move together, §2.3) by walking attachment edges. The walk takes only the
+// descriptor mutexes, one at a time; it is a consistent snapshot only if the
+// caller holds the move locks of every shard the component touches (see
+// lockComponent, which calls it both before and after locking).
 func (n *Node) component(root gaddr.Addr) ([]gaddr.Addr, []*descriptor, error) {
 	var addrs []gaddr.Addr
 	var mems []*descriptor
@@ -293,13 +363,13 @@ func (n *Node) component(root gaddr.Addr) ([]gaddr.Addr, []*descriptor, error) {
 		if d == nil {
 			return nil, nil, fmt.Errorf("amber: attachment component member %#x missing locally", uint64(a))
 		}
-		d.mu.Lock()
-		if d.state != stateResident {
-			d.mu.Unlock()
+		d.Lock()
+		if d.State() != stateResident {
+			d.Unlock()
 			return nil, nil, errRetryRoute
 		}
-		peers := d.attachPeers()
-		d.mu.Unlock()
+		peers := d.AttachPeers()
+		d.Unlock()
 		addrs = append(addrs, a)
 		mems = append(mems, d)
 		queue = append(queue, peers...)
@@ -310,20 +380,20 @@ func (n *Node) component(root gaddr.Addr) ([]gaddr.Addr, []*descriptor, error) {
 // executeSetImmutable implements the runtime immutability mark (§2.3).
 // Contract: d.mu held on entry, released here.
 func (n *Node) executeSetImmutable(d *descriptor, msg *routedMsg) error {
-	defer d.mu.Unlock()
-	if d.state != stateResident {
+	defer d.Unlock()
+	if d.State() != stateResident {
 		return errRetryRoute
 	}
-	if d.immutable {
+	if d.Immutable() {
 		return nil // idempotent
 	}
-	if len(d.attach) > 0 {
+	if d.AttachLen() > 0 {
 		return fmt.Errorf("%w: detach before marking immutable", ErrNotMovable)
 	}
-	if d.ti == nil || !d.ti.serializable {
+	if d.Payload.ti == nil || !d.Payload.ti.serializable {
 		return fmt.Errorf("%w: runtime objects cannot be immutable", ErrNotMovable)
 	}
-	d.immutable = true
+	d.SetImmutableLocked(true)
 	n.counts.Inc("set_immutable")
 	return nil
 }
@@ -331,56 +401,62 @@ func (n *Node) executeSetImmutable(d *descriptor, msg *routedMsg) error {
 // executeDelete destroys an object, leaving a tombstone so stale references
 // fail cleanly. Contract: d.mu held on entry, released here.
 func (n *Node) executeDelete(d *descriptor, msg *routedMsg) error {
-	if d.state != stateResident {
-		d.mu.Unlock()
+	if d.State() != stateResident {
+		d.Unlock()
 		return errRetryRoute
 	}
-	if d.immutable {
-		d.mu.Unlock()
+	if d.Immutable() {
+		d.Unlock()
 		return ErrImmutableDelete
 	}
-	if len(d.attach) > 0 {
-		d.mu.Unlock()
+	if d.AttachLen() > 0 {
+		d.Unlock()
 		return fmt.Errorf("%w: unattach before delete", ErrNotAttached)
 	}
 	if msg.Thread.pinned(msg.Obj) {
-		d.mu.Unlock()
+		d.Unlock()
 		return fmt.Errorf("%w: cannot delete an object from inside its own operation", ErrNotMovable)
 	}
 	// Drain bound threads, bounded by the move timeout.
 	if !waitPinsLocked(d, n.cfg.MoveDrainTimeout) {
-		d.mu.Unlock()
+		d.Unlock()
 		return fmt.Errorf("%w: delete %#x", ErrMoveTimeout, uint64(msg.Obj))
 	}
-	d.state = stateDeleted
-	d.obj = reflect.Value{}
-	d.ti = nil
-	d.cond.Broadcast()
-	d.mu.Unlock()
+	d.SetStateLocked(stateDeleted)
+	d.Payload = payload{}
+	d.Broadcast()
+	d.Unlock()
 	n.counts.Inc("objects_deleted")
 	return nil
 }
 
-// waitPinsLocked waits (holding d.mu, via the condition variable) until
-// d.pins reaches zero or the timeout expires. Reports success.
+// waitPinsLocked waits (holding d.mu, via the condition variable) until the
+// pin count reaches zero or the timeout expires. Reports success.
+//
+// The waiter registration brackets the entire loop — including the first
+// pin-count check — because the predicate races with the lock-free Unpin
+// fast path: only once the waiter flag is up is every unpin guaranteed to
+// broadcast (see Descriptor.Wait).
 func waitPinsLocked(d *descriptor, timeout time.Duration) bool {
-	if d.pins == 0 {
+	d.AddWaiter()
+	defer d.RemoveWaiter()
+	if d.Pins() == 0 {
 		return true
 	}
 	deadline := time.Now().Add(timeout)
 	expired := false
 	timer := time.AfterFunc(timeout, func() {
-		d.mu.Lock()
+		d.Lock()
 		expired = true
-		d.cond.Broadcast()
-		d.mu.Unlock()
+		d.Broadcast()
+		d.Unlock()
 	})
 	defer timer.Stop()
-	for d.pins > 0 {
+	for d.Pins() > 0 {
 		if expired || time.Now().After(deadline) {
 			return false
 		}
-		d.cond.Wait()
+		d.CondWait()
 	}
 	return true
 }
@@ -390,19 +466,19 @@ func waitPinsLocked(d *descriptor, timeout time.Duration) bool {
 // first migrates to the parent's node and the request is re-routed there
 // (forwardTo). Contract: d.mu held on entry, released here.
 func (n *Node) executeAttach(d *descriptor, msg *routedMsg) (forwardTo gaddr.NodeID, err error) {
-	if d.state != stateResident {
-		d.mu.Unlock()
+	if d.State() != stateResident {
+		d.Unlock()
 		return gaddr.NoNode, errRetryRoute
 	}
 	if msg.Obj == msg.Peer {
-		d.mu.Unlock()
+		d.Unlock()
 		return gaddr.NoNode, fmt.Errorf("%w: cannot attach an object to itself", ErrBadArgument)
 	}
-	if d.immutable {
-		d.mu.Unlock()
+	if d.Immutable() {
+		d.Unlock()
 		return gaddr.NoNode, fmt.Errorf("%w: immutable objects cannot be attached", ErrNotMovable)
 	}
-	d.mu.Unlock()
+	d.Unlock()
 
 	loc, imm, lerr := n.locateInternal(msg.Peer)
 	if lerr != nil {
@@ -416,7 +492,7 @@ func (n *Node) executeAttach(d *descriptor, msg *routedMsg) (forwardTo gaddr.Nod
 		// Co-locate: move the child's component to the parent, then let the
 		// parent's node complete the attachment.
 		mv := routedMsg{Op: opMove, Obj: msg.Obj, Dest: loc, Thread: msg.Thread}
-		d.mu.Lock()
+		d.Lock()
 		rep, merr := n.executeMove(d, &mv) // releases d.mu
 		if merr != nil {
 			return gaddr.NoNode, merr
@@ -427,10 +503,13 @@ func (n *Node) executeAttach(d *descriptor, msg *routedMsg) (forwardTo gaddr.Nod
 		return loc, nil
 	}
 
-	// Both here: record the edge on both descriptors, ordered by address to
+	// Both here: take the move locks of the two shards involved (ascending,
+	// the global ordering rule) so no move can mark either object while the
+	// edge is recorded, then lock the two descriptors ordered by address to
 	// avoid lock cycles.
-	n.moveMu.Lock()
-	defer n.moveMu.Unlock()
+	shards := n.space.ShardsOf([]gaddr.Addr{msg.Obj, msg.Peer})
+	n.space.LockMove(shards)
+	defer n.space.UnlockMove(shards)
 	pd := n.desc(msg.Peer)
 	if pd == nil {
 		return gaddr.NoNode, errRetryRoute // parent moved away between locate and now
@@ -439,18 +518,18 @@ func (n *Node) executeAttach(d *descriptor, msg *routedMsg) (forwardTo gaddr.Nod
 	if msg.Peer < msg.Obj {
 		first, second = pd, d
 	}
-	first.mu.Lock()
-	second.mu.Lock()
-	defer first.mu.Unlock()
-	defer second.mu.Unlock()
-	if d.state != stateResident || pd.state != stateResident {
+	first.Lock()
+	second.Lock()
+	defer first.Unlock()
+	defer second.Unlock()
+	if d.State() != stateResident || pd.State() != stateResident {
 		return gaddr.NoNode, errRetryRoute
 	}
-	if pd.immutable {
+	if pd.Immutable() {
 		return gaddr.NoNode, fmt.Errorf("%w: cannot attach to an immutable object", ErrNotMovable)
 	}
-	d.addAttach(msg.Peer)
-	pd.addAttach(msg.Obj)
+	d.AddAttach(msg.Peer)
+	pd.AddAttach(msg.Obj)
 	n.counts.Inc("attaches")
 	return gaddr.NoNode, nil
 }
@@ -458,42 +537,43 @@ func (n *Node) executeAttach(d *descriptor, msg *routedMsg) (forwardTo gaddr.Nod
 // executeUnattach removes an attachment edge; both objects are co-resident
 // by the attachment invariant. Contract: d.mu held on entry, released here.
 func (n *Node) executeUnattach(d *descriptor, msg *routedMsg) error {
-	if d.state != stateResident {
-		d.mu.Unlock()
+	if d.State() != stateResident {
+		d.Unlock()
 		return errRetryRoute
 	}
-	if _, ok := d.attach[msg.Peer]; !ok {
-		d.mu.Unlock()
+	if !d.HasAttach(msg.Peer) {
+		d.Unlock()
 		return fmt.Errorf("%w: %#x and %#x", ErrNotAttached, uint64(msg.Obj), uint64(msg.Peer))
 	}
-	d.mu.Unlock()
+	d.Unlock()
 
-	n.moveMu.Lock()
-	defer n.moveMu.Unlock()
+	shards := n.space.ShardsOf([]gaddr.Addr{msg.Obj, msg.Peer})
+	n.space.LockMove(shards)
+	defer n.space.UnlockMove(shards)
 	pd := n.desc(msg.Peer)
 	first, second := d, pd
 	if pd != nil && msg.Peer < msg.Obj {
 		first, second = pd, d
 	}
-	first.mu.Lock()
+	first.Lock()
 	if second != nil && second != first {
-		second.mu.Lock()
+		second.Lock()
 	}
-	if _, ok := d.attach[msg.Peer]; !ok {
+	if !d.HasAttach(msg.Peer) {
 		if second != nil && second != first {
-			second.mu.Unlock()
+			second.Unlock()
 		}
-		first.mu.Unlock()
+		first.Unlock()
 		return fmt.Errorf("%w: %#x and %#x", ErrNotAttached, uint64(msg.Obj), uint64(msg.Peer))
 	}
-	delete(d.attach, msg.Peer)
+	d.RemoveAttach(msg.Peer)
 	if pd != nil {
-		delete(pd.attach, msg.Obj)
+		pd.RemoveAttach(msg.Obj)
 	}
 	if second != nil && second != first {
-		second.mu.Unlock()
+		second.Unlock()
 	}
-	first.mu.Unlock()
+	first.Unlock()
 	n.counts.Inc("unattaches")
 	return nil
 }
@@ -508,8 +588,8 @@ func (n *Node) locateInternal(obj gaddr.Addr) (gaddr.NodeID, bool, error) {
 		case actError:
 			return gaddr.NoNode, false, err
 		case actExecute:
-			node, imm := n.id, d.immutable
-			d.mu.Unlock()
+			node, imm := n.id, d.Immutable()
+			d.Unlock()
 			return node, imm, nil
 		case actForward:
 			msg.Chain = append(msg.Chain, n.id)
@@ -530,7 +610,7 @@ func (n *Node) locateInternal(obj gaddr.Addr) (gaddr.NodeID, bool, error) {
 			if derr != nil {
 				return gaddr.NoNode, false, derr
 			}
-			n.learnLocation(obj, lr.Node)
+			n.learnLocation(obj, lr.Node, lr.Epoch)
 			return lr.Node, lr.Immutable, nil
 		}
 	}

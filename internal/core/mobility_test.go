@@ -103,10 +103,10 @@ func TestForwardingChainCaching(t *testing.T) {
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		d := cl.Node(1).desc(ref)
-		d.mu.Lock()
-		fwd := d.fwd
-		st := d.state
-		d.mu.Unlock()
+		d.Lock()
+		fwd := d.Fwd
+		st := d.State()
+		d.Unlock()
 		if st == stateForwarded && fwd == 3 {
 			break
 		}
@@ -208,7 +208,7 @@ func TestSelfMoveDeferred(t *testing.T) {
 	cl := newTestCluster(t, 2, 1)
 	ctx := cl.Node(0).Root()
 	ref, _ := ctx.New(&SelfMover{})
-	cl.Node(0).desc(ref).obj.Interface().(*SelfMover).Self = ref
+	cl.Node(0).desc(ref).Payload.obj.Interface().(*SelfMover).Self = ref
 
 	out, err := ctx.Invoke(ref, "Relocate", gaddr.NodeID(1))
 	if err != nil {
@@ -487,7 +487,7 @@ func TestDeleteFromInsideRejected(t *testing.T) {
 	cl := newTestCluster(t, 1, 1)
 	ctx := cl.Node(0).Root()
 	ref, _ := ctx.New(&SelfMover{})
-	cl.Node(0).desc(ref).obj.Interface().(*SelfMover).Self = ref
+	cl.Node(0).desc(ref).Payload.obj.Interface().(*SelfMover).Self = ref
 	// Reuse SelfMover: add an operation that deletes itself via a wrapper
 	// class would be overkill; instead check the pin rule directly through
 	// the control path.

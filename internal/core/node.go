@@ -2,11 +2,11 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"amber/internal/gaddr"
+	"amber/internal/objspace"
 	"amber/internal/rpc"
 	"amber/internal/sched"
 	"amber/internal/stats"
@@ -67,6 +67,16 @@ type NodeConfig struct {
 	// amberd process shares one tracer between the node and the process-wide
 	// emitters (wire codec, TCP dialer).
 	Tracer *trace.Tracer
+	// SpaceShards is the lock-stripe count of the node's object-space table
+	// (rounded up to a power of two; 0 = objspace.DefaultShards). More
+	// shards means more concurrency between independent lookups, hints and
+	// moves, at a small fixed memory cost per shard.
+	SpaceShards int
+	// HintCache caps the location-hint cache (total entries, split across
+	// shards; 0 = objspace.DefaultHintCap). Hints beyond the cap evict the
+	// oldest entry in the shard (FIFO), so churny workloads cannot grow the
+	// cache without bound.
+	HintCache int
 }
 
 func (c *NodeConfig) fill() {
@@ -106,18 +116,20 @@ type Node struct {
 	histExec   *stats.Histogram // invoke_exec_ns: remote execution leg
 	histMove   *stats.Histogram // move_ns: MoveTo round trip
 
-	mu    sync.Mutex // guards descs
-	descs map[gaddr.Addr]*descriptor
+	// Hot-path counters, cached out of counts for the same reason: Set.Inc
+	// is a mutex-guarded map lookup, which would serialize parallel local
+	// invokes on one node.
+	cInvokesLocal *stats.Counter // invokes_local
+	cResidency    *stats.Counter // residency_checks
+	cHintHits     *stats.Counter // hint_hits
+	cHintMisses   *stats.Counter // hint_misses
 
-	// hintMu guards hints, the location-hint cache: last-seen nodes for
-	// objects this node holds no descriptor for (§3.3 chain caching without
-	// fabricating descriptors). Hints are advisory — descriptor state always
-	// wins — and are dropped when a routed call through them fails.
-	hintMu sync.Mutex
-	hints  map[gaddr.Addr]gaddr.NodeID
-
-	// moveMu serializes move/attach topology changes on this node.
-	moveMu sync.Mutex
+	// space is the node's sharded object-space table: descriptors and
+	// location hints for the global addresses this node has touched, lock-
+	// striped by address hash (§3.2–§3.3; see internal/objspace). Hints are
+	// advisory — descriptor state always wins — and are dropped when a
+	// routed call through them fails.
+	space *objspace.Space[payload]
 
 	// server is non-nil on the node hosting the address-space server.
 	server *gaddr.Server
@@ -142,8 +154,7 @@ func NewNode(cfg NodeConfig, reg *Registry, tr transport.Transport, server *gadd
 		sch:    sched.New(cfg.Procs, cfg.Policy),
 		counts: stats.NewSet(),
 		tracer: cfg.Tracer,
-		descs:  make(map[gaddr.Addr]*descriptor),
-		hints:  make(map[gaddr.Addr]gaddr.NodeID),
+		space:  objspace.New[payload](cfg.SpaceShards, cfg.HintCache),
 		server: server,
 	}
 	if n.tracer == nil {
@@ -156,6 +167,10 @@ func NewNode(cfg NodeConfig, reg *Registry, tr transport.Transport, server *gadd
 	n.histRemote = n.counts.Hist("invoke_remote_ns")
 	n.histExec = n.counts.Hist("invoke_exec_ns")
 	n.histMove = n.counts.Hist("move_ns")
+	n.cInvokesLocal = n.counts.Get("invokes_local")
+	n.cResidency = n.counts.Get("residency_checks")
+	n.cHintHits = n.counts.Get("hint_hits")
+	n.cHintMisses = n.counts.Get("hint_misses")
 	n.regions = gaddr.NewTable(nil, n.resolveRegion)
 	n.alloc = gaddr.NewAllocator(cfg.ID, nil, n.extendRegions)
 	if cfg.Generation != 0 {
@@ -256,16 +271,14 @@ func (n *Node) Scheduler() *sched.Scheduler { return n.sch }
 func (n *Node) Registry() *Registry { return n.reg }
 
 // Objects reports how many descriptors this node holds in each state;
-// useful for tests and the harness.
+// useful for tests and the harness. The census is lock-free: each
+// descriptor's state and mode ride in one atomic word.
 func (n *Node) Objects() map[string]int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	out := map[string]int{}
-	for _, d := range n.descs {
-		d.mu.Lock()
-		switch d.state {
+	n.space.Range(func(_ gaddr.Addr, d *descriptor) bool {
+		switch d.State() {
 		case stateResident:
-			if d.replica {
+			if d.Replica() {
 				out["replica"]++
 			} else {
 				out["resident"]++
@@ -277,10 +290,17 @@ func (n *Node) Objects() map[string]int {
 		case stateDeleted:
 			out["deleted"]++
 		}
-		d.mu.Unlock()
-	}
+		return true
+	})
 	return out
 }
+
+// Space exposes the node's sharded object-space table (shard layout,
+// contention counters, hint occupancy) for introspection and tests.
+func (n *Node) Space() *objspace.Space[payload] { return n.space }
+
+// SpaceStats snapshots the object-space table's aggregate counters.
+func (n *Node) SpaceStats() map[string]int64 { return n.space.Snapshot() }
 
 // Close marks the node shut down. In-flight operations may still complete;
 // transports are owned by the cluster.
@@ -376,24 +396,16 @@ func (n *Node) callTraced(to gaddr.NodeID, p rpc.Proc, body []byte, ti rpc.Trace
 
 // --- descriptor table ---
 
-// desc returns the descriptor for a, or nil if uninitialized here.
+// desc returns the descriptor for a, or nil if uninitialized here. Lock-free
+// (one sharded sync.Map read).
 func (n *Node) desc(a gaddr.Addr) *descriptor {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.descs[a]
+	return n.space.Get(a)
 }
 
 // descEnsure returns the descriptor for a, creating an empty one (caller
 // initializes under its lock).
 func (n *Node) descEnsure(a gaddr.Addr) *descriptor {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	d := n.descs[a]
-	if d == nil {
-		d = newDescriptor()
-		n.descs[a] = d
-	}
-	return d
+	return n.space.Ensure(a)
 }
 
 // newLocalObject allocates an address and installs obj as resident on this
@@ -412,11 +424,13 @@ func (n *Node) newLocalObject(obj any) (gaddr.Addr, error) {
 		return gaddr.Nil, err
 	}
 	d := n.descEnsure(a)
-	d.mu.Lock()
-	d.state = stateResident
-	d.obj = valueOf(obj)
-	d.ti = ti
-	d.mu.Unlock()
+	d.Lock()
+	// Payload before the resident transition: the atomic state word is what
+	// publishes it to lock-free TryPin readers.
+	d.Payload = payload{obj: valueOf(obj), ti: ti}
+	d.SetEpochLocked(1)
+	d.SetStateLocked(stateResident)
+	d.Unlock()
 	n.counts.Inc("objects_created")
 	return a, nil
 }
@@ -425,45 +439,33 @@ func (n *Node) newLocalObject(obj any) (gaddr.Addr, error) {
 
 // hintGet consults the location-hint cache.
 func (n *Node) hintGet(obj gaddr.Addr) (gaddr.NodeID, bool) {
-	n.hintMu.Lock()
-	at, ok := n.hints[obj]
-	n.hintMu.Unlock()
-	return at, ok
+	return n.space.HintGet(obj)
 }
 
 // hintSet records where obj was last seen. Self- and unknown-node hints are
-// useless and dropped.
+// useless and dropped; a full shard evicts its oldest hint (FIFO).
 func (n *Node) hintSet(obj gaddr.Addr, at gaddr.NodeID) {
 	if at == n.id || at == gaddr.NoNode {
 		return
 	}
-	n.hintMu.Lock()
-	n.hints[obj] = at
-	n.hintMu.Unlock()
+	if n.space.HintSet(obj, at) {
+		n.counts.Inc("hint_evictions")
+	}
 }
 
 // hintDrop forgets a (presumed stale) hint, reporting whether one existed.
 func (n *Node) hintDrop(obj gaddr.Addr) bool {
-	n.hintMu.Lock()
-	_, ok := n.hints[obj]
-	if ok {
-		delete(n.hints, obj)
-	}
-	n.hintMu.Unlock()
-	return ok
+	return n.space.HintDrop(obj)
 }
 
 // dropHintsTo forgets every hint pointing at a peer (used when the peer is
-// discovered to have restarted without its memory).
+// discovered to have restarted without its memory). The sweep walks the
+// sharded hint cache stripe by stripe — bounded maps under per-shard locks,
+// never one giant map under a single lock.
 func (n *Node) dropHintsTo(peer gaddr.NodeID) {
-	n.hintMu.Lock()
-	for obj, at := range n.hints {
-		if at == peer {
-			delete(n.hints, obj)
-			n.counts.Inc("hints_dropped_restart")
-		}
+	if dropped := n.space.DropHintsTo(peer); dropped > 0 {
+		n.counts.Add("hints_dropped_restart", int64(dropped))
 	}
-	n.hintMu.Unlock()
 }
 
 func (n *Node) handleLocUpdate(c *rpc.Ctx) {
@@ -472,17 +474,26 @@ func (n *Node) handleLocUpdate(c *rpc.Ctx) {
 		return
 	}
 	if d := n.desc(msg.Obj); d != nil {
-		d.mu.Lock()
-		switch d.state {
+		d.Lock()
+		switch d.State() {
 		case stateResident, stateMoving, stateDeleted:
 			// We know better than the hint.
 		default:
-			// Refresh the forwarding tombstone a real move left behind.
-			d.state = stateForwarded
-			d.fwd = msg.Node
-			n.counts.Inc("chain_updates_applied")
+			// Refresh the forwarding tombstone a real move left behind —
+			// but only with strictly newer information. Oneway updates can
+			// arrive arbitrarily late; an unversioned refresh here could
+			// point this tombstone *backward* and close a forwarding cycle
+			// with some other node's newer tombstone.
+			if msg.Epoch > d.Epoch() {
+				d.SetStateLocked(stateForwarded)
+				d.Fwd = msg.Node
+				d.SetEpochLocked(msg.Epoch)
+				n.counts.Inc("chain_updates_applied")
+			} else {
+				n.counts.Inc("chain_updates_stale")
+			}
 		}
-		d.mu.Unlock()
+		d.Unlock()
 		return
 	}
 	// Never hosted the object here: remember the location as a cache hint
@@ -495,7 +506,7 @@ func (n *Node) handleLocUpdate(c *rpc.Ctx) {
 // next reference finds the object in one hop (§3.3: "the object's last known
 // location is cached on all nodes along the chain"). The origin is excluded:
 // it learns the location from the reply itself.
-func (n *Node) sendChainUpdates(obj gaddr.Addr, chain []gaddr.NodeID, origin gaddr.NodeID) {
+func (n *Node) sendChainUpdates(obj gaddr.Addr, epoch uint64, chain []gaddr.NodeID, origin gaddr.NodeID) {
 	if len(chain) == 0 {
 		return
 	}
@@ -505,7 +516,7 @@ func (n *Node) sendChainUpdates(obj gaddr.Addr, chain []gaddr.NodeID, origin gad
 		}
 		// A fresh buffer per hop: the transport takes ownership of each
 		// payload it sends, so one buffer cannot fan out to several peers.
-		body, err := wire.MarshalInto(&locUpdateMsg{Obj: obj, Node: n.id})
+		body, err := wire.MarshalInto(&locUpdateMsg{Obj: obj, Node: n.id, Epoch: epoch})
 		if err != nil {
 			return
 		}

@@ -225,6 +225,10 @@ type invokeReply struct {
 	Results []byte
 	// Node is the node that executed, so the caller can update its cache.
 	Node gaddr.NodeID
+	// Epoch is the object's residency version at execution time; location
+	// caches apply it only if strictly newer than what they hold (§3.3,
+	// Fowler-style versioned forwarding).
+	Epoch uint64
 }
 
 // locateReply answers opLocate.
@@ -233,6 +237,8 @@ type locateReply struct {
 	// Immutable reports the object's mode; Locate on a replicated object
 	// returns the nearest holder.
 	Immutable bool
+	// Epoch versions the location (see invokeReply.Epoch).
+	Epoch uint64
 }
 
 // moveReply answers opMove.
@@ -243,6 +249,9 @@ type moveReply struct {
 	Deferred bool
 	// Node is where the object now resides (or will reside).
 	Node gaddr.NodeID
+	// Epoch versions the new residency; zero for deferred moves and replica
+	// copies (no cache refresh warranted).
+	Epoch uint64
 }
 
 // snapshot is one object's migrating state.
@@ -251,6 +260,9 @@ type snapshot struct {
 	TypeName  string
 	State     []byte // wire.Marshal of the object value
 	Immutable bool
+	// Epoch is the residency version the object will have once installed
+	// (source epoch + 1 for moves; the source's own epoch for replicas).
+	Epoch uint64
 	// Attached lists this object's attachment edges (peers are included in
 	// the same install batch for mutable moves).
 	Attached []gaddr.Addr
@@ -268,6 +280,9 @@ type installMsg struct {
 type locUpdateMsg struct {
 	Obj  gaddr.Addr
 	Node gaddr.NodeID
+	// Epoch versions the claim; receivers discard it unless strictly newer
+	// than their current knowledge.
+	Epoch uint64
 }
 
 // traceDumpMsg requests a node's buffered trace events (Last <= 0 = all).
@@ -421,7 +436,8 @@ func (m *routedMsg) DecodeWire(b []byte) ([]byte, error) {
 // AppendWire implements wire.Codec.
 func (m *invokeReply) AppendWire(b []byte) []byte {
 	b = wire.AppendBytes(b, m.Results)
-	return wire.AppendVarint(b, int64(m.Node))
+	b = wire.AppendVarint(b, int64(m.Node))
+	return wire.AppendUvarint(b, m.Epoch)
 }
 
 // DecodeWire implements wire.Codec. Results aliases b; the caller recycles
@@ -436,6 +452,9 @@ func (m *invokeReply) DecodeWire(b []byte) ([]byte, error) {
 		return nil, err
 	}
 	m.Node = gaddr.NodeID(v)
+	if m.Epoch, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
 	return b, nil
 }
 
@@ -443,9 +462,11 @@ func (m *invokeReply) DecodeWire(b []byte) ([]byte, error) {
 func (m *locateReply) AppendWire(b []byte) []byte {
 	b = wire.AppendVarint(b, int64(m.Node))
 	if m.Immutable {
-		return append(b, 1)
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
 	}
-	return append(b, 0)
+	return wire.AppendUvarint(b, m.Epoch)
 }
 
 // DecodeWire implements wire.Codec.
@@ -460,6 +481,9 @@ func (m *locateReply) DecodeWire(b []byte) ([]byte, error) {
 		return nil, wire.ErrShortBuffer
 	}
 	m.Immutable, b = b[0] != 0, b[1:]
+	if m.Epoch, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
 	return b, nil
 }
 
@@ -470,7 +494,8 @@ func (m *moveReply) AppendWire(b []byte) []byte {
 	} else {
 		b = append(b, 0)
 	}
-	return wire.AppendVarint(b, int64(m.Node))
+	b = wire.AppendVarint(b, int64(m.Node))
+	return wire.AppendUvarint(b, m.Epoch)
 }
 
 // DecodeWire implements wire.Codec.
@@ -485,13 +510,17 @@ func (m *moveReply) DecodeWire(b []byte) ([]byte, error) {
 		return nil, err
 	}
 	m.Node = gaddr.NodeID(v)
+	if m.Epoch, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
 	return b, nil
 }
 
 // AppendWire implements wire.Codec.
 func (m *locUpdateMsg) AppendWire(b []byte) []byte {
 	b = wire.AppendUvarint(b, uint64(m.Obj))
-	return wire.AppendVarint(b, int64(m.Node))
+	b = wire.AppendVarint(b, int64(m.Node))
+	return wire.AppendUvarint(b, m.Epoch)
 }
 
 // DecodeWire implements wire.Codec.
@@ -507,6 +536,9 @@ func (m *locUpdateMsg) DecodeWire(b []byte) ([]byte, error) {
 		return nil, err
 	}
 	m.Node = gaddr.NodeID(v)
+	if m.Epoch, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
 	return b, nil
 }
 

@@ -18,6 +18,7 @@
 package debug
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -47,6 +48,18 @@ type Options struct {
 	// Faults is the process's fault injector, served on /faults. Nil
 	// disables the endpoint.
 	Faults *transport.Faults
+	// Space, when non-nil, snapshots the node's sharded object space for
+	// /space (per-shard descriptor/hint populations and lock-contention
+	// counters). Nil disables the endpoint.
+	Space func() ([]SpaceShard, map[string]int64)
+}
+
+// SpaceShard is one stripe of the object-space table as served on /space.
+type SpaceShard struct {
+	Shard       int   `json:"shard"`
+	Descriptors int64 `json:"descriptors"`
+	Hints       int   `json:"hints"`
+	Evictions   int64 `json:"hint_evictions"`
 }
 
 // Server is a running introspection endpoint.
@@ -72,6 +85,7 @@ func Serve(addr string, opts Options) (*Server, error) {
 			"  /trace        plain-text event timeline (?last=N, ?on=0|1 toggles recording)\n"+
 			"  /trace.json   Chrome trace_event JSON (cluster-wide merge)\n"+
 			"  /faults       fault injection: GET = active rules, POST = apply script\n"+
+			"  /space        sharded object-space snapshot (JSON)\n"+
 			"  /debug/pprof/ Go profiler\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -117,6 +131,20 @@ func Serve(addr string, opts Options) (*Server, error) {
 		if err := trace.WriteChrome(w, evs); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	mux.HandleFunc("/space", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Space == nil {
+			http.Error(w, "object space not wired", http.StatusNotFound)
+			return
+		}
+		shards, totals := opts.Space()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Totals map[string]int64 `json:"totals"`
+			Shards []SpaceShard     `json:"shards"`
+		}{Totals: totals, Shards: shards})
 	})
 	mux.HandleFunc("/faults", func(w http.ResponseWriter, r *http.Request) {
 		if opts.Faults == nil {

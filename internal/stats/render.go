@@ -91,6 +91,22 @@ func writeHistogram(w io.Writer, name string, s HistogramSnapshot) {
 	fmt.Fprintf(w, "%s_p99 %g\n", name, s.Quantile(0.99).Seconds())
 }
 
+// MapMetrics converts a flat metric map (like objspace.Space.Snapshot) into
+// sorted ExtraMetrics, each key prefixed — so subsystem snapshots that are not
+// stats.Sets still render through the same exposition path.
+func MapMetrics(prefix string, m map[string]int64) []ExtraMetric {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]ExtraMetric, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, ExtraMetric{Name: prefix + k, Value: m[k]})
+	}
+	return out
+}
+
 // RenderMetrics returns WriteMetrics output as a string (the stdout form).
 func RenderMetrics(extras []ExtraMetric, families ...Family) string {
 	var b strings.Builder

@@ -7,6 +7,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== lint =="
+if command -v golangci-lint >/dev/null 2>&1; then
+	# .golangci.yml enables govet (incl. copylocks) and staticcheck; the
+	# objspace descriptor embeds a mutex+cond, so accidental descriptor
+	# copies are exactly the class of bug copylocks exists for.
+	golangci-lint run ./...
+else
+	echo "golangci-lint not installed; falling back to go vet (copylocks et al)"
+	go vet ./...
+fi
+
 echo "== go vet =="
 go vet ./...
 
