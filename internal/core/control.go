@@ -22,7 +22,14 @@ func (n *Node) handleInstall(rc *rpc.Ctx) {
 		rc.Reply(nil, err)
 		return
 	}
-	for _, snap := range msg.Objects {
+	// Decode and validate every snapshot before touching any descriptor, so
+	// the batch applies all-or-nothing. An error reply makes the source
+	// revert the WHOLE component to resident; if a prefix of the batch had
+	// already been made resident here, both nodes would hold live copies of
+	// those objects.
+	tis := make([]*typeInfo, len(msg.Objects))
+	pvs := make([]reflect.Value, len(msg.Objects))
+	for i, snap := range msg.Objects {
 		ti, err := n.reg.lookupName(snap.TypeName)
 		if err != nil {
 			rc.Reply(nil, err)
@@ -43,6 +50,10 @@ func (n *Node) handleInstall(rc *rpc.Ctx) {
 			}
 			pv.Elem().Set(sv)
 		}
+		tis[i], pvs[i] = ti, pv
+	}
+	for i, snap := range msg.Objects {
+		ti, pv := tis[i], pvs[i]
 
 		d := n.descEnsure(snap.Addr)
 		d.Lock()
@@ -138,7 +149,7 @@ func (n *Node) executeControlLocal(d *descriptor, msg *routedMsg) (any, error) {
 		n.counts.Inc("locates_answered")
 		return &rep, nil
 	case opMove:
-		rep, err := n.executeMove(d, msg)
+		rep, err := n.executeMove(d, msg, false)
 		if err != nil {
 			return nil, err
 		}

@@ -103,6 +103,16 @@ func (s *SelfMover) Relocate(ctx *Ctx, dest gaddr.NodeID) (gaddr.NodeID, error) 
 	return ctx.NodeID(), nil
 }
 
+// SelfAttacher attaches the object it is executing inside to a peer. When
+// the peer is on another node the co-locating move would have to defer
+// (§3.5 self-move), so the attach must fail — without migrating the object
+// as a side effect.
+type SelfAttacher struct{ Self, Peer Ref }
+
+func (s *SelfAttacher) AttachSelf(ctx *Ctx) error {
+	return ctx.Attach(s.Self, s.Peer)
+}
+
 // Spawner starts threads from inside an operation.
 type Spawner struct{ Target Ref }
 
@@ -129,7 +139,7 @@ func (s *Spawner) FanOut(ctx *Ctx, k int) (int, error) {
 
 func registerFixtures(t testing.TB, cl *Cluster) {
 	t.Helper()
-	for _, v := range []any{&Counter{}, &Greeter{}, &Caller{}, &Slow{}, &Recurser{}, &SelfMover{}, &Spawner{}} {
+	for _, v := range []any{&Counter{}, &Greeter{}, &Caller{}, &Slow{}, &Recurser{}, &SelfMover{}, &SelfAttacher{}, &Spawner{}} {
 		if err := cl.Register(v); err != nil {
 			t.Fatal(err)
 		}

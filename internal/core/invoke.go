@@ -494,7 +494,7 @@ func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 		return nil
 
 	case opMove:
-		rep, err := n.executeMove(d, msg)
+		rep, err := n.executeMove(d, msg, false)
 		if err != nil {
 			return err
 		}

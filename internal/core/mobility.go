@@ -15,6 +15,12 @@ import (
 // between routing and execution; re-run the entry protocol.
 var errRetryRoute = errors.New("amber: internal: retry routing")
 
+// errWouldDefer is an internal sentinel: the move would have to defer until
+// the requesting thread unpins, and the caller asked for no deferral
+// (executeMove with noDefer). Returned before any member is marked, so the
+// operation has no side effects.
+var errWouldDefer = errors.New("amber: internal: move would defer")
+
 // moveOp coordinates one migration of an attachment component (§3.4–§3.5).
 // Lifecycle: mark every member stateMoving → drain bound threads (pins) →
 // ship snapshots to the destination → mark members forwarded.
@@ -170,8 +176,11 @@ func (n *Node) installRemote(dest gaddr.NodeID, msg *installMsg) error {
 
 // executeMove performs opMove at the node where the object is resident.
 // Contract: d.mu is held on entry and released by this function. Returns
-// errRetryRoute if the state changed under us.
-func (n *Node) executeMove(d *descriptor, msg *routedMsg) (moveReply, error) {
+// errRetryRoute if the state changed under us. With noDefer set, a move
+// that would defer (the requesting thread is bound to a component member)
+// fails with errWouldDefer *before* any member is marked stateMoving, so
+// the caller can surface an error without the component migrating anyway.
+func (n *Node) executeMove(d *descriptor, msg *routedMsg, noDefer bool) (moveReply, error) {
 	dest := msg.Dest
 	if d.State() != stateResident {
 		d.Unlock()
@@ -214,6 +223,21 @@ func (n *Node) executeMove(d *descriptor, msg *routedMsg) (moveReply, error) {
 		}
 		return moveReply{}, err
 	}
+	// Requester-bound detection (the self-move of §3.5). The thread's pin
+	// set is stable here — the requester is parked in this very call — and
+	// component membership is frozen by the shard move locks, so the answer
+	// cannot change between this check and the mark phase below.
+	requesterBound := false
+	for _, a := range addrs {
+		if msg.Thread.pinned(a) {
+			requesterBound = true
+			break
+		}
+	}
+	if requesterBound && noDefer {
+		n.space.UnlockMove(shards)
+		return moveReply{}, errWouldDefer
+	}
 	op := &moveOp{node: n, dest: dest, addrs: addrs, mems: mems, drained: make(chan struct{})}
 
 	// Veto phase: every member must agree to move.
@@ -246,16 +270,12 @@ func (n *Node) executeMove(d *descriptor, msg *routedMsg) (moveReply, error) {
 	// phase so a member whose last pin leaves mid-loop cannot run
 	// MemberDrained before op.remaining is final (it blocks on op.mu; the
 	// pin count it reacted to was captured atomically with the state flip).
-	requesterBound := false
 	op.mu.Lock()
-	for i, m := range mems {
+	for _, m := range mems {
 		m.Lock()
 		m.Mv = op
 		if pins := m.SetStateLocked(stateMoving); pins > 0 {
 			op.remaining++
-		}
-		if msg.Thread.pinned(addrs[i]) {
-			requesterBound = true
 		}
 		m.Unlock()
 	}
@@ -417,11 +437,24 @@ func (n *Node) executeDelete(d *descriptor, msg *routedMsg) error {
 		d.Unlock()
 		return fmt.Errorf("%w: cannot delete an object from inside its own operation", ErrNotMovable)
 	}
-	// Drain bound threads, bounded by the move timeout.
+	// Drain protocol, mirroring the move's mark phase: flip to stateMoving
+	// *before* waiting, so the lock-free TryPin fast path refuses new pins
+	// and fresh entries wait on the descriptor. Draining while still
+	// resident would let a pin slip in between the count reaching zero and
+	// the flip to stateDeleted — and clearing Payload below would then race
+	// with that pinned reader's lock-free payload read. The mark also stops
+	// a stream of TryPins on a hot object from starving the drain outright.
+	// Mv stays nil (there is no shipment to trigger); the waiter flag raised
+	// by waitPinsLocked makes every unpin broadcast.
+	d.SetStateLocked(stateMoving)
 	if !waitPinsLocked(d, n.cfg.MoveDrainTimeout) {
+		d.SetStateLocked(stateResident)
+		d.Broadcast()
 		d.Unlock()
 		return fmt.Errorf("%w: delete %#x", ErrMoveTimeout, uint64(msg.Obj))
 	}
+	// Pins have drained and new ones were refused while stateMoving, so no
+	// lock-free reader can still be looking at the payload.
 	d.SetStateLocked(stateDeleted)
 	d.Payload = payload{}
 	d.Broadcast()
@@ -490,15 +523,17 @@ func (n *Node) executeAttach(d *descriptor, msg *routedMsg) (forwardTo gaddr.Nod
 
 	if loc != n.id {
 		// Co-locate: move the child's component to the parent, then let the
-		// parent's node complete the attachment.
+		// parent's node complete the attachment. noDefer: a deferred move
+		// would ship the component after this attach has already failed —
+		// a failed Attach must not migrate the object as a side effect.
 		mv := routedMsg{Op: opMove, Obj: msg.Obj, Dest: loc, Thread: msg.Thread}
 		d.Lock()
-		rep, merr := n.executeMove(d, &mv) // releases d.mu
+		_, merr := n.executeMove(d, &mv, true) // releases d.mu
+		if errors.Is(merr, errWouldDefer) {
+			return gaddr.NoNode, fmt.Errorf("%w: attach from inside the attached object", ErrNotMovable)
+		}
 		if merr != nil {
 			return gaddr.NoNode, merr
-		}
-		if rep.Deferred {
-			return gaddr.NoNode, fmt.Errorf("%w: attach from inside the attached object", ErrNotMovable)
 		}
 		return loc, nil
 	}

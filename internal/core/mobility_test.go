@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"amber/internal/gaddr"
+	"amber/internal/rpc"
+	"amber/internal/wire"
 )
 
 func TestMoveToBasic(t *testing.T) {
@@ -380,6 +382,51 @@ func TestAttachErrors(t *testing.T) {
 	}
 }
 
+// TestAttachFromInsideFailsWithoutMoving attaches an object to a remote peer
+// from inside one of the object's own operations. The co-locating move would
+// have to defer until the requesting thread unpins, so the attach fails —
+// and it must fail with NO side effects: the rejected attach must not leave
+// the component marked moving or ship it to the peer's node once the
+// operation returns.
+func TestAttachFromInsideFailsWithoutMoving(t *testing.T) {
+	cl := newTestCluster(t, 2, 1)
+	ctx := cl.Node(0).Root()
+	obj, err := ctx.New(&SelfAttacher{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := cl.Node(1).Root().New(&Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := cl.Node(0).desc(obj).Payload.obj.Interface().(*SelfAttacher)
+	sa.Self, sa.Peer = obj, peer
+
+	if _, err := ctx.Invoke(obj, "AttachSelf"); !errors.Is(err, ErrNotMovable) {
+		t.Fatalf("attach from inside: %v", err)
+	}
+	// The operation has returned (its pin is released); a deferred shipment
+	// scheduled by the failed attach would complete now. Nothing may move.
+	time.Sleep(50 * time.Millisecond)
+	if loc, err := ctx.Locate(obj); err != nil || loc != 0 {
+		t.Fatalf("after failed attach: Locate = %d, %v; want node 0", loc, err)
+	}
+	d := cl.Node(0).desc(obj)
+	d.Lock()
+	st, al := d.State(), d.AttachLen()
+	d.Unlock()
+	if st != stateResident || al != 0 {
+		t.Fatalf("after failed attach: state=%v attachments=%d, want resident and none", st, al)
+	}
+	if got := cl.Node(0).Stats().Value("moves_deferred"); got != 0 {
+		t.Fatalf("failed attach scheduled a deferred move (moves_deferred=%d)", got)
+	}
+	// The object stays fully mobile.
+	if err := ctx.MoveTo(obj, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // --- immutability and replication ---
 
 func TestImmutableReplicationOnMove(t *testing.T) {
@@ -499,6 +546,52 @@ func TestDeleteFromInsideRejected(t *testing.T) {
 	_ = ctx
 }
 
+// TestDeleteDrainsConcurrentInvokers hammers an object with lock-free
+// fast-path invocations while deleting it. Delete must mark the descriptor
+// non-resident *before* draining pins: draining while still resident lets a
+// TryPin slip in between the count reaching zero and the flip to deleted, so
+// clearing the payload races the pinned reader's lock-free payload access
+// (caught by -race), and a stream of TryPins on a hot object can starve the
+// drain into ErrMoveTimeout.
+func TestDeleteDrainsConcurrentInvokers(t *testing.T) {
+	cl := newTestCluster(t, 1, 4)
+	ref, err := cl.Node(0).Root().New(&Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const invokers = 8
+	var wg sync.WaitGroup
+	fail := make(chan error, invokers)
+	for g := 0; g < invokers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := cl.Node(0).Root()
+			for {
+				if _, err := c.Invoke(ref, "Add", 1); err != nil {
+					if !errors.Is(err, ErrDeleted) {
+						fail <- err
+					}
+					return // the delete won; invokers stop
+				}
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond) // let the fast-path traffic get hot
+	if err := cl.Node(0).Root().Delete(ref); err != nil {
+		t.Fatalf("delete under invoke pressure: %v", err)
+	}
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Fatal(err)
+	}
+	if _, err := cl.Node(0).Root().Invoke(ref, "Get"); !errors.Is(err, ErrDeleted) {
+		t.Fatalf("invoke after delete: %v", err)
+	}
+}
+
 func TestDeleteAttachedRejected(t *testing.T) {
 	cl := newTestCluster(t, 1, 1)
 	ctx := cl.Node(0).Root()
@@ -507,6 +600,33 @@ func TestDeleteAttachedRejected(t *testing.T) {
 	ctx.Attach(b, a)
 	if err := ctx.Delete(a); !errors.Is(err, ErrNotAttached) {
 		t.Fatalf("delete attached: %v", err)
+	}
+}
+
+// TestInstallBatchAllOrNothing feeds handleInstall a batch whose second
+// snapshot cannot be decoded (unregistered type). The valid prefix must NOT
+// be applied: the source node reacts to the error by reverting the whole
+// component to resident, so a partially-applied batch would leave two nodes
+// holding live resident copies of the prefix objects.
+func TestInstallBatchAllOrNothing(t *testing.T) {
+	cl := newTestCluster(t, 1, 1)
+	n := cl.Node(0)
+	ti, err := n.reg.lookupValue(&Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := gaddr.Addr(0x7f000000)
+	msg := installMsg{From: 0, Objects: []snapshot{
+		{Addr: addr, TypeName: ti.name, Epoch: 3},
+		{Addr: addr + 1, TypeName: "no/such.Type", Epoch: 3},
+	}}
+	body, err := wire.MarshalInto(&msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.handleInstall(&rpc.Ctx{Body: body}) // CallID 0: Reply is a no-op
+	if d := n.desc(addr); d != nil && d.State() != stateAbsent {
+		t.Fatalf("prefix of a failed install batch was applied (state %v)", d.State())
 	}
 }
 
