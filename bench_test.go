@@ -16,6 +16,7 @@ package amber
 import (
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"amber/internal/ivy"
 	"amber/internal/perf"
@@ -26,6 +27,10 @@ import (
 type benchCounter struct{ N int }
 
 func (c *benchCounter) Poke() int { c.N++; return c.N }
+
+// Get is the non-mutating read used by the immutable-replica benchmarks
+// (invoking Poke on an immutable object would be a programming error).
+func (c *benchCounter) Get() int { return c.N }
 
 func benchCluster(b *testing.B, nodes, procs int, profile NetProfile) *Cluster {
 	b.Helper()
@@ -134,6 +139,118 @@ func BenchmarkTable1ThreadStartJoin(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := ctx.Join(th); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkImmutableRemoteInvokeCold measures the first invoke on a remote
+// immutable object: a full shipped round trip, with the replica snapshot
+// riding back on the reply. Each iteration touches a fresh object, so every
+// call is a cold miss; the replica install itself is asynchronous and off the
+// measured reply path (the gate in scripts/bench.sh holds this within 15% of
+// the plain mutable remote invoke). The cache is sized above b.N so installs,
+// not evictions, are what ride along.
+func BenchmarkImmutableRemoteInvokeCold(b *testing.B) {
+	reg := NewRegistry()
+	cl, err := NewCluster(ClusterConfig{
+		Nodes: 2, ProcsPerNode: 4, Profile: Instant, Registry: reg,
+		ReplicaCache: b.N + 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Close)
+	if err := cl.Register(&benchCounter{}); err != nil {
+		b.Fatal(err)
+	}
+	ctx0, ctx1 := cl.Node(0).Root(), cl.Node(1).Root()
+	refs := make([]Ref, b.N)
+	for i := range refs {
+		r, err := ctx1.New(&benchCounter{N: i})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ctx1.SetImmutable(r); err != nil {
+			b.Fatal(err)
+		}
+		refs[i] = r
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx0.Invoke(refs[i], "Get"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRemoteInvokeColdBaseline is the control for the cold replication
+// benchmark above: the identical workload — one first-touch invoke per fresh
+// immutable object — with replication disabled (ReplicaCache < 0), so no
+// snapshot rides the reply and nothing installs. The difference between this
+// and BenchmarkImmutableRemoteInvokeCold is the whole cost replication adds
+// to a first call; scripts/bench.sh gates that overhead at 15%. (This is
+// deliberately NOT BenchmarkTable1RemoteInvoke, which re-invokes one object
+// through a warm location hint and so measures a different, cheaper path.)
+func BenchmarkRemoteInvokeColdBaseline(b *testing.B) {
+	reg := NewRegistry()
+	cl, err := NewCluster(ClusterConfig{
+		Nodes: 2, ProcsPerNode: 4, Profile: Instant, Registry: reg,
+		ReplicaCache: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Close)
+	if err := cl.Register(&benchCounter{}); err != nil {
+		b.Fatal(err)
+	}
+	ctx0, ctx1 := cl.Node(0).Root(), cl.Node(1).Root()
+	refs := make([]Ref, b.N)
+	for i := range refs {
+		r, err := ctx1.New(&benchCounter{N: i})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ctx1.SetImmutable(r); err != nil {
+			b.Fatal(err)
+		}
+		refs[i] = r
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx0.Invoke(refs[i], "Get"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkImmutableRemoteInvokeWarm measures invokes on a remote immutable
+// object after its replica has installed locally: the 11× local/remote gap is
+// what read-path replication exists to close, and scripts/bench.sh gates this
+// number against BenchmarkTable1LocalInvoke (≤2×).
+func BenchmarkImmutableRemoteInvokeWarm(b *testing.B) {
+	cl := benchCluster(b, 2, 4, Instant)
+	ctx0, ctx1 := cl.Node(0).Root(), cl.Node(1).Root()
+	ref, err := ctx1.New(&benchCounter{N: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ctx1.SetImmutable(ref); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ctx0.Invoke(ref, "Get"); err != nil { // cold call pulls the replica
+		b.Fatal(err)
+	}
+	for i := 0; cl.Node(0).Objects()["replica"] == 0; i++ { // install is async
+		if i > 5000 {
+			b.Fatal("replica never installed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx0.Invoke(ref, "Get"); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -107,6 +107,8 @@ func main() {
 		traceOut    = flag.String("trace-out", "amber-trace.json", "Chrome trace file written after -drive/-sor when tracing")
 		spaceShards = flag.Int("space-shards", 0, "lock stripes in the object space (0 = default, rounded up to a power of two)")
 		hintCache   = flag.Int("hint-cache", 0, "total location-hint cache capacity, split across shards (0 = default)")
+		replicaCap  = flag.Int("replica-cache", 0, "demand-pulled immutable-replica cache capacity, split across shards (0 = default, negative = disable replication)")
+		replicaMax  = flag.Int("replica-max-bytes", 0, "largest object snapshot piggybacked on an invoke reply (0 = default 64KiB, negative = disable)")
 		faultSeed   = flag.Int64("fault-seed", 0, "attach a seeded fault injector to this node's transport (0 = off)")
 		faultsArg   = flag.String("faults", "", "fault script applied at startup, rules separated by ';' (e.g. 'drop 0 1 0.1; delay 1 2 1ms 5ms'); requires -fault-seed")
 		rpcTO       = flag.Duration("rpc-timeout", 0, "bound internode requests (0 = wait forever); set when injecting faults")
@@ -179,10 +181,12 @@ func main() {
 	// drop stale location hints.
 	cfg := core.NodeConfig{
 		ID: gaddr.NodeID(*nodeID), Procs: *procs, ServerNode: 0, Tracer: tracer,
-		RPCTimeout:  *rpcTO,
-		Generation:  uint64(time.Now().UnixNano()),
-		SpaceShards: *spaceShards,
-		HintCache:   *hintCache,
+		RPCTimeout:      *rpcTO,
+		Generation:      uint64(time.Now().UnixNano()),
+		SpaceShards:     *spaceShards,
+		HintCache:       *hintCache,
+		ReplicaCache:    *replicaCap,
+		ReplicaMaxBytes: *replicaMax,
 	}
 
 	// Nodes other than 0 need the server up to get their initial regions;
@@ -215,10 +219,12 @@ func main() {
 				shards := make([]debug.SpaceShard, len(raw))
 				for i, st := range raw {
 					shards[i] = debug.SpaceShard{
-						Shard:       i,
-						Descriptors: st.Descriptors,
-						Hints:       st.Hints,
-						Evictions:   int64(st.Evictions),
+						Shard:            i,
+						Descriptors:      st.Descriptors,
+						Hints:            st.Hints,
+						Evictions:        int64(st.Evictions),
+						Replicas:         st.Replicas,
+						ReplicaEvictions: int64(st.ReplicaEvictions),
 					}
 				}
 				return shards, node.SpaceStats()

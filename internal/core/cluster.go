@@ -40,6 +40,12 @@ type ClusterConfig struct {
 	// HintCache caps each node's location-hint cache (see
 	// NodeConfig.HintCache; 0 = default).
 	HintCache int
+	// ReplicaCache caps each node's demand-pulled replica cache (see
+	// NodeConfig.ReplicaCache; 0 = default, negative disables replication).
+	ReplicaCache int
+	// ReplicaMaxBytes bounds piggybacked snapshots (see
+	// NodeConfig.ReplicaMaxBytes; 0 = default, negative disables).
+	ReplicaMaxBytes int
 	// DebugImmutable enables immutable write detection (see NodeConfig).
 	DebugImmutable bool
 	// Policy builds each node's initial scheduling policy (nil = FIFO).
@@ -109,6 +115,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			TraceBuffer:      cfg.TraceBuffer,
 			SpaceShards:      cfg.SpaceShards,
 			HintCache:        cfg.HintCache,
+			ReplicaCache:     cfg.ReplicaCache,
+			ReplicaMaxBytes:  cfg.ReplicaMaxBytes,
 		}
 		if cfg.Policy != nil {
 			ncfg.Policy = cfg.Policy()

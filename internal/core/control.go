@@ -66,6 +66,16 @@ func (n *Node) handleInstall(rc *rpc.Ctx) {
 			n.counts.Inc("installs_stale")
 			continue
 		}
+		if msg.Copy && d.State() == stateResident {
+			// Already holding a copy (an explicit placement racing a
+			// demand-pulled replica, or a duplicated install). Immutable
+			// copies are byte-identical at the same epoch, so there is
+			// nothing to gain — and overwriting a resident payload would race
+			// its pinned readers.
+			d.Unlock()
+			n.counts.Inc("replica_installs_dup")
+			continue
+		}
 		if d.State() == stateMoving {
 			// Pre-flip window of an outbound move: the object left here and
 			// is already coming back. This inbound residency supersedes the
@@ -77,7 +87,20 @@ func (n *Node) handleInstall(rc *rpc.Ctx) {
 		// Publication order matters: the payload, mode bits and edges are all
 		// in place before the state word flips to resident — the transition
 		// is what licenses lock-free TryPin readers to look at the payload.
-		d.Payload = payload{obj: pv, ti: ti}
+		// Immutable arrivals keep their marshalled form in the snap cell so
+		// onward replication (reply piggyback, further copies) never
+		// re-encodes. snap.State aliases the request payload, which the rpc
+		// layer recycles when this handler returns — the cell needs its own
+		// copy.
+		var cell *snapCell
+		if snap.Immutable {
+			cell = &snapCell{}
+			if len(snap.State) > 0 {
+				st := append(make([]byte, 0, len(snap.State)), snap.State...)
+				cell.v.Store(&st)
+			}
+		}
+		d.Payload = payload{obj: pv, ti: ti, snap: cell}
 		d.Fwd = gaddr.NoNode
 		d.ClearAttachLocked()
 		for _, p := range snap.Attached {
@@ -254,6 +277,16 @@ func (c *Ctx) MoveTo(obj Ref, node gaddr.NodeID, opts ...CallOption) error {
 // immutable object it reports the nearest node known to hold a copy.
 // Options (WithDeadline, WithRetry) bound and retry the routed request.
 func (c *Ctx) Locate(obj Ref, opts ...CallOption) (gaddr.NodeID, error) {
+	// Fast path (§2.3): an immutable copy resident here — a demand-pulled
+	// replica or an explicit placement — answers locally. The nearest node
+	// holding a copy is this one; no lock, no message. TryPin succeeds only on
+	// a resident descriptor, so residency and the immutable bit are both read
+	// from the packed state word.
+	if d := c.node.desc(obj); d != nil && d.Immutable() && d.TryPin() {
+		c.node.unpin(d)
+		c.node.counts.Inc("locates_local_replica")
+		return c.node.id, nil
+	}
 	msg := routedMsg{Op: opLocate, Obj: obj}
 	rep, err := c.node.control(c, &msg, gatherOptions(opts))
 	if err != nil {

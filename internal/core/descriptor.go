@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"sync/atomic"
 
 	"amber/internal/objspace"
 )
@@ -15,7 +16,22 @@ import (
 type payload struct {
 	obj reflect.Value
 	ti  *typeInfo
+	// snap caches the object's marshalled state once the object is
+	// immutable, so snapshot-bearing invoke replies append pre-encoded bytes
+	// instead of re-marshalling per call. nil for mutable objects. The cell
+	// itself is published before the immutable bit (or the resident
+	// transition, for installed copies); its contents are filled lazily by
+	// the first snapshot-bearing reply and read/written only through the
+	// atomic pointer.
+	snap *snapCell
 }
+
+// snapCell holds a lazily computed marshalled snapshot of an immutable
+// object. A pointer cell rather than a plain []byte field because payload is
+// copied by value: readers holding only a pin load the cached encoding
+// through the atomic, while a racing first encoder stores it — both orders
+// are valid since every encoding of an immutable object is equivalent.
+type snapCell struct{ v atomic.Pointer[[]byte] }
 
 // descriptor is the per-node record for one object: the objspace coherence
 // machinery (packed state word, pins, cond, forwarding address, attachment

@@ -158,6 +158,13 @@ func (n *Node) invoke(c *Ctx, obj gaddr.Addr, method string, args []any, o callO
 			return nil, err
 		case actExecute:
 			n.cInvokesLocal.Inc()
+			if d.Replica() {
+				n.cReplicaHits.Inc()
+				if tr := n.tracer; tr.On() {
+					tr.Emit(trace.Event{Kind: trace.KReplicaHit, Trace: c.rec.ID, Span: c.span,
+						Thread: c.rec.ID, Obj: uint64(obj)})
+				}
+			}
 			start := time.Now()
 			res, rerr := n.runPinned(c, d, obj, method, args)
 			n.histLocal.Observe(time.Since(start))
@@ -211,6 +218,12 @@ func (n *Node) shipInvoke(c *Ctx, msg *routedMsg, to gaddr.NodeID, args []any, o
 	msg.Args = ab
 	msg.Thread = c.rec // pins travel with the thread (§3.5)
 	msg.Chain = append(msg.Chain, n.id)
+	if msg.Op == opInvoke && n.replicaOn {
+		// Advertise willingness to receive a piggybacked snapshot: if the
+		// executor finds the object immutable and its encoding fits, the reply
+		// carries the bytes and this node installs a local read replica.
+		msg.SnapMax = n.replicaMax
+	}
 	body, err := wire.MarshalInto(msg)
 	if err != nil {
 		return nil, err
@@ -246,6 +259,19 @@ func (n *Node) shipInvoke(c *Ctx, msg *routedMsg, to gaddr.NodeID, args []any, o
 	// fail, which is exactly why the protocol is safe.
 	n.counts.Inc("return_checks")
 	n.learnLocation(msg.Obj, ir.Node, ir.Epoch)
+	if ir.Immutable {
+		// The call shipped to an immutable object: a miss this replica layer
+		// could have absorbed. Install asynchronously so the decode is not
+		// charged to this (cold) call's latency; ir.SnapState aliases resp, so
+		// hand the goroutine an owned copy before the buffer is pooled.
+		n.cReplicaMiss.Inc()
+		if n.replicaOn && ir.SnapType != "" {
+			owned := append([]byte(nil), ir.SnapState...)
+			n.queueReplicaInstall(replicaInstall{
+				obj: msg.Obj, from: ir.Node, typ: ir.SnapType, state: owned, epoch: ir.Epoch,
+			})
+		}
+	}
 	// ir.Results aliases resp; UnmarshalArgs copies the values out, after
 	// which the reply buffer can go back to the pool.
 	out, err := wire.UnmarshalArgs(ir.Results)
@@ -479,7 +505,14 @@ func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 			rc.Reply(nil, err)
 			return nil
 		}
-		body, err := wire.MarshalInto(&invokeReply{Results: rb, Node: n.id, Epoch: epoch})
+		// Read-path replication (§2.3): if the origin asked for a snapshot and
+		// the object is immutable, piggyback its encoding on this reply so the
+		// origin installs a local replica in the same round trip.
+		ir := invokeReply{Results: rb, Node: n.id, Epoch: epoch, Immutable: d.Immutable()}
+		if msg.SnapMax > 0 && ir.Immutable {
+			ir.SnapType, ir.SnapState = n.replicaSnapshot(d, msg.SnapMax)
+		}
+		body, err := wire.MarshalInto(&ir)
 		rc.Reply(body, err)
 		n.sendChainUpdates(msg.Obj, epoch, msg.Chain, rc.Origin)
 		return nil

@@ -147,10 +147,20 @@ func (n *Node) snapshotLocked(a gaddr.Addr, d *descriptor) (snapshot, error) {
 	}
 	var state []byte
 	if ti.hasState {
-		var err error
-		state, err = wire.Marshal(d.Payload.obj.Elem().Interface())
-		if err != nil {
-			return snapshot{}, fmt.Errorf("amber: snapshot %#x: %w", uint64(a), err)
+		// An immutable object may already carry its encoding in the payload's
+		// snap cell (filled by the read-replication path); reuse it — the
+		// state cannot have changed since.
+		if cell := d.Payload.snap; cell != nil {
+			if enc := cell.v.Load(); enc != nil {
+				state = *enc
+			}
+		}
+		if state == nil {
+			var err error
+			state, err = wire.Marshal(d.Payload.obj.Elem().Interface())
+			if err != nil {
+				return snapshot{}, fmt.Errorf("amber: snapshot %#x: %w", uint64(a), err)
+			}
 		}
 	}
 	return snapshot{
@@ -413,6 +423,13 @@ func (n *Node) executeSetImmutable(d *descriptor, msg *routedMsg) error {
 	if d.Payload.ti == nil || !d.Payload.ti.serializable {
 		return fmt.Errorf("%w: runtime objects cannot be immutable", ErrNotMovable)
 	}
+	// The snap cell must exist before the immutable bit is raised: the bit is
+	// what licenses pinned readers (replicaSnapshot) to touch the cell, so
+	// cell-before-bit gives them a happens-before edge through the packed
+	// word. The encoding itself is computed lazily by the first
+	// snapshot-bearing reply — encoding here would race methods still
+	// mutating the object in the window before the mark lands.
+	d.Payload.snap = &snapCell{}
 	d.SetImmutableLocked(true)
 	n.counts.Inc("set_immutable")
 	return nil

@@ -77,6 +77,17 @@ type NodeConfig struct {
 	// oldest entry in the shard (FIFO), so churny workloads cannot grow the
 	// cache without bound.
 	HintCache int
+	// ReplicaCache caps the demand-pulled immutable replicas this node keeps
+	// (total entries, split across shards; 0 = objspace.DefaultReplicaCap,
+	// negative disables read-path replication). A full shard evicts its
+	// oldest replica (FIFO), tearing the local copy down to a forwarding
+	// tombstone aimed back at the replica's source.
+	ReplicaCache int
+	// ReplicaMaxBytes caps the marshalled snapshot size an invoke reply may
+	// piggyback for replica installation (0 = 64KiB, negative disables
+	// piggybacking). Larger immutable objects still replicate on explicit
+	// MoveTo; they just will not ride invoke replies.
+	ReplicaMaxBytes int
 }
 
 func (c *NodeConfig) fill() {
@@ -91,6 +102,12 @@ func (c *NodeConfig) fill() {
 	}
 	if c.RegionsPerGrant == 0 {
 		c.RegionsPerGrant = 4
+	}
+	switch {
+	case c.ReplicaMaxBytes == 0:
+		c.ReplicaMaxBytes = 64 << 10
+	case c.ReplicaMaxBytes < 0:
+		c.ReplicaMaxBytes = 0 // piggybacking disabled
 	}
 }
 
@@ -123,6 +140,22 @@ type Node struct {
 	cResidency    *stats.Counter // residency_checks
 	cHintHits     *stats.Counter // hint_hits
 	cHintMisses   *stats.Counter // hint_misses
+	cReplicaHits  *stats.Counter // replica_hits
+	cReplicaMiss  *stats.Counter // replica_misses
+	cReplicaInst  *stats.Counter // replica_installs
+
+	// replicaMax is the filled ReplicaMaxBytes; replicaOn gates the whole
+	// read-path replication machinery (snapshot requests and installs).
+	replicaMax uint64
+	replicaOn  bool
+
+	// installq feeds the replica installer: one long-lived worker applying
+	// snapshot installs off the invoke reply path. The queue is bounded and
+	// sheds on overflow — installs are opportunistic (the next cold miss
+	// carries the snapshot again), and spawning a goroutine per install costs
+	// more than the install itself. stopc parks the worker on Close.
+	installq chan replicaInstall
+	stopc    chan struct{}
 
 	// space is the node's sharded object-space table: descriptors and
 	// location hints for the global addresses this node has touched, lock-
@@ -154,8 +187,15 @@ func NewNode(cfg NodeConfig, reg *Registry, tr transport.Transport, server *gadd
 		sch:    sched.New(cfg.Procs, cfg.Policy),
 		counts: stats.NewSet(),
 		tracer: cfg.Tracer,
-		space:  objspace.New[payload](cfg.SpaceShards, cfg.HintCache),
+		space:  objspace.New[payload](cfg.SpaceShards, cfg.HintCache, cfg.ReplicaCache),
 		server: server,
+	}
+	n.replicaMax = uint64(cfg.ReplicaMaxBytes)
+	n.replicaOn = cfg.ReplicaCache >= 0 && cfg.ReplicaMaxBytes > 0
+	n.stopc = make(chan struct{})
+	if n.replicaOn {
+		n.installq = make(chan replicaInstall, 128)
+		go n.replicaWorker()
 	}
 	if n.tracer == nil {
 		n.tracer = trace.New(int32(cfg.ID), cfg.TraceBuffer)
@@ -171,6 +211,9 @@ func NewNode(cfg NodeConfig, reg *Registry, tr transport.Transport, server *gadd
 	n.cResidency = n.counts.Get("residency_checks")
 	n.cHintHits = n.counts.Get("hint_hits")
 	n.cHintMisses = n.counts.Get("hint_misses")
+	n.cReplicaHits = n.counts.Get("replica_hits")
+	n.cReplicaMiss = n.counts.Get("replica_misses")
+	n.cReplicaInst = n.counts.Get("replica_installs")
 	n.regions = gaddr.NewTable(nil, n.resolveRegion)
 	n.alloc = gaddr.NewAllocator(cfg.ID, nil, n.extendRegions)
 	if cfg.Generation != 0 {
@@ -304,7 +347,11 @@ func (n *Node) SpaceStats() map[string]int64 { return n.space.Snapshot() }
 
 // Close marks the node shut down. In-flight operations may still complete;
 // transports are owned by the cluster.
-func (n *Node) Close() { n.closed.Store(true) }
+func (n *Node) Close() {
+	if n.closed.CompareAndSwap(false, true) {
+		close(n.stopc)
+	}
+}
 
 // --- address-space server protocol (§3.1) ---
 

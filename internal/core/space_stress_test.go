@@ -16,8 +16,11 @@ import (
 // collision) or spread across many.
 func stressCluster(t *testing.T, nodes, shards int) *Cluster {
 	t.Helper()
+	// The tiny replica cache keeps demand-pulled immutable replicas under
+	// constant eviction pressure in the workloads that use them; workloads
+	// with only mutable objects never touch it.
 	cl, err := NewCluster(ClusterConfig{
-		Nodes: nodes, ProcsPerNode: 4, SpaceShards: shards,
+		Nodes: nodes, ProcsPerNode: 4, SpaceShards: shards, ReplicaCache: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -168,21 +171,30 @@ func TestStressInvokeMoveAttachManyShards(t *testing.T) {
 // promises:
 //
 //   - at quiescence no descriptor is pinned or mid-move;
-//   - an object is resident on exactly one node (payload present there,
-//     absent everywhere else);
+//   - a mutable object is resident on exactly one node (payload present
+//     there, absent everywhere else);
 //   - every forwarding tombstone reaches the residence within MaxHops, and
 //     never carries an epoch newer than the residence it points to;
-//   - attachment edges are symmetric and attached objects co-resident.
+//   - attachment edges are symmetric and attached objects co-resident;
+//   - a replica is only ever a resident immutable descriptor with a payload —
+//     the replica bit never survives onto a moving, forwarded or deleted
+//     descriptor — and immutable objects keep exactly one non-replica
+//     residence (the source) no matter how many replicas install and evict.
+//
+// The op mix includes invokes on immutable objects from random nodes, so
+// demand-pulled replicas install, serve hits and get evicted (cache cap 2)
+// concurrently with the mutable move/attach churn.
 func TestPinStateInvariants(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test")
 	}
 	const (
-		nodes   = 3
-		workers = 8
-		batches = 10
-		perOp   = 125 // workers*batches*perOp = 10_000 ops
-		objects = 6
+		nodes      = 3
+		workers    = 8
+		batches    = 10
+		perOp      = 125 // workers*batches*perOp = 10_000 ops
+		objects    = 6
+		immutables = 4
 	)
 	cl := stressCluster(t, nodes, 4)
 	ctx := cl.Node(0).Root()
@@ -194,6 +206,18 @@ func TestPinStateInvariants(t *testing.T) {
 			t.Fatal(err)
 		}
 		refs[i] = r
+	}
+	irefs := make([]Ref, immutables)
+	ctx1 := cl.Node(1).Root()
+	for i := range irefs {
+		r, err := ctx1.New(&Greeter{Prefix: fmt.Sprintf("i%d:", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx1.SetImmutable(r); err != nil {
+			t.Fatal(err)
+		}
+		irefs[i] = r
 	}
 
 	audit := func(batch int) {
@@ -220,6 +244,18 @@ func TestPinStateInvariants(t *testing.T) {
 					if !d.Payload.obj.IsValid() {
 						t.Errorf("batch %d: node %d %#x: resident without payload", batch, n, uint64(a))
 					}
+					if d.Replica() {
+						// A replica is an extra residence of an immutable
+						// object; it must carry the immutable bit and never
+						// be mid-move (it is torn down, not migrated).
+						if !d.Immutable() {
+							t.Errorf("batch %d: node %d %#x: replica without immutable bit", batch, n, uint64(a))
+						}
+						if d.Mv != nil {
+							t.Errorf("batch %d: node %d %#x: replica with pending move", batch, n, uint64(a))
+						}
+						return true
+					}
 					if prev, dup := res[Ref(a)]; dup {
 						t.Errorf("batch %d: %#x resident on both node %d and %d", batch, uint64(a), prev.node, n)
 					}
@@ -227,6 +263,9 @@ func TestPinStateInvariants(t *testing.T) {
 				case stateAbsent, stateForwarded, stateDeleted:
 					if d.Payload.obj.IsValid() {
 						t.Errorf("batch %d: node %d %#x: payload retained in state %v", batch, n, uint64(a), st)
+					}
+					if d.Replica() {
+						t.Errorf("batch %d: node %d %#x: replica bit carried into state %v", batch, n, uint64(a), st)
 					}
 				default:
 					t.Errorf("batch %d: node %d %#x: invalid state %v", batch, n, uint64(a), st)
@@ -301,10 +340,19 @@ func TestPinStateInvariants(t *testing.T) {
 				return true
 			})
 		}
-		// Every object created must still be resident somewhere.
+		// Every object created must still be resident somewhere; for the
+		// immutable set that residence is the one non-replica copy (the
+		// source), which replication must never have disturbed.
 		for _, ref := range refs {
 			if _, ok := res[ref]; !ok {
 				t.Errorf("batch %d: object %#x has no residence", batch, uint64(ref))
+			}
+		}
+		for _, ref := range irefs {
+			if r, ok := res[ref]; !ok {
+				t.Errorf("batch %d: immutable %#x has no source residence", batch, uint64(ref))
+			} else if r.node != cl.Node(1).ID() {
+				t.Errorf("batch %d: immutable %#x source drifted to node %d", batch, uint64(ref), r.node)
 			}
 		}
 	}
@@ -321,11 +369,22 @@ func TestPinStateInvariants(t *testing.T) {
 					ref := refs[rng.Intn(objects)]
 					c := cl.Node(rng.Intn(nodes)).Root()
 					var err error
-					switch rng.Intn(6) {
+					switch rng.Intn(8) {
 					case 0, 1, 2:
 						_, err = c.Invoke(ref, "Add", 1)
 					case 3, 4:
 						err = c.MoveTo(ref, gaddr.NodeID(rng.Intn(nodes)))
+					case 6, 7:
+						// Immutable traffic: first touch from a node pulls a
+						// replica; the tiny cache keeps evicting them, so the
+						// same refs flap install→hit→evict→re-chase all run.
+						k := rng.Intn(immutables)
+						var out []any
+						if out, err = c.Invoke(irefs[k], "Greet", "s"); err == nil {
+							if want := fmt.Sprintf("i%d:s", k); out[0].(string) != want {
+								err = fmt.Errorf("immutable invoke %d = %q, want %q", k, out[0], want)
+							}
+						}
 					case 5:
 						peer := refs[rng.Intn(objects)]
 						if peer == ref {

@@ -218,6 +218,12 @@ type routedMsg struct {
 	// Chain lists the nodes this message has visited, oldest first; used
 	// for forwarding-cache updates and loop escape.
 	Chain []gaddr.NodeID
+	// SnapMax applies to opInvoke: the largest immutable-object snapshot (in
+	// marshalled bytes) the origin is willing to receive piggybacked on the
+	// reply, so it can install a local read replica (§2.3). Zero means the
+	// origin does not want one (replication disabled, or a hop forwarded by
+	// a node that should not learn a replica on the origin's behalf).
+	SnapMax uint64
 }
 
 // invokeReply is the wire form of an invocation result.
@@ -229,6 +235,16 @@ type invokeReply struct {
 	// caches apply it only if strictly newer than what they hold (§3.3,
 	// Fowler-style versioned forwarding).
 	Epoch uint64
+	// Immutable reports that the executed object is in immutable mode, so
+	// the origin knows a local replica would have served this call.
+	Immutable bool
+	// SnapType/SnapState, when SnapType is non-empty, piggyback the
+	// immutable object's snapshot (type name + wire.Marshal state) so the
+	// origin can install a replica in the same round trip (§2.3). Sent only
+	// when the request's SnapMax allowed a snapshot this large. A replica of
+	// a stateless type has a non-empty SnapType and an empty SnapState.
+	SnapType  string
+	SnapState []byte
 }
 
 // locateReply answers opLocate.
@@ -378,7 +394,7 @@ func (m *routedMsg) AppendWire(b []byte) []byte {
 	for _, hop := range m.Chain {
 		b = wire.AppendVarint(b, int64(hop))
 	}
-	return b
+	return wire.AppendUvarint(b, m.SnapMax)
 }
 
 // DecodeWire implements wire.Codec. Args aliases b (zero copy) and is only
@@ -430,18 +446,40 @@ func (m *routedMsg) DecodeWire(b []byte) ([]byte, error) {
 			m.Chain[i] = gaddr.NodeID(v)
 		}
 	}
+	if m.SnapMax, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
 	return b, nil
 }
+
+// invokeReply flag bits (one byte after Epoch on the wire).
+const (
+	irFlagImmutable = 1 << 0
+	irFlagSnapshot  = 1 << 1
+)
 
 // AppendWire implements wire.Codec.
 func (m *invokeReply) AppendWire(b []byte) []byte {
 	b = wire.AppendBytes(b, m.Results)
 	b = wire.AppendVarint(b, int64(m.Node))
-	return wire.AppendUvarint(b, m.Epoch)
+	b = wire.AppendUvarint(b, m.Epoch)
+	var flags byte
+	if m.Immutable {
+		flags |= irFlagImmutable
+	}
+	if m.SnapType != "" {
+		flags |= irFlagSnapshot
+	}
+	b = append(b, flags)
+	if m.SnapType != "" {
+		b = wire.AppendString(b, m.SnapType)
+		b = wire.AppendBytes(b, m.SnapState)
+	}
+	return b
 }
 
-// DecodeWire implements wire.Codec. Results aliases b; the caller recycles
-// the reply payload only after UnmarshalArgs has copied the values out.
+// DecodeWire implements wire.Codec. Results and SnapState alias b; the caller
+// recycles the reply payload only after copying the values out.
 func (m *invokeReply) DecodeWire(b []byte) ([]byte, error) {
 	var err error
 	var v int64
@@ -454,6 +492,21 @@ func (m *invokeReply) DecodeWire(b []byte) ([]byte, error) {
 	m.Node = gaddr.NodeID(v)
 	if m.Epoch, b, err = wire.ReadUvarint(b); err != nil {
 		return nil, err
+	}
+	if len(b) < 1 {
+		return nil, wire.ErrShortBuffer
+	}
+	var flags byte
+	flags, b = b[0], b[1:]
+	m.Immutable = flags&irFlagImmutable != 0
+	m.SnapType, m.SnapState = "", nil
+	if flags&irFlagSnapshot != 0 {
+		if m.SnapType, b, err = wire.ReadString(b); err != nil {
+			return nil, err
+		}
+		if m.SnapState, b, err = wire.ReadBytes(b); err != nil {
+			return nil, err
+		}
 	}
 	return b, nil
 }

@@ -56,10 +56,12 @@ type Options struct {
 
 // SpaceShard is one stripe of the object-space table as served on /space.
 type SpaceShard struct {
-	Shard       int   `json:"shard"`
-	Descriptors int64 `json:"descriptors"`
-	Hints       int   `json:"hints"`
-	Evictions   int64 `json:"hint_evictions"`
+	Shard            int   `json:"shard"`
+	Descriptors      int64 `json:"descriptors"`
+	Hints            int   `json:"hints"`
+	Evictions        int64 `json:"hint_evictions"`
+	Replicas         int   `json:"replicas"`
+	ReplicaEvictions int64 `json:"replica_evictions"`
 }
 
 // Server is a running introspection endpoint.

@@ -1,0 +1,111 @@
+package objspace
+
+import (
+	"testing"
+
+	"amber/internal/gaddr"
+)
+
+func TestReplicaTrackAndDrop(t *testing.T) {
+	s := New[tpay](1, 0, 8)
+	if got := s.ReplicaCapPerShard(); got != 8 {
+		t.Fatalf("ReplicaCapPerShard = %d, want 8", got)
+	}
+	if v := s.ReplicaTrack(1, 2); v != nil {
+		t.Fatalf("unexpected victims %v under capacity", v)
+	}
+	if s.Replicas() != 1 {
+		t.Fatalf("Replicas = %d, want 1", s.Replicas())
+	}
+	// Re-tracking refreshes in place, no growth, no victims.
+	if v := s.ReplicaTrack(1, 3); v != nil || s.Replicas() != 1 {
+		t.Fatalf("retrack: victims=%v replicas=%d", v, s.Replicas())
+	}
+	if !s.ReplicaDrop(1) {
+		t.Fatal("ReplicaDrop(1) = false, want true")
+	}
+	if s.ReplicaDrop(1) {
+		t.Fatal("second ReplicaDrop(1) = true, want false")
+	}
+	if s.Replicas() != 0 {
+		t.Fatalf("Replicas = %d, want 0", s.Replicas())
+	}
+}
+
+func TestReplicaFIFOEviction(t *testing.T) {
+	s := New[tpay](1, 0, 2)
+	s.ReplicaTrack(10, 1)
+	s.ReplicaTrack(11, 2)
+	victims := s.ReplicaTrack(12, 3)
+	if len(victims) != 1 || victims[0].Addr != 10 || victims[0].Source != 1 {
+		t.Fatalf("victims = %v, want [{10 1}]", victims)
+	}
+	if s.Replicas() != 2 {
+		t.Fatalf("Replicas = %d, want 2", s.Replicas())
+	}
+	// The oldest survivor is now 11.
+	victims = s.ReplicaTrack(13, 4)
+	if len(victims) != 1 || victims[0].Addr != 11 {
+		t.Fatalf("victims = %v, want addr 11", victims)
+	}
+	st := s.ShardStats()[0]
+	if st.Replicas != 2 || st.ReplicaEvictions != 2 {
+		t.Fatalf("shard stat = %+v, want 2 replicas / 2 evictions", st)
+	}
+	snap := s.Snapshot()
+	if snap["replicas"] != 2 || snap["replica_evictions"] != 2 || snap["replica_cap_per_shard"] != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+// TestReplicaRetrackNoCascade checks that re-entering a busy victim does not
+// itself evict anything, and that the shard shrinks back to its bound on the
+// next ordinary track.
+func TestReplicaRetrackNoCascade(t *testing.T) {
+	s := New[tpay](1, 0, 2)
+	s.ReplicaTrack(10, 1)
+	s.ReplicaTrack(11, 2)
+	victims := s.ReplicaTrack(12, 3) // evicts 10
+	if len(victims) != 1 || victims[0].Addr != 10 {
+		t.Fatalf("victims = %v", victims)
+	}
+	s.ReplicaRetrack(victims[0].Addr, victims[0].Source)
+	if s.Replicas() != 3 { // over cap, allowed transiently
+		t.Fatalf("Replicas = %d, want 3", s.Replicas())
+	}
+	// Next track pops until back under the bound: 11 and 12 are the oldest
+	// queue entries still live.
+	victims = s.ReplicaTrack(13, 4)
+	if len(victims) != 2 {
+		t.Fatalf("victims = %v, want 2", victims)
+	}
+	if s.Replicas() != 2 {
+		t.Fatalf("Replicas = %d, want 2", s.Replicas())
+	}
+}
+
+func TestReplicaTrackingDisabled(t *testing.T) {
+	s := New[tpay](1, 0, -1)
+	if s.ReplicaCapPerShard() != 0 {
+		t.Fatalf("cap = %d, want 0", s.ReplicaCapPerShard())
+	}
+	if v := s.ReplicaTrack(1, 2); v != nil {
+		t.Fatalf("victims = %v on disabled cache", v)
+	}
+	if s.Replicas() != 0 || s.ReplicaDrop(1) {
+		t.Fatal("disabled cache tracked something")
+	}
+}
+
+func TestReplicaDefaultCapSplitsAcrossShards(t *testing.T) {
+	s := New[tpay](4, 0, 0)
+	if got := s.ReplicaCapPerShard(); got != DefaultReplicaCap/4 {
+		t.Fatalf("cap per shard = %d, want %d", got, DefaultReplicaCap/4)
+	}
+	// Tiny explicit cap still leaves one slot per shard.
+	s = New[tpay](8, 0, 2)
+	if got := s.ReplicaCapPerShard(); got != 1 {
+		t.Fatalf("cap per shard = %d, want 1", got)
+	}
+	_ = gaddr.NoNode
+}

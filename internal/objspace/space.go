@@ -20,6 +20,11 @@ const (
 	// always wins), so capping them costs at most one extra home-node hop
 	// on a cold object.
 	DefaultHintCap = 4096
+	// DefaultReplicaCap is the default total demand-pulled replica capacity
+	// per node, split evenly across shards. Replicas are pure caches of
+	// immutable state (the residence copy is never the one evicted), so the
+	// bound trades memory for repeat-miss round trips, nothing else.
+	DefaultReplicaCap = 1024
 	// maxShards bounds configuration mistakes.
 	maxShards = 1 << 16
 	// minHintsPerShard keeps tiny configurations useful.
@@ -34,10 +39,20 @@ type shard[P any] struct {
 	descs sync.Map // gaddr.Addr -> *Descriptor[P]
 	ndesc atomic.Int64
 
-	mu       sync.Mutex // guards hints + fifo
+	mu       sync.Mutex // guards hints + fifo and the replica FIFO below
 	hints    map[gaddr.Addr]gaddr.NodeID
 	fifo     []gaddr.Addr // insertion order; may carry stale (dropped) keys
 	fifoHead int
+
+	// Demand-pulled replica tracking: which addresses this node holds as
+	// read replicas, mapped to the source node the replica was pulled from
+	// (the eviction tombstone's forward target). Same bounded-FIFO shape as
+	// the hint cache; the map is bookkeeping only — the replica payload
+	// lives in the descriptor, and core tears it down on eviction.
+	replicas   map[gaddr.Addr]gaddr.NodeID
+	rfifo      []gaddr.Addr
+	rfifoHead  int
+	revictions atomic.Uint64
 
 	moveMu sync.Mutex
 
@@ -73,15 +88,17 @@ func (sh *shard[P]) lockMove() {
 // address hash. The type parameter P is the runtime's per-object payload
 // (live value + type info); objspace itself never inspects it.
 type Space[P any] struct {
-	shards  []shard[P]
-	shift   uint // 64 - log2(len(shards)), for the multiplicative hash
-	hintCap int  // per shard
+	shards     []shard[P]
+	shift      uint // 64 - log2(len(shards)), for the multiplicative hash
+	hintCap    int  // per shard
+	replicaCap int  // per shard; 0 disables replica tracking
 }
 
 // New creates a Space with the given shard count (rounded up to a power of
-// two; 0 selects DefaultShards) and total hint capacity (0 selects
-// DefaultHintCap), divided evenly among shards.
-func New[P any](shards, hintCap int) *Space[P] {
+// two; 0 selects DefaultShards), total hint capacity (0 selects
+// DefaultHintCap) and total replica capacity (0 selects DefaultReplicaCap,
+// negative disables replica tracking), each divided evenly among shards.
+func New[P any](shards, hintCap, replicaCap int) *Space[P] {
 	if shards <= 0 {
 		shards = DefaultShards
 	}
@@ -100,10 +117,24 @@ func New[P any](shards, hintCap int) *Space[P] {
 	if per < minHintsPerShard {
 		per = minHintsPerShard
 	}
+	var rper int
+	switch {
+	case replicaCap < 0:
+		rper = 0
+	case replicaCap == 0:
+		replicaCap = DefaultReplicaCap
+		fallthrough
+	default:
+		rper = replicaCap / n
+		if rper < 1 {
+			rper = 1
+		}
+	}
 	s := &Space[P]{
-		shards:  make([]shard[P], n),
-		shift:   uint(64 - bits.Len(uint(n-1))),
-		hintCap: per,
+		shards:     make([]shard[P], n),
+		shift:      uint(64 - bits.Len(uint(n-1))),
+		hintCap:    per,
+		replicaCap: rper,
 	}
 	if n == 1 {
 		s.shift = 64 // degenerate single-shard space; x>>64 == 0 in Go
@@ -267,6 +298,107 @@ func (s *Space[P]) Hints() int {
 	return n
 }
 
+// --- demand-pulled replica tracking (bounded, FIFO-evicted) ---
+
+// ReplicaVictim names a replica popped from the cache by ReplicaTrack; the
+// caller is responsible for tearing down the descriptor (replacing the local
+// copy with a tombstone forwarding to Source).
+type ReplicaVictim struct {
+	Addr   gaddr.Addr
+	Source gaddr.NodeID
+}
+
+// ReplicaCapPerShard reports the per-shard replica bound (0 = tracking
+// disabled).
+func (s *Space[P]) ReplicaCapPerShard() int { return s.replicaCap }
+
+// ReplicaTrack records that a is now held locally as a replica pulled from
+// src, and returns the FIFO victims (from a's shard) that must be evicted to
+// stay within the per-shard bound. Re-tracking an existing entry refreshes
+// its source in place and keeps its queue position. No-op when tracking is
+// disabled.
+func (s *Space[P]) ReplicaTrack(a gaddr.Addr, src gaddr.NodeID) (victims []ReplicaVictim) {
+	if s.replicaCap == 0 {
+		return nil
+	}
+	sh := s.shardOf(a)
+	sh.lockHints()
+	if _, ok := sh.replicas[a]; ok {
+		sh.replicas[a] = src
+		sh.mu.Unlock()
+		return nil
+	}
+	if sh.replicas == nil {
+		sh.replicas = make(map[gaddr.Addr]gaddr.NodeID, s.replicaCap)
+	}
+	sh.replicas[a] = src
+	sh.rfifo = append(sh.rfifo, a)
+	for len(sh.replicas) > s.replicaCap {
+		old := sh.rfifo[sh.rfifoHead]
+		sh.rfifoHead++
+		if oldSrc, ok := sh.replicas[old]; ok && old != a {
+			delete(sh.replicas, old)
+			sh.revictions.Add(1)
+			victims = append(victims, ReplicaVictim{Addr: old, Source: oldSrc})
+		}
+	}
+	if sh.rfifoHead > len(sh.rfifo)/2 && sh.rfifoHead > s.replicaCap {
+		sh.rfifo = append(sh.rfifo[:0], sh.rfifo[sh.rfifoHead:]...)
+		sh.rfifoHead = 0
+	}
+	sh.mu.Unlock()
+	return victims
+}
+
+// ReplicaRetrack re-enters a victim whose descriptor teardown could not
+// proceed (e.g. the replica was pinned by an executing invoke). The entry is
+// appended WITHOUT cap enforcement, so a busy victim cannot trigger an
+// eviction cascade; the shard shrinks back to its bound on the next
+// ReplicaTrack.
+func (s *Space[P]) ReplicaRetrack(a gaddr.Addr, src gaddr.NodeID) {
+	if s.replicaCap == 0 {
+		return
+	}
+	sh := s.shardOf(a)
+	sh.lockHints()
+	if _, ok := sh.replicas[a]; !ok {
+		if sh.replicas == nil {
+			sh.replicas = make(map[gaddr.Addr]gaddr.NodeID, s.replicaCap)
+		}
+		sh.replicas[a] = src
+		sh.rfifo = append(sh.rfifo, a)
+	}
+	sh.mu.Unlock()
+}
+
+// ReplicaDrop forgets a tracked replica (the descriptor was superseded or
+// torn down by other means), reporting whether one was tracked.
+func (s *Space[P]) ReplicaDrop(a gaddr.Addr) bool {
+	if s.replicaCap == 0 {
+		return false
+	}
+	sh := s.shardOf(a)
+	sh.lockHints()
+	_, ok := sh.replicas[a]
+	if ok {
+		delete(sh.replicas, a)
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
+// Replicas reports the total number of tracked replicas.
+func (s *Space[P]) Replicas() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lockHints()
+		n += len(sh.replicas)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // --- per-shard move serialization ---
 
 // ShardsOf returns the sorted, deduplicated shard indices covering addrs —
@@ -323,13 +455,15 @@ func ContainsAll(super, sub []int) bool {
 
 // ShardStat is one stripe's occupancy and contention snapshot.
 type ShardStat struct {
-	Descriptors   int64  `json:"descriptors"`
-	Hints         int    `json:"hints"`
-	HintLocks     uint64 `json:"hint_locks"`
-	HintContended uint64 `json:"hint_contended"`
-	MoveLocks     uint64 `json:"move_locks"`
-	MoveContended uint64 `json:"move_contended"`
-	Evictions     uint64 `json:"hint_evictions"`
+	Descriptors      int64  `json:"descriptors"`
+	Hints            int    `json:"hints"`
+	HintLocks        uint64 `json:"hint_locks"`
+	HintContended    uint64 `json:"hint_contended"`
+	MoveLocks        uint64 `json:"move_locks"`
+	MoveContended    uint64 `json:"move_contended"`
+	Evictions        uint64 `json:"hint_evictions"`
+	Replicas         int    `json:"replicas"`
+	ReplicaEvictions uint64 `json:"replica_evictions"`
 }
 
 // ShardStats snapshots every stripe (for the /space debug endpoint and
@@ -340,15 +474,18 @@ func (s *Space[P]) ShardStats() []ShardStat {
 		sh := &s.shards[i]
 		sh.lockHints()
 		hints := len(sh.hints)
+		replicas := len(sh.replicas)
 		sh.mu.Unlock()
 		out[i] = ShardStat{
-			Descriptors:   sh.ndesc.Load(),
-			Hints:         hints,
-			HintLocks:     sh.hintLocks.Load(),
-			HintContended: sh.hintContended.Load(),
-			MoveLocks:     sh.moveLocks.Load(),
-			MoveContended: sh.moveContended.Load(),
-			Evictions:     sh.evictions.Load(),
+			Descriptors:      sh.ndesc.Load(),
+			Hints:            hints,
+			HintLocks:        sh.hintLocks.Load(),
+			HintContended:    sh.hintContended.Load(),
+			MoveLocks:        sh.moveLocks.Load(),
+			MoveContended:    sh.moveContended.Load(),
+			Evictions:        sh.evictions.Load(),
+			Replicas:         replicas,
+			ReplicaEvictions: sh.revictions.Load(),
 		}
 	}
 	return out
@@ -358,7 +495,7 @@ func (s *Space[P]) ShardStats() []ShardStat {
 // under the objspace_ prefix by amberd's /metrics).
 func (s *Space[P]) Snapshot() map[string]int64 {
 	var st ShardStat
-	var hints int
+	var hints, replicas int
 	for i := range s.shards {
 		sh := &s.shards[i]
 		st.Descriptors += sh.ndesc.Load()
@@ -367,19 +504,24 @@ func (s *Space[P]) Snapshot() map[string]int64 {
 		st.MoveLocks += sh.moveLocks.Load()
 		st.MoveContended += sh.moveContended.Load()
 		st.Evictions += sh.evictions.Load()
+		st.ReplicaEvictions += sh.revictions.Load()
 		sh.lockHints()
 		hints += len(sh.hints)
+		replicas += len(sh.replicas)
 		sh.mu.Unlock()
 	}
 	return map[string]int64{
-		"shards":              int64(len(s.shards)),
-		"descriptors":         st.Descriptors,
-		"hints":               int64(hints),
-		"hint_cap_per_shard":  int64(s.hintCap),
-		"hint_lock_acquires":  int64(st.HintLocks),
-		"hint_lock_contended": int64(st.HintContended),
-		"move_lock_acquires":  int64(st.MoveLocks),
-		"move_lock_contended": int64(st.MoveContended),
-		"hint_evictions":      int64(st.Evictions),
+		"shards":                int64(len(s.shards)),
+		"descriptors":           st.Descriptors,
+		"hints":                 int64(hints),
+		"hint_cap_per_shard":    int64(s.hintCap),
+		"hint_lock_acquires":    int64(st.HintLocks),
+		"hint_lock_contended":   int64(st.HintContended),
+		"move_lock_acquires":    int64(st.MoveLocks),
+		"move_lock_contended":   int64(st.MoveContended),
+		"hint_evictions":        int64(st.Evictions),
+		"replicas":              int64(replicas),
+		"replica_cap_per_shard": int64(s.replicaCap),
+		"replica_evictions":     int64(st.ReplicaEvictions),
 	}
 }

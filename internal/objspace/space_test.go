@@ -13,7 +13,7 @@ type tpay struct{ v int }
 // --- packed word protocol ---
 
 func TestTryPinOnlyWhenResident(t *testing.T) {
-	s := New[tpay](4, 0)
+	s := New[tpay](4, 0, 0)
 	d := s.Ensure(gaddr.Addr(1))
 	if d.TryPin() {
 		t.Fatal("TryPin succeeded on an absent descriptor")
@@ -48,7 +48,7 @@ type fakeDrainer struct{ drained atomic.Int32 }
 func (f *fakeDrainer) MemberDrained() { f.drained.Add(1) }
 
 func TestUnpinReportsLastDrain(t *testing.T) {
-	s := New[tpay](4, 0)
+	s := New[tpay](4, 0, 0)
 	d := s.Ensure(gaddr.Addr(2))
 	d.Lock()
 	d.SetStateLocked(StateResident)
@@ -78,7 +78,7 @@ func TestUnpinReportsLastDrain(t *testing.T) {
 }
 
 func TestWaiterFlagForcesUnpinSlowPath(t *testing.T) {
-	s := New[tpay](4, 0)
+	s := New[tpay](4, 0, 0)
 	d := s.Ensure(gaddr.Addr(3))
 	d.Lock()
 	d.SetStateLocked(StateResident)
@@ -111,7 +111,7 @@ func TestWaiterFlagForcesUnpinSlowPath(t *testing.T) {
 }
 
 func TestConcurrentPinUnpin(t *testing.T) {
-	s := New[tpay](4, 0)
+	s := New[tpay](4, 0, 0)
 	d := s.Ensure(gaddr.Addr(4))
 	d.Lock()
 	d.SetStateLocked(StateResident)
@@ -138,7 +138,7 @@ func TestConcurrentPinUnpin(t *testing.T) {
 }
 
 func TestModeFlagsPreservedAcrossTransitions(t *testing.T) {
-	s := New[tpay](4, 0)
+	s := New[tpay](4, 0, 0)
 	d := s.Ensure(gaddr.Addr(5))
 	d.Lock()
 	d.SetImmutableLocked(true)
@@ -160,7 +160,7 @@ func TestModeFlagsPreservedAcrossTransitions(t *testing.T) {
 }
 
 func TestEpoch(t *testing.T) {
-	s := New[tpay](4, 0)
+	s := New[tpay](4, 0, 0)
 	d := s.Ensure(gaddr.Addr(6))
 	if d.Epoch() != 0 {
 		t.Fatalf("fresh descriptor epoch = %d, want 0", d.Epoch())
@@ -176,7 +176,7 @@ func TestEpoch(t *testing.T) {
 // --- table + sharding ---
 
 func TestEnsureIsIdempotent(t *testing.T) {
-	s := New[tpay](8, 0)
+	s := New[tpay](8, 0, 0)
 	a := gaddr.Addr(0x100)
 	d1 := s.Ensure(a)
 	d2 := s.Ensure(a)
@@ -195,7 +195,7 @@ func TestShardCountRounding(t *testing.T) {
 	for _, tc := range []struct{ in, want int }{
 		{0, DefaultShards}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {64, 64}, {65, 128},
 	} {
-		s := New[tpay](tc.in, 0)
+		s := New[tpay](tc.in, 0, 0)
 		if got := s.NumShards(); got != tc.want {
 			t.Errorf("New(%d) → %d shards, want %d", tc.in, got, tc.want)
 		}
@@ -203,7 +203,7 @@ func TestShardCountRounding(t *testing.T) {
 }
 
 func TestSingleShardSpaceWorks(t *testing.T) {
-	s := New[tpay](1, 0)
+	s := New[tpay](1, 0, 0)
 	for i := 0; i < 100; i++ {
 		a := gaddr.Addr(i * 0x10001)
 		if got := s.ShardOf(a); got != 0 {
@@ -217,7 +217,7 @@ func TestSingleShardSpaceWorks(t *testing.T) {
 }
 
 func TestRangeAndDescriptorsSeeAllShards(t *testing.T) {
-	s := New[tpay](8, 0)
+	s := New[tpay](8, 0, 0)
 	const n = 256
 	for i := 0; i < n; i++ {
 		s.Ensure(gaddr.Addr(i + 1))
@@ -240,7 +240,7 @@ func TestRangeAndDescriptorsSeeAllShards(t *testing.T) {
 func TestHintCacheBoundedFIFO(t *testing.T) {
 	// One shard so all hints compete for one FIFO; cap below the minimum
 	// floors at minHintsPerShard.
-	s := New[tpay](1, 1)
+	s := New[tpay](1, 1, 0)
 	cap := s.HintCapPerShard()
 	if cap != minHintsPerShard {
 		t.Fatalf("HintCapPerShard = %d, want floor %d", cap, minHintsPerShard)
@@ -271,7 +271,7 @@ func TestHintCacheBoundedFIFO(t *testing.T) {
 }
 
 func TestHintRefreshInPlace(t *testing.T) {
-	s := New[tpay](1, 1)
+	s := New[tpay](1, 1, 0)
 	cap := s.HintCapPerShard()
 	for i := 1; i <= cap; i++ {
 		s.HintSet(gaddr.Addr(i), gaddr.NodeID(1))
@@ -289,7 +289,7 @@ func TestHintRefreshInPlace(t *testing.T) {
 }
 
 func TestHintDropAndStaleFIFOSlots(t *testing.T) {
-	s := New[tpay](1, 1)
+	s := New[tpay](1, 1, 0)
 	cap := s.HintCapPerShard()
 	for i := 1; i <= cap; i++ {
 		s.HintSet(gaddr.Addr(i), gaddr.NodeID(i))
@@ -309,7 +309,7 @@ func TestHintDropAndStaleFIFOSlots(t *testing.T) {
 }
 
 func TestDropHintsTo(t *testing.T) {
-	s := New[tpay](8, 0)
+	s := New[tpay](8, 0, 0)
 	for i := 1; i <= 300; i++ {
 		s.HintSet(gaddr.Addr(i), gaddr.NodeID(i%3))
 	}
@@ -332,7 +332,7 @@ func TestDropHintsTo(t *testing.T) {
 // --- move locks ---
 
 func TestShardsOfSortedDedup(t *testing.T) {
-	s := New[tpay](16, 0)
+	s := New[tpay](16, 0, 0)
 	addrs := []gaddr.Addr{}
 	for i := 0; i < 64; i++ {
 		addrs = append(addrs, gaddr.Addr(i*0x5bd1), gaddr.Addr(i*0x5bd1)) // dup each
@@ -363,7 +363,7 @@ func TestContainsAll(t *testing.T) {
 }
 
 func TestMultiShardMoveLockNoDeadlock(t *testing.T) {
-	s := New[tpay](8, 0)
+	s := New[tpay](8, 0, 0)
 	// Overlapping shard sets locked concurrently in ascending order must
 	// never deadlock; run long enough for the race detector to bite.
 	var wg sync.WaitGroup
@@ -387,7 +387,7 @@ func TestMultiShardMoveLockNoDeadlock(t *testing.T) {
 }
 
 func TestContentionCounters(t *testing.T) {
-	s := New[tpay](1, 0)
+	s := New[tpay](1, 0, 0)
 	var wg sync.WaitGroup
 	for g := 0; g < 4; g++ {
 		wg.Add(1)
@@ -411,7 +411,7 @@ func TestContentionCounters(t *testing.T) {
 }
 
 func TestShardStatsMatchesSnapshot(t *testing.T) {
-	s := New[tpay](4, 0)
+	s := New[tpay](4, 0, 0)
 	for i := 1; i <= 40; i++ {
 		s.Ensure(gaddr.Addr(i))
 		s.HintSet(gaddr.Addr(i+1000), gaddr.NodeID(1))
@@ -433,7 +433,7 @@ func TestShardStatsMatchesSnapshot(t *testing.T) {
 // addresses (the allocator hands them out densely) must spread across
 // shards rather than pile into one stripe.
 func TestShardDistribution(t *testing.T) {
-	s := New[tpay](16, 0)
+	s := New[tpay](16, 0, 0)
 	counts := make([]int, 16)
 	for i := 0; i < 1600; i++ {
 		counts[s.ShardOf(gaddr.Addr(0x100000+i*8))]++
@@ -449,7 +449,7 @@ func TestShardDistribution(t *testing.T) {
 }
 
 func BenchmarkTryPinUnpin(b *testing.B) {
-	s := New[tpay](64, 0)
+	s := New[tpay](64, 0, 0)
 	d := s.Ensure(gaddr.Addr(1))
 	d.Lock()
 	d.SetStateLocked(StateResident)
@@ -464,7 +464,7 @@ func BenchmarkTryPinUnpin(b *testing.B) {
 }
 
 func BenchmarkEnsureGet(b *testing.B) {
-	s := New[tpay](64, 0)
+	s := New[tpay](64, 0, 0)
 	for i := 0; i < 1024; i++ {
 		s.Ensure(gaddr.Addr(i + 1))
 	}

@@ -14,13 +14,23 @@ import (
 // one network hop vs. a forwarding chain).
 const histBuckets = 48
 
-// Histogram is a fixed-bucket, log2-scaled latency histogram. All operations
-// are lock-free atomics: Observe is safe on hot paths (no allocation, no
-// mutex), and readers take an approximate-but-race-free snapshot.
-type Histogram struct {
+// histStripe is one per-P slice of a Histogram. (histBuckets+2)*8 = 400
+// bytes, which is 16 bytes past a cache-line multiple; the pad rounds the
+// stripe up so neighbouring stripes never share a line.
+type histStripe struct {
 	count   atomic.Int64
 	sum     atomic.Int64 // nanoseconds
 	buckets [histBuckets]atomic.Int64
+	_       [cacheLinePad - (histBuckets+2)*8%cacheLinePad]byte
+}
+
+// Histogram is a fixed-bucket, log2-scaled latency histogram. All operations
+// are lock-free atomics: Observe is safe on hot paths (no allocation, no
+// mutex), and readers take an approximate-but-race-free snapshot. Like
+// Counter, recording is striped by the caller's P so parallel Observes on
+// different CPUs touch different cache lines; readers merge the stripes.
+type Histogram struct {
+	stripes [numStripes]histStripe
 }
 
 // bucketOf maps a duration to its bucket index.
@@ -39,26 +49,40 @@ func bucketOf(d time.Duration) int {
 // bucketUpper is bucket i's exclusive upper bound in nanoseconds.
 func bucketUpper(i int) int64 { return int64(1) << uint(i) }
 
-// Observe records one duration sample.
+// Observe records one duration sample. All three updates land on the calling
+// P's stripe, so parallel recorders write disjoint cache lines.
 func (h *Histogram) Observe(d time.Duration) {
-	h.buckets[bucketOf(d)].Add(1)
-	h.count.Add(1)
-	h.sum.Add(int64(d))
+	st := &h.stripes[stripe()]
+	st.buckets[bucketOf(d)].Add(1)
+	st.count.Add(1)
+	st.sum.Add(int64(d))
 }
 
 // Count reports the number of samples.
-func (h *Histogram) Count() int64 { return h.count.Load() }
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.stripes {
+		n += h.stripes[i].count.Load()
+	}
+	return n
+}
 
 // Sum reports the total of all samples.
-func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+func (h *Histogram) Sum() time.Duration {
+	var s int64
+	for i := range h.stripes {
+		s += h.stripes[i].sum.Load()
+	}
+	return time.Duration(s)
+}
 
 // Mean reports the average sample, or 0 with no samples.
 func (h *Histogram) Mean() time.Duration {
-	n := h.count.Load()
+	n := h.Count()
 	if n == 0 {
 		return 0
 	}
-	return time.Duration(h.sum.Load() / n)
+	return h.Sum() / time.Duration(n)
 }
 
 // Quantile estimates the q-th quantile (0 ≤ q ≤ 1) by linear interpolation
@@ -87,22 +111,29 @@ func (h *Histogram) Timed(f func()) {
 
 // Reset zeroes the histogram.
 func (h *Histogram) Reset() {
-	h.count.Store(0)
-	h.sum.Store(0)
-	for i := range h.buckets {
-		h.buckets[i].Store(0)
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.count.Store(0)
+		st.sum.Store(0)
+		for j := range st.buckets {
+			st.buckets[j].Store(0)
+		}
 	}
 }
 
-// Snapshot takes a point-in-time copy of the histogram. Individual loads are
-// atomic; concurrent Observes may straddle the copy, shifting totals by a
-// few in-flight samples, which is harmless for monitoring.
+// Snapshot takes a point-in-time copy of the histogram by merging the
+// stripes. Individual loads are atomic; concurrent Observes may straddle the
+// copy, shifting totals by a few in-flight samples, which is harmless for
+// monitoring.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	var s HistogramSnapshot
-	s.Count = h.count.Load()
-	s.Sum = h.sum.Load()
-	for i := range h.buckets {
-		s.Buckets[i] = h.buckets[i].Load()
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		s.Count += st.count.Load()
+		s.Sum += st.sum.Load()
+		for j := range st.buckets {
+			s.Buckets[j] += st.buckets[j].Load()
+		}
 	}
 	return s
 }

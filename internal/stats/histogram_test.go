@@ -41,8 +41,8 @@ func TestHistogramQuantiles(t *testing.T) {
 func TestHistogramEdgeSamples(t *testing.T) {
 	var h Histogram
 	h.Observe(0)
-	h.Observe(-time.Second)        // clamped to bucket 0
-	h.Observe(1 << 62)             // clamped to the top bucket
+	h.Observe(-time.Second) // clamped to bucket 0
+	h.Observe(1 << 62)      // clamped to the top bucket
 	if got := h.Count(); got != 3 {
 		t.Fatalf("Count = %d, want 3", got)
 	}

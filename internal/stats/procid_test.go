@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStripeInRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		if s := stripe(); s < 0 || s >= numStripes {
+			t.Fatalf("stripe() = %d, want [0,%d)", s, numStripes)
+		}
+	}
+}
+
+// TestCounterStripedMerge checks that increments from many goroutines — which
+// land on whatever stripes their Ps map to — merge to the exact total.
+func TestCounterStripedMerge(t *testing.T) {
+	const workers = 8
+	const perWorker = 10_000
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*perWorker {
+		t.Fatalf("Load() = %d, want %d", got, workers*perWorker)
+	}
+	c.Add(-3)
+	if got := c.Load(); got != workers*perWorker-3 {
+		t.Fatalf("after Add(-3): Load() = %d, want %d", got, workers*perWorker-3)
+	}
+	c.Reset()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("after Reset: Load() = %d, want 0", got)
+	}
+}
+
+// TestHistogramStripedMerge drives Observe from parallel goroutines and
+// checks the merged count, sum, and bucket total agree with what went in.
+func TestHistogramStripedMerge(t *testing.T) {
+	const workers = 8
+	const perWorker = 5_000
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(1+(g*perWorker+i)%4096) * time.Nanosecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("Count() = %d, want %d", got, workers*perWorker)
+	}
+	snap := h.Snapshot()
+	if snap.Count != workers*perWorker {
+		t.Fatalf("Snapshot().Count = %d, want %d", snap.Count, workers*perWorker)
+	}
+	var bucketTotal int64
+	for _, b := range snap.Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != snap.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, snap.Count)
+	}
+	if snap.Sum != int64(h.Sum()) {
+		t.Fatalf("Snapshot().Sum = %d, Sum() = %d", snap.Sum, int64(h.Sum()))
+	}
+	if h.Mean() <= 0 {
+		t.Fatalf("Mean() = %v, want > 0", h.Mean())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("after Reset: Count=%d Sum=%v, want zeros", h.Count(), h.Sum())
+	}
+}
+
+// TestStripedUnderContention is mostly a -race exercise: snapshot readers and
+// Reset race parallel writers across all recorder types.
+func TestStripedUnderContention(t *testing.T) {
+	s := NewSet()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < runtime.GOMAXPROCS(0)+2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := s.Get("hits")
+			h := s.Hist("lat")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(time.Microsecond)
+			}
+		}()
+	}
+	deadline := time.After(50 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+			_ = s.SnapshotAll()
+			_ = s.Value("hits")
+			_ = s.Hist("lat").P99()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if s.Value("hits") <= 0 {
+		t.Fatal("no increments recorded")
+	}
+}

@@ -12,20 +12,42 @@ import (
 	"time"
 )
 
-// Counter is an atomically updated 64-bit counter.
-type Counter struct{ v atomic.Int64 }
+// counterStripe is one per-P slice of a Counter, padded to a cache line so
+// adjacent stripes never share one.
+type counterStripe struct {
+	v atomic.Int64
+	_ [cacheLinePad - 8]byte
+}
+
+// Counter is an atomically updated 64-bit counter. Writes are striped by the
+// caller's P (see procid.go) so concurrent increments from different CPUs do
+// not contend on a single cache line; Load merges the stripes. The zero value
+// is ready to use.
+type Counter struct{ stripes [numStripes]counterStripe }
 
 // Add increments the counter by n.
-func (c *Counter) Add(n int64) { c.v.Add(n) }
+func (c *Counter) Add(n int64) { c.stripes[stripe()].v.Add(n) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Inc() { c.stripes[stripe()].v.Add(1) }
 
-// Load returns the current value.
-func (c *Counter) Load() int64 { return c.v.Load() }
+// Load returns the current value: the sum over stripes. Each stripe read is
+// atomic; concurrent writers may land on already-read stripes, so the result
+// is a linearizable-enough monitoring value, not a fenced total.
+func (c *Counter) Load() int64 {
+	var total int64
+	for i := range c.stripes {
+		total += c.stripes[i].v.Load()
+	}
+	return total
+}
 
 // Reset zeroes the counter.
-func (c *Counter) Reset() { c.v.Store(0) }
+func (c *Counter) Reset() {
+	for i := range c.stripes {
+		c.stripes[i].v.Store(0)
+	}
+}
 
 // Set is a named collection of counters and latency histograms, created on
 // first use.

@@ -1,0 +1,2 @@
+// Empty assembly file: its presence lets procid.go declare body-less
+// functions that //go:linkname resolves against the runtime.

@@ -67,6 +67,12 @@ const (
 	// KDedupHit: a retried idempotent request was answered from the dedup
 	// window instead of re-executing (Arg = origin node).
 	KDedupHit
+	// KReplicaInstall: a demand-pulled immutable replica was installed from a
+	// piggybacked invoke-reply snapshot (Arg = source node).
+	KReplicaInstall
+	// KReplicaHit: a local invoke was satisfied by an installed replica
+	// instead of shipping the thread.
+	KReplicaHit
 )
 
 // String names the event kind for timelines and the introspection endpoint.
@@ -108,6 +114,10 @@ func (k Kind) String() string {
 		return "peer.up"
 	case KDedupHit:
 		return "dedup.hit"
+	case KReplicaInstall:
+		return "replica.install"
+	case KReplicaHit:
+		return "replica.hit"
 	}
 	return "unknown"
 }

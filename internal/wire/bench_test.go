@@ -86,23 +86,30 @@ func TestGobFallback(t *testing.T) {
 	}
 	PutBuf(fb)
 
-	// Per-value fallback: a registered user type has no fast-path tag of its
-	// own, so AppendValue must wrap it as vGob.
+	// A registered user struct takes the reflective struct fast path, not the
+	// gob fallback (structcodec.go).
 	vb, err := Marshal(customPayload{Name: "n", Scores: []float64{1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if vb[0] != vGob {
-		t.Fatalf("registered user type: value tag %#x, want vGob %#x", vb[0], vGob)
+	if vb[0] != vStruct {
+		t.Fatalf("registered user type: value tag %#x, want vStruct %#x", vb[0], vStruct)
 	}
 	got, err := Unmarshal(vb)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.(customPayload).Name != "n" {
-		t.Fatalf("vGob round trip: got %#v", got)
+		t.Fatalf("vStruct round trip: got %#v", got)
 	}
 	PutBuf(vb)
+
+	// An UNregistered struct still falls back to the per-value gob wrapper
+	// (and fails there, as gob does for unregistered interface values).
+	type neverRegistered struct{ X int }
+	if _, err := Marshal(neverRegistered{X: 1}); err == nil {
+		t.Fatal("unregistered struct should fail through the gob fallback")
+	}
 }
 
 // --- microbenchmarks: one per hot message shape, allocs/op reported ---

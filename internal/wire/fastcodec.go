@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"sync"
 
@@ -58,8 +59,9 @@ const (
 	vAddr
 	vNodeID
 	vAddrSlice
-	vGob  // length-prefixed gob(box{V}) — the per-value fallback
-	vArgs // argument-vector wrapper: uvarint count, then count values
+	vGob    // length-prefixed gob(box{V}) — the per-value fallback
+	vArgs   // argument-vector wrapper: uvarint count, then count values
+	vStruct // registered struct: type name, field count, exported fields in order
 )
 
 // ErrShortBuffer reports a truncated encoding.
@@ -311,6 +313,11 @@ func AppendValue(b []byte, v any) ([]byte, error) {
 		}
 		return b, nil
 	default:
+		if rv := reflect.ValueOf(v); rv.Kind() == reflect.Struct {
+			if nb, ok := appendStructValue(b, rv); ok {
+				return nb, nil
+			}
+		}
 		return appendGobValue(b, v)
 	}
 }
@@ -558,6 +565,8 @@ func DecodeValue(b []byte) (any, []byte, error) {
 			return nil, nil, fmt.Errorf("wire: unmarshal: %w", err)
 		}
 		return bx.V, rest, nil
+	case vStruct:
+		return decodeStructValue(b)
 	default:
 		return nil, nil, fmt.Errorf("wire: unknown value tag %#x", tag)
 	}

@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// Reflective fast path for registered struct types. Object state crosses the
+// wire constantly — every migration snapshot and every replica snapshot is
+// one struct value — and routing it through gob costs an encoder, a type
+// descriptor and kilobytes of allocation per message. Registered structs
+// instead encode as
+//
+//	vStruct | type name | uvarint field count | exported fields in order
+//
+// with each field going back through AppendValue (so nested registered
+// structs, slices and maps all stay on the fast path). Field identity is
+// positional: like the original system's "same program image" requirement
+// (§3.1), every node runs the same binary, so the exported-field sets agree
+// by construction — the decoder still checks the count and fails loudly on a
+// mismatch rather than mis-assigning state.
+//
+// Unexported fields are skipped, exactly as gob skips them: runtime-private
+// state (mutexes, caches) reappears as zero values after a migration.
+// A struct with any field the codec cannot encode rolls back cleanly and the
+// whole value falls through to the gob path, so this is strictly a fast
+// path, never a new failure mode.
+
+// structTypes maps a registered struct type's name to its reflect.Type, for
+// decode-side reconstruction. Populated by Register.
+var structTypes sync.Map // string → reflect.Type
+
+// fieldCache memoizes each registered struct type's exported field indices.
+var fieldCache sync.Map // reflect.Type → []int
+
+func exportedFields(t reflect.Type) []int {
+	if c, ok := fieldCache.Load(t); ok {
+		return c.([]int)
+	}
+	idx := make([]int, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		if t.Field(i).PkgPath == "" {
+			idx = append(idx, i)
+		}
+	}
+	fieldCache.Store(t, idx)
+	return idx
+}
+
+// appendStructValue encodes rv (a struct value) if its type is registered.
+// The false return means "not handled, caller falls back to gob" — either the
+// type is unregistered or one of its fields refused to encode (the buffer is
+// rolled back to its entry length in that case).
+func appendStructValue(b []byte, rv reflect.Value) ([]byte, bool) {
+	t := rv.Type()
+	if _, ok := structTypes.Load(t.String()); !ok {
+		return b, false
+	}
+	mark := len(b)
+	fields := exportedFields(t)
+	b = append(b, vStruct)
+	b = AppendString(b, t.String())
+	b = binary.AppendUvarint(b, uint64(len(fields)))
+	for _, i := range fields {
+		nb, err := AppendValue(b, rv.Field(i).Interface())
+		if err != nil {
+			return b[:mark], false
+		}
+		b = nb
+	}
+	return b, true
+}
+
+// decodeStructValue reconstructs a registered struct from the tag's body.
+// The returned value owns all of its memory (field decoding copies), so the
+// input buffer may be recycled afterwards.
+func decodeStructValue(b []byte) (any, []byte, error) {
+	pv, rest, err := decodeStructReflect(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pv.Interface(), rest, nil
+}
+
+// decodeStructReflect is decodeStructValue without the interface boxing: it
+// returns the decoded struct as an addressable reflect.Value, which lets
+// install paths adopt it in place instead of allocating a second struct and
+// copying into it.
+func decodeStructReflect(b []byte) (reflect.Value, []byte, error) {
+	name, rest, err := ReadString(b)
+	if err != nil {
+		return reflect.Value{}, nil, err
+	}
+	ti, ok := structTypes.Load(name)
+	if !ok {
+		return reflect.Value{}, nil, fmt.Errorf("wire: struct type %s not registered", name)
+	}
+	t := ti.(reflect.Type)
+	n, rest, err := ReadUvarint(rest)
+	if err != nil {
+		return reflect.Value{}, nil, err
+	}
+	fields := exportedFields(t)
+	if int(n) != len(fields) {
+		return reflect.Value{}, nil, fmt.Errorf("wire: struct %s has %d exported fields, encoding carries %d (binaries differ?)",
+			name, len(fields), n)
+	}
+	pv := reflect.New(t).Elem()
+	for _, i := range fields {
+		var dv any
+		if dv, rest, err = DecodeValue(rest); err != nil {
+			return reflect.Value{}, nil, err
+		}
+		if dv == nil {
+			continue // nil interface/zero field: leave the zero value
+		}
+		f := pv.Field(i)
+		fv := reflect.ValueOf(dv)
+		// gob parity: empty slices and maps decode as nil (gob treats them as
+		// zero values and omits them), so encode→decode→encode is stable and
+		// migration semantics did not change when structs left the gob path.
+		if k := fv.Kind(); (k == reflect.Slice || k == reflect.Map) && fv.Len() == 0 {
+			continue
+		}
+		if !fv.Type().AssignableTo(f.Type()) {
+			if !fv.Type().ConvertibleTo(f.Type()) {
+				return reflect.Value{}, nil, fmt.Errorf("wire: struct %s field %s: cannot use decoded %s",
+					name, t.Field(i).Name, fv.Type())
+			}
+			fv = fv.Convert(f.Type())
+		}
+		f.Set(fv)
+	}
+	return pv, rest, nil
+}

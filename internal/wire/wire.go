@@ -22,6 +22,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"reflect"
 	"sync/atomic"
 
 	"amber/internal/gaddr"
@@ -66,8 +67,19 @@ func init() {
 
 // Register makes a concrete type transmissible inside interface-typed slots
 // (arguments, results, object state). It must be called identically on every
-// node, normally from an init function or before cluster startup.
-func Register(v any) { gob.Register(v) }
+// node, normally from an init function or before cluster startup. Struct
+// types additionally join the reflective fast codec (structcodec.go), which
+// is what keeps migration and replica snapshots off the gob slow path.
+func Register(v any) {
+	gob.Register(v)
+	t := reflect.TypeOf(v)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if t.Kind() == reflect.Struct {
+		structTypes.Store(t.String(), t)
+	}
+}
 
 // Marshal encodes a single interface value into a pooled buffer.
 func Marshal(v any) ([]byte, error) {
@@ -82,6 +94,24 @@ func Marshal(v any) ([]byte, error) {
 func Unmarshal(b []byte) (any, error) {
 	v, _, err := DecodeValue(b)
 	return v, err
+}
+
+// UnmarshalStruct decodes a value encoded by Marshal, returning it as a
+// reflect.Value. When the payload rides the struct fast path the result is
+// addressable — install paths (migration, replica) adopt it in place instead
+// of allocating a second struct and copying into it. On any other encoding it
+// falls back to Unmarshal and the result may be unaddressable; callers must
+// check CanAddr.
+func UnmarshalStruct(b []byte) (reflect.Value, error) {
+	if len(b) > 0 && b[0] == vStruct {
+		v, _, err := decodeStructReflect(b[1:])
+		return v, err
+	}
+	v, err := Unmarshal(b)
+	if err != nil {
+		return reflect.Value{}, err
+	}
+	return reflect.ValueOf(v), nil
 }
 
 // MarshalArgs encodes an argument (or result) vector into a pooled buffer.

@@ -2,22 +2,30 @@
 # bench.sh — run the headline Amber benchmarks and record the numbers.
 #
 # Runs the Table 1 local/remote invocation benchmarks (tracing off AND on),
-# the E8 forwarding-chain ablation, the E9 mobility ablation, the sharded
-# object-space parallel-invoke benchmark at -cpu 1 and 8, and the wire codec
-# microbenchmarks, then writes every reported metric to BENCH_pr4.json at
-# the repo root.
+# the E8 forwarding-chain ablation, the E9 mobility ablation, the read-path
+# replication benchmarks (cold first-touch, warm replica hit, and the
+# no-replication cold control), the sharded object-space parallel-invoke
+# benchmark at -cpu 1 and 8, and the wire codec microbenchmarks, then writes
+# every reported metric to BENCH_pr5.json at the repo root.
 #
-# Regression gates (this PR rewired the entire residency hot path through
-# internal/objspace, so the gates compare against a baseline measured on the
-# SAME machine in the SAME run — recorded absolute numbers drift with host
-# load, as PR3's did):
+# Regression gates (compared against a baseline built from the pre-PR tree on
+# the SAME machine in the SAME run — recorded absolute numbers drift with
+# host load):
 #
 #   1. Single-threaded local invoke ns/op within +5% of the baseline build.
 #   2. Single-threaded remote invoke ns/op within +5% of the baseline build.
 #   3. Remote invoke still allocates <= 38/op (the PR1 pooled-codec budget).
-#   4. BenchmarkLocalInvokeParallel scales >= 3x from 1 to 8 goroutines —
-#      enforced only when the host has >= 8 CPUs, because lock-striping
-#      cannot buy wall-clock speedup on fewer cores than goroutines.
+#   4. Warm immutable remote invoke <= 2x the local invoke: a replica hit IS
+#      a local invoke plus a mode-bit test, so anything beyond that means the
+#      replica fast path fell off the resident fast path.
+#   5. Cold immutable remote invoke <= 1.15x the no-replication cold control:
+#      piggybacking the snapshot and queueing the install may cost at most
+#      15% of the first call it is amortized against.
+#   6. BenchmarkLocalInvokeParallel 1 -> 8 goroutines: >= 3x on hosts with
+#      >= 8 CPUs; >= 1.0x (no negative scaling) on hosts with >= 2 CPUs. The
+#      per-P stats stripes exist to kill the counter ping-pong that made 8
+#      goroutines SLOWER than 1; single-CPU hosts cannot observe either
+#      effect, so the gate is recorded but skipped there.
 #
 # The baseline build is a throwaway git worktree of the last commit that does
 # not contain this tree's changes: HEAD while the working tree is dirty
@@ -28,7 +36,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT=BENCH_pr4.json
+OUT=BENCH_pr5.json
 ALLOC_LIMIT=38
 NPROC=$(nproc 2>/dev/null || echo 1)
 
@@ -45,16 +53,33 @@ cleanup() {
 trap cleanup EXIT
 git worktree add --quiet --detach "$BASEDIR" "$BASEREF"
 
-echo "== baseline ($BASEREF, same machine, benchtime=$BENCHTIME) =="
+# Gated comparisons use -count 3 and the per-benchmark MINIMUM: on a shared
+# host a single sample swings +-20%, and the min is the run least disturbed
+# by neighbors — the number closest to what the code actually costs.
+echo "== baseline ($BASEREF, same machine, benchtime=$BENCHTIME, min of 3) =="
 BASE_RAW=$(cd "$BASEDIR" && go test -run '^$' \
 	-bench '^(BenchmarkTable1LocalInvoke|BenchmarkTable1RemoteInvoke)$' \
-	-benchmem -benchtime "$BENCHTIME" -count 1 .)
+	-benchmem -benchtime "$BENCHTIME" -count 3 .)
 echo "$BASE_RAW"
 
 echo
-echo "== headline benchmarks (benchtime=$BENCHTIME) =="
+echo "== baseline parallel local invoke (pre-PR stats layout) =="
+BASE_PAR_RAW=$(cd "$BASEDIR" && go test -run '^$' \
+	-bench '^BenchmarkLocalInvokeParallel$' \
+	-benchmem -benchtime "$BENCHTIME" -count 1 -cpu 1,8 . || true)
+echo "$BASE_PAR_RAW"
+
+echo
+echo "== gated benchmarks (benchtime=$BENCHTIME, min of 3) =="
+GATE_RAW=$(go test -run '^$' \
+	-bench '^(BenchmarkTable1LocalInvoke|BenchmarkTable1RemoteInvoke|BenchmarkImmutableRemoteInvokeCold|BenchmarkImmutableRemoteInvokeWarm|BenchmarkRemoteInvokeColdBaseline)$' \
+	-benchmem -benchtime "$BENCHTIME" -count 3 .)
+echo "$GATE_RAW"
+
+echo
+echo "== ablation benchmarks (benchtime=$BENCHTIME) =="
 HEAD_RAW=$(go test -run '^$' \
-	-bench '^(BenchmarkTable1LocalInvoke|BenchmarkTable1RemoteInvoke|BenchmarkTable1RemoteInvokeTraced|BenchmarkE8ForwardingChains|BenchmarkE9Mobility)$' \
+	-bench '^(BenchmarkTable1RemoteInvokeTraced|BenchmarkE8ForwardingChains|BenchmarkE9Mobility)$' \
 	-benchmem -benchtime "$BENCHTIME" -count 1 .)
 echo "$HEAD_RAW"
 
@@ -77,6 +102,8 @@ tojson() {
 	awk -v keepcpu="${1:-0}" '
 		/^Benchmark/ {
 			name = $1; if (!keepcpu) sub(/-[0-9]+$/, "", name)
+			if (name in seen) next
+			seen[name] = 1
 			if (n++) printf(",\n")
 			printf("    \"%s\": {\"iters\": %s", name, $2)
 			for (i = 3; i + 1 <= NF; i += 2) printf(", \"%s\": %s", $(i+1), $i)
@@ -86,31 +113,46 @@ tojson() {
 	'
 }
 
-# bench_ns <raw> <name-regex>: extract a benchmark's ns/op (first match).
+# bench_ns <raw> <name-regex>: extract a benchmark's ns/op (min over -count runs).
 bench_ns() {
-	echo "$1" | awk -v name="$2" '$1 ~ "^"name"$" { print $3; exit }'
+	echo "$1" | awk -v name="$2" '$1 ~ "^"name"$" { if (!m || $3 + 0 < m) m = $3 + 0 } END { if (m) print m }'
 }
 
-LOCAL_NS=$(bench_ns "$HEAD_RAW" 'BenchmarkTable1LocalInvoke(-[0-9]+)?')
-REMOTE_NS=$(bench_ns "$HEAD_RAW" 'BenchmarkTable1RemoteInvoke(-[0-9]+)?')
+LOCAL_NS=$(bench_ns "$GATE_RAW" 'BenchmarkTable1LocalInvoke(-[0-9]+)?')
+REMOTE_NS=$(bench_ns "$GATE_RAW" 'BenchmarkTable1RemoteInvoke(-[0-9]+)?')
+COLD_NS=$(bench_ns "$GATE_RAW" 'BenchmarkImmutableRemoteInvokeCold(-[0-9]+)?')
+WARM_NS=$(bench_ns "$GATE_RAW" 'BenchmarkImmutableRemoteInvokeWarm(-[0-9]+)?')
+COLDBASE_NS=$(bench_ns "$GATE_RAW" 'BenchmarkRemoteInvokeColdBaseline(-[0-9]+)?')
 BASE_LOCAL_NS=$(bench_ns "$BASE_RAW" 'BenchmarkTable1LocalInvoke(-[0-9]+)?')
 BASE_REMOTE_NS=$(bench_ns "$BASE_RAW" 'BenchmarkTable1RemoteInvoke(-[0-9]+)?')
 # -cpu 1 lines carry no GOMAXPROCS suffix; the -cpu 8 line is always "-8".
 P1_NS=$(bench_ns "$PAR_RAW" 'BenchmarkLocalInvokeParallel')
 P8_NS=$(bench_ns "$PAR_RAW" 'BenchmarkLocalInvokeParallel-8')
-REMOTE_ALLOCS=$(echo "$HEAD_RAW" | awk '$1 ~ /^BenchmarkTable1RemoteInvoke(-[0-9]+)?$/ {
+BASE_P1_NS=$(bench_ns "$BASE_PAR_RAW" 'BenchmarkLocalInvokeParallel')
+BASE_P8_NS=$(bench_ns "$BASE_PAR_RAW" 'BenchmarkLocalInvokeParallel-8')
+REMOTE_ALLOCS=$(echo "$GATE_RAW" | awk '$1 ~ /^BenchmarkTable1RemoteInvoke(-[0-9]+)?$/ {
 	for (i = 3; i + 1 <= NF; i += 2) if ($(i+1) == "allocs/op") { print $i; exit }
 }')
 
 pct() { awk -v now="$1" -v base="$2" 'BEGIN { printf("%.1f", (now-base)*100.0/base) }'; }
+ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf("%.2f", a/b) }'; }
 LOCAL_PCT=$(pct "$LOCAL_NS" "$BASE_LOCAL_NS")
 REMOTE_PCT=$(pct "$REMOTE_NS" "$BASE_REMOTE_NS")
-SCALE=$(awk -v p1="$P1_NS" -v p8="$P8_NS" 'BEGIN { printf("%.2f", p1/p8) }')
-if [ "$NPROC" -ge 8 ]; then SCALE_GATE=enforced; else SCALE_GATE=skipped; fi
+SCALE=$(ratio "$P1_NS" "$P8_NS")
+BASE_SCALE=$(ratio "${BASE_P1_NS:-1}" "${BASE_P8_NS:-1}")
+WARM_X=$(ratio "$WARM_NS" "$LOCAL_NS")
+COLD_X=$(ratio "$COLD_NS" "$COLDBASE_NS")
+if [ "$NPROC" -ge 8 ]; then
+	SCALE_GATE=enforced SCALE_MIN=3.0
+elif [ "$NPROC" -ge 2 ]; then
+	SCALE_GATE=enforced SCALE_MIN=1.0
+else
+	SCALE_GATE=skipped SCALE_MIN=1.0
+fi
 
 {
 	printf '{\n'
-	printf '  "pr": "pr4-sharded-objectspace-lock-striping-atomic-residency",\n'
+	printf '  "pr": "pr5-read-path-replication-struct-codec-per-p-stats",\n'
 	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 	printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
@@ -122,7 +164,10 @@ if [ "$NPROC" -ge 8 ]; then SCALE_GATE=enforced; else SCALE_GATE=skipped; fi
 	printf '  "same_machine_baseline": {\n'
 	printf '    "ref": "%s",\n' "$(git rev-parse --short "$BASEREF")"
 	printf '    "BenchmarkTable1LocalInvoke": {"ns/op": %s},\n' "$BASE_LOCAL_NS"
-	printf '    "BenchmarkTable1RemoteInvoke": {"ns/op": %s}\n' "$BASE_REMOTE_NS"
+	printf '    "BenchmarkTable1RemoteInvoke": {"ns/op": %s},\n' "$BASE_REMOTE_NS"
+	printf '    "parallel_cpu1_ns_op": %s,\n' "${BASE_P1_NS:-null}"
+	printf '    "parallel_cpu8_ns_op": %s,\n' "${BASE_P8_NS:-null}"
+	printf '    "parallel_speedup_1_to_8": %s\n' "${BASE_SCALE:-null}"
 	printf '  },\n'
 	printf '  "regression_gate": {\n'
 	printf '    "local_ns_op": %s,\n' "$LOCAL_NS"
@@ -131,14 +176,26 @@ if [ "$NPROC" -ge 8 ]; then SCALE_GATE=enforced; else SCALE_GATE=skipped; fi
 	printf '    "remote_vs_baseline_pct": %s,\n' "$REMOTE_PCT"
 	printf '    "remote_allocs_op": %s\n' "${REMOTE_ALLOCS:-0}"
 	printf '  },\n'
+	printf '  "replication": {\n'
+	printf '    "cold_ns_op": %s,\n' "$COLD_NS"
+	printf '    "cold_baseline_ns_op": %s,\n' "$COLDBASE_NS"
+	printf '    "cold_vs_baseline_x": %s,\n' "$COLD_X"
+	printf '    "cold_gate_max_x": 1.15,\n'
+	printf '    "warm_ns_op": %s,\n' "$WARM_NS"
+	printf '    "local_ns_op": %s,\n' "$LOCAL_NS"
+	printf '    "warm_vs_local_x": %s,\n' "$WARM_X"
+	printf '    "warm_gate_max_x": 2.0\n'
+	printf '  },\n'
 	printf '  "parallel_scaling": {\n'
 	printf '    "cpu1_ns_op": %s,\n' "$P1_NS"
 	printf '    "cpu8_ns_op": %s,\n' "$P8_NS"
 	printf '    "speedup_1_to_8": %s,\n' "$SCALE"
-	printf '    "gate": "%s"\n' "$SCALE_GATE"
+	printf '    "baseline_speedup_1_to_8": %s,\n' "${BASE_SCALE:-null}"
+	printf '    "gate": "%s",\n' "$SCALE_GATE"
+	printf '    "gate_min_x": %s\n' "$SCALE_MIN"
 	printf '  },\n'
 	printf '  "results": {\n'
-	{ echo "$HEAD_RAW"; echo "$WIRE_RAW"; } | tojson
+	{ echo "$GATE_RAW"; echo "$HEAD_RAW"; echo "$WIRE_RAW"; } | tojson
 	printf ',\n'
 	echo "$PAR_RAW" | tojson 1
 	printf '  }\n'
@@ -149,7 +206,8 @@ echo
 echo "wrote $OUT"
 echo "local invoke:  ${LOCAL_NS}ns/op vs baseline ${BASE_LOCAL_NS}ns/op (${LOCAL_PCT}%)"
 echo "remote invoke: ${REMOTE_NS}ns/op vs baseline ${BASE_REMOTE_NS}ns/op (${REMOTE_PCT}%) at ${REMOTE_ALLOCS} allocs/op"
-echo "parallel scaling 1->8 goroutines: ${SCALE}x (gate ${SCALE_GATE}, nproc=$NPROC)"
+echo "replication:   cold ${COLD_NS}ns/op (${COLD_X}x of ${COLDBASE_NS}ns/op control), warm ${WARM_NS}ns/op (${WARM_X}x of local)"
+echo "parallel scaling 1->8 goroutines: ${SCALE}x now vs ${BASE_SCALE}x baseline (gate ${SCALE_GATE}, nproc=$NPROC)"
 
 FAIL=0
 if awk -v now="$LOCAL_NS" -v base="$BASE_LOCAL_NS" 'BEGIN { exit !(now > base * 1.05) }'; then
@@ -172,17 +230,32 @@ if [ -n "$REMOTE_ALLOCS" ] && [ "$REMOTE_ALLOCS" -gt "$ALLOC_LIMIT" ]; then
 	echo "      The objspace layer must not allocate on the invoke path." >&2
 	FAIL=1
 fi
+if awk -v w="$WARM_NS" -v l="$LOCAL_NS" 'BEGIN { exit !(w > l * 2.0) }'; then
+	echo >&2
+	echo "FAIL: warm immutable remote invoke is ${WARM_X}x the local invoke" >&2
+	echo "      (${WARM_NS}ns/op vs ${LOCAL_NS}ns/op, limit 2x). A replica hit is a" >&2
+	echo "      resident-descriptor invoke; check that TryPin still accepts replicas." >&2
+	FAIL=1
+fi
+if awk -v c="$COLD_NS" -v b="$COLDBASE_NS" 'BEGIN { exit !(c > b * 1.15) }'; then
+	echo >&2
+	echo "FAIL: cold immutable remote invoke is ${COLD_X}x the no-replication" >&2
+	echo "      control (${COLD_NS}ns/op vs ${COLDBASE_NS}ns/op, limit 1.15x). The" >&2
+	echo "      snapshot piggyback/install queue is overcharging the first call —" >&2
+	echo "      check replica_snaps_encoded and the installer queue depth." >&2
+	FAIL=1
+fi
 if [ "$SCALE_GATE" = enforced ]; then
-	if awk -v s="$SCALE" 'BEGIN { exit !(s < 3.0) }'; then
+	if awk -v s="$SCALE" -v min="$SCALE_MIN" 'BEGIN { exit !(s < min) }'; then
 		echo >&2
 		echo "FAIL: parallel local invoke speedup 1->8 goroutines is ${SCALE}x" >&2
-		echo "      (needs >= 3x on this ${NPROC}-CPU host). Check the per-shard" >&2
-		echo "      contention counters in objspace_ metrics for the hot stripe." >&2
+		echo "      (needs >= ${SCALE_MIN}x on this ${NPROC}-CPU host). Check the" >&2
+		echo "      per-P stats stripes and the per-shard contention counters." >&2
 		FAIL=1
 	fi
 else
-	echo "note: parallel scaling gate skipped — host has $NPROC CPUs (< 8);"
-	echo "      wall-clock speedup of 8 goroutines is unobservable here."
+	echo "note: parallel scaling gate skipped — host has $NPROC CPU (< 2);"
+	echo "      neither speedup nor counter ping-pong is observable here."
 fi
 [ "$FAIL" -eq 0 ] || exit 1
-echo "regression gates passed (local/remote +5% vs same-machine baseline, allocs <= ${ALLOC_LIMIT}/op)"
+echo "regression gates passed (local/remote +5%, allocs <= ${ALLOC_LIMIT}/op, warm <= 2x local, cold <= 1.15x control)"

@@ -35,5 +35,13 @@ go test -race -count=1 \
 	-run 'TestFaults|FuzzFaultRules|TestTimeoutClassified|TestRetry|TestIdempotent|TestNonIdempotent|TestGeneration|TestWatchPeer|TestDedup|TestCrash|TestOrphaned|TestForwardingChainRepair|TestThreeNodeCrash|TestSimCrash' \
 	./internal/transport/ ./internal/rpc/ ./internal/core/ ./internal/sim/
 
+echo "== bench smoke (100 iterations, compile+run only, no gates) =="
+# Not a performance gate — scripts/bench.sh owns those. This exists so a
+# refactor that breaks a headline benchmark's setup (cluster config, replica
+# install wait, -cpu sharding) fails CI instead of failing the next perf run.
+go test -run '^$' \
+	-bench '^(BenchmarkTable1LocalInvoke|BenchmarkTable1RemoteInvoke|BenchmarkImmutableRemoteInvokeCold|BenchmarkImmutableRemoteInvokeWarm|BenchmarkLocalInvokeParallel)$' \
+	-benchtime 100x -count 1 .
+
 echo
 echo "ci: all gates passed"
