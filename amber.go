@@ -212,9 +212,13 @@ func RegisterSyncClasses(r interface{ Register(v any) error }) error {
 }
 
 // Scheduling policies (§2.1): install with Node.Scheduler().SetPolicy at any
-// time.
+// time. Each constructor builds one per-slot queue instance; SetPolicy and
+// the cluster/node Policy config fields take the constructor itself.
 var (
-	// FIFOPolicy runs threads in arrival order (the default).
+	// DequePolicy is the default: a bounded per-slot deque, newest-first
+	// for the owning slot and oldest-first for work stealing.
+	DequePolicy = sched.NewDeque
+	// FIFOPolicy runs threads in arrival order.
 	FIFOPolicy = sched.NewFIFO
 	// LIFOPolicy runs the most recently ready thread first.
 	LIFOPolicy = sched.NewLIFO

@@ -120,10 +120,10 @@ func TestSchedulerPolicySwap(t *testing.T) {
 	}
 	defer cl.Close()
 	n := cl.Node(0)
-	if n.Scheduler().PolicyName() != "fifo" {
+	if n.Scheduler().PolicyName() != "deque" {
 		t.Fatalf("default policy %q", n.Scheduler().PolicyName())
 	}
-	n.Scheduler().SetPolicy(PriorityPolicy())
+	n.Scheduler().SetPolicy(PriorityPolicy)
 	if n.Scheduler().PolicyName() != "priority" {
 		t.Fatalf("policy after swap %q", n.Scheduler().PolicyName())
 	}

@@ -14,6 +14,8 @@
 package amber
 
 import (
+	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -290,6 +292,118 @@ func BenchmarkLocalInvokeParallel(b *testing.B) {
 		})
 	})
 }
+
+// --- E13: heat-driven placement under a skewed (zipf) workload ---
+
+const (
+	skewNodes = 4
+	skewObjs  = 64
+)
+
+// benchSkewed measures a placement-sensitive workload: every object is born
+// on node 0, but object i's traffic comes overwhelmingly from node i%4 (a
+// zipf-skewed pick over that node's "own" objects, with 1-in-8 invokes
+// spread uniformly as background noise). Statically placed, three quarters
+// of all invokes are remote; with heat-driven placement the trackers ship
+// each object to its dominant caller and the same workload turns mostly
+// local. The Static/Heat pair is the ablation scripts/bench.sh gates on.
+func benchSkewed(b *testing.B, heat bool) {
+	b.Helper()
+	cfg := ClusterConfig{
+		Nodes: skewNodes, ProcsPerNode: 2, Profile: Instant, Registry: NewRegistry(),
+	}
+	if heat {
+		cfg.HeatInterval = 5 * time.Millisecond
+		cfg.HeatMin = 2
+	}
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Close)
+	if err := cl.Register(&benchCounter{}); err != nil {
+		b.Fatal(err)
+	}
+	root := cl.Node(0).Root()
+	refs := make([]Ref, skewObjs)
+	for i := range refs {
+		r, err := root.New(&benchCounter{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs[i] = r
+	}
+	ctxs := make([]*Ctx, skewNodes)
+	for k := range ctxs {
+		ctxs[k] = cl.Node(k).Root()
+	}
+	// runDrivers issues total invokes from all four nodes concurrently; each
+	// driver's picks are deterministic for its node (seeded rng).
+	runDrivers := func(total int64) {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < skewNodes; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				ctx := ctxs[k].Spawn()
+				rng := rand.New(rand.NewSource(int64(k) + 1))
+				z := rand.NewZipf(rng, 1.5, 1.0, skewObjs/skewNodes-1)
+				for next.Add(1) <= total {
+					var ref Ref
+					if rng.Intn(8) == 0 {
+						ref = refs[rng.Intn(skewObjs)] // background noise
+					} else {
+						ref = refs[int(z.Uint64())*skewNodes+k] // own hot set
+					}
+					if _, err := ctx.Invoke(ref, "Poke"); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(k)
+		}
+		wg.Wait()
+	}
+	// Warm location hints; under heat, keep driving until the trackers have
+	// shipped most of the remotely-owned objects to their dominant callers
+	// (48 of the 64 start on the wrong node).
+	runDrivers(2000)
+	if heat {
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			migrated := 0
+			for i, r := range refs {
+				if at, err := root.Locate(r); err == nil && at == NodeID(i%skewNodes) {
+					migrated++
+				}
+			}
+			if migrated >= skewObjs*3/4 {
+				break
+			}
+			runDrivers(2000)
+		}
+	}
+	shipped := func() (n int64) {
+		for k := 0; k < skewNodes; k++ {
+			n += cl.Node(k).Stats().Get("invokes_shipped").Load()
+		}
+		return n
+	}
+	before := shipped()
+	b.ResetTimer()
+	runDrivers(int64(b.N))
+	b.StopTimer()
+	var moves float64
+	for k := 0; k < skewNodes; k++ {
+		moves += float64(cl.Node(k).Stats().Get("heat_moves").Load())
+	}
+	b.ReportMetric(moves, "heat-moves")
+	b.ReportMetric(float64(shipped()-before)/float64(b.N), "remote-frac")
+}
+
+func BenchmarkSkewedInvokeStatic(b *testing.B) { benchSkewed(b, false) }
+func BenchmarkSkewedInvokeHeat(b *testing.B)   { benchSkewed(b, true) }
 
 // --- E10: residency-check overhead on the local fast path ---
 

@@ -49,6 +49,7 @@ func (c *DemoCounter) Where(ctx *core.Ctx) gaddr.NodeID { return ctx.NodeID() }
 func metricFamilies(tr *transport.TCP, node *core.Node) []stats.Family {
 	return []stats.Family{
 		{Name: "node", Set: node.Stats()},
+		{Name: "sched", Set: node.Scheduler().Stats()},
 		{Name: "rpc", Set: node.RPCStats()},
 		{Name: "transport", Set: tr.Stats()},
 	}
@@ -109,6 +110,10 @@ func main() {
 		hintCache   = flag.Int("hint-cache", 0, "total location-hint cache capacity, split across shards (0 = default)")
 		replicaCap  = flag.Int("replica-cache", 0, "demand-pulled immutable-replica cache capacity, split across shards (0 = default, negative = disable replication)")
 		replicaMax  = flag.Int("replica-max-bytes", 0, "largest object snapshot piggybacked on an invoke reply (0 = default 64KiB, negative = disable)")
+		steal       = flag.Bool("steal", true, "let idle processor slots steal queued threads from busy slots' run queues")
+		heatIvl     = flag.Duration("heat-interval", 0, "heat-driven placement tick; hot objects migrate toward their dominant caller (0 = off)")
+		heatRatio   = flag.Float64("heat-ratio", 0, "dominance ratio a remote caller's invoke rate needs over everyone else's to attract an object (0 = default 2.0)")
+		heatMin     = flag.Float64("heat-min", 0, "minimum invoke rate (per heat interval) before an object may migrate (0 = default 16)")
 		faultSeed   = flag.Int64("fault-seed", 0, "attach a seeded fault injector to this node's transport (0 = off)")
 		faultsArg   = flag.String("faults", "", "fault script applied at startup, rules separated by ';' (e.g. 'drop 0 1 0.1; delay 1 2 1ms 5ms'); requires -fault-seed")
 		rpcTO       = flag.Duration("rpc-timeout", 0, "bound internode requests (0 = wait forever); set when injecting faults")
@@ -187,6 +192,9 @@ func main() {
 		HintCache:       *hintCache,
 		ReplicaCache:    *replicaCap,
 		ReplicaMaxBytes: *replicaMax,
+		HeatInterval:    *heatIvl,
+		HeatRatio:       *heatRatio,
+		HeatMin:         *heatMin,
 	}
 
 	// Nodes other than 0 need the server up to get their initial regions;
@@ -202,6 +210,7 @@ func main() {
 		}
 		time.Sleep(time.Second)
 	}
+	node.Scheduler().SetStealing(*steal)
 	log.Printf("amberd node %d up on %s (procs=%d, peers=%d)", *nodeID, tr.Addr(), *procs, len(peers))
 
 	all := make([]gaddr.NodeID, 0, maxID+1)

@@ -48,7 +48,17 @@ type ClusterConfig struct {
 	ReplicaMaxBytes int
 	// DebugImmutable enables immutable write detection (see NodeConfig).
 	DebugImmutable bool
-	// Policy builds each node's initial scheduling policy (nil = FIFO).
+	// HeatInterval enables heat-driven placement on every node (see
+	// NodeConfig.HeatInterval; 0 disables).
+	HeatInterval time.Duration
+	// HeatRatio is the heat dominance ratio (see NodeConfig.HeatRatio).
+	HeatRatio float64
+	// HeatMin is the minimum heat rate to move (see NodeConfig.HeatMin).
+	HeatMin float64
+	// HeatEntries caps each node's heat table (see NodeConfig.HeatEntries).
+	HeatEntries int
+	// Policy builds each node's initial per-slot scheduling discipline
+	// (nil = the scheduler's bounded work-stealing deque).
 	Policy func() sched.Policy
 	// Registry shares class registrations; nil creates a fresh one.
 	Registry *Registry
@@ -117,9 +127,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			HintCache:        cfg.HintCache,
 			ReplicaCache:     cfg.ReplicaCache,
 			ReplicaMaxBytes:  cfg.ReplicaMaxBytes,
-		}
-		if cfg.Policy != nil {
-			ncfg.Policy = cfg.Policy()
+			HeatInterval:     cfg.HeatInterval,
+			HeatRatio:        cfg.HeatRatio,
+			HeatMin:          cfg.HeatMin,
+			HeatEntries:      cfg.HeatEntries,
+			Policy:           cfg.Policy,
 		}
 		n, err := NewNode(ncfg, reg, tr, srv)
 		if err != nil {

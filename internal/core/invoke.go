@@ -158,6 +158,11 @@ func (n *Node) invoke(c *Ctx, obj gaddr.Addr, method string, args []any, o callO
 			return nil, err
 		case actExecute:
 			n.cInvokesLocal.Inc()
+			if n.heat != nil && !d.Immutable() {
+				// Local use defends a busy object against migration: the
+				// placement rule weighs remote callers against this lane.
+				n.heatObserve(obj, n.id)
+			}
 			if d.Replica() {
 				n.cReplicaHits.Inc()
 				if tr := n.tracer; tr.On() {
@@ -483,6 +488,11 @@ func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 				Parent: rc.Trace.SpanID, Thread: msg.Thread.ID, Obj: uint64(msg.Obj), Label: msg.Method})
 		}
 		n.counts.Inc("invokes_executed_for_remote")
+		if n.heat != nil && !d.Immutable() {
+			// Attribute the invoke to the thread's origin node: the dominant
+			// caller is where the object should live (§4).
+			n.heatObserve(msg.Obj, rc.Origin)
+		}
 		// Read the epoch while still pinned: a pin holds off the shipment, so
 		// this is the version of the residency that executes the call.
 		epoch := d.Epoch()

@@ -24,8 +24,10 @@ type NodeConfig struct {
 	Procs int
 	// ServerNode hosts the address-space server (normally node 0).
 	ServerNode gaddr.NodeID
-	// Policy is the initial scheduling discipline (nil = FIFO).
-	Policy sched.Policy
+	// Policy builds the initial per-slot scheduling discipline (nil = the
+	// scheduler's bounded work-stealing deque). The constructor is invoked
+	// once per processor slot.
+	Policy func() sched.Policy
 	// Quantum enables cooperative timeslicing: Checkpoint yields after a
 	// thread has held a processor this long. Zero disables.
 	Quantum time.Duration
@@ -88,6 +90,21 @@ type NodeConfig struct {
 	// piggybacking). Larger immutable objects still replicate on explicit
 	// MoveTo; they just will not ride invoke replies.
 	ReplicaMaxBytes int
+	// HeatInterval enables heat-driven placement: every interval the node
+	// folds its per-object invoke counters and migrates objects whose
+	// dominant remote caller decisively outweighs all other use (see
+	// heat.go). Zero disables the tracker entirely (no per-invoke cost).
+	HeatInterval time.Duration
+	// HeatRatio is the dominance ratio: the top remote caller's EWMA must
+	// be at least this multiple of the sum of every other caller's (local
+	// use included) before the object moves (0 = 2.0).
+	HeatRatio float64
+	// HeatMin is the minimum EWMA rate, in invokes per interval, below
+	// which an object is never moved (0 = 16).
+	HeatMin float64
+	// HeatEntries caps the tracker table (total objects under accounting,
+	// split across shards; 0 = 4096). A full shard sheds new observations.
+	HeatEntries int
 }
 
 func (c *NodeConfig) fill() {
@@ -149,6 +166,12 @@ type Node struct {
 	replicaMax uint64
 	replicaOn  bool
 
+	// heat is the per-object invoke-rate tracker driving load-aware
+	// placement; nil when NodeConfig.HeatInterval is zero, which is also
+	// the fast paths' only added cost then (one nil check).
+	heat     *heatTracker
+	cHeatObs *stats.Counter // heat_observed
+
 	// installq feeds the replica installer: one long-lived worker applying
 	// snapshot installs off the invoke reply path. The queue is bounded and
 	// sheds on overflow — installs are opportunistic (the next cold miss
@@ -196,6 +219,11 @@ func NewNode(cfg NodeConfig, reg *Registry, tr transport.Transport, server *gadd
 	if n.replicaOn {
 		n.installq = make(chan replicaInstall, 128)
 		go n.replicaWorker()
+	}
+	if cfg.HeatInterval > 0 {
+		n.heat = newHeatTracker(cfg.HeatInterval, cfg.HeatRatio, cfg.HeatMin, cfg.HeatEntries)
+		n.cHeatObs = n.counts.Get("heat_observed")
+		go n.heatWorker()
 	}
 	if n.tracer == nil {
 		n.tracer = trace.New(int32(cfg.ID), cfg.TraceBuffer)

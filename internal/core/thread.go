@@ -74,7 +74,7 @@ func (c *Ctx) ensureSlot(n *Node) func() {
 	return func() {
 		c.slotDepth--
 		if c.slotDepth == 0 {
-			n.sch.Release()
+			n.sch.Release(c.task)
 		}
 	}
 }

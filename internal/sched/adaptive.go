@@ -11,7 +11,7 @@ package sched
 const adaptiveLevels = 4
 
 type adaptive struct {
-	levels [adaptiveLevels][]*Task
+	levels [adaptiveLevels]ring
 	// level remembers each thread's current feedback level.
 	level map[uint64]int
 }
@@ -25,13 +25,13 @@ func (a *adaptive) Name() string { return "adaptive" }
 
 func (a *adaptive) Len() int {
 	n := 0
-	for _, q := range a.levels {
-		n += len(q)
+	for i := range a.levels {
+		n += a.levels[i].len()
 	}
 	return n
 }
 
-func (a *adaptive) Push(t *Task) {
+func (a *adaptive) Push(t *Task) bool {
 	lv := a.level[t.ThreadID]
 	if t.Yielded {
 		// Burned a full quantum: demote.
@@ -43,17 +43,19 @@ func (a *adaptive) Push(t *Task) {
 		lv--
 	}
 	a.level[t.ThreadID] = lv
-	a.levels[lv] = append(a.levels[lv], t)
+	a.levels[lv].pushBack(t)
+	return true
 }
 
 func (a *adaptive) Pop() *Task {
 	for lv := range a.levels {
-		if len(a.levels[lv]) > 0 {
-			t := a.levels[lv][0]
-			copy(a.levels[lv], a.levels[lv][1:])
-			a.levels[lv] = a.levels[lv][:len(a.levels[lv])-1]
+		if t := a.levels[lv].popFront(); t != nil {
 			return t
 		}
 	}
 	return nil
 }
+
+// Steal surrenders what Pop would run (the stolen task runs immediately
+// elsewhere, so taking the best-ranked one preserves the discipline).
+func (a *adaptive) Steal() *Task { return a.Pop() }

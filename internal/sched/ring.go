@@ -1,0 +1,67 @@
+package sched
+
+// ring is a growable circular buffer of tasks: O(1) at both ends, no O(n)
+// copy on dequeue (the defect the old slice-based FIFO had). Indices are
+// free-running uint64s; buf's length is a power of two, so position is
+// index & mask. Elements live in [head, tail).
+type ring struct {
+	buf  []*Task
+	head uint64
+	tail uint64
+}
+
+func (r *ring) len() int { return int(r.tail - r.head) }
+
+func (r *ring) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	nb := make([]*Task, n)
+	for i := r.head; i != r.tail; i++ {
+		nb[i&uint64(n-1)] = r.buf[i&uint64(len(r.buf)-1)]
+	}
+	r.buf = nb
+}
+
+// pushBack appends at the tail (newest end).
+func (r *ring) pushBack(t *Task) {
+	if r.len() == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.tail&uint64(len(r.buf)-1)] = t
+	r.tail++
+}
+
+// pushFront prepends at the head (oldest end).
+func (r *ring) pushFront(t *Task) {
+	if r.len() == len(r.buf) {
+		r.grow()
+	}
+	r.head--
+	r.buf[r.head&uint64(len(r.buf)-1)] = t
+}
+
+// popFront removes the oldest element, or nil.
+func (r *ring) popFront() *Task {
+	if r.head == r.tail {
+		return nil
+	}
+	i := r.head & uint64(len(r.buf)-1)
+	t := r.buf[i]
+	r.buf[i] = nil
+	r.head++
+	return t
+}
+
+// popBack removes the newest element, or nil.
+func (r *ring) popBack() *Task {
+	if r.head == r.tail {
+		return nil
+	}
+	r.tail--
+	i := r.tail & uint64(len(r.buf)-1)
+	t := r.buf[i]
+	r.buf[i] = nil
+	return t
+}

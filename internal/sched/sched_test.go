@@ -26,7 +26,7 @@ func TestSlotLimitEnforced(t *testing.T) {
 			}
 			time.Sleep(time.Millisecond)
 			cur.Add(-1)
-			s.Release()
+			s.Release(task)
 		}(uint64(i))
 	}
 	wg.Wait()
@@ -53,15 +53,15 @@ func TestTryAcquire(t *testing.T) {
 	if s.TryAcquire() {
 		t.Fatal("second TryAcquire should fail")
 	}
-	s.Release()
+	s.Release(nil)
 	if !s.TryAcquire() {
 		t.Fatal("TryAcquire after Release should succeed")
 	}
-	s.Release()
+	s.Release(nil)
 }
 
 func TestFIFOOrder(t *testing.T) {
-	s := New(1, NewFIFO())
+	s := New(1, NewFIFO)
 	hold := &Task{}
 	s.Acquire(hold)
 
@@ -78,11 +78,11 @@ func TestFIFOOrder(t *testing.T) {
 			mu.Lock()
 			order = append(order, id)
 			mu.Unlock()
-			s.Release()
+			s.Release(task)
 		}()
 		time.Sleep(10 * time.Millisecond) // establish arrival order
 	}
-	s.Release()
+	s.Release(hold)
 	wg.Wait()
 	for i := 1; i < len(order); i++ {
 		if order[i] < order[i-1] {
@@ -92,7 +92,7 @@ func TestFIFOOrder(t *testing.T) {
 }
 
 func TestPriorityOrder(t *testing.T) {
-	s := New(1, NewPriority())
+	s := New(1, NewPriority)
 	hold := &Task{}
 	s.Acquire(hold)
 
@@ -110,11 +110,11 @@ func TestPriorityOrder(t *testing.T) {
 			mu.Lock()
 			order = append(order, prio)
 			mu.Unlock()
-			s.Release()
+			s.Release(task)
 		}()
 		time.Sleep(10 * time.Millisecond)
 	}
-	s.Release()
+	s.Release(hold)
 	wg.Wait()
 	want := []int{9, 5, 3, 2, 1}
 	for i := range want {
@@ -175,7 +175,7 @@ func TestYieldHandsOff(t *testing.T) {
 		other := &Task{ThreadID: 2}
 		s.Acquire(other)
 		close(ran)
-		s.Release()
+		s.Release(other)
 	}()
 	// Wait for the other task to queue up.
 	deadline := time.Now().Add(2 * time.Second)
@@ -191,7 +191,7 @@ func TestYieldHandsOff(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("yield did not let the other task run")
 	}
-	s.Release()
+	s.Release(me)
 	if s.Stats().Value("yields") != 1 {
 		t.Fatalf("yields = %d", s.Stats().Value("yields"))
 	}
@@ -214,7 +214,7 @@ func TestYieldNoCompetitionKeepsSlot(t *testing.T) {
 	if s.Running() != 1 {
 		t.Fatalf("Running = %d, want 1", s.Running())
 	}
-	s.Release()
+	s.Release(me)
 }
 
 func TestBlockReleasesSlot(t *testing.T) {
@@ -229,7 +229,7 @@ func TestBlockReleasesSlot(t *testing.T) {
 			close(blockedRunning)
 			<-proceed
 		})
-		s.Release()
+		s.Release(a)
 	}()
 	<-blockedRunning
 	// While a is blocked, b must be able to run.
@@ -238,7 +238,7 @@ func TestBlockReleasesSlot(t *testing.T) {
 	go func() {
 		s.Acquire(b)
 		close(got)
-		s.Release()
+		s.Release(b)
 	}()
 	select {
 	case <-got:
@@ -249,7 +249,7 @@ func TestBlockReleasesSlot(t *testing.T) {
 }
 
 func TestSetPolicyTransfersWaiters(t *testing.T) {
-	s := New(1, NewFIFO())
+	s := New(1, NewFIFO)
 	hold := &Task{}
 	s.Acquire(hold)
 	var order []int
@@ -265,16 +265,16 @@ func TestSetPolicyTransfersWaiters(t *testing.T) {
 			mu.Lock()
 			order = append(order, prio)
 			mu.Unlock()
-			s.Release()
+			s.Release(task)
 		}()
 		time.Sleep(10 * time.Millisecond)
 	}
 	// Swap to priority while three tasks wait.
-	s.SetPolicy(NewPriority())
+	s.SetPolicy(NewPriority)
 	if s.PolicyName() != "priority" {
 		t.Fatalf("PolicyName = %q", s.PolicyName())
 	}
-	s.Release()
+	s.Release(hold)
 	wg.Wait()
 	want := []int{9, 5, 1}
 	for i := range want {
@@ -296,7 +296,7 @@ func TestManyThreadsFewSlotsThroughput(t *testing.T) {
 			for j := 0; j < 10; j++ {
 				s.Acquire(task)
 				done.Add(1)
-				s.Release()
+				s.Release(task)
 			}
 		}(uint64(i))
 	}
@@ -352,7 +352,7 @@ func TestAdaptivePolicyDemotesCPUHogs(t *testing.T) {
 }
 
 func TestAdaptiveEndToEndWithScheduler(t *testing.T) {
-	s := New(1, NewAdaptive())
+	s := New(1, NewAdaptive)
 	if s.PolicyName() != "adaptive" {
 		t.Fatalf("policy %q", s.PolicyName())
 	}
@@ -369,7 +369,7 @@ func TestAdaptiveEndToEndWithScheduler(t *testing.T) {
 					s.Yield(task) // even threads behave like CPU hogs
 				}
 				done.Add(1)
-				s.Release()
+				s.Release(task)
 			}
 		}(uint64(i))
 	}

@@ -73,6 +73,9 @@ const (
 	// KReplicaHit: a local invoke was satisfied by an installed replica
 	// instead of shipping the thread.
 	KReplicaHit
+	// KHeatMove: the heat tracker migrated a hot object toward its dominant
+	// caller (Arg = destination node).
+	KHeatMove
 )
 
 // String names the event kind for timelines and the introspection endpoint.
@@ -118,6 +121,8 @@ func (k Kind) String() string {
 		return "replica.install"
 	case KReplicaHit:
 		return "replica.hit"
+	case KHeatMove:
+		return "heat.move"
 	}
 	return "unknown"
 }

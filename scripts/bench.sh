@@ -5,8 +5,9 @@
 # the E8 forwarding-chain ablation, the E9 mobility ablation, the read-path
 # replication benchmarks (cold first-touch, warm replica hit, and the
 # no-replication cold control), the sharded object-space parallel-invoke
-# benchmark at -cpu 1 and 8, and the wire codec microbenchmarks, then writes
-# every reported metric to BENCH_pr5.json at the repo root.
+# benchmark at -cpu 1 and 8, the skewed-workload heat-placement ablation,
+# and the wire codec microbenchmarks, then writes every reported metric to
+# BENCH_pr6.json at the repo root.
 #
 # Regression gates (compared against a baseline built from the pre-PR tree on
 # the SAME machine in the SAME run — recorded absolute numbers drift with
@@ -23,9 +24,13 @@
 #      15% of the first call it is amortized against.
 #   6. BenchmarkLocalInvokeParallel 1 -> 8 goroutines: >= 3x on hosts with
 #      >= 8 CPUs; >= 1.0x (no negative scaling) on hosts with >= 2 CPUs. The
-#      per-P stats stripes exist to kill the counter ping-pong that made 8
-#      goroutines SLOWER than 1; single-CPU hosts cannot observe either
-#      effect, so the gate is recorded but skipped there.
+#      per-slot run queues and per-P stats stripes exist to kill the shared
+#      scheduler mutex and counter ping-pong; single-CPU hosts cannot observe
+#      either effect, so the gate is recorded but skipped there.
+#   7. BenchmarkSkewedInvokeHeat beats BenchmarkSkewedInvokeStatic: the same
+#      zipf-skewed cross-node workload must get cheaper when heat-driven
+#      placement ships each object to its dominant caller. This is mostly a
+#      remote-vs-local invoke ratio, so it holds on any CPU count.
 #
 # The baseline build is a throwaway git worktree of the last commit that does
 # not contain this tree's changes: HEAD while the working tree is dirty
@@ -36,7 +41,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT=BENCH_pr5.json
+OUT=BENCH_pr6.json
 ALLOC_LIMIT=38
 NPROC=$(nproc 2>/dev/null || echo 1)
 
@@ -66,7 +71,7 @@ echo
 echo "== baseline parallel local invoke (pre-PR stats layout) =="
 BASE_PAR_RAW=$(cd "$BASEDIR" && go test -run '^$' \
 	-bench '^BenchmarkLocalInvokeParallel$' \
-	-benchmem -benchtime "$BENCHTIME" -count 1 -cpu 1,8 . || true)
+	-benchmem -benchtime "$BENCHTIME" -count 3 -cpu 1,8 . || true)
 echo "$BASE_PAR_RAW"
 
 echo
@@ -84,10 +89,16 @@ HEAD_RAW=$(go test -run '^$' \
 echo "$HEAD_RAW"
 
 echo
-echo "== parallel local invoke, 1 vs 8 goroutines (host has $NPROC CPUs) =="
+echo "== parallel local invoke, 1 vs 8 goroutines (host has $NPROC CPUs, min of 3) =="
 PAR_RAW=$(go test -run '^$' -bench '^BenchmarkLocalInvokeParallel$' \
-	-benchmem -benchtime "$BENCHTIME" -count 1 -cpu 1,8 .)
+	-benchmem -benchtime "$BENCHTIME" -count 3 -cpu 1,8 .)
 echo "$PAR_RAW"
+
+echo
+echo "== heat placement ablation: skewed workload, static vs heat (min of 3) =="
+SKEW_RAW=$(go test -run '^$' -bench '^BenchmarkSkewedInvoke(Static|Heat)$' \
+	-benchmem -benchtime "$BENCHTIME" -count 3 .)
+echo "$SKEW_RAW"
 
 echo
 echo "== wire codec microbenchmarks =="
@@ -130,6 +141,8 @@ P1_NS=$(bench_ns "$PAR_RAW" 'BenchmarkLocalInvokeParallel')
 P8_NS=$(bench_ns "$PAR_RAW" 'BenchmarkLocalInvokeParallel-8')
 BASE_P1_NS=$(bench_ns "$BASE_PAR_RAW" 'BenchmarkLocalInvokeParallel')
 BASE_P8_NS=$(bench_ns "$BASE_PAR_RAW" 'BenchmarkLocalInvokeParallel-8')
+SKEW_STATIC_NS=$(bench_ns "$SKEW_RAW" 'BenchmarkSkewedInvokeStatic(-[0-9]+)?')
+SKEW_HEAT_NS=$(bench_ns "$SKEW_RAW" 'BenchmarkSkewedInvokeHeat(-[0-9]+)?')
 REMOTE_ALLOCS=$(echo "$GATE_RAW" | awk '$1 ~ /^BenchmarkTable1RemoteInvoke(-[0-9]+)?$/ {
 	for (i = 3; i + 1 <= NF; i += 2) if ($(i+1) == "allocs/op") { print $i; exit }
 }')
@@ -142,6 +155,7 @@ SCALE=$(ratio "$P1_NS" "$P8_NS")
 BASE_SCALE=$(ratio "${BASE_P1_NS:-1}" "${BASE_P8_NS:-1}")
 WARM_X=$(ratio "$WARM_NS" "$LOCAL_NS")
 COLD_X=$(ratio "$COLD_NS" "$COLDBASE_NS")
+SKEW_X=$(ratio "$SKEW_STATIC_NS" "$SKEW_HEAT_NS")
 if [ "$NPROC" -ge 8 ]; then
 	SCALE_GATE=enforced SCALE_MIN=3.0
 elif [ "$NPROC" -ge 2 ]; then
@@ -152,7 +166,7 @@ fi
 
 {
 	printf '{\n'
-	printf '  "pr": "pr5-read-path-replication-struct-codec-per-p-stats",\n'
+	printf '  "pr": "pr6-per-slot-runqueues-work-stealing-heat-placement",\n'
 	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 	printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
@@ -186,6 +200,12 @@ fi
 	printf '    "warm_vs_local_x": %s,\n' "$WARM_X"
 	printf '    "warm_gate_max_x": 2.0\n'
 	printf '  },\n'
+	printf '  "heat_placement": {\n'
+	printf '    "skewed_static_ns_op": %s,\n' "$SKEW_STATIC_NS"
+	printf '    "skewed_heat_ns_op": %s,\n' "$SKEW_HEAT_NS"
+	printf '    "heat_speedup_x": %s,\n' "$SKEW_X"
+	printf '    "gate": "heat must beat static (>= 1.0x)"\n'
+	printf '  },\n'
 	printf '  "parallel_scaling": {\n'
 	printf '    "cpu1_ns_op": %s,\n' "$P1_NS"
 	printf '    "cpu8_ns_op": %s,\n' "$P8_NS"
@@ -195,7 +215,7 @@ fi
 	printf '    "gate_min_x": %s\n' "$SCALE_MIN"
 	printf '  },\n'
 	printf '  "results": {\n'
-	{ echo "$GATE_RAW"; echo "$HEAD_RAW"; echo "$WIRE_RAW"; } | tojson
+	{ echo "$GATE_RAW"; echo "$HEAD_RAW"; echo "$SKEW_RAW"; echo "$WIRE_RAW"; } | tojson
 	printf ',\n'
 	echo "$PAR_RAW" | tojson 1
 	printf '  }\n'
@@ -208,6 +228,7 @@ echo "local invoke:  ${LOCAL_NS}ns/op vs baseline ${BASE_LOCAL_NS}ns/op (${LOCAL
 echo "remote invoke: ${REMOTE_NS}ns/op vs baseline ${BASE_REMOTE_NS}ns/op (${REMOTE_PCT}%) at ${REMOTE_ALLOCS} allocs/op"
 echo "replication:   cold ${COLD_NS}ns/op (${COLD_X}x of ${COLDBASE_NS}ns/op control), warm ${WARM_NS}ns/op (${WARM_X}x of local)"
 echo "parallel scaling 1->8 goroutines: ${SCALE}x now vs ${BASE_SCALE}x baseline (gate ${SCALE_GATE}, nproc=$NPROC)"
+echo "heat placement: skewed workload ${SKEW_HEAT_NS}ns/op with heat vs ${SKEW_STATIC_NS}ns/op static (${SKEW_X}x)"
 
 FAIL=0
 if awk -v now="$LOCAL_NS" -v base="$BASE_LOCAL_NS" 'BEGIN { exit !(now > base * 1.05) }'; then
@@ -257,5 +278,13 @@ else
 	echo "note: parallel scaling gate skipped — host has $NPROC CPU (< 2);"
 	echo "      neither speedup nor counter ping-pong is observable here."
 fi
+if awk -v h="$SKEW_HEAT_NS" -v s="$SKEW_STATIC_NS" 'BEGIN { exit !(h >= s) }'; then
+	echo >&2
+	echo "FAIL: heat-driven placement did not beat static placement on the" >&2
+	echo "      skewed workload (${SKEW_HEAT_NS}ns/op with heat vs ${SKEW_STATIC_NS}ns/op" >&2
+	echo "      static). Check heat_moves in the benchmark output: if it is 0," >&2
+	echo "      the trackers never fired; if high, the objects are ping-ponging." >&2
+	FAIL=1
+fi
 [ "$FAIL" -eq 0 ] || exit 1
-echo "regression gates passed (local/remote +5%, allocs <= ${ALLOC_LIMIT}/op, warm <= 2x local, cold <= 1.15x control)"
+echo "regression gates passed (local/remote +5%, allocs <= ${ALLOC_LIMIT}/op, warm <= 2x local, cold <= 1.15x control, heat > static)"

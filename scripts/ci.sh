@@ -35,13 +35,22 @@ go test -race -count=1 \
 	-run 'TestFaults|FuzzFaultRules|TestTimeoutClassified|TestRetry|TestIdempotent|TestNonIdempotent|TestGeneration|TestWatchPeer|TestDedup|TestCrash|TestOrphaned|TestForwardingChainRepair|TestThreeNodeCrash|TestSimCrash' \
 	./internal/transport/ ./internal/rpc/ ./internal/core/ ./internal/sim/
 
+echo "== scheduler stress suite (steal/release/SetPolicy races, starvation) =="
+# The per-slot scheduler's fast path is mutex-free atomics with a two-sided
+# lost-wakeup check; these tests force the steal, handoff, spill and policy
+# swap interleavings and re-run them under -race with fresh state. The heat
+# placement tests ride along: they drive real cross-node migrations.
+go test -race -count=1 \
+	-run 'TestSetPolicyRacesHotPaths|TestStealVsReleaseRace|TestStarvation|TestFairnessAcrossSlots|TestStealingDisabled|TestDequeSpills|TestHeat' \
+	./internal/sched/ ./internal/core/
+
 echo "== bench smoke (100 iterations, compile+run only, no gates) =="
 # Not a performance gate — scripts/bench.sh owns those. This exists so a
 # refactor that breaks a headline benchmark's setup (cluster config, replica
 # install wait, -cpu sharding) fails CI instead of failing the next perf run.
 go test -run '^$' \
-	-bench '^(BenchmarkTable1LocalInvoke|BenchmarkTable1RemoteInvoke|BenchmarkImmutableRemoteInvokeCold|BenchmarkImmutableRemoteInvokeWarm|BenchmarkLocalInvokeParallel)$' \
-	-benchtime 100x -count 1 .
+	-bench '^(BenchmarkTable1LocalInvoke|BenchmarkTable1RemoteInvoke|BenchmarkImmutableRemoteInvokeCold|BenchmarkImmutableRemoteInvokeWarm|BenchmarkLocalInvokeParallel|BenchmarkSkewedInvokeStatic|BenchmarkSkewedInvokeHeat|BenchmarkAcquireRelease)$' \
+	-benchtime 100x -count 1 . ./internal/sched/
 
 echo
 echo "ci: all gates passed"
