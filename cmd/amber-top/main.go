@@ -1,0 +1,158 @@
+// amber-top is a live terminal viewer for a running Amber cluster: it polls
+// one amberd's /cluster endpoint (which fans the pull out to every peer over
+// procStatsPull) and renders a top(1)-style refresh — per-node invoke rates
+// and latency quantiles, run-queue depths, steal and heat-migration activity,
+// replica-cache occupancy, then the merged fleet totals, hottest objects and
+// busiest internode links.
+//
+//	amberd -node 0 ... -debug-addr 127.0.0.1:7780 &
+//	amber-top -addr 127.0.0.1:7780
+//
+// Any node's debug address works: every node can aggregate the fleet.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"amber/internal/core"
+)
+
+func fetch(addr string, topN int) (*core.FleetStats, error) {
+	url := fmt.Sprintf("http://%s/cluster?format=json&top=%d", addr, topN)
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var f core.FleetStats
+	if err := json.NewDecoder(resp.Body).Decode(&f); err != nil {
+		return nil, fmt.Errorf("%s: %w", url, err)
+	}
+	return &f, nil
+}
+
+// dur renders a duration compactly for a fixed-width column ("—" when the
+// histogram is empty).
+func dur(d time.Duration) string {
+	if d == 0 {
+		return "—"
+	}
+	switch {
+	case d < 10*time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1e3)
+	default:
+		return d.Round(10 * time.Millisecond).String()
+	}
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func render(w *strings.Builder, f *core.FleetStats, addr string) {
+	at := time.Unix(0, f.CollectedNs).Format("15:04:05")
+	fmt.Fprintf(w, "amber-top — %s — %d/%d nodes reporting — %s\n\n",
+		addr, f.Reporting(), len(f.Nodes), at)
+
+	fmt.Fprintf(w, "%-5s %10s %10s %10s %9s %9s %7s %7s %7s %9s\n",
+		"NODE", "LOCAL", "SHIPPED", "EXEC'D", "REMOTE p50", "p99", "RUNQ", "STEALS", "MOVES", "REPLICAS")
+	for _, ns := range f.Nodes {
+		if ns.Err != "" {
+			fmt.Fprintf(w, "%-5d DOWN: %s\n", ns.Node, ns.Err)
+			continue
+		}
+		node := ns.Sets["node"]
+		sched := ns.Sets["sched"]
+		remote := node.Histograms["invoke_remote_ns"]
+		runq := fmt.Sprintf("%d", sum(ns.Queues))
+		if ns.Overflow > 0 {
+			runq += fmt.Sprintf("+%d", ns.Overflow)
+		}
+		fmt.Fprintf(w, "%-5d %10d %10d %10d %9s %9s %7s %7d %7d %9d\n",
+			ns.Node,
+			node.Counters["invokes_local"],
+			node.Counters["invokes_shipped"],
+			node.Counters["invokes_executed_for_remote"],
+			dur(remote.Quantile(0.50)), dur(remote.Quantile(0.99)),
+			runq,
+			sched.Counters["steals"],
+			node.Counters["heat_moves"],
+			ns.Extras["objspace_replicas"])
+	}
+
+	merged := f.Merged["node"]
+	remote := merged.Histograms["invoke_remote_ns"]
+	exec := merged.Histograms["invoke_exec_ns"]
+	fmt.Fprintf(w, "\nfleet: %d local + %d shipped invokes; remote p50 %s p99 %s (exec leg p99 %s); %d anomalies (%d node-down, %d retry, %d deadline); %d captures\n",
+		merged.Counters["invokes_local"], merged.Counters["invokes_shipped"],
+		dur(remote.Quantile(0.50)), dur(remote.Quantile(0.99)), dur(exec.Quantile(0.99)),
+		merged.Counters["anomalies_node_down"]+merged.Counters["anomalies_retry_exhausted"]+merged.Counters["anomalies_deadline"],
+		merged.Counters["anomalies_node_down"], merged.Counters["anomalies_retry_exhausted"], merged.Counters["anomalies_deadline"],
+		f.MergedExtras["captures"])
+
+	if len(f.TopObjects) > 0 {
+		fmt.Fprintf(w, "\nhot objects (EWMA invokes/tick):\n")
+		for _, o := range f.TopObjects {
+			pull := ""
+			if o.TopRate > 0 {
+				pull = fmt.Sprintf("  hottest caller node %d (%.1f)", o.Top, o.TopRate)
+			}
+			fmt.Fprintf(w, "  %#x @ node %-3d %8.1f%s\n", uint64(o.Obj), o.Node, o.Rate, pull)
+		}
+	}
+	if len(f.Links) > 0 {
+		fmt.Fprintf(w, "\nbusiest links (caller → holder):\n")
+		for _, l := range f.Links {
+			fmt.Fprintf(w, "  node %d → node %-3d %8.1f\n", l.From, l.To, l.Rate)
+		}
+	}
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7780", "debug address of any amberd in the cluster")
+		interval = flag.Duration("interval", time.Second, "refresh interval")
+		topN     = flag.Int("top", 10, "rows in the hot-object and link tables")
+		once     = flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	)
+	flag.Parse()
+
+	for {
+		f, err := fetch(*addr, *topN)
+		if err != nil {
+			if *once {
+				log.Fatal(err)
+			}
+			fmt.Printf("\x1b[H\x1b[2Jamber-top — %s — unreachable: %v\n", *addr, err)
+			time.Sleep(*interval)
+			continue
+		}
+		var b strings.Builder
+		render(&b, f, *addr)
+		if *once {
+			os.Stdout.WriteString(b.String())
+			return
+		}
+		// Home + clear-to-end rather than full clear: no flicker.
+		fmt.Print("\x1b[H\x1b[2J" + b.String())
+		time.Sleep(*interval)
+	}
+}

@@ -56,11 +56,27 @@ func metricFamilies(tr *transport.TCP, node *core.Node) []stats.Family {
 }
 
 // extraMetrics are process-wide gauges that live outside any stats set: the
-// wire codec's gob-fallback count plus the sharded object space's aggregate
-// counters (descriptor/hint population, stripe lock contention, evictions).
+// wire codec's gob-fallback count, the sharded object space's aggregate
+// counters (descriptor/hint population, stripe lock contention, evictions),
+// instantaneous run-queue depths, heat-table occupancy, trace-ring fill, and
+// the flight recorder's trigger counters.
 func extraMetrics(node *core.Node) []stats.ExtraMetric {
 	out := []stats.ExtraMetric{{Name: "wire_gob_fallbacks", Value: wire.GobFallbacks()}}
-	return append(out, stats.MapMetrics("objspace_", node.SpaceStats())...)
+	out = append(out, stats.MapMetrics("objspace_", node.SpaceStats())...)
+	slots, overflow := node.Scheduler().QueueDepths()
+	for i, d := range slots {
+		out = append(out, stats.ExtraMetric{Name: fmt.Sprintf("sched_runq_slot%d", i), Value: int64(d)})
+	}
+	out = append(out,
+		stats.ExtraMetric{Name: "sched_runq_overflow", Value: int64(overflow)},
+		stats.ExtraMetric{Name: "heat_tracked", Value: int64(node.HeatTracked())},
+		stats.ExtraMetric{Name: "trace_buffered", Value: int64(node.Tracer().Len())},
+		stats.ExtraMetric{Name: "trace_dropped", Value: int64(node.Tracer().Dropped())},
+	)
+	if c := node.Capture(); c != nil {
+		out = append(out, stats.MapMetrics("", c.Stats())...)
+	}
+	return out
 }
 
 // printStatus renders every counter and latency histogram (transport byte
@@ -106,6 +122,9 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /trace, /faults and pprof on this address (empty = off)")
 		tracing     = flag.Bool("trace", false, "record thread-journey events from startup (implied by -debug-addr)")
 		traceOut    = flag.String("trace-out", "amber-trace.json", "Chrome trace file written after -drive/-sor when tracing")
+		traceSample = flag.Uint64("trace-sample", 1, "record only thread journeys whose ID ≡ 0 (mod N); 1 = every journey")
+		capCooldown = flag.Duration("capture-cooldown", trace.DefaultCaptureCooldown, "minimum spacing between anomaly-triggered cluster trace captures (0 = recorder off)")
+		capOut      = flag.String("capture-out", "amber-capture", "anomaly capture file prefix; dumps land in <prefix>-<seq>.json")
 		spaceShards = flag.Int("space-shards", 0, "lock stripes in the object space (0 = default, rounded up to a power of two)")
 		hintCache   = flag.Int("hint-cache", 0, "total location-hint cache capacity, split across shards (0 = default)")
 		replicaCap  = flag.Int("replica-cache", 0, "demand-pulled immutable-replica cache capacity, split across shards (0 = default, negative = disable replication)")
@@ -180,6 +199,7 @@ func main() {
 	traceOn := *tracing || *debugAddr != ""
 	tracer := trace.New(int32(*nodeID), 0)
 	tracer.SetEnabled(traceOn)
+	tracer.SetSample(*traceSample)
 	trace.SetGlobal(tracer)
 	// The generation number distinguishes this incarnation of the node from
 	// any earlier one: peers that probe us after a restart see it change and
@@ -218,6 +238,33 @@ func main() {
 		all = append(all, gaddr.NodeID(id))
 	}
 
+	// The flight recorder: anomalies observed by this node (peer death,
+	// deadline misses, retry exhaustion, heat-migration storms) snapshot
+	// every reachable ring into one clock-aligned Chrome trace on disk —
+	// the explanation is already written by the time someone goes looking.
+	var capture *trace.Capture
+	if traceOn && *capCooldown > 0 {
+		capture = trace.NewCapture(int32(*nodeID), *capCooldown, func() ([]trace.Event, []string) {
+			return node.CollectTraceBestEffort(all, 0)
+		})
+		capture.SetSink(func(d trace.Dump) {
+			path := fmt.Sprintf("%s-%d.json", *capOut, d.Seq)
+			f, err := os.Create(path)
+			if err != nil {
+				log.Printf("capture %d (%s): %v", d.Seq, d.Reason, err)
+				return
+			}
+			defer f.Close()
+			if err := trace.WriteChrome(f, d.Events); err != nil {
+				log.Printf("capture %d (%s): %v", d.Seq, d.Reason, err)
+				return
+			}
+			log.Printf("capture %d: %s (%s) — %d events from the cluster → %s",
+				d.Seq, d.Reason, d.Detail, len(d.Events), path)
+		})
+		node.SetCapture(capture)
+	}
+
 	if *debugAddr != "" {
 		dbg, err := debug.Serve(*debugAddr, debug.Options{
 			Families: metricFamilies(tr, node),
@@ -241,13 +288,19 @@ func main() {
 			CollectTrace: func(last int) ([]trace.Event, error) {
 				return node.CollectTrace(all, last)
 			},
-			Faults: faults,
+			Cluster: func(topN int) (debug.ClusterDump, error) {
+				return node.CollectStats(all, topN), nil
+			},
+			Heat:      func(topN int) any { return node.HeatDump(topN) },
+			Capture:   capture,
+			Exemplars: node.Exemplars,
+			Faults:    faults,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer dbg.Close()
-		log.Printf("introspection on http://%s (/metrics, /trace, /trace.json, /faults, /debug/pprof/)", dbg.Addr())
+		log.Printf("introspection on http://%s (/metrics, /cluster, /heat, /capture, /trace, /trace.json, /faults, /debug/pprof/)", dbg.Addr())
 	}
 
 	if *driveSOR {

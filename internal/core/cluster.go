@@ -67,6 +67,9 @@ type ClusterConfig struct {
 	Tracing bool
 	// TraceBuffer is each node's event ring capacity (0 = trace default).
 	TraceBuffer int
+	// TraceSample records only journeys whose thread ID ≡ 0 (mod sample);
+	// see NodeConfig.TraceSample.
+	TraceSample uint64
 }
 
 // Cluster is an in-process Amber deployment: the moral equivalent of the
@@ -123,6 +126,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			DebugImmutable:   cfg.DebugImmutable,
 			Tracing:          cfg.Tracing,
 			TraceBuffer:      cfg.TraceBuffer,
+			TraceSample:      cfg.TraceSample,
 			SpaceShards:      cfg.SpaceShards,
 			HintCache:        cfg.HintCache,
 			ReplicaCache:     cfg.ReplicaCache,

@@ -265,7 +265,7 @@ func (c *Ctx) MoveTo(obj Ref, node gaddr.NodeID, opts ...CallOption) error {
 	if mr, ok := rep.(*moveReply); ok && !mr.Deferred {
 		c.node.learnLocation(obj, mr.Node, mr.Epoch)
 	}
-	if tr := c.node.tracer; tr.On() {
+	if tr := c.node.tracer; tr.OnFor(c.rec.ID) {
 		tr.Emit(trace.Event{Kind: trace.KObjectMove, Trace: c.rec.ID, Parent: c.span,
 			Thread: c.rec.ID, Obj: uint64(obj), Arg: int64(node)})
 	}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"amber/internal/gaddr"
+	"amber/internal/rpc"
+	"amber/internal/trace"
+	"amber/internal/transport"
+)
+
+// fleetWorkload drives cross-node invokes so every node's counters and
+// histograms have content: each node invokes a Counter resident on every
+// other node.
+func fleetWorkload(t *testing.T, cl *Cluster, rounds int) {
+	t.Helper()
+	refs := make([]Ref, cl.NumNodes())
+	for i := range refs {
+		r, err := cl.Node(i).Root().New(&Counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = r
+	}
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < cl.NumNodes(); i++ {
+			for j := range refs {
+				if _, err := cl.Node(i).Root().Invoke(refs[j], "Add", 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func TestFleetMergeEqualsSum(t *testing.T) {
+	cl := newTracedCluster(t, 3, 2)
+	fleetWorkload(t, cl, 4)
+
+	// Per-node expectations, straight off the nodes.
+	var wantShipped, wantRemoteCount int64
+	for i := 0; i < 3; i++ {
+		snap := cl.Node(i).Stats().SnapshotAll()
+		wantShipped += snap.Counters["invokes_shipped"]
+		wantRemoteCount += snap.Histograms["invoke_remote_ns"].Count
+	}
+	if wantShipped == 0 || wantRemoteCount == 0 {
+		t.Fatal("workload shipped nothing")
+	}
+
+	check := func(name string, f *FleetStats) {
+		t.Helper()
+		if got := len(f.Nodes); got != 3 {
+			t.Fatalf("%s: %d node entries, want 3", name, got)
+		}
+		if got := f.Reporting(); got != 3 {
+			t.Fatalf("%s: %d nodes reporting, want 3", name, got)
+		}
+		node := f.Merged["node"]
+		if got := node.Counters["invokes_shipped"]; got != wantShipped {
+			t.Fatalf("%s: merged invokes_shipped = %d, want %d", name, got, wantShipped)
+		}
+		if got := node.Histograms["invoke_remote_ns"].Count; got != wantRemoteCount {
+			t.Fatalf("%s: merged invoke_remote_ns count = %d, want %d", name, got, wantRemoteCount)
+		}
+		if _, ok := f.Merged["sched"]; !ok {
+			t.Fatalf("%s: no sched family in merge", name)
+		}
+		if _, ok := f.Merged["rpc"]; !ok {
+			t.Fatalf("%s: no rpc family in merge", name)
+		}
+		if f.MergedExtras["objspace_descriptors"] == 0 {
+			t.Fatalf("%s: merged extras missing objspace occupancy: %+v", name, f.MergedExtras)
+		}
+	}
+
+	// In-process direct collection.
+	check("cluster", cl.CollectStats(10))
+	// The RPC pull path, driven from node 0 like a real deployment.
+	peers := []gaddr.NodeID{0, 1, 2}
+	check("rpc-pull", cl.Node(0).CollectStats(peers, 10))
+}
+
+func TestFleetWritePrometheus(t *testing.T) {
+	cl := newTracedCluster(t, 3, 2)
+	fleetWorkload(t, cl, 2)
+	var b strings.Builder
+	cl.CollectStats(10).WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"amber_cluster_nodes 3\n",
+		"amber_cluster_nodes_reporting 3\n",
+		"# TYPE amber_cluster_node_invokes_shipped counter",
+		"# TYPE amber_cluster_node_invoke_remote_ns histogram",
+		"# TYPE amber_cluster_sched_acquires counter",
+		"amber_cluster_objspace_descriptors ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet exposition missing %q", want)
+		}
+	}
+	// Every sample line parses as Prometheus text: metric{labels} value.
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "amber_") || len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestFleetPullSurvivesDeadNode(t *testing.T) {
+	cl := newFaultyCluster(t, 3)
+	fleetWorkload(t, cl, 2)
+	cl.Faults().Crash(2)
+	f := cl.Node(0).CollectStats([]gaddr.NodeID{0, 1, 2}, 10)
+	if len(f.Nodes) != 3 {
+		t.Fatalf("%d node entries, want 3 (dead node included)", len(f.Nodes))
+	}
+	if f.Reporting() != 2 {
+		t.Fatalf("%d reporting, want 2", f.Reporting())
+	}
+	var deadErr string
+	for _, ns := range f.Nodes {
+		if ns.Node == 2 {
+			deadErr = ns.Err
+		}
+	}
+	if deadErr == "" {
+		t.Fatal("dead node's entry carries no error")
+	}
+	// The two live nodes' counters still merged.
+	if f.Merged["node"].Counters["invokes_shipped"] == 0 {
+		t.Fatal("live nodes' counters lost in merge")
+	}
+}
+
+// TestCaptureOnNodeCrash is the flight-recorder acceptance scenario: a node
+// crash mid-workload automatically produces one merged, clock-aligned
+// cluster dump containing spans from all three nodes — no operator action.
+func TestCaptureOnNodeCrash(t *testing.T) {
+	reg := NewRegistry()
+	cl, err := NewCluster(ClusterConfig{
+		Nodes: 3, ProcsPerNode: 2,
+		RPCTimeout:   250 * time.Millisecond,
+		ProbeTimeout: 100 * time.Millisecond,
+		Registry:     reg,
+		Tracing:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	registerFixtures(t, cl)
+
+	cap := cl.EnableCapture(time.Millisecond)
+	cap.SetSynchronous(true)
+
+	// Workload touching every node, so every ring has this journey's spans.
+	fleetWorkload(t, cl, 2)
+
+	ref, err := cl.Node(2).Root().New(&Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Node(0).Root().Invoke(ref, "Add", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	cl.Faults().Crash(2)
+	_, err = cl.Node(0).Root().Invoke(ref, "Add", 1)
+	if !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("invoke against crashed node = %v, want ErrNodeDown", err)
+	}
+
+	dumps := cap.Dumps()
+	if len(dumps) == 0 {
+		t.Fatal("node crash triggered no capture")
+	}
+	d := dumps[len(dumps)-1]
+	if d.Reason != trace.TrigNodeDown {
+		t.Fatalf("dump reason = %q, want %q", d.Reason, trace.TrigNodeDown)
+	}
+	if !strings.Contains(d.Detail, "node 2") {
+		t.Fatalf("dump detail %q does not name the dead node", d.Detail)
+	}
+	seen := map[int32]bool{}
+	for _, ev := range d.Events {
+		seen[ev.Node] = true
+	}
+	for node := int32(0); node < 3; node++ {
+		if !seen[node] {
+			t.Fatalf("dump has no spans from node %d (nodes seen: %v)", node, seen)
+		}
+	}
+	if cap.Stats()["captures"] == 0 {
+		t.Fatal("capture stats recorded nothing")
+	}
+	// The anomaly was also counted on the triggering node.
+	if cl.Node(0).Stats().Value("anomalies_node_down") == 0 {
+		t.Fatal("anomalies_node_down not counted on the caller")
+	}
+}
+
+func TestRetryExhaustedTrigger(t *testing.T) {
+	cl := newFaultyCluster(t, 2)
+	ref, _ := cl.Node(1).Root().New(&Counter{})
+	ctx := cl.Node(0).Root()
+	if _, err := ctx.Invoke(ref, "Add", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	var triggers []string
+	cp := trace.NewCapture(0, time.Millisecond, func() ([]trace.Event, []string) { return nil, nil })
+	cp.SetSynchronous(true)
+	cp.SetSink(func(d trace.Dump) { triggers = append(triggers, d.Reason) })
+	cl.Node(0).SetCapture(cp)
+
+	// Cut the target's request path but keep probes flowing: retries burn
+	// their whole budget against a live peer → retry-exhausted, not
+	// node-down.
+	cl.Fabric().SetFault(func(m transport.Message) bool {
+		return m.From == 0 && m.To == 1 && !rpc.IsHealthProbe(m.Kind)
+	})
+	_, err := ctx.Invoke(ref, "Add", 1,
+		WithDeadline(50*time.Millisecond),
+		WithRetry(RetryPolicy{MaxAttempts: 2, Backoff: time.Millisecond}))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	found := false
+	for _, r := range triggers {
+		if r == trace.TrigRetryExhausted {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("triggers = %v, want %q", triggers, trace.TrigRetryExhausted)
+	}
+	if cl.Node(0).Stats().Value("anomalies_retry_exhausted") == 0 {
+		t.Fatal("anomalies_retry_exhausted not counted")
+	}
+}

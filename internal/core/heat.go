@@ -17,6 +17,8 @@ package core
 // attachment components and forwarding like any other MoveTo.
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -67,6 +69,9 @@ type heatMove struct {
 	rate float64
 }
 
+// heatDecisionKeep bounds the retained migration-decision log.
+const heatDecisionKeep = 64
+
 // heatTracker holds the sharded per-object table plus the decision knobs.
 type heatTracker struct {
 	shards   [heatShards]heatShard
@@ -74,6 +79,11 @@ type heatTracker struct {
 	ratio    float64 // dominance ratio over the sum of all other lanes
 	min      float64 // minimum EWMA (invokes/interval) to consider moving
 	interval time.Duration
+
+	// decisions is a small ring of recent migration decisions and their
+	// outcomes, for the /heat introspection endpoint.
+	decMu     sync.Mutex
+	decisions []HeatDecision
 }
 
 func newHeatTracker(interval time.Duration, ratio, min float64, entries int) *heatTracker {
@@ -207,6 +217,112 @@ func (h *heatTracker) fold(self gaddr.NodeID) []heatMove {
 	return moves
 }
 
+// --- introspection (/heat endpoint, DESIGN.md §12) ---
+
+// HeatLane is one calling node's smoothed invoke rate on an object.
+type HeatLane struct {
+	Node gaddr.NodeID `json:"node"`
+	Rate float64      `json:"rate"` // EWMA, invokes per interval
+}
+
+// HeatObject is one tracked object's accounting, as exported by HeatDump.
+type HeatObject struct {
+	Obj   gaddr.Addr `json:"obj"`
+	Ticks int        `json:"ticks"` // age; negative = failure back-off
+	Total float64    `json:"total"` // sum of all lanes
+	// Top is the hottest *remote* lane — the candidate destination the
+	// placement rule tests — and TopRate its EWMA. Top is NoNode when every
+	// lane is local.
+	Top     gaddr.NodeID `json:"top"`
+	TopRate float64      `json:"top_rate"`
+	Lanes   []HeatLane   `json:"lanes"` // hottest first
+}
+
+// HeatDecision is one migration decision the placement worker took.
+type HeatDecision struct {
+	TimeNs int64        `json:"time_ns"`
+	Obj    gaddr.Addr   `json:"obj"`
+	Dest   gaddr.NodeID `json:"dest"`
+	Rate   float64      `json:"rate"`
+	// Outcome: "moved", "failed" (MoveTo refused; entry backs off), or
+	// "stale" (the object was gone/immutable/replica by execution time).
+	Outcome string `json:"outcome"`
+}
+
+// HeatDump is the full /heat payload: the placement configuration, the
+// hottest tracked objects, and the recent decision log.
+type HeatDump struct {
+	Node       gaddr.NodeID   `json:"node"`
+	Enabled    bool           `json:"enabled"`
+	IntervalNs int64          `json:"interval_ns"`
+	Ratio      float64        `json:"ratio"`
+	Min        float64        `json:"min"`
+	Tracked    int            `json:"tracked"`
+	Objects    []HeatObject   `json:"objects"`   // hottest first, capped
+	Decisions  []HeatDecision `json:"decisions"` // oldest first
+}
+
+// record appends a decision to the ring.
+func (h *heatTracker) record(d HeatDecision) {
+	h.decMu.Lock()
+	h.decisions = append(h.decisions, d)
+	if len(h.decisions) > heatDecisionKeep {
+		h.decisions = h.decisions[len(h.decisions)-heatDecisionKeep:]
+	}
+	h.decMu.Unlock()
+}
+
+// snapshot exports the tracker's state: the topN hottest objects (by total
+// EWMA across lanes) plus the decision ring. Shards are locked one at a time,
+// so the view is per-shard consistent — introspection, not coordination.
+func (h *heatTracker) snapshot(self gaddr.NodeID, topN int) ([]HeatObject, []HeatDecision) {
+	if topN <= 0 {
+		topN = 10
+	}
+	var objs []HeatObject
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		for a, e := range s.m {
+			o := HeatObject{Obj: a, Ticks: e.ticks, Top: gaddr.NoNode}
+			for src, r := range e.rates {
+				o.Total += r
+				o.Lanes = append(o.Lanes, HeatLane{Node: src, Rate: r})
+				if src != self && r > o.TopRate {
+					o.Top, o.TopRate = src, r
+				}
+			}
+			sort.Slice(o.Lanes, func(i, j int) bool { return o.Lanes[i].Rate > o.Lanes[j].Rate })
+			objs = append(objs, o)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Total > objs[j].Total })
+	if len(objs) > topN {
+		objs = objs[:topN]
+	}
+	h.decMu.Lock()
+	decs := append([]HeatDecision(nil), h.decisions...)
+	h.decMu.Unlock()
+	return objs, decs
+}
+
+// HeatDump exports this node's heat tracker for the /heat endpoint. With
+// placement disabled the dump is valid but empty (Enabled=false).
+func (n *Node) HeatDump(topN int) *HeatDump {
+	d := &HeatDump{Node: n.id}
+	if n.heat == nil {
+		return d
+	}
+	d.Enabled = true
+	d.IntervalNs = int64(n.heat.interval)
+	d.Ratio = n.heat.ratio
+	d.Min = n.heat.min
+	d.Tracked = n.heat.tracked()
+	d.Objects, d.Decisions = n.heat.snapshot(n.id, topN)
+	return d
+}
+
 // tracked reports how many objects currently have heat accounting (for
 // introspection and tests).
 func (h *heatTracker) tracked() int {
@@ -264,10 +380,23 @@ func (n *Node) heatWorker() {
 // components are honoured.
 func (n *Node) heatTick() {
 	n.counts.Inc("heat_ticks")
-	for _, mv := range n.heat.fold(n.id) {
+	moves := n.heat.fold(n.id)
+	if len(moves) >= heatMaxMovesPerTick {
+		// The tick saturated its migration budget: fold wanted to move at
+		// least this many objects at once, which is the signature of placement
+		// thrash (ping-ponging objects, or a workload shift re-homing a whole
+		// working set). Worth a flight-recorder snapshot.
+		n.counts.Inc("heat_storms")
+		n.capture.Load().Trigger(trace.TrigHeatStorm,
+			fmt.Sprintf("node %d: heat tick hit its migration budget (%d moves)", n.id, len(moves)))
+	}
+	for _, mv := range moves {
+		dec := HeatDecision{TimeNs: time.Now().UnixNano(), Obj: mv.obj, Dest: mv.dest, Rate: mv.rate}
 		d := n.desc(mv.obj)
 		if d == nil || d.State() != stateResident || d.Replica() || d.Immutable() {
 			n.heat.forget(mv.obj)
+			dec.Outcome = "stale"
+			n.heat.record(dec)
 			continue
 		}
 		ctx := n.Root()
@@ -276,6 +405,8 @@ func (n *Node) heatTick() {
 			// keep the entry but back off so we do not retry every tick.
 			n.counts.Inc("heat_move_failed")
 			n.heat.backoff(mv.obj)
+			dec.Outcome = "failed"
+			n.heat.record(dec)
 			continue
 		}
 		n.counts.Inc("heat_moves")
@@ -283,5 +414,7 @@ func (n *Node) heatTick() {
 			tr.Emit(trace.Event{Kind: trace.KHeatMove, Obj: uint64(mv.obj), Arg: int64(mv.dest)})
 		}
 		n.heat.forget(mv.obj)
+		dec.Outcome = "moved"
+		n.heat.record(dec)
 	}
 }

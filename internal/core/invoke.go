@@ -138,7 +138,7 @@ func (n *Node) invoke(c *Ctx, obj gaddr.Addr, method string, args []any, o callO
 	if obj == gaddr.Nil {
 		return nil, fmt.Errorf("%w: nil reference", ErrNoSuchObject)
 	}
-	if tr := n.tracer; tr.On() {
+	if tr := n.tracer; tr.OnFor(c.rec.ID) {
 		span := tr.NextSpan()
 		tr.Emit(trace.Event{Kind: trace.KInvokeStart, Trace: c.rec.ID, Span: span,
 			Parent: c.span, Thread: c.rec.ID, Obj: uint64(obj), Label: method})
@@ -165,7 +165,7 @@ func (n *Node) invoke(c *Ctx, obj gaddr.Addr, method string, args []any, o callO
 			}
 			if d.Replica() {
 				n.cReplicaHits.Inc()
-				if tr := n.tracer; tr.On() {
+				if tr := n.tracer; tr.OnFor(c.rec.ID) {
 					tr.Emit(trace.Event{Kind: trace.KReplicaHit, Trace: c.rec.ID, Span: c.span,
 						Thread: c.rec.ID, Obj: uint64(obj)})
 				}
@@ -237,7 +237,7 @@ func (n *Node) shipInvoke(c *Ctx, msg *routedMsg, to gaddr.NodeID, args []any, o
 	// The trace context travels in the rpc envelope: the executor's events
 	// parent under this node's invoke span, stitching the hop.
 	var ti rpc.TraceInfo
-	if tr := n.tracer; tr.On() {
+	if tr := n.tracer; tr.OnFor(c.rec.ID) {
 		ti = rpc.TraceInfo{TraceID: c.rec.ID, SpanID: c.span}
 		tr.Emit(trace.Event{Kind: trace.KMigrateOut, Trace: c.rec.ID, Span: c.span,
 			Thread: c.rec.ID, Obj: uint64(msg.Obj), Arg: int64(to)})
@@ -245,11 +245,17 @@ func (n *Node) shipInvoke(c *Ctx, msg *routedMsg, to gaddr.NodeID, args []any, o
 	var resp []byte
 	var rerr error
 	c.Block(func() { resp, rerr = n.callWith(to, procRouted, body, ti, o) })
-	n.histRemote.Observe(time.Since(start))
+	elapsed := time.Since(start)
+	n.histRemote.Observe(elapsed)
+	if ti.TraceID != 0 {
+		// A traced journey: remember it as this latency bucket's exemplar so
+		// a p99 spike on /metrics links to the journey behind it.
+		n.exRemote.Note(elapsed, ti.TraceID)
+	}
 	if rerr != nil {
 		return nil, mapRemoteError(rerr)
 	}
-	if tr := n.tracer; tr.On() {
+	if tr := n.tracer; tr.OnFor(c.rec.ID) {
 		tr.Emit(trace.Event{Kind: trace.KMigrateIn, Trace: c.rec.ID, Span: c.span,
 			Thread: c.rec.ID, Obj: uint64(msg.Obj), Arg: int64(n.id)})
 	}
@@ -475,12 +481,14 @@ func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 		// The arriving thread's journey continues under the shipping span
 		// carried by the rpc envelope: this execution span parents under it.
 		tr := n.tracer
-		traced := tr.On()
-		var tid uint64
+		tid := rc.Trace.TraceID
+		if tid == 0 {
+			tid = msg.Thread.ID // origin was not tracing (or sampled out); stitch locally
+		}
+		// Sampling is by journey: both ends apply the same modulus to the
+		// same thread ID, so a sampled journey is whole across nodes.
+		traced := tr.OnFor(tid)
 		if traced {
-			if tid = rc.Trace.TraceID; tid == 0 {
-				tid = msg.Thread.ID // origin was not tracing; stitch locally
-			}
 			c.span = tr.NextSpan()
 			tr.Emit(trace.Event{Kind: trace.KMigrateIn, Trace: tid, Span: c.span,
 				Parent: rc.Trace.SpanID, Thread: msg.Thread.ID, Obj: uint64(msg.Obj), Arg: int64(rc.From)})
@@ -498,8 +506,10 @@ func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 		epoch := d.Epoch()
 		start := time.Now()
 		results, err := n.runPinned(c, d, msg.Obj, msg.Method, args)
-		n.histExec.Observe(time.Since(start))
+		elapsed := time.Since(start)
+		n.histExec.Observe(elapsed)
 		if traced {
+			n.exExec.Note(elapsed, tid)
 			tr.Emit(trace.Event{Kind: trace.KExecEnd, Trace: tid, Span: c.span,
 				Parent: rc.Trace.SpanID, Thread: msg.Thread.ID, Obj: uint64(msg.Obj), Label: msg.Method})
 			tr.Emit(trace.Event{Kind: trace.KMigrateOut, Trace: tid, Span: c.span,

@@ -65,6 +65,12 @@ type NodeConfig struct {
 	Tracing bool
 	// TraceBuffer is the per-node event ring capacity (0 = trace default).
 	TraceBuffer int
+	// TraceSample records only thread journeys whose ID ≡ 0 (mod TraceSample)
+	// (0 or 1 = every journey). Sampling is by journey, not by event, so a
+	// sampled thread's whole cross-node story is kept; both ends of a shipped
+	// invocation apply the same modulus to the same thread ID, so they agree
+	// without coordination.
+	TraceSample uint64
 	// Tracer, when non-nil, is used instead of a freshly created one — the
 	// amberd process shares one tracer between the node and the process-wide
 	// emitters (wire codec, TCP dialer).
@@ -172,6 +178,18 @@ type Node struct {
 	heat     *heatTracker
 	cHeatObs *stats.Counter // heat_observed
 
+	// capture is the anomaly-triggered flight-recorder controller (nil until
+	// SetCapture); every failed internode call and every heat-migration storm
+	// offers it a trigger. Held behind an atomic pointer so wiring it up after
+	// startup needs no lock on the call paths.
+	capture atomic.Pointer[trace.Capture]
+
+	// Latency exemplars: alongside each hot-path histogram, the most recent
+	// traced journey per bucket, so a p99 spike on /metrics links to the
+	// journey that produced it.
+	exRemote stats.Exemplars // invoke_remote_ns
+	exExec   stats.Exemplars // invoke_exec_ns
+
 	// installq feeds the replica installer: one long-lived worker applying
 	// snapshot installs off the invoke reply path. The queue is bounded and
 	// sheds on overflow — installs are opportunistic (the next cold miss
@@ -231,6 +249,9 @@ func NewNode(cfg NodeConfig, reg *Registry, tr transport.Transport, server *gadd
 	if cfg.Tracing {
 		n.tracer.SetEnabled(true)
 	}
+	if cfg.TraceSample > 1 {
+		n.tracer.SetSample(cfg.TraceSample)
+	}
 	n.histLocal = n.counts.Hist("invoke_local_ns")
 	n.histRemote = n.counts.Hist("invoke_remote_ns")
 	n.histExec = n.counts.Hist("invoke_exec_ns")
@@ -259,6 +280,7 @@ func NewNode(cfg NodeConfig, reg *Registry, tr transport.Transport, server *gadd
 	n.ep.HandleProc(procInstall, n.handleInstall)
 	n.ep.HandleProc(procLocUpdate, n.handleLocUpdate)
 	n.ep.HandleProc(procTraceDump, n.handleTraceDump)
+	n.ep.HandleProc(procStatsPull, n.handleStatsPull)
 	if server != nil {
 		n.ep.HandleProc(procRegion, n.handleRegion)
 	}
@@ -306,32 +328,94 @@ func (n *Node) handleTraceDump(rc *rpc.Ctx) {
 	rc.Reply(body, err)
 }
 
+// collectPeerTrace fetches one peer's buffered events over RPC and shifts
+// their timestamps by the estimated clock offset for that peer, so the merged
+// timeline reads in this node's clock. The fetch is bounded even when the
+// node's RPCTimeout is "wait forever" — a collector must not hang on a dead
+// peer.
+func (n *Node) collectPeerTrace(p gaddr.NodeID, last int) ([]trace.Event, error) {
+	body, err := wire.MarshalInto(&traceDumpMsg{Last: last})
+	if err != nil {
+		return nil, err
+	}
+	timeout := n.cfg.RPCTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	resp, err := n.ep.CallTimeout(p, procTraceDump, body, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("amber: trace dump from node %d: %w", p, err)
+	}
+	var rep traceDumpReply
+	derr := wire.UnmarshalFrom(resp, &rep)
+	wire.PutBuf(resp)
+	if derr != nil {
+		return nil, derr
+	}
+	// Clock alignment (see internal/rpc/health.go): the offset estimate comes
+	// for free from health probes; when none has been sampled yet the events
+	// stay unshifted rather than guessed.
+	if off, ok := n.ep.PeerClockOffset(p); ok {
+		trace.Shift(rep.Events, off)
+	}
+	return rep.Events, nil
+}
+
 // CollectTrace merges this node's trace events with those fetched from the
-// given peers into one timestamp-ordered timeline. last bounds the events
-// requested per node (<=0 = everything buffered).
+// given peers into one timestamp-ordered, clock-aligned timeline. last bounds
+// the events requested per node (<=0 = everything buffered). Any unreachable
+// peer fails the collection; use CollectTraceBestEffort when a partial
+// timeline beats none.
 func (n *Node) CollectTrace(peers []gaddr.NodeID, last int) ([]trace.Event, error) {
 	sets := [][]trace.Event{n.tracer.Last(last)}
 	for _, p := range peers {
 		if p == n.id {
 			continue
 		}
-		body, err := wire.MarshalInto(&traceDumpMsg{Last: last})
+		evs, err := n.collectPeerTrace(p, last)
 		if err != nil {
 			return nil, err
 		}
-		resp, err := n.call(p, procTraceDump, body)
-		if err != nil {
-			return nil, fmt.Errorf("amber: trace dump from node %d: %w", p, err)
-		}
-		var rep traceDumpReply
-		derr := wire.UnmarshalFrom(resp, &rep)
-		wire.PutBuf(resp)
-		if derr != nil {
-			return nil, derr
-		}
-		sets = append(sets, rep.Events)
+		sets = append(sets, evs)
 	}
 	return trace.Collect(sets...), nil
+}
+
+// CollectTraceBestEffort is CollectTrace for the flight recorder: a peer that
+// cannot be reached (usually the very node whose death triggered the capture)
+// contributes an error string instead of failing the dump.
+func (n *Node) CollectTraceBestEffort(peers []gaddr.NodeID, last int) ([]trace.Event, []string) {
+	sets := [][]trace.Event{n.tracer.Last(last)}
+	var errs []string
+	for _, p := range peers {
+		if p == n.id {
+			continue
+		}
+		evs, err := n.collectPeerTrace(p, last)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		sets = append(sets, evs)
+	}
+	return trace.Collect(sets...), errs
+}
+
+// SetCapture installs the anomaly-triggered capture controller; the node
+// offers it a trigger on every failed internode call and every heat storm.
+// nil disables.
+func (n *Node) SetCapture(c *trace.Capture) { n.capture.Store(c) }
+
+// Capture returns the installed capture controller (nil if none).
+func (n *Node) Capture() *trace.Capture { return n.capture.Load() }
+
+// Exemplars returns the node's latency exemplars — the latest traced journey
+// per histogram bucket — keyed by histogram metric name.
+func (n *Node) Exemplars() map[string][]stats.Exemplar {
+	return map[string][]stats.Exemplar{
+		"node_invoke_remote_ns": n.exRemote.Snapshot(),
+		"node_invoke_exec_ns":   n.exExec.Snapshot(),
+	}
 }
 
 // Scheduler exposes the node's thread scheduler (for policy replacement and

@@ -129,5 +129,11 @@ func (n *Node) callWith(to gaddr.NodeID, p rpc.Proc, body []byte, ti rpc.TraceIn
 			ro.Timeout = time.Second
 		}
 	}
-	return n.ep.CallWith(to, p, body, ro)
+	out, err := n.ep.CallWith(to, p, body, ro)
+	if err != nil {
+		// Anomaly tripwire: a failed internode call is exactly the moment the
+		// flight recorder should snapshot the cluster's rings (see fleet.go).
+		n.noteCallAnomaly(to, p, ro, err)
+	}
+	return out, err
 }

@@ -221,7 +221,7 @@ func (c *Ctx) StartThread(obj Ref, method string, args ...any) (Thread, error) {
 	}
 	rec := ThreadRec{ID: n.newThreadID(), Home: n.id, Priority: c.rec.Priority}
 	n.counts.Inc("threads_started")
-	if tr := n.tracer; tr.On() {
+	if tr := n.tracer; tr.OnFor(rec.ID) {
 		// The new journey's birth is linked to the starting thread's current
 		// span, so a fan-out's children hang off their parent in the trace.
 		tr.Emit(trace.Event{Kind: trace.KThreadStart, Trace: rec.ID, Parent: c.span,

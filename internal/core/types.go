@@ -145,6 +145,10 @@ const (
 	// procTraceDump returns a node's buffered trace events so a collector
 	// can stitch cross-node thread journeys (observability, DESIGN.md §7).
 	procTraceDump rpc.Proc = 5
+	// procStatsPull returns a node's full metrics state (counter/histogram
+	// snapshots, queue depths, heat table, exemplars) so any node can render
+	// a fleet-wide view (observability, DESIGN.md §12).
+	procStatsPull rpc.Proc = 6
 )
 
 // Routed operation codes.
@@ -311,6 +315,18 @@ type traceDumpMsg struct {
 // traceDumpReply carries the events back.
 type traceDumpReply struct {
 	Events []trace.Event
+}
+
+// statsPullMsg requests a node's metrics state. TopN bounds the per-node heat
+// and exemplar tables (<=0 = a small default). Like the trace-dump pair, it
+// rides the gob fallback: introspection is not a hot path.
+type statsPullMsg struct {
+	TopN int
+}
+
+// statsPullReply carries the node's stats back.
+type statsPullReply struct {
+	Stats NodeStats
 }
 
 // regionMsg serves the address-space server protocol.

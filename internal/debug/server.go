@@ -3,7 +3,16 @@
 //
 //   - /metrics      — Prometheus-style text rendering of every registered
 //     stats set and latency histogram (the same renderer amberd uses for its
-//     stdout status block, so the two can never disagree)
+//     stdout status block, so the two can never disagree), plus per-bucket
+//     latency exemplars when wired
+//   - /cluster      — fleet-wide merged metrics, pulled from every peer and
+//     summed histogram-bucket-by-bucket (Prometheus text; ?format=json for
+//     the raw structure, ?top=N bounds the heat tables)
+//   - /heat         — the node's heat-placement tracker: per-object EWMA
+//     access lanes and the recent migration-decision log (JSON)
+//   - /capture      — the anomaly-triggered flight recorder: GET lists
+//     trigger counters and retained dumps (?full=1 embeds events), POST
+//     forces a manual capture
 //   - /trace        — plain-text timeline of the node's event ring
 //     (?last=N bounds it)
 //   - /trace.json   — Chrome trace_event JSON of the cluster-wide merged
@@ -24,6 +33,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"time"
 
@@ -52,6 +62,28 @@ type Options struct {
 	// /space (per-shard descriptor/hint populations and lock-contention
 	// counters). Nil disables the endpoint.
 	Space func() ([]SpaceShard, map[string]int64)
+	// Cluster, when non-nil, builds the fleet-wide aggregated view served on
+	// /cluster (Prometheus text by default, ?format=json for the raw
+	// structure; ?top=N bounds the heat tables). Nil disables the endpoint.
+	Cluster func(topN int) (ClusterDump, error)
+	// Heat, when non-nil, snapshots the node's heat-placement tracker for
+	// /heat (JSON: per-object EWMA lanes plus the recent migration-decision
+	// log). Nil disables the endpoint.
+	Heat func(topN int) any
+	// Capture is the anomaly-triggered flight-recorder controller, served on
+	// /capture (GET = trigger counters and dump summaries, ?full=1 includes
+	// events; POST = manual trigger). Nil disables the endpoint.
+	Capture *trace.Capture
+	// Exemplars, when non-nil, supplies per-bucket latency exemplars appended
+	// to /metrics (histogram name → occupied buckets with trace IDs).
+	Exemplars func() map[string][]stats.Exemplar
+}
+
+// ClusterDump is the fleet view served on /cluster: anything that can render
+// itself as Prometheus text and marshal as JSON (core.FleetStats; an
+// interface here so debug does not import core).
+type ClusterDump interface {
+	WritePrometheus(w io.Writer)
 }
 
 // SpaceShard is one stripe of the object-space table as served on /space.
@@ -84,6 +116,9 @@ func Serve(addr string, opts Options) (*Server, error) {
 		}
 		fmt.Fprint(w, "amber introspection endpoints:\n"+
 			"  /metrics      counters and latency histograms (Prometheus text)\n"+
+			"  /cluster      fleet-wide merged metrics (Prometheus text; ?format=json, ?top=N)\n"+
+			"  /heat         heat-placement tracker: per-object EWMA lanes and decisions (JSON)\n"+
+			"  /capture      flight recorder: GET = dumps (?full=1 with events), POST = manual trigger\n"+
 			"  /trace        plain-text event timeline (?last=N, ?on=0|1 toggles recording)\n"+
 			"  /trace.json   Chrome trace_event JSON (cluster-wide merge)\n"+
 			"  /faults       fault injection: GET = active rules, POST = apply script\n"+
@@ -97,6 +132,90 @@ func Serve(addr string, opts Options) (*Server, error) {
 			extras = opts.Extras()
 		}
 		stats.WriteMetrics(w, extras, opts.Families...)
+		if opts.Exemplars != nil {
+			names := make([]string, 0)
+			exs := opts.Exemplars()
+			for name := range exs {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				stats.WriteExemplars(w, name, exs[name])
+			}
+		}
+	})
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Cluster == nil {
+			http.Error(w, "fleet aggregation not wired", http.StatusNotFound)
+			return
+		}
+		topN, _ := strconv.Atoi(r.URL.Query().Get("top"))
+		if topN <= 0 {
+			topN = 10
+		}
+		dump, err := opts.Cluster(topN)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(dump)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		dump.WritePrometheus(w)
+	})
+	mux.HandleFunc("/heat", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Heat == nil {
+			http.Error(w, "heat placement not wired", http.StatusNotFound)
+			return
+		}
+		topN, _ := strconv.Atoi(r.URL.Query().Get("top"))
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(opts.Heat(topN))
+	})
+	mux.HandleFunc("/capture", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Capture == nil {
+			http.Error(w, "flight recorder not wired", http.StatusNotFound)
+			return
+		}
+		if r.Method == http.MethodPost {
+			accepted := opts.Capture.Trigger(trace.TrigManual, "debug endpoint")
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]bool{"accepted": accepted})
+			return
+		}
+		full := r.URL.Query().Get("full") != ""
+		dumps := opts.Capture.Dumps()
+		type dumpView struct {
+			Seq    int64         `json:"seq"`
+			Reason string        `json:"reason"`
+			Detail string        `json:"detail"`
+			Node   int32         `json:"node"`
+			TimeNs int64         `json:"time_ns"`
+			Events int           `json:"events"`
+			Errs   []string      `json:"errs,omitempty"`
+			Trace  []trace.Event `json:"trace,omitempty"`
+		}
+		views := make([]dumpView, 0, len(dumps))
+		for _, d := range dumps {
+			v := dumpView{Seq: d.Seq, Reason: d.Reason, Detail: d.Detail,
+				Node: d.Node, TimeNs: d.TimeNs, Events: len(d.Events), Errs: d.Errs}
+			if full {
+				v.Trace = d.Events
+			}
+			views = append(views, v)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Stats map[string]int64 `json:"stats"`
+			Dumps []dumpView       `json:"dumps"`
+		}{Stats: opts.Capture.Stats(), Dumps: views})
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		if opts.Tracer == nil {

@@ -117,3 +117,126 @@ func TestServerWithoutTracer(t *testing.T) {
 		t.Fatalf("/trace.json without tracer = %d, want 404", code)
 	}
 }
+
+// fakeDump is a minimal ClusterDump for endpoint tests.
+type fakeDump struct {
+	Nodes int `json:"nodes"`
+}
+
+func (f fakeDump) WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "amber_cluster_nodes %d\n", f.Nodes)
+}
+
+func TestObservabilityEndpoints(t *testing.T) {
+	var ex stats.Exemplars
+	ex.Note(40*time.Microsecond, 0x2a)
+
+	cap := trace.NewCapture(0, time.Minute, func() ([]trace.Event, []string) {
+		return []trace.Event{{Kind: trace.KPeerDown, Node: 1}}, []string{"node 2: unreachable"}
+	})
+	cap.SetSynchronous(true)
+
+	var gotTop int
+	srv, err := Serve("127.0.0.1:0", Options{
+		Cluster: func(topN int) (ClusterDump, error) {
+			gotTop = topN
+			return fakeDump{Nodes: 3}, nil
+		},
+		Heat: func(topN int) any {
+			return map[string]int{"tracked": 7, "top": topN}
+		},
+		Capture: cap,
+		Exemplars: func() map[string][]stats.Exemplar {
+			return map[string][]stats.Exemplar{"node_invoke_remote_ns": ex.Snapshot()}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// /cluster: Prometheus by default, JSON on request, ?top plumbed through.
+	code, body := get(t, base+"/cluster")
+	if code != http.StatusOK || !strings.Contains(body, "amber_cluster_nodes 3") {
+		t.Fatalf("/cluster = %d:\n%s", code, body)
+	}
+	if gotTop != 10 {
+		t.Fatalf("default topN = %d, want 10", gotTop)
+	}
+	code, body = get(t, base+"/cluster?format=json&top=5")
+	if code != http.StatusOK {
+		t.Fatalf("/cluster?format=json status %d", code)
+	}
+	var jd fakeDump
+	if err := json.Unmarshal([]byte(body), &jd); err != nil || jd.Nodes != 3 {
+		t.Fatalf("/cluster JSON = %q (err %v)", body, err)
+	}
+	if gotTop != 5 {
+		t.Fatalf("?top=5 passed %d", gotTop)
+	}
+
+	// /heat renders whatever the snapshot closure returns.
+	code, body = get(t, base+"/heat?top=4")
+	if code != http.StatusOK || !strings.Contains(body, `"tracked": 7`) || !strings.Contains(body, `"top": 4`) {
+		t.Fatalf("/heat = %d:\n%s", code, body)
+	}
+
+	// /capture: POST triggers a manual dump, GET lists it.
+	resp, err := http.Post(base+"/capture", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /capture status %d", resp.StatusCode)
+	}
+	code, body = get(t, base+"/capture")
+	if code != http.StatusOK {
+		t.Fatalf("GET /capture status %d", code)
+	}
+	var cd struct {
+		Stats map[string]int64 `json:"stats"`
+		Dumps []struct {
+			Reason string   `json:"reason"`
+			Events int      `json:"events"`
+			Errs   []string `json:"errs"`
+		} `json:"dumps"`
+	}
+	if err := json.Unmarshal([]byte(body), &cd); err != nil {
+		t.Fatalf("/capture JSON: %v\n%s", err, body)
+	}
+	if cd.Stats["captures"] != 1 || len(cd.Dumps) != 1 {
+		t.Fatalf("capture state after manual trigger: %+v", cd)
+	}
+	if d := cd.Dumps[0]; d.Reason != trace.TrigManual || d.Events != 1 || len(d.Errs) != 1 {
+		t.Fatalf("dump summary = %+v", d)
+	}
+	// Summaries omit event bodies unless ?full=1.
+	if strings.Contains(body, `"trace"`) {
+		t.Fatalf("summary view leaked full events:\n%s", body)
+	}
+	code, body = get(t, base+"/capture?full=1")
+	if code != http.StatusOK || !strings.Contains(body, `"trace"`) {
+		t.Fatalf("/capture?full=1 = %d:\n%s", code, body)
+	}
+
+	// /metrics appends exemplars for the wired histograms.
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, `amber_node_invoke_remote_ns_exemplar{`) ||
+		!strings.Contains(body, `trace="0x2a"`) {
+		t.Fatalf("/metrics exemplars = %d:\n%s", code, body)
+	}
+
+	// Unwired installs 404 cleanly.
+	bare, err := Serve("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	for _, path := range []string{"/cluster", "/heat", "/capture"} {
+		if code, _ := get(t, "http://"+bare.Addr()+path); code != http.StatusNotFound {
+			t.Fatalf("%s without wiring = %d, want 404", path, code)
+		}
+	}
+}

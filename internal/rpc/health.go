@@ -38,13 +38,36 @@ type peerHealth struct {
 	lastProbe time.Time
 	probing   bool
 	gen       uint64 // last generation seen in a pong (0 = never probed)
+
+	// Clock-offset estimate for this peer, measured at the ping/pong
+	// midpoint (see probe). offsetNs is "add to a peer timestamp to get the
+	// local-clock equivalent"; offsetRTT is the round-trip the estimate was
+	// taken under (tighter round-trips bound the estimate's error, so a
+	// sample only replaces a previous one when its RTT is no worse or the
+	// previous one has gone stale).
+	offsetNs  int64
+	offsetRTT int64
+	offsetAt  time.Time
+	offsetOK  bool
+}
+
+// offsetStale is how long a clock-offset estimate is preferred over a
+// fresh, looser-RTT sample. Commodity clocks drift on the order of tens of
+// ppm, so half a minute keeps the estimate well inside a trace's span
+// widths.
+const offsetStale = 30 * time.Second
+
+// pongInfo is what a completed probe hands back to its waiter.
+type pongInfo struct {
+	gen      uint64
+	remoteNs int64 // responder's wall clock when it answered (0 = absent)
 }
 
 type healthState struct {
 	mu        sync.Mutex
 	peers     map[gaddr.NodeID]*peerHealth
 	downCount atomic.Int64 // fast-path guard: number of peers marked down
-	probes    map[uint64]chan uint64
+	probes    map[uint64]chan pongInfo
 	probeID   atomic.Uint64
 	gen       atomic.Uint64
 	onRestart atomic.Pointer[func(gaddr.NodeID)]
@@ -53,7 +76,7 @@ type healthState struct {
 
 func (h *healthState) init() {
 	h.peers = make(map[gaddr.NodeID]*peerHealth)
-	h.probes = make(map[uint64]chan uint64)
+	h.probes = make(map[uint64]chan pongInfo)
 	h.gen.Store(1)
 	h.recheck = DefaultRecheck
 }
@@ -157,10 +180,15 @@ func (ep *Endpoint) checkDown(peer gaddr.NodeID, probeTimeout time.Duration) boo
 // probe sends one ping and waits for its pong (or the timeout). A pong from
 // any probe of the same peer does not satisfy it — pings are matched by ID —
 // which keeps the accounting trivial and probes cheap enough not to share.
+//
+// The pong carries the responder's wall clock, so every successful probe is
+// also a clock-offset sample: assuming the network is roughly symmetric, the
+// responder read its clock at the midpoint of our round-trip, and
+// (t0+t1)/2 − remote is the per-peer offset used to align trace timestamps.
 func (ep *Endpoint) probe(peer gaddr.NodeID, timeout time.Duration) error {
 	h := &ep.health
 	id := h.probeID.Add(1)
-	ch := make(chan uint64, 1)
+	ch := make(chan pongInfo, 1)
 	h.mu.Lock()
 	h.probes[id] = ch
 	h.mu.Unlock()
@@ -172,13 +200,19 @@ func (ep *Endpoint) probe(peer gaddr.NodeID, timeout time.Duration) error {
 
 	buf := wire.AppendUvarint(wire.GetBuf(), id)
 	ep.counts.Inc("rpc_probes_sent")
+	t0 := time.Now().UnixNano()
 	if err := ep.tr.Send(peer, kindPing, buf); err != nil {
 		ep.counts.Inc("rpc_probe_failures")
 		return err
 	}
 	select {
-	case gen := <-ch:
-		ep.noteGeneration(peer, gen)
+	case pi := <-ch:
+		t1 := time.Now().UnixNano()
+		ep.noteGeneration(peer, pi.gen)
+		if pi.remoteNs != 0 {
+			rtt := t1 - t0
+			ep.noteOffset(peer, t0+rtt/2-pi.remoteNs, rtt)
+		}
 		return nil
 	case <-time.After(timeout):
 		ep.counts.Inc("rpc_probe_failures")
@@ -186,7 +220,9 @@ func (ep *Endpoint) probe(peer gaddr.NodeID, timeout time.Duration) error {
 	}
 }
 
-// handlePing answers a probe inline with this endpoint's generation.
+// handlePing answers a probe inline with this endpoint's generation and wall
+// clock. The clock is read here — as close to the send as possible — because
+// the prober treats it as the midpoint of its round-trip.
 func (ep *Endpoint) handlePing(m transport.Message) {
 	id, _, err := wire.ReadUvarint(m.Payload)
 	wire.PutBuf(m.Payload)
@@ -196,10 +232,13 @@ func (ep *Endpoint) handlePing(m transport.Message) {
 	}
 	buf := wire.AppendUvarint(wire.GetBuf(), id)
 	buf = wire.AppendUvarint(buf, ep.health.gen.Load())
+	buf = wire.AppendUvarint(buf, uint64(time.Now().UnixNano()))
 	ep.tr.Send(m.From, kindPong, buf)
 }
 
-// handlePong completes the matching probe.
+// handlePong completes the matching probe. The wall-clock field is optional
+// (a pong without it still proves liveness, it just carries no offset
+// sample).
 func (ep *Endpoint) handlePong(m transport.Message) {
 	id, rest, err := wire.ReadUvarint(m.Payload)
 	if err != nil {
@@ -207,20 +246,82 @@ func (ep *Endpoint) handlePong(m transport.Message) {
 		ep.counts.Inc("rpc_bad_reply")
 		return
 	}
-	gen, _, err := wire.ReadUvarint(rest)
-	wire.PutBuf(m.Payload)
+	gen, rest, err := wire.ReadUvarint(rest)
 	if err != nil {
+		wire.PutBuf(m.Payload)
 		ep.counts.Inc("rpc_bad_reply")
 		return
 	}
+	var remoteNs int64
+	if now, _, err := wire.ReadUvarint(rest); err == nil {
+		remoteNs = int64(now)
+	}
+	wire.PutBuf(m.Payload)
 	h := &ep.health
 	h.mu.Lock()
 	ch := h.probes[id]
 	delete(h.probes, id)
 	h.mu.Unlock()
 	if ch != nil {
-		ch <- gen
+		ch <- pongInfo{gen: gen, remoteNs: remoteNs}
 	}
+}
+
+// noteOffset records a clock-offset sample for peer. A new sample wins when
+// there is none yet, when its round-trip is at least as tight as the stored
+// one (tighter RTT → smaller asymmetry error), or when the stored estimate
+// has aged past offsetStale.
+func (ep *Endpoint) noteOffset(peer gaddr.NodeID, offsetNs, rttNs int64) {
+	h := &ep.health
+	h.mu.Lock()
+	p := h.peer(peer)
+	if !p.offsetOK || rttNs <= p.offsetRTT || time.Since(p.offsetAt) > offsetStale {
+		p.offsetNs = offsetNs
+		p.offsetRTT = rttNs
+		p.offsetAt = time.Now()
+		p.offsetOK = true
+	}
+	h.mu.Unlock()
+}
+
+// PeerClockOffset returns the estimated offset of peer's clock relative to
+// ours: add the returned value to a timestamp taken on peer to get its
+// local-clock equivalent. ok is false when no probe has sampled the peer yet
+// (callers should then stitch timestamps unshifted rather than guess).
+func (ep *Endpoint) PeerClockOffset(peer gaddr.NodeID) (offsetNs int64, ok bool) {
+	if peer == ep.Self() {
+		return 0, true
+	}
+	h := &ep.health
+	h.mu.Lock()
+	p := h.peers[peer]
+	if p != nil && p.offsetOK {
+		offsetNs, ok = p.offsetNs, true
+	}
+	h.mu.Unlock()
+	return offsetNs, ok
+}
+
+// MeasureClockOffset probes peer synchronously and returns the resulting
+// offset estimate. Use it to force a fresh sample before stitching a trace;
+// steady-state callers read PeerClockOffset, which is fed for free by every
+// health probe. timeout<=0 uses the probe default.
+func (ep *Endpoint) MeasureClockOffset(peer gaddr.NodeID, timeout time.Duration) (int64, error) {
+	if peer == ep.Self() {
+		return 0, nil
+	}
+	if timeout <= 0 {
+		timeout = DefaultProbeTimeout
+	}
+	if err := ep.probe(peer, timeout); err != nil {
+		return 0, err
+	}
+	off, ok := ep.PeerClockOffset(peer)
+	if !ok {
+		// Peer answered but without a clock (foreign build); treat as aligned.
+		return 0, nil
+	}
+	return off, nil
 }
 
 // markDown records that peer failed a probe.

@@ -1,0 +1,68 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeasureClockOffset(t *testing.T) {
+	eps, _ := testNet(t, 2)
+
+	if _, ok := eps[0].PeerClockOffset(1); ok {
+		t.Fatal("offset known before any probe")
+	}
+
+	off, err := eps[0].MeasureClockOffset(1, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both endpoints share one machine clock, so on the instant fabric the
+	// estimate must be small — well under the probe round-trip slack.
+	if off < -50*int64(time.Millisecond) || off > 50*int64(time.Millisecond) {
+		t.Fatalf("offset = %dns, want ~0 on a shared clock", off)
+	}
+
+	got, ok := eps[0].PeerClockOffset(1)
+	if !ok || got != off {
+		t.Fatalf("stored offset = (%d,%v), want (%d,true)", got, ok, off)
+	}
+	if selfOff, ok := eps[0].PeerClockOffset(0); !ok || selfOff != 0 {
+		t.Fatalf("self offset = (%d,%v), want (0,true)", selfOff, ok)
+	}
+}
+
+func TestOffsetFedByHealthProbes(t *testing.T) {
+	eps, _ := testNet(t, 2)
+	// A plain health probe (the checkDown path uses the same probe) should
+	// leave an offset sample behind as a side effect.
+	if err := eps[0].probe(1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := eps[0].PeerClockOffset(1); !ok {
+		t.Fatal("health probe did not record an offset sample")
+	}
+}
+
+func TestOffsetPrefersTighterRTT(t *testing.T) {
+	eps, _ := testNet(t, 2)
+	ep := eps[0]
+	ep.noteOffset(1, 1000, 500)
+	// Looser round-trip, fresh estimate: rejected.
+	ep.noteOffset(1, 9999, 800)
+	if off, _ := ep.PeerClockOffset(1); off != 1000 {
+		t.Fatalf("loose-RTT sample replaced tight one: off=%d", off)
+	}
+	// Tighter round-trip: accepted.
+	ep.noteOffset(1, 2000, 400)
+	if off, _ := ep.PeerClockOffset(1); off != 2000 {
+		t.Fatalf("tight-RTT sample rejected: off=%d", off)
+	}
+	// Stale estimate: any sample refreshes it.
+	ep.health.mu.Lock()
+	ep.health.peer(1).offsetAt = time.Now().Add(-2 * offsetStale)
+	ep.health.mu.Unlock()
+	ep.noteOffset(1, 3000, 900)
+	if off, _ := ep.PeerClockOffset(1); off != 3000 {
+		t.Fatalf("stale estimate not refreshed: off=%d", off)
+	}
+}

@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueueDepths(t *testing.T) {
+	s := New(2, nil)
+	for i := 0; i < 4; i++ {
+		s.push(&Task{ThreadID: uint64(i)})
+	}
+	slots, overflow := s.QueueDepths()
+	if len(slots) != 2 {
+		t.Fatalf("slots = %v", slots)
+	}
+	if slots[0]+slots[1]+overflow != 4 {
+		t.Fatalf("depths %v + overflow %d, want total 4", slots, overflow)
+	}
+	// With distribution off, new work lands in the shared overflow ring.
+	s.SetStealing(false)
+	s.push(&Task{ThreadID: 99})
+	_, overflow2 := s.QueueDepths()
+	if overflow2 != overflow+1 {
+		t.Fatalf("overflow = %d after spill, want %d", overflow2, overflow+1)
+	}
+}
+
+func TestStealAttemptAndUnparkCounters(t *testing.T) {
+	s := New(2, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			task := &Task{ThreadID: id}
+			s.Acquire(task)
+			time.Sleep(time.Millisecond) // hold the slot so later acquirers queue
+			s.Yield(task)
+			s.Release(task)
+		}(uint64(i))
+	}
+	wg.Wait()
+	snap := s.Stats().SnapshotAll()
+	c := snap.Counters
+	if c["unparks"] < c["parks"] {
+		t.Fatalf("unparks=%d < parks=%d: a parked task ran without a grant", c["unparks"], c["parks"])
+	}
+	if c["unparks"] == 0 {
+		t.Fatal("contended workload produced no unparks")
+	}
+	if c["steal_attempts"] < c["steals"] {
+		t.Fatalf("steal_attempts=%d < steals=%d", c["steal_attempts"], c["steals"])
+	}
+	if c["steal_attempts"] == 0 {
+		t.Fatal("contended workload produced no steal attempts")
+	}
+}

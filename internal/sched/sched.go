@@ -136,7 +136,9 @@ type Scheduler struct {
 	cSteals   *stats.Counter // steals: dispatches served from another slot
 	cHandoffs *stats.Counter // handoffs: release passed the slot directly on
 	cParks    *stats.Counter // parks: tasks that actually slept on a grant
+	cUnparks  *stats.Counter // unparks: queued tasks granted a slot
 	cSpills   *stats.Counter // overflow_spills: bounded-queue overflows
+	cStealAtt *stats.Counter // steal_attempts: dispatch sweeps into a slot queue
 }
 
 // New creates a scheduler with the given number of processor slots (minimum
@@ -163,7 +165,9 @@ func New(slots int, policy func() Policy) *Scheduler {
 	s.cSteals = s.counts.Get("steals")
 	s.cHandoffs = s.counts.Get("handoffs")
 	s.cParks = s.counts.Get("parks")
+	s.cUnparks = s.counts.Get("unparks")
 	s.cSpills = s.counts.Get("overflow_spills")
+	s.cStealAtt = s.counts.Get("steal_attempts")
 	return s
 }
 
@@ -171,8 +175,26 @@ func New(slots int, policy func() Policy) *Scheduler {
 func (s *Scheduler) Slots() int { return len(s.slots) }
 
 // Stats exposes scheduler counters (acquires, acquire_fast, yields, blocks,
-// steals, handoffs, parks, overflow_spills).
+// steals, steal_attempts, handoffs, parks, unparks, overflow_spills).
 func (s *Scheduler) Stats() *stats.Set { return s.counts }
+
+// QueueDepths reports the instantaneous depth of every slot queue plus the
+// shared overflow ring. The read locks each queue in turn, so the result is
+// a per-queue-consistent gauge, not a global snapshot — exactly what a
+// metrics scrape wants.
+func (s *Scheduler) QueueDepths() (slots []int, overflow int) {
+	slots = make([]int, len(s.slots))
+	for i := range s.slots {
+		q := &s.slots[i]
+		q.mu.Lock()
+		slots[i] = q.policy.Len()
+		q.mu.Unlock()
+	}
+	s.omu.Lock()
+	overflow = s.overflow.len()
+	s.omu.Unlock()
+	return slots, overflow
+}
 
 // Running reports how many tasks currently hold slots.
 func (s *Scheduler) Running() int { return int(s.running.Load()) }
@@ -300,6 +322,7 @@ func (s *Scheduler) popSlot(i int) *Task {
 
 // stealSlot steals from slot i's queue.
 func (s *Scheduler) stealSlot(i int) *Task {
+	s.cStealAtt.Inc()
 	q := &s.slots[i]
 	q.mu.Lock()
 	t := q.policy.Steal()
@@ -369,6 +392,7 @@ func (s *Scheduler) dispatch(pref int) *Task {
 // grant hands a dispatched task the right to run. The channel is buffered,
 // so the granter never blocks.
 func (s *Scheduler) grant(t *Task) {
+	s.cUnparks.Inc()
 	t.grant <- struct{}{}
 }
 

@@ -1,0 +1,100 @@
+package sim
+
+// Virtual-time model of the flight recorder's anomaly-capture cooldown: a
+// burst of anomalies (the realistic arrival pattern — one dead node fails
+// every in-flight call at once) must yield exactly one capture per cooldown
+// window, with the rest counted as suppressed. Virtual time makes the
+// windowing exact: no sleeps, no flakes.
+
+import (
+	"testing"
+	"time"
+
+	"amber/internal/trace"
+)
+
+func TestCaptureCooldownUnderAnomalyBurst(t *testing.T) {
+	k := New()
+	const cooldown = 100 * time.Millisecond
+
+	collects := 0
+	c := trace.NewCapture(0, cooldown, func() ([]trace.Event, []string) {
+		collects++
+		return []trace.Event{{Kind: trace.KPeerDown}}, nil
+	})
+	c.SetNow(func() int64 { return int64(k.Now()) })
+	c.SetSynchronous(true)
+
+	// Three spike waves, one cooldown window apart; each wave is 20
+	// near-simultaneous anomalies (1ms apart — well inside the window).
+	accepted := 0
+	k.Go("anomaly-source", func(p *Proc) {
+		for wave := 0; wave < 3; wave++ {
+			for i := 0; i < 20; i++ {
+				if c.Trigger(trace.TrigNodeDown, "burst") {
+					accepted++
+				}
+				p.Sleep(time.Millisecond)
+			}
+			// Finish out the window so the next wave starts fresh.
+			p.Sleep(cooldown)
+		}
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if accepted != 3 || collects != 3 {
+		t.Fatalf("accepted=%d collects=%d, want one capture per wave (3)", accepted, collects)
+	}
+	st := c.Stats()
+	if st["capture_triggers"] != 60 {
+		t.Fatalf("triggers = %d, want 60", st["capture_triggers"])
+	}
+	if st["capture_suppressed"] != 57 {
+		t.Fatalf("suppressed = %d, want 57", st["capture_suppressed"])
+	}
+	if st["captures"] != 3 {
+		t.Fatalf("captures = %d, want 3", st["captures"])
+	}
+	dumps := c.Dumps()
+	if len(dumps) != 3 {
+		t.Fatalf("retained dumps = %d, want 3", len(dumps))
+	}
+	// Dump timestamps are exactly one wave apart in virtual time.
+	wave := int64(20*time.Millisecond + cooldown)
+	for i, d := range dumps {
+		if want := int64(i) * wave; d.TimeNs != want {
+			t.Fatalf("dump %d at %dns, want %dns", i, d.TimeNs, want)
+		}
+	}
+}
+
+func TestCaptureRecoversAfterQuietPeriod(t *testing.T) {
+	k := New()
+	const cooldown = 50 * time.Millisecond
+	c := trace.NewCapture(0, cooldown, func() ([]trace.Event, []string) { return nil, nil })
+	c.SetNow(func() int64 { return int64(k.Now()) })
+	c.SetSynchronous(true)
+
+	var results []bool
+	k.Go("sparse-source", func(p *Proc) {
+		results = append(results, c.Trigger(trace.TrigDeadlineMiss, "a")) // t=0: accepted
+		p.Sleep(10 * time.Millisecond)
+		results = append(results, c.Trigger(trace.TrigDeadlineMiss, "b")) // inside window: suppressed
+		p.Sleep(cooldown)                                                 // long quiet period
+		results = append(results, c.Trigger(trace.TrigHeatStorm, "c"))    // accepted again
+	})
+	if _, err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true}
+	for i := range want {
+		if results[i] != want[i] {
+			t.Fatalf("trigger pattern = %v, want %v", results, want)
+		}
+	}
+	if last, ok := c.Last(); !ok || last.Reason != trace.TrigHeatStorm {
+		t.Fatalf("last dump = %+v, want heat-storm", last)
+	}
+}

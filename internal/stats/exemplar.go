@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Exemplars attaches trace IDs to latency buckets: alongside a Histogram,
+// one Exemplars table remembers the most recent traced journey that landed
+// in each log2 bucket. A p99 spike on /metrics then links directly to the
+// thread journey that produced it — scrape the bucket, take its trace ID to
+// /trace.json (or a flight-recorder dump) and read the explanation.
+//
+// Recording is one atomic store into the sample's bucket slot (no CAS loop:
+// "most recent wins" is exactly the semantics wanted), and zero-valued trace
+// IDs (untraced or sampled-out journeys) are never recorded, so the
+// tracing-off cost at a call site is a single branch.
+type Exemplars struct {
+	slots [histBuckets]atomic.Uint64
+}
+
+// Note records traceID as the latest exemplar for d's bucket. A zero
+// traceID (untraced journey) is ignored.
+func (e *Exemplars) Note(d time.Duration, traceID uint64) {
+	if traceID == 0 {
+		return
+	}
+	e.slots[bucketOf(d)].Store(traceID)
+}
+
+// Exemplar is one occupied bucket's latest traced journey.
+type Exemplar struct {
+	// Bucket is the log2 bucket index; UpperNs its exclusive upper bound.
+	Bucket  int
+	UpperNs int64
+	// Trace is the journey (thread) ID recorded there.
+	Trace uint64
+}
+
+// Snapshot returns every occupied slot, lowest bucket first.
+func (e *Exemplars) Snapshot() []Exemplar {
+	var out []Exemplar
+	for i := range e.slots {
+		if id := e.slots[i].Load(); id != 0 {
+			out = append(out, Exemplar{Bucket: i, UpperNs: bucketUpper(i), Trace: id})
+		}
+	}
+	return out
+}
+
+// Top returns the n highest occupied buckets, slowest first — the journeys
+// behind the latency tail.
+func (e *Exemplars) Top(n int) []Exemplar {
+	out := e.Snapshot()
+	sort.Slice(out, func(i, j int) bool { return out[i].Bucket > out[j].Bucket })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Reset clears all slots.
+func (e *Exemplars) Reset() {
+	for i := range e.slots {
+		e.slots[i].Store(0)
+	}
+}
+
+// WriteExemplars renders a table in Prometheus-compatible text: one gauge
+// series per occupied bucket, labelled with the bucket bound and the trace
+// ID. name is the histogram's key without the "amber_" prefix (e.g.
+// "node_invoke_remote_ns").
+func WriteExemplars(w io.Writer, name string, exs []Exemplar) {
+	if len(exs) == 0 {
+		return
+	}
+	full := "amber_" + sanitize(name) + "_exemplar"
+	fmt.Fprintf(w, "# HELP %s latest traced journey per latency bucket (trace label links to the flight recorder)\n", full)
+	fmt.Fprintf(w, "# TYPE %s gauge\n", full)
+	for _, ex := range exs {
+		fmt.Fprintf(w, "%s{le=\"%g\",trace=\"0x%x\"} 1\n", full, float64(ex.UpperNs)/1e9, ex.Trace)
+	}
+}

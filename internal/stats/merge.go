@@ -1,0 +1,47 @@
+package stats
+
+// Fleet aggregation: the /cluster endpoint pulls a SetSnapshot from every
+// node and folds them into one cluster-wide view. Counters add; histograms
+// add bucket-wise — every node uses the same fixed log2 ladder (histBuckets
+// rungs, bucket i = bit-length of the sample in nanoseconds), so merging is
+// element-wise addition with no rebinning and no precision loss. The merged
+// Count/Sum therefore equal the sums of the per-node values exactly, which
+// is the invariant the fleet tests pin down.
+
+// Merge adds src into s bucket-wise.
+func (s *HistogramSnapshot) Merge(src HistogramSnapshot) {
+	s.Count += src.Count
+	s.Sum += src.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += src.Buckets[i]
+	}
+}
+
+// MergeSnapshot folds src into dst: counters add, histograms merge
+// bucket-wise, and names present in only one side are kept. dst's maps are
+// created on demand, so the zero SetSnapshot is a valid accumulator.
+func MergeSnapshot(dst *SetSnapshot, src SetSnapshot) {
+	if len(src.Counters) > 0 && dst.Counters == nil {
+		dst.Counters = make(map[string]int64, len(src.Counters))
+	}
+	for k, v := range src.Counters {
+		dst.Counters[k] += v
+	}
+	if len(src.Histograms) > 0 && dst.Histograms == nil {
+		dst.Histograms = make(map[string]HistogramSnapshot, len(src.Histograms))
+	}
+	for k, h := range src.Histograms {
+		m := dst.Histograms[k]
+		m.Merge(h)
+		dst.Histograms[k] = m
+	}
+}
+
+// MergeSnapshots folds any number of snapshots into one.
+func MergeSnapshots(snaps ...SetSnapshot) SetSnapshot {
+	var out SetSnapshot
+	for _, s := range snaps {
+		MergeSnapshot(&out, s)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMergeSnapshotEmpty(t *testing.T) {
+	// Zero accumulator + empty source: still usable, still empty.
+	var dst SetSnapshot
+	MergeSnapshot(&dst, SetSnapshot{})
+	if len(dst.Counters) != 0 || len(dst.Histograms) != 0 {
+		t.Fatalf("empty merge produced content: %+v", dst)
+	}
+
+	// Empty accumulator absorbs a populated source verbatim.
+	s := NewSet()
+	s.Add("invokes", 7)
+	s.Observe("lat_ns", 3*time.Microsecond)
+	MergeSnapshot(&dst, s.SnapshotAll())
+	if dst.Counters["invokes"] != 7 {
+		t.Fatalf("counter after merge into empty = %d, want 7", dst.Counters["invokes"])
+	}
+	if h := dst.Histograms["lat_ns"]; h.Count != 1 || h.Sum != int64(3*time.Microsecond) {
+		t.Fatalf("histogram after merge into empty = %+v", h)
+	}
+
+	// Merging an empty source into a populated accumulator changes nothing.
+	before := dst.Histograms["lat_ns"]
+	MergeSnapshot(&dst, SetSnapshot{})
+	if dst.Counters["invokes"] != 7 || dst.Histograms["lat_ns"] != before {
+		t.Fatalf("empty source mutated accumulator: %+v", dst)
+	}
+}
+
+func TestMergeSnapshotDisjointBuckets(t *testing.T) {
+	// Two nodes whose samples land in different log2 buckets: the merged
+	// histogram must keep both populations intact and its totals must equal
+	// the per-node sums exactly (the /cluster acceptance invariant).
+	a, b := NewSet(), NewSet()
+	a.Observe("lat_ns", 100*time.Nanosecond) // bucket 7 (bit-length of 100)
+	a.Observe("lat_ns", 120*time.Nanosecond)
+	b.Observe("lat_ns", 50*time.Millisecond) // a far-away bucket
+	a.Add("hits", 2)
+	b.Add("misses", 5)
+
+	sa, sb := a.SnapshotAll(), b.SnapshotAll()
+	merged := MergeSnapshots(sa, sb)
+
+	if merged.Counters["hits"] != 2 || merged.Counters["misses"] != 5 {
+		t.Fatalf("disjoint counters merged wrong: %+v", merged.Counters)
+	}
+	h := merged.Histograms["lat_ns"]
+	if want := sa.Histograms["lat_ns"].Count + sb.Histograms["lat_ns"].Count; h.Count != want {
+		t.Fatalf("merged count = %d, want %d", h.Count, want)
+	}
+	if want := sa.Histograms["lat_ns"].Sum + sb.Histograms["lat_ns"].Sum; h.Sum != want {
+		t.Fatalf("merged sum = %d, want %d", h.Sum, want)
+	}
+	lo, hi := bucketOf(100*time.Nanosecond), bucketOf(50*time.Millisecond)
+	if lo == hi {
+		t.Fatalf("test samples chose the same bucket %d", lo)
+	}
+	if h.Buckets[lo] != 2 || h.Buckets[hi] != 1 {
+		t.Fatalf("bucket contents wrong: lo=%d hi=%d", h.Buckets[lo], h.Buckets[hi])
+	}
+	// Bucket-wise totals reconcile with Count.
+	var cum int64
+	for _, c := range h.Buckets {
+		cum += c
+	}
+	if cum != h.Count {
+		t.Fatalf("bucket sum %d != count %d", cum, h.Count)
+	}
+}
+
+func TestMergeSnapshotOverflowBucket(t *testing.T) {
+	// Samples beyond the ladder clamp into the last bucket; merging must keep
+	// them there (adding, not spilling into a phantom 49th bucket).
+	huge := time.Duration(1) << 62 // far past bucketUpper(histBuckets-1)
+	if bucketOf(huge) != histBuckets-1 {
+		t.Fatalf("sample did not clamp: bucket %d", bucketOf(huge))
+	}
+	a, b := NewSet(), NewSet()
+	a.Observe("lat_ns", huge)
+	b.Observe("lat_ns", huge)
+	b.Observe("lat_ns", huge)
+
+	merged := MergeSnapshots(a.SnapshotAll(), b.SnapshotAll())
+	h := merged.Histograms["lat_ns"]
+	if h.Buckets[histBuckets-1] != 3 {
+		t.Fatalf("overflow bucket = %d, want 3", h.Buckets[histBuckets-1])
+	}
+	if h.Count != 3 {
+		t.Fatalf("count = %d, want 3", h.Count)
+	}
+	// The quantile of an all-overflow population stays finite and inside the
+	// top bucket's bounds.
+	if q := h.Quantile(0.99); q < time.Duration(bucketUpper(histBuckets-2)) {
+		t.Fatalf("p99 of overflow population fell below the top bucket: %v", q)
+	}
+}

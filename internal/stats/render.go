@@ -29,39 +29,57 @@ type ExtraMetric struct {
 // WriteMetrics renders the families in Prometheus text exposition format:
 // counters as `amber_<family>_<name>`, histograms as cumulative
 // `..._bucket{le="…"}` series (bounds in seconds) plus `_sum`, `_count` and
-// `_p50`/`_p95`/`_p99` summary gauges. Each family is snapshotted
-// consistently (SnapshotAll) before rendering. Output is sorted, so
-// successive scrapes diff cleanly.
+// `_p50`/`_p95`/`_p99` summary gauges, each preceded by HELP and TYPE lines.
+// Each family is snapshotted consistently (SnapshotAll) before rendering.
+// Output is sorted, so successive scrapes diff cleanly.
 func WriteMetrics(w io.Writer, extras []ExtraMetric, families ...Family) {
 	for _, f := range families {
 		if f.Set == nil {
 			continue
 		}
-		snap := f.Set.SnapshotAll()
-		prefix := "amber_" + sanitize(f.Name) + "_"
-
-		names := make([]string, 0, len(snap.Counters))
-		for k := range snap.Counters {
-			names = append(names, k)
-		}
-		sort.Strings(names)
-		for _, k := range names {
-			name := prefix + sanitize(k)
-			fmt.Fprintf(w, "# TYPE %s counter\n", name)
-			fmt.Fprintf(w, "%s %d\n", name, snap.Counters[k])
-		}
-
-		hnames := make([]string, 0, len(snap.Histograms))
-		for k := range snap.Histograms {
-			hnames = append(hnames, k)
-		}
-		sort.Strings(hnames)
-		for _, k := range hnames {
-			writeHistogram(w, prefix+sanitize(k), snap.Histograms[k])
-		}
+		WriteSnapshotMetrics(w, f.Name, f.Set.SnapshotAll())
 	}
+	WriteExtras(w, extras)
+}
+
+// WriteSnapshotMetrics renders one already-taken SetSnapshot under the given
+// family namespace (`amber_<family>_*`). It is the layer the fleet
+// aggregator renders its merged snapshots through, so cluster-wide and
+// per-node expositions share one formatter.
+func WriteSnapshotMetrics(w io.Writer, family string, snap SetSnapshot) {
+	prefix := "amber_" + sanitize(family) + "_"
+	key := sanitize(family) + "_"
+
+	names := make([]string, 0, len(snap.Counters))
+	for k := range snap.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		name := prefix + sanitize(k)
+		fmt.Fprintf(w, "# HELP %s %s\n", name, helpFor(key+sanitize(k)))
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, snap.Counters[k])
+	}
+
+	hnames := make([]string, 0, len(snap.Histograms))
+	for k := range snap.Histograms {
+		hnames = append(hnames, k)
+	}
+	sort.Strings(hnames)
+	for _, k := range hnames {
+		name := prefix + sanitize(k)
+		fmt.Fprintf(w, "# HELP %s %s\n", name, helpFor(key+sanitize(k)))
+		writeHistogram(w, name, snap.Histograms[k])
+	}
+}
+
+// WriteExtras renders standalone gauges (`amber_<name>`) with HELP/TYPE
+// lines, shared by /metrics and the fleet aggregator.
+func WriteExtras(w io.Writer, extras []ExtraMetric) {
 	for _, e := range extras {
 		name := "amber_" + sanitize(e.Name)
+		fmt.Fprintf(w, "# HELP %s %s\n", name, helpFor(sanitize(e.Name)))
 		fmt.Fprintf(w, "# TYPE %s counter\n", name)
 		fmt.Fprintf(w, "%s %d\n", name, e.Value)
 	}

@@ -1,0 +1,210 @@
+package trace
+
+// Anomaly-triggered capture: the flight-recorder half of the observability
+// plane. Tracing runs always-on (sampled) into the per-node rings; nobody
+// reads them until something goes wrong. A Capture is the tripwire — runtime
+// layers call Trigger when they see an anomaly (a deadline miss, a retry
+// budget exhausted, ErrNodeDown, a heat-migration storm) and the controller
+// snapshots the rings *cluster-wide* into one correlated Dump, so the trace
+// that explains the anomaly is preserved before the rings overwrite it.
+//
+// Triggers are rate-limited by a cooldown (anomalies arrive in bursts — one
+// dead node fails every in-flight call) and collection runs asynchronously
+// off the triggering path: the failing call that trips the recorder is not
+// also charged the cluster-wide collection.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trigger reasons, one per anomaly class the runtime watches.
+const (
+	// TrigNodeDown: a call failed with ErrNodeDown (peer also failed its
+	// health probe).
+	TrigNodeDown = "node-down"
+	// TrigDeadlineMiss: a call missed its deadline with the peer alive.
+	TrigDeadlineMiss = "deadline-miss"
+	// TrigRetryExhausted: a retried call used its whole attempt budget.
+	TrigRetryExhausted = "retry-exhausted"
+	// TrigHeatStorm: one heat tick saturated its migration budget.
+	TrigHeatStorm = "heat-storm"
+	// TrigManual: requested through the debug endpoint.
+	TrigManual = "manual"
+)
+
+// keepDumps bounds the retained dump list; older dumps fall off.
+const keepDumps = 4
+
+// DefaultCaptureCooldown spaces captures when the owner does not choose.
+const DefaultCaptureCooldown = 5 * time.Second
+
+// Dump is one correlated cluster-wide ring snapshot.
+type Dump struct {
+	// Seq numbers dumps from this controller, 1-based.
+	Seq int64
+	// Reason is the Trig* constant; Detail is free-form trigger context
+	// (which call failed, against which node).
+	Reason string
+	Detail string
+	// Node is the node that triggered; TimeNs the trigger time (the
+	// controller's clock).
+	Node   int32
+	TimeNs int64
+	// Events is the merged, clock-aligned timeline from every reachable
+	// ring; Errs lists the sources that could not be collected (a crashed
+	// peer's ring is unreachable over RPC — in-process collectors still read
+	// it directly).
+	Events []Event
+	Errs   []string
+}
+
+// Capture is the anomaly-capture controller: trigger hooks in, dumps out.
+// One controller is shared by everything that can observe an anomaly in a
+// process (or, in-process, a whole cluster).
+type Capture struct {
+	node     int32
+	cooldown int64 // ns
+	collect  func() ([]Event, []string)
+
+	nowNs func() int64 // injectable for virtual-time tests
+	sync  bool         // run collection on the triggering goroutine (tests)
+
+	lastNs     atomic.Int64
+	seq        atomic.Int64
+	triggered  atomic.Int64
+	suppressed atomic.Int64
+	captured   atomic.Int64
+
+	sink atomic.Pointer[func(Dump)]
+
+	mu    sync.Mutex
+	dumps []Dump
+}
+
+// NewCapture builds a controller. collect gathers the cluster-wide merged
+// timeline plus per-source error strings (best-effort: a partial dump beats
+// none); it runs on a fresh goroutine per accepted trigger. cooldown <= 0
+// uses DefaultCaptureCooldown; node identifies the triggering process in
+// dumps (-1 for an in-process cluster's shared controller).
+func NewCapture(node int32, cooldown time.Duration, collect func() ([]Event, []string)) *Capture {
+	if cooldown <= 0 {
+		cooldown = DefaultCaptureCooldown
+	}
+	c := &Capture{
+		node:     node,
+		cooldown: int64(cooldown),
+		collect:  collect,
+		nowNs:    func() int64 { return time.Now().UnixNano() },
+	}
+	// Far-past sentinel so the first trigger always passes the cooldown gate
+	// (also under virtual-time clocks that start at 0).
+	c.lastNs.Store(-1 << 62)
+	return c
+}
+
+// SetNow overrides the controller's clock (virtual-time tests). Not safe
+// concurrently with Trigger.
+func (c *Capture) SetNow(now func() int64) { c.nowNs = now }
+
+// SetSynchronous makes Trigger run the collection inline instead of on a
+// fresh goroutine, so tests observe the dump as soon as Trigger returns.
+func (c *Capture) SetSynchronous(on bool) { c.sync = on }
+
+// SetSink installs a callback invoked with each completed dump (amberd
+// writes a Chrome trace file). The callback runs on the collection
+// goroutine.
+func (c *Capture) SetSink(fn func(Dump)) {
+	if fn == nil {
+		c.sink.Store(nil)
+		return
+	}
+	c.sink.Store(&fn)
+}
+
+// Trigger reports an anomaly. If the cooldown window since the last accepted
+// trigger has passed, a cluster-wide collection starts (asynchronously,
+// unless SetSynchronous) and Trigger returns true; otherwise the trigger is
+// counted and suppressed. Nil-safe, so call sites need no wiring check.
+func (c *Capture) Trigger(reason, detail string) bool {
+	if c == nil {
+		return false
+	}
+	c.triggered.Add(1)
+	now := c.nowNs()
+	for {
+		last := c.lastNs.Load()
+		if now-last < c.cooldown {
+			c.suppressed.Add(1)
+			return false
+		}
+		if c.lastNs.CompareAndSwap(last, now) {
+			break
+		}
+	}
+	if c.sync {
+		c.run(reason, detail, now)
+	} else {
+		go c.run(reason, detail, now)
+	}
+	return true
+}
+
+func (c *Capture) run(reason, detail string, now int64) {
+	evs, errs := c.collect()
+	d := Dump{
+		Seq:    c.seq.Add(1),
+		Reason: reason,
+		Detail: detail,
+		Node:   c.node,
+		TimeNs: now,
+		Events: evs,
+		Errs:   errs,
+	}
+	c.mu.Lock()
+	c.dumps = append(c.dumps, d)
+	if len(c.dumps) > keepDumps {
+		c.dumps = c.dumps[len(c.dumps)-keepDumps:]
+	}
+	c.mu.Unlock()
+	c.captured.Add(1)
+	if fn := c.sink.Load(); fn != nil {
+		(*fn)(d)
+	}
+}
+
+// Dumps returns the retained dumps, oldest first.
+func (c *Capture) Dumps() []Dump {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Dump(nil), c.dumps...)
+}
+
+// Last returns the most recent dump.
+func (c *Capture) Last() (Dump, bool) {
+	if c == nil {
+		return Dump{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.dumps) == 0 {
+		return Dump{}, false
+	}
+	return c.dumps[len(c.dumps)-1], true
+}
+
+// Stats reports the controller's counters for the metrics exposition.
+func (c *Capture) Stats() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	return map[string]int64{
+		"capture_triggers":   c.triggered.Load(),
+		"capture_suppressed": c.suppressed.Load(),
+		"captures":           c.captured.Load(),
+	}
+}

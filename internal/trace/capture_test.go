@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCaptureTriggerAndCooldown(t *testing.T) {
+	tr := New(3, 64)
+	tr.SetEnabled(true)
+	tr.Emit(Event{Kind: KInvokeStart, Trace: 9, Span: 1})
+	tr.Emit(Event{Kind: KInvokeEnd, Trace: 9, Span: 1})
+
+	var clock int64 = 1_000_000
+	collects := 0
+	c := NewCapture(3, 100*time.Millisecond, func() ([]Event, []string) {
+		collects++
+		return tr.Snapshot(), []string{"node 7: unreachable"}
+	})
+	c.SetNow(func() int64 { return clock })
+	c.SetSynchronous(true)
+
+	if !c.Trigger(TrigNodeDown, "proc 1 to node 7") {
+		t.Fatal("first trigger suppressed")
+	}
+	// Inside the cooldown window: suppressed, no second collection.
+	clock += int64(50 * time.Millisecond)
+	if c.Trigger(TrigNodeDown, "again") {
+		t.Fatal("trigger inside cooldown accepted")
+	}
+	if collects != 1 {
+		t.Fatalf("collections = %d, want 1", collects)
+	}
+	// Past the window: accepted again.
+	clock += int64(60 * time.Millisecond)
+	if !c.Trigger(TrigDeadlineMiss, "later") {
+		t.Fatal("trigger past cooldown suppressed")
+	}
+
+	dumps := c.Dumps()
+	if len(dumps) != 2 {
+		t.Fatalf("dumps = %d, want 2", len(dumps))
+	}
+	if dumps[0].Reason != TrigNodeDown || dumps[0].Seq != 1 || len(dumps[0].Events) != 2 {
+		t.Fatalf("first dump wrong: %+v", dumps[0])
+	}
+	if len(dumps[0].Errs) != 1 {
+		t.Fatalf("partial-collection errors not preserved: %+v", dumps[0].Errs)
+	}
+	last, ok := c.Last()
+	if !ok || last.Reason != TrigDeadlineMiss || last.Seq != 2 {
+		t.Fatalf("last dump wrong: %+v", last)
+	}
+	st := c.Stats()
+	if st["capture_triggers"] != 3 || st["capture_suppressed"] != 1 || st["captures"] != 2 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+func TestCaptureRetainsLastN(t *testing.T) {
+	var clock int64
+	c := NewCapture(-1, time.Millisecond, func() ([]Event, []string) { return nil, nil })
+	c.SetNow(func() int64 { return clock })
+	c.SetSynchronous(true)
+	for i := 0; i < keepDumps+3; i++ {
+		clock += int64(2 * time.Millisecond)
+		if !c.Trigger(TrigManual, "n") {
+			t.Fatalf("trigger %d suppressed", i)
+		}
+	}
+	dumps := c.Dumps()
+	if len(dumps) != keepDumps {
+		t.Fatalf("retained %d dumps, want %d", len(dumps), keepDumps)
+	}
+	if dumps[len(dumps)-1].Seq != int64(keepDumps+3) {
+		t.Fatalf("newest dump seq = %d, want %d", dumps[len(dumps)-1].Seq, keepDumps+3)
+	}
+}
+
+func TestCaptureNilSafe(t *testing.T) {
+	var c *Capture
+	if c.Trigger(TrigManual, "x") {
+		t.Fatal("nil capture accepted a trigger")
+	}
+	if d := c.Dumps(); d != nil {
+		t.Fatal("nil capture returned dumps")
+	}
+	if _, ok := c.Last(); ok {
+		t.Fatal("nil capture returned a last dump")
+	}
+	if st := c.Stats(); st != nil {
+		t.Fatal("nil capture returned stats")
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := New(0, 64)
+	tr.SetEnabled(true)
+	if !tr.OnFor(7) {
+		t.Fatal("modulus 0 must record every journey")
+	}
+	tr.SetSample(4)
+	if tr.Sample() != 4 {
+		t.Fatalf("sample = %d", tr.Sample())
+	}
+	if tr.OnFor(7) || !tr.OnFor(8) {
+		t.Fatal("modulus 4 must select exactly journeys ≡ 0 (mod 4)")
+	}
+	tr.SetEnabled(false)
+	if tr.OnFor(8) {
+		t.Fatal("disabled tracer recorded")
+	}
+	var nilT *Tracer
+	if nilT.OnFor(8) || nilT.Sample() != 0 {
+		t.Fatal("nil tracer must be inert")
+	}
+}
+
+func TestShift(t *testing.T) {
+	evs := []Event{{TimeNs: 100}, {TimeNs: 200}}
+	Shift(evs, -30)
+	if evs[0].TimeNs != 70 || evs[1].TimeNs != 170 {
+		t.Fatalf("shift wrong: %+v", evs)
+	}
+	Shift(evs, 0) // no-op fast path
+	if evs[0].TimeNs != 70 {
+		t.Fatal("zero shift mutated events")
+	}
+}

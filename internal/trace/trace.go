@@ -130,9 +130,13 @@ func (k Kind) String() string {
 // Event is one ring-buffer record. All fields are exported so dumps cross
 // the wire on the gob fallback without ceremony.
 type Event struct {
-	// TimeNs is the wall-clock timestamp (UnixNano). Per-node clocks are
-	// assumed loosely synchronized (same-machine deployments are exact); the
-	// collector merges by this field.
+	// TimeNs is the wall-clock timestamp (UnixNano) in the recording node's
+	// clock. The collector merges by this field after converting each remote
+	// node's events into the collector's clock: the per-peer offset is
+	// estimated at the RPC ping/pong midpoint (see rpc.PeerClockOffset) and
+	// applied with Shift, so cross-node spans in one journey no longer
+	// overlap or invert when clocks disagree. Same-machine deployments are
+	// exact either way.
 	TimeNs int64
 	// Trace identifies the logical thread's journey (== the thread's
 	// cluster-unique ID for thread-driven events; 0 for node-level events).
@@ -166,6 +170,7 @@ const DefaultRingSize = 1 << 13
 type Tracer struct {
 	node    int32
 	on      atomic.Bool
+	sample  atomic.Uint64 // journey sampling modulus (<=1 = record all)
 	head    atomic.Uint64
 	spanSeq atomic.Uint64
 	mask    uint64
@@ -206,6 +211,39 @@ func (t *Tracer) SetEnabled(on bool) {
 // instrumentation sites perform on the fast path; when false the caller must
 // do nothing else (in particular, it must not build an Event).
 func (t *Tracer) On() bool { return t != nil && t.on.Load() }
+
+// SetSample sets journey sampling for the always-on flight recorder: with
+// modulus n, OnFor records only journeys whose ID ≡ 0 (mod n) — 1-in-n of
+// the thread population at full event fidelity, rather than every journey at
+// reduced fidelity. 0 or 1 records everything.
+func (t *Tracer) SetSample(n uint64) {
+	if t == nil {
+		return
+	}
+	t.sample.Store(n)
+}
+
+// Sample reports the current sampling modulus (0/1 = record all).
+func (t *Tracer) Sample() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.sample.Load()
+}
+
+// OnFor reports whether events for the given journey should be recorded:
+// tracing enabled and the journey selected by the sampling modulus. Because
+// a trace ID is the thread's cluster-unique ID and travels in the rpc
+// envelope, every node makes the identical decision for one journey — a
+// sampled journey is recorded on all its hops, an unsampled one on none.
+// Node-level events (no journey) should keep using On.
+func (t *Tracer) OnFor(journey uint64) bool {
+	if !t.On() {
+		return false
+	}
+	s := t.sample.Load()
+	return s <= 1 || journey%s == 0
+}
 
 // NextSpan mints a cluster-unique span ID (node-salted sequence).
 func (t *Tracer) NextSpan() uint64 {
@@ -298,6 +336,19 @@ func Collect(sets ...[]Event) []Event {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].TimeNs < out[j].TimeNs })
 	return out
+}
+
+// Shift translates a remote node's events into the collector's clock by
+// adding deltaNs (the peer clock offset measured at the RPC ping/pong
+// midpoint) to every timestamp, in place. Call before Collect when stitching
+// rings from nodes whose clocks may disagree.
+func Shift(evs []Event, deltaNs int64) {
+	if deltaNs == 0 {
+		return
+	}
+	for i := range evs {
+		evs[i].TimeNs += deltaNs
+	}
 }
 
 // FilterTrace returns the events belonging to one journey.

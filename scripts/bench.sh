@@ -7,7 +7,13 @@
 # no-replication cold control), the sharded object-space parallel-invoke
 # benchmark at -cpu 1 and 8, the skewed-workload heat-placement ablation,
 # and the wire codec microbenchmarks, then writes every reported metric to
-# BENCH_pr6.json at the repo root.
+# BENCH_pr7.json at the repo root.
+#
+# The same-machine local/remote gates double as this PR's tracing-off
+# overhead gate: the headline benchmarks run with tracing disabled, so a
+# regression there means the observability plane (journey sampling checks,
+# exemplar notes, the anomaly funnel in callWith) leaked cost onto the
+# tracing-off hot path.
 #
 # Regression gates (compared against a baseline built from the pre-PR tree on
 # the SAME machine in the SAME run — recorded absolute numbers drift with
@@ -41,7 +47,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT=BENCH_pr6.json
+OUT=BENCH_pr7.json
 ALLOC_LIMIT=38
 NPROC=$(nproc 2>/dev/null || echo 1)
 
@@ -166,7 +172,7 @@ fi
 
 {
 	printf '{\n'
-	printf '  "pr": "pr6-per-slot-runqueues-work-stealing-heat-placement",\n'
+	printf '  "pr": "pr7-observability-plane-flight-recorder-fleet-metrics",\n'
 	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 	printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"

@@ -32,7 +32,7 @@ echo "== fault suite (crash/partition injection, retry, dedup) =="
 # second time under -race with fresh state: seeded injectors make the fault
 # schedules deterministic, and any flake here is a real ordering bug.
 go test -race -count=1 \
-	-run 'TestFaults|FuzzFaultRules|TestTimeoutClassified|TestRetry|TestIdempotent|TestNonIdempotent|TestGeneration|TestWatchPeer|TestDedup|TestCrash|TestOrphaned|TestForwardingChainRepair|TestThreeNodeCrash|TestSimCrash' \
+	-run 'TestFaults|FuzzFaultRules|TestTimeoutClassified|TestRetry|TestIdempotent|TestNonIdempotent|TestGeneration|TestWatchPeer|TestDedup|TestCrash|TestOrphaned|TestForwardingChainRepair|TestThreeNodeCrash|TestSimCrash|TestCapture|TestFleet|TestRetryExhaustedTrigger' \
 	./internal/transport/ ./internal/rpc/ ./internal/core/ ./internal/sim/
 
 echo "== scheduler stress suite (steal/release/SetPolicy races, starvation) =="
@@ -43,6 +43,70 @@ echo "== scheduler stress suite (steal/release/SetPolicy races, starvation) =="
 go test -race -count=1 \
 	-run 'TestSetPolicyRacesHotPaths|TestStealVsReleaseRace|TestStarvation|TestFairnessAcrossSlots|TestStealingDisabled|TestDequeSpills|TestHeat' \
 	./internal/sched/ ./internal/core/
+
+echo "== observability smoke (live 3-node cluster: /cluster, /heat, amber-top) =="
+# Real TCP, real HTTP: three amberd processes, then scrape node 0's fleet
+# endpoint — which fans out over procStatsPull — and assert the exposition
+# parses and sees all three nodes. This is the only place the debug plane is
+# exercised over actual sockets rather than httptest.
+OBSDIR=$(mktemp -d /tmp/amber-ci-obs.XXXXXX)
+OBS_PIDS=""
+obs_cleanup() {
+	[ -z "$OBS_PIDS" ] || kill $OBS_PIDS 2>/dev/null || true
+	rm -rf "$OBSDIR"
+}
+trap obs_cleanup EXIT
+go build -o "$OBSDIR/amberd" ./cmd/amberd
+go build -o "$OBSDIR/amber-top" ./cmd/amber-top
+BP=7760 # base node port; debug ports are BP+20..22
+for i in 0 1 2; do
+	peers=""
+	for j in 0 1 2; do
+		[ "$j" = "$i" ] || peers="${peers:+$peers,}$j=127.0.0.1:$((BP + j))"
+	done
+	"$OBSDIR/amberd" -node "$i" -listen "127.0.0.1:$((BP + i))" -peers "$peers" \
+		-procs 2 -debug-addr "127.0.0.1:$((BP + 20 + i))" -heat-interval 50ms \
+		>"$OBSDIR/node$i.log" 2>&1 &
+	OBS_PIDS="$OBS_PIDS $!"
+done
+CLUSTER_URL="http://127.0.0.1:$((BP + 20))/cluster"
+for attempt in $(seq 1 50); do
+	if curl -fsS --max-time 2 "$CLUSTER_URL" >"$OBSDIR/cluster.txt" 2>/dev/null &&
+		grep -q '^amber_cluster_nodes_reporting 3$' "$OBSDIR/cluster.txt"; then
+		break
+	fi
+	if [ "$attempt" = 50 ]; then
+		echo "FAIL: /cluster never reported 3 nodes" >&2
+		tail -5 "$OBSDIR"/node*.log >&2 || true
+		exit 1
+	fi
+	sleep 0.2
+done
+grep -q '^amber_cluster_nodes 3$' "$OBSDIR/cluster.txt" ||
+	{ echo "FAIL: /cluster missing amber_cluster_nodes 3" >&2; exit 1; }
+# Every non-comment line must parse as Prometheus text: amber_-prefixed
+# metric (with optional {labels}) plus exactly one value.
+awk '
+	/^$/ || /^#/ { next }
+	!/^amber_[a-zA-Z0-9_]+(\{[^}]*\})? -?[0-9.e+-]+$/ { print "bad exposition line: " $0; bad = 1 }
+	END { exit bad }
+' "$OBSDIR/cluster.txt" || { echo "FAIL: /cluster Prometheus parse" >&2; exit 1; }
+# Every TYPEd metric family carries a HELP line (the naming-audit satellite).
+awk '
+	$2 == "HELP" { help[$3] = 1 }
+	$2 == "TYPE" && !($3 in help) { print "TYPE without HELP: " $3; bad = 1 }
+	END { exit bad }
+' "$OBSDIR/cluster.txt" || { echo "FAIL: /cluster HELP coverage" >&2; exit 1; }
+curl -fsS --max-time 2 "http://127.0.0.1:$((BP + 21))/heat" >"$OBSDIR/heat.json"
+grep -q '"enabled": true' "$OBSDIR/heat.json" ||
+	{ echo "FAIL: /heat does not show the enabled tracker" >&2; cat "$OBSDIR/heat.json" >&2; exit 1; }
+"$OBSDIR/amber-top" -addr "127.0.0.1:$((BP + 20))" -once >"$OBSDIR/top.txt"
+grep -q '3/3 nodes reporting' "$OBSDIR/top.txt" ||
+	{ echo "FAIL: amber-top did not see the fleet" >&2; cat "$OBSDIR/top.txt" >&2; exit 1; }
+kill $OBS_PIDS 2>/dev/null || true
+wait $OBS_PIDS 2>/dev/null || true
+OBS_PIDS=""
+echo "observability smoke passed: /cluster parses, HELP coverage holds, amber-top renders"
 
 echo "== bench smoke (100 iterations, compile+run only, no gates) =="
 # Not a performance gate — scripts/bench.sh owns those. This exists so a
