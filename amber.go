@@ -136,6 +136,23 @@ type (
 	RetryPolicy = core.RetryPolicy
 )
 
+// Asynchronous invocation (Ctx.AsyncInvoke) and continuation shipping
+// (Ctx.InvokeChain / Ctx.AsyncInvokeChain). See README §"Asynchronous
+// invocation & pipelining" and DESIGN.md §13.
+type (
+	// Future is the handle returned by Ctx.AsyncInvoke; Join blocks the
+	// calling Amber thread (relinquishing its processor slot) until the
+	// remote reply lands.
+	Future = core.Future
+	// ChainStep is one step of an InvokeChain continuation.
+	ChainStep = core.ChainStep
+)
+
+// ChainPrev, used as an argument inside a ChainStep, is replaced at
+// execution time by the previous step's first result — dataflow between
+// chain steps without a round trip home.
+var ChainPrev = core.ChainPrev
+
 // WithDeadline bounds one call: the call fails with ErrTimeout (node alive)
 // or ErrNodeDown (node crashed) when d elapses without a reply. It overrides
 // the cluster-wide RPCTimeout for this call only.
@@ -159,7 +176,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) { return core.NewCluster(cf
 func NewRegistry() *Registry { return core.NewRegistry() }
 
 // Call invokes an operation and returns its first result — the common
-// single-result convenience over Ctx.Invoke.
+// single-result convenience over Ctx.Invoke. Like Invoke, CallOptions may be
+// mixed into the argument list (they are filtered out before dispatch), and
+// the call routes through the same funnel as Ctx.Invoke — deadlines, retries
+// and anomaly classification behave identically:
+//
+//	v, err := amber.Call(ctx, ref, "Get", amber.WithDeadline(time.Second))
 func Call(ctx *Ctx, obj Ref, method string, args ...any) (any, error) {
 	out, err := ctx.Invoke(obj, method, args...)
 	if err != nil {

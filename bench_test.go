@@ -20,6 +20,8 @@ import (
 	"testing"
 	"time"
 
+	"amber/internal/core"
+	"amber/internal/gaddr"
 	"amber/internal/ivy"
 	"amber/internal/perf"
 	"amber/internal/sor"
@@ -33,6 +35,11 @@ func (c *benchCounter) Poke() int { c.N++; return c.N }
 // Get is the non-mutating read used by the immutable-replica benchmarks
 // (invoking Poke on an immutable object would be a programming error).
 func (c *benchCounter) Get() int { return c.N }
+
+// Echo is the stateless method the fan-in benchmarks invoke concurrently:
+// async executions of one object overlap (each holds its own pin), so the
+// method must not touch shared state.
+func (c *benchCounter) Echo(x int) int { return x }
 
 func benchCluster(b *testing.B, nodes, procs int, profile NetProfile) *Cluster {
 	b.Helper()
@@ -291,6 +298,105 @@ func BenchmarkLocalInvokeParallel(b *testing.B) {
 			}
 		})
 	})
+}
+
+// --- PR8: pipelined fan-in vs serial blocking, over real loopback TCP ---
+
+// benchTCPPair assembles two nodes over loopback sockets. The fan-in pair
+// below must run on the TCP transport: the pipeline's win is shared socket
+// flushes and overlapped wire round trips, and the in-process fabric has
+// neither a socket nor a flush.
+func benchTCPPair(b *testing.B) (*Node, *Node) {
+	b.Helper()
+	reg := NewRegistry()
+	if err := reg.Register(&benchCounter{}); err != nil {
+		b.Fatal(err)
+	}
+	trs := make([]*transport.TCP, 2)
+	for i := range trs {
+		tr, err := transport.NewTCP(transport.TCPConfig{
+			Self:   gaddr.NodeID(i),
+			Listen: "127.0.0.1:0",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		trs[i] = tr
+		b.Cleanup(func() { tr.Close() })
+	}
+	trs[0].SetPeers(map[gaddr.NodeID]string{1: trs[1].Addr()})
+	trs[1].SetPeers(map[gaddr.NodeID]string{0: trs[0].Addr()})
+	nodes := make([]*Node, 2)
+	for i := range nodes {
+		var srv *gaddr.Server
+		if i == 0 {
+			srv = gaddr.NewServer(0)
+		}
+		n, err := core.NewNode(core.NodeConfig{
+			ID: gaddr.NodeID(i), Procs: 4, ServerNode: 0,
+		}, reg, trs[i], srv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes[i] = n
+		b.Cleanup(n.Close)
+	}
+	return nodes[0], nodes[1]
+}
+
+const fanInWidth = 64
+
+// BenchmarkFanInSerial64 is the blocking control: 64 independent remote
+// invokes issued one at a time, each paying a full socket round trip.
+func BenchmarkFanInSerial64(b *testing.B) {
+	n0, n1 := benchTCPPair(b)
+	ctx := n0.Root()
+	ref, err := n1.Root().New(&benchCounter{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ctx.Invoke(ref, "Echo", 0); err != nil { // warm location cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < fanInWidth; j++ {
+			if _, err := ctx.Invoke(ref, "Echo", j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFanInAsync64 issues the same 64 invokes through AsyncInvoke —
+// all outstanding at once in one peer pipeline, sharing flushes — then joins
+// them. scripts/bench.sh gates this at >= 3x faster than the serial control.
+func BenchmarkFanInAsync64(b *testing.B) {
+	n0, n1 := benchTCPPair(b)
+	ctx := n0.Root()
+	ref, err := n1.Root().New(&benchCounter{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ctx.Invoke(ref, "Echo", 0); err != nil { // warm location cache
+		b.Fatal(err)
+	}
+	futs := make([]*Future, fanInWidth)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range futs {
+			futs[j] = ctx.AsyncInvoke(ref, "Echo", j)
+		}
+		for j, f := range futs {
+			out, err := f.Join(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out[0].(int) != j {
+				b.Fatalf("future %d returned %v", j, out)
+			}
+		}
+	}
 }
 
 // --- E13: heat-driven placement under a skewed (zipf) workload ---

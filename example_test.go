@@ -53,6 +53,61 @@ func ExampleCtx_StartThread() {
 	// Output: 30
 }
 
+// Shard is a fan-in fixture: each shard holds part of a total.
+type Shard struct{ N int }
+
+// Part returns the shard's contribution.
+func (s *Shard) Part() int { return s.N }
+
+// ExampleCtx_AsyncInvoke shows fan-in over futures: every shard's call is
+// in flight at once, and calls toward the same peer share a request
+// pipeline instead of paying one round trip each.
+func ExampleCtx_AsyncInvoke() {
+	cl, _ := amber.NewCluster(amber.ClusterConfig{Nodes: 3, ProcsPerNode: 2})
+	defer cl.Close()
+	cl.Register(&Shard{})
+
+	ctx := cl.Node(0).Root()
+	var futs []*amber.Future
+	for i := 1; i <= 4; i++ {
+		ref, _ := ctx.NewAt(amber.NodeID(i%2+1), &Shard{N: i * 10})
+		futs = append(futs, ctx.AsyncInvoke(ref, "Part"))
+	}
+	total := 0
+	for _, f := range futs {
+		out, err := f.Join(ctx) // gives up the processor slot while waiting
+		if err != nil {
+			panic(err)
+		}
+		total += out[0].(int)
+	}
+	fmt.Println(total)
+	// Output: 100
+}
+
+// ExampleCtx_InvokeChain ships a whole call sequence to where the objects
+// live: both steps run on node 1 off one request, with ChainPrev feeding
+// the first result into the second call.
+func ExampleCtx_InvokeChain() {
+	cl, _ := amber.NewCluster(amber.ClusterConfig{Nodes: 2, ProcsPerNode: 2})
+	defer cl.Close()
+	cl.Register(&Temperature{})
+
+	ctx := cl.Node(0).Root()
+	sensor, _ := ctx.NewAt(1, &Temperature{Celsius: 18})
+	display, _ := ctx.NewAt(1, &Temperature{})
+	_, err := ctx.InvokeChain([]amber.ChainStep{
+		{Obj: sensor, Method: "Get"},
+		{Obj: display, Method: "Set", Args: []any{amber.ChainPrev}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	v, _ := amber.Call(ctx, display, "Get")
+	fmt.Println(v)
+	// Output: 18
+}
+
 // ExampleCtx_SetImmutable shows replicate-on-move for read-only data (§2.3).
 func ExampleCtx_SetImmutable() {
 	cl, _ := amber.NewCluster(amber.ClusterConfig{Nodes: 3, ProcsPerNode: 1})

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"amber/internal/gaddr"
+	"amber/internal/rpc"
+	"amber/internal/wire"
+)
+
+// Continuation shipping: a chain of invocations on (presumed) co-located
+// remote objects travels as ONE message and executes at the destination,
+// returning to the origin once — instead of one full round trip per call.
+// The shipped thread was already a continuation (§3.4 of the paper; compare
+// Tarau's mobile first-order continuations): opChain just lets it carry more
+// than one pending call. If the chain's objects turn out not to be
+// co-located, the remainder of the chain forwards onward with a detached
+// reply, so the origin still pays exactly one round trip.
+
+// ChainStep is one invocation in a shipped chain: call Method on Obj with
+// Args. An argument equal to ChainPrev is substituted, at execution time,
+// with the first result of the previous step — the dataflow that makes a
+// chain more than a batch.
+type ChainStep struct {
+	Obj    Ref
+	Method string
+	Args   []any
+}
+
+// chainPrevArg is the marker type behind ChainPrev. Registered with the wire
+// codec so it survives marshalling when a chain ships mid-execution.
+type chainPrevArg struct{}
+
+// ChainPrev, used as an argument in a ChainStep, is replaced with the first
+// result of the preceding step when that step executes.
+var ChainPrev chainPrevArg
+
+func init() { wire.Register(chainPrevArg{}) }
+
+// substituteChainPrev replaces ChainPrev markers with the previous step's
+// first result. Marker-free argument lists pass through untouched.
+func substituteChainPrev(args, prev []any) []any {
+	out := args
+	copied := false
+	for i, a := range args {
+		if _, ok := a.(chainPrevArg); ok {
+			if !copied {
+				out = append([]any(nil), args...)
+				copied = true
+			}
+			if len(prev) > 0 {
+				out[i] = prev[0]
+			} else {
+				out[i] = nil
+			}
+		}
+	}
+	return out
+}
+
+// chainStepWire is ChainStep's wire form (args pre-marshalled).
+type chainStepWire struct {
+	Obj    gaddr.Addr
+	Method string
+	Args   []byte
+}
+
+// chainMsg rides routedMsg.Args for opChain: the remaining steps plus the
+// previous step's results (for ChainPrev substitution at the next executor).
+type chainMsg struct {
+	Steps []chainStepWire
+	Prev  []byte
+}
+
+// AppendWire implements wire.Codec.
+func (m *chainMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(len(m.Steps)))
+	for _, s := range m.Steps {
+		b = wire.AppendUvarint(b, uint64(s.Obj))
+		b = wire.AppendString(b, s.Method)
+		b = wire.AppendBytes(b, s.Args)
+	}
+	return wire.AppendBytes(b, m.Prev)
+}
+
+// DecodeWire implements wire.Codec. Step args and Prev alias b; the executor
+// decodes values out of them before the enclosing payload is recycled.
+func (m *chainMsg) DecodeWire(b []byte) ([]byte, error) {
+	var err error
+	var cnt uint64
+	if cnt, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	m.Steps = nil
+	if cnt > 0 {
+		if cnt > uint64(len(b)) {
+			return nil, wire.ErrShortBuffer
+		}
+		m.Steps = make([]chainStepWire, cnt)
+		for i := range m.Steps {
+			var u uint64
+			if u, b, err = wire.ReadUvarint(b); err != nil {
+				return nil, err
+			}
+			m.Steps[i].Obj = gaddr.Addr(u)
+			if m.Steps[i].Method, b, err = wire.ReadString(b); err != nil {
+				return nil, err
+			}
+			if m.Steps[i].Args, b, err = wire.ReadBytes(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if m.Prev, b, err = wire.ReadBytes(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// InvokeChain executes steps in order, feeding each step's results to the
+// next via ChainPrev, and returns the last step's results. Steps on locally
+// resident objects run inline; at the first remote step the remaining chain
+// ships as one message and the reply carries the final results — co-located
+// remote objects cost one round trip for the whole chain. CallOptions apply
+// to the shipped leg like any routed call.
+func (c *Ctx) InvokeChain(steps []ChainStep, opts ...CallOption) ([]any, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("%w: empty chain", ErrBadArgument)
+	}
+	return c.node.chainInvoke(c, steps, gatherOptions(opts))
+}
+
+// AsyncInvokeChain is InvokeChain as a Future: the chain runs as a fresh
+// thread journey (its own thread ID) on its own goroutine. Unlike
+// AsyncInvoke it does not ride the per-peer pipeline — a chain is already
+// the batching — but its shipped leg still shares the pipeline's transport.
+func (c *Ctx) AsyncInvokeChain(steps []ChainStep, opts ...CallOption) *Future {
+	n := c.node
+	if len(steps) == 0 {
+		return completedFuture(nil, fmt.Errorf("%w: empty chain", ErrBadArgument))
+	}
+	o := gatherOptions(opts)
+	f := newFuture()
+	rec := ThreadRec{ID: n.newThreadID(), Home: n.id, Priority: c.rec.Priority}
+	n.counts.Inc("async_invokes")
+	go func() {
+		tc := &Ctx{node: n, rec: rec}
+		res, err := n.chainInvoke(tc, steps, o)
+		f.complete(res, err)
+	}()
+	return f
+}
+
+// chainInvoke is the origin-side driver: run the locally resident prefix
+// inline, ship the remainder. The shipped leg reuses the invoke() recovery
+// ladder — one stale-hint retry, bounded routing restarts.
+func (n *Node) chainInvoke(c *Ctx, steps []ChainStep, o callOpts) ([]any, error) {
+	var prev []any
+	hintRetried := false
+	restarts := 0
+	for len(steps) > 0 {
+		step := steps[0]
+		if step.Obj == gaddr.Nil {
+			return nil, fmt.Errorf("%w: nil reference in chain", ErrNoSuchObject)
+		}
+		msg := routedMsg{Op: opChain, Obj: step.Obj, Thread: c.rec, Method: step.Method}
+		d, act, to, err := n.resolve(&msg)
+		switch act {
+		case actError:
+			return nil, err
+		case actExecute:
+			n.cInvokesLocal.Inc()
+			n.counts.Inc("chain_steps_executed")
+			if n.heat != nil && !d.Immutable() {
+				n.heatObserve(step.Obj, n.id)
+			}
+			args := substituteChainPrev(step.Args, prev)
+			start := time.Now()
+			res, rerr := n.runPinned(c, d, step.Obj, step.Method, args)
+			n.histLocal.Observe(time.Since(start))
+			if rerr != nil {
+				return nil, rerr
+			}
+			prev = res
+			steps = steps[1:]
+		case actForward:
+			res, rerr := n.shipChain(c, steps, prev, to, o)
+			if rerr != nil && staleRouteError(rerr) {
+				if !hintRetried && n.hintDrop(step.Obj) {
+					hintRetried = true
+					n.counts.Inc("hint_retries")
+					continue
+				}
+				if errors.Is(rerr, ErrRoutingLost) && restarts < 4 {
+					restarts++
+					n.counts.Inc("routing_restarts")
+					continue
+				}
+			}
+			return res, rerr
+		}
+	}
+	return prev, nil
+}
+
+// shipChain sends the remaining steps (and the previous results) to the
+// believed location of the first one and blocks for the single reply that
+// whichever node executes the last step sends back.
+func (n *Node) shipChain(c *Ctx, steps []ChainStep, prev []any, to gaddr.NodeID, o callOpts) ([]any, error) {
+	start := time.Now()
+	cm := chainMsg{Steps: make([]chainStepWire, len(steps))}
+	for i, s := range steps {
+		ab, err := wire.MarshalArgs(s.Args)
+		if err != nil {
+			return nil, err
+		}
+		cm.Steps[i] = chainStepWire{Obj: s.Obj, Method: s.Method, Args: ab}
+	}
+	pb, err := wire.MarshalArgs(prev)
+	if err != nil {
+		return nil, err
+	}
+	cm.Prev = pb
+	cmBody, err := wire.MarshalInto(&cm)
+	if err != nil {
+		return nil, err
+	}
+	msg := routedMsg{Op: opChain, Obj: steps[0].Obj, Thread: c.rec, Args: cmBody,
+		Chain: []gaddr.NodeID{n.id}}
+	body, err := wire.MarshalInto(&msg)
+	if err != nil {
+		return nil, err
+	}
+	n.counts.Inc("chains_shipped")
+	var ti rpc.TraceInfo
+	if tr := n.tracer; tr.OnFor(c.rec.ID) {
+		ti = rpc.TraceInfo{TraceID: c.rec.ID, SpanID: c.span}
+	}
+	var resp []byte
+	var rerr error
+	c.Block(func() { resp, rerr = n.callWith(to, procRouted, body, ti, o) })
+	elapsed := time.Since(start)
+	n.histRemote.Observe(elapsed)
+	if ti.TraceID != 0 {
+		n.exRemote.Note(elapsed, ti.TraceID)
+	}
+	if rerr != nil {
+		return nil, mapRemoteError(rerr)
+	}
+	var ir invokeReply
+	if err := wire.UnmarshalFrom(resp, &ir); err != nil {
+		wire.PutBuf(resp)
+		return nil, err
+	}
+	n.counts.Inc("return_checks")
+	// The reply reports where the LAST step executed; that is the freshest
+	// location fact the chain produced.
+	n.learnLocation(steps[len(steps)-1].Obj, ir.Node, ir.Epoch)
+	out, err := wire.UnmarshalArgs(ir.Results)
+	wire.PutBuf(resp)
+	return out, err
+}
+
+// executeChain services an arriving opChain. Lock contract: d (the first
+// remaining step's object) arrives pinned and unlocked, exactly like
+// opInvoke. Steps whose objects are resident here run in order; when a step's
+// object lives elsewhere the remainder forwards onward (detached reply), and
+// the last step's executor replies directly to the origin.
+func (n *Node) executeChain(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
+	var cm chainMsg
+	if err := wire.UnmarshalFrom(msg.Args, &cm); err != nil {
+		n.unpin(d)
+		return err
+	}
+	if len(cm.Steps) == 0 {
+		n.unpin(d)
+		return fmt.Errorf("%w: empty chain", ErrBadArgument)
+	}
+	prev, err := wire.UnmarshalArgs(cm.Prev)
+	if err != nil {
+		n.unpin(d)
+		return err
+	}
+	steps := cm.Steps
+	tc := &Ctx{node: n, rec: msg.Thread}
+	for {
+		step := steps[0]
+		args, err := wire.UnmarshalArgs(step.Args)
+		if err != nil {
+			n.unpin(d)
+			rc.Reply(nil, err)
+			return nil
+		}
+		args = substituteChainPrev(args, prev)
+		n.counts.Inc("invokes_executed_for_remote")
+		n.counts.Inc("chain_steps_executed")
+		if n.heat != nil && !d.Immutable() {
+			n.heatObserve(step.Obj, rc.Origin)
+		}
+		epoch := d.Epoch()
+		start := time.Now()
+		res, rerr := n.runPinned(tc, d, step.Obj, step.Method, args)
+		n.histExec.Observe(time.Since(start))
+		if rerr != nil {
+			// A failed step fails the chain; the sentinel rehydrates at the
+			// origin like any routed error.
+			rc.Reply(nil, rerr)
+			n.sendChainUpdates(step.Obj, epoch, msg.Chain, rc.Origin)
+			return nil
+		}
+		prev = res
+		steps = steps[1:]
+		if len(steps) == 0 {
+			rb, err := wire.MarshalArgs(prev)
+			if err != nil {
+				rc.Reply(nil, err)
+				return nil
+			}
+			ir := invokeReply{Results: rb, Node: n.id, Epoch: epoch}
+			body, err := wire.MarshalInto(&ir)
+			rc.Reply(body, err)
+			n.sendChainUpdates(step.Obj, epoch, msg.Chain, rc.Origin)
+			return nil
+		}
+		// Resolve the next step here. Objects that are co-located keep the
+		// chain on this node; anything else forwards the remainder.
+		nmsg := routedMsg{Op: opChain, Obj: steps[0].Obj, Thread: tc.rec}
+		for retries := 0; ; retries++ {
+			nd, act, to, rerr := n.resolve(&nmsg)
+			switch act {
+			case actError:
+				rc.Reply(nil, rerr)
+				return nil
+			case actExecute:
+				d = nd
+			case actForward:
+				if to == n.id {
+					// Transient self-pointer (same as handleRouted): wait out
+					// the racing transition rather than forwarding to ourselves.
+					if retries < 64 {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					n.counts.Inc("routing_lost")
+					rc.Reply(nil, fmt.Errorf("%w: chain %#x", ErrRoutingLost, uint64(steps[0].Obj)))
+					return nil
+				}
+				if n.ep.PeerDown(to) {
+					n.counts.Inc("forwards_refused_down")
+					rc.Reply(nil, fmt.Errorf("%w: next hop %d for chain %#x",
+						ErrNodeDown, to, uint64(steps[0].Obj)))
+					return nil
+				}
+				n.ep.WatchPeer(to)
+				pb, merr := wire.MarshalArgs(prev)
+				if merr != nil {
+					rc.Reply(nil, merr)
+					return nil
+				}
+				ncm := chainMsg{Steps: steps, Prev: pb}
+				cmBody, merr := wire.MarshalInto(&ncm)
+				if merr != nil {
+					rc.Reply(nil, merr)
+					return nil
+				}
+				fmsg := routedMsg{Op: opChain, Obj: steps[0].Obj, Thread: tc.rec,
+					Args: cmBody, Chain: append(msg.Chain, n.id)}
+				fbody, merr := wire.MarshalInto(&fmsg)
+				if merr != nil {
+					rc.Reply(nil, merr)
+					return nil
+				}
+				n.counts.Inc("chains_forwarded")
+				if ferr := rc.Forward(to, procRouted, fbody); ferr != nil {
+					n.counts.Inc("forward_failed")
+				}
+				return nil
+			}
+			break
+		}
+	}
+}

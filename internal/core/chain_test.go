@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// --- continuation shipping ---
+
+func TestInvokeChainColocatedSingleRoundTrip(t *testing.T) {
+	cl := newTestCluster(t, 2, 2)
+	ctx := cl.Node(0).Root()
+	a, _ := ctx.New(&Counter{})
+	b, _ := ctx.New(&Counter{})
+	for _, r := range []Ref{a, b} {
+		if err := ctx.MoveTo(r, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := ctx.InvokeChain([]ChainStep{
+		{Obj: a, Method: "Add", Args: []any{5}},
+		{Obj: b, Method: "Add", Args: []any{7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(int) != 7 {
+		t.Fatalf("chain result = %v, want last step's 7", out)
+	}
+	// Both steps executed at the destination off ONE shipped request: the
+	// origin paid a single round trip, not one per step.
+	if got := cl.Node(0).Stats().Value("chains_shipped"); got != 1 {
+		t.Fatalf("chains_shipped = %d, want 1", got)
+	}
+	if got := cl.Node(1).Stats().Value("chain_steps_executed"); got != 2 {
+		t.Fatalf("chain_steps_executed on node 1 = %d, want 2", got)
+	}
+	if got := cl.Node(0).Stats().Value("invokes_shipped"); got != 0 {
+		t.Fatalf("invokes_shipped = %d — chain steps decayed into separate invokes", got)
+	}
+}
+
+func TestInvokeChainPrevDataflow(t *testing.T) {
+	cl := newTestCluster(t, 2, 2)
+	ctx := cl.Node(0).Root()
+	a, _ := ctx.New(&Counter{})
+	b, _ := ctx.New(&Counter{})
+	for _, r := range []Ref{a, b} {
+		if err := ctx.MoveTo(r, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Step 2 consumes step 1's result without a trip home: b.Add(a.Add(5)).
+	out, err := ctx.InvokeChain([]ChainStep{
+		{Obj: a, Method: "Add", Args: []any{5}},
+		{Obj: b, Method: "Add", Args: []any{ChainPrev}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(int) != 5 {
+		t.Fatalf("b.Add(prev) = %v, want 5", out)
+	}
+	got, err := ctx.Invoke(b, "Get")
+	if err != nil || got[0].(int) != 5 {
+		t.Fatalf("b = %v, %v — ChainPrev did not carry a.Add's result", got, err)
+	}
+}
+
+func TestInvokeChainForwardsAcrossNodes(t *testing.T) {
+	cl := newTestCluster(t, 3, 2)
+	ctx := cl.Node(0).Root()
+	a, _ := ctx.New(&Counter{})
+	b, _ := ctx.New(&Counter{})
+	if err := ctx.MoveTo(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.MoveTo(b, 2); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.InvokeChain([]ChainStep{
+		{Obj: a, Method: "Add", Args: []any{3}},
+		{Obj: b, Method: "Add", Args: []any{ChainPrev}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(int) != 3 {
+		t.Fatalf("chain across 1→2 = %v, want 3", out)
+	}
+	// Node 1 ran its step then forwarded the remainder to node 2 with a
+	// detached reply — the origin never re-entered the loop.
+	if got := cl.Node(1).Stats().Value("chains_forwarded"); got != 1 {
+		t.Fatalf("chains_forwarded on node 1 = %d, want 1", got)
+	}
+	if got := cl.Node(2).Stats().Value("chain_steps_executed"); got != 1 {
+		t.Fatalf("chain_steps_executed on node 2 = %d, want 1", got)
+	}
+}
+
+func TestInvokeChainLocalSteps(t *testing.T) {
+	cl := newTestCluster(t, 1, 2)
+	ctx := cl.Node(0).Root()
+	a, _ := ctx.New(&Counter{})
+	b, _ := ctx.New(&Counter{})
+	out, err := ctx.InvokeChain([]ChainStep{
+		{Obj: a, Method: "Add", Args: []any{2}},
+		{Obj: b, Method: "Add", Args: []any{ChainPrev}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(int) != 2 {
+		t.Fatalf("local chain = %v, want 2", out)
+	}
+	if got := cl.Node(0).Stats().Value("chains_shipped"); got != 0 {
+		t.Fatalf("chains_shipped = %d for an all-local chain", got)
+	}
+}
+
+func TestInvokeChainStepErrorCrossesBack(t *testing.T) {
+	cl := newTestCluster(t, 2, 2)
+	ctx := cl.Node(0).Root()
+	a, _ := ctx.New(&Counter{})
+	b, _ := ctx.New(&Counter{})
+	for _, r := range []Ref{a, b} {
+		if err := ctx.MoveTo(r, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Application error mid-chain: surfaces at the origin with its message.
+	_, err := ctx.InvokeChain([]ChainStep{
+		{Obj: a, Method: "Fail"},
+		{Obj: b, Method: "Add", Args: []any{1}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("chain step error = %v, want the step's own failure", err)
+	}
+	// The failed step aborted the chain: b never executed.
+	got, err := ctx.Invoke(b, "Get")
+	if err != nil || got[0].(int) != 0 {
+		t.Fatalf("b = %v, %v — chain continued past a failed step", got, err)
+	}
+	// Sentinel identity also survives the hop for runtime errors.
+	_, err = ctx.InvokeChain([]ChainStep{{Obj: a, Method: "Nope"}})
+	if !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("chain unknown method = %v, want ErrUnknownMethod", err)
+	}
+}
+
+func TestInvokeChainEmptyIsBadArgument(t *testing.T) {
+	cl := newTestCluster(t, 1, 1)
+	if _, err := cl.Node(0).Root().InvokeChain(nil); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("empty chain = %v, want ErrBadArgument", err)
+	}
+}
+
+func TestAsyncInvokeChain(t *testing.T) {
+	cl := newTestCluster(t, 2, 2)
+	ctx := cl.Node(0).Root()
+	a, _ := ctx.New(&Counter{})
+	b, _ := ctx.New(&Counter{})
+	for _, r := range []Ref{a, b} {
+		if err := ctx.MoveTo(r, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := ctx.AsyncInvokeChain([]ChainStep{
+		{Obj: a, Method: "Add", Args: []any{4}},
+		{Obj: b, Method: "Add", Args: []any{ChainPrev}},
+	})
+	out, err := f.Join(ctx)
+	if err != nil || out[0].(int) != 4 {
+		t.Fatalf("async chain = %v, %v", out, err)
+	}
+}

@@ -57,6 +57,12 @@ type ClusterConfig struct {
 	HeatMin float64
 	// HeatEntries caps each node's heat table (see NodeConfig.HeatEntries).
 	HeatEntries int
+	// PipelineWindow caps on-the-wire async invokes per peer (see
+	// NodeConfig.PipelineWindow; 0 = default 64).
+	PipelineWindow int
+	// PipelineDepth caps total outstanding async invokes per peer (see
+	// NodeConfig.PipelineDepth; 0 = 4 × window).
+	PipelineDepth int
 	// Policy builds each node's initial per-slot scheduling discipline
 	// (nil = the scheduler's bounded work-stealing deque).
 	Policy func() sched.Policy
@@ -135,6 +141,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			HeatRatio:        cfg.HeatRatio,
 			HeatMin:          cfg.HeatMin,
 			HeatEntries:      cfg.HeatEntries,
+			PipelineWindow:   cfg.PipelineWindow,
+			PipelineDepth:    cfg.PipelineDepth,
 			Policy:           cfg.Policy,
 		}
 		n, err := NewNode(ncfg, reg, tr, srv)

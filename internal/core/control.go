@@ -296,18 +296,20 @@ func (c *Ctx) Locate(obj Ref, opts ...CallOption) (gaddr.NodeID, error) {
 }
 
 // SetImmutable marks an object as never again modified (§2.3). Subsequent
-// MoveTo calls copy the object, allowing replicas on many nodes.
-func (c *Ctx) SetImmutable(obj Ref) error {
+// MoveTo calls copy the object, allowing replicas on many nodes. Options
+// (WithDeadline, WithRetry) bound and retry the routed request.
+func (c *Ctx) SetImmutable(obj Ref, opts ...CallOption) error {
 	msg := routedMsg{Op: opSetImmutable, Obj: obj}
-	_, err := c.node.control(c, &msg, callOpts{})
+	_, err := c.node.control(c, &msg, gatherOptions(opts))
 	return err
 }
 
 // Delete destroys an object. References to it subsequently fail with
-// ErrDeleted. Immutable (replicated) objects cannot be deleted.
-func (c *Ctx) Delete(obj Ref) error {
+// ErrDeleted. Immutable (replicated) objects cannot be deleted. Options
+// (WithDeadline, WithRetry) bound and retry the routed request.
+func (c *Ctx) Delete(obj Ref, opts ...CallOption) error {
 	msg := routedMsg{Op: opDelete, Obj: obj}
-	_, err := c.node.control(c, &msg, callOpts{})
+	_, err := c.node.control(c, &msg, gatherOptions(opts))
 	return err
 }
 
@@ -316,10 +318,12 @@ func (c *Ctx) Delete(obj Ref) error {
 // node first. Attachment in this implementation is symmetric: moving either
 // object moves the whole component (which is what guarantees the paper's
 // "always co-located" property).
-func (c *Ctx) Attach(obj, peer Ref) error {
+// Options (WithDeadline, WithRetry) bound and retry each routed request.
+func (c *Ctx) Attach(obj, peer Ref, opts ...CallOption) error {
 	msg := routedMsg{Op: opAttach, Obj: obj, Peer: peer}
+	o := gatherOptions(opts)
 	for hops := 0; hops < 8; hops++ {
-		_, err := c.node.control(c, &msg, callOpts{})
+		_, err := c.node.control(c, &msg, o)
 		var fw *forwardedTo
 		if errors.As(err, &fw) {
 			// Continue at the node the child moved to; reset the chain so
@@ -332,17 +336,19 @@ func (c *Ctx) Attach(obj, peer Ref) error {
 	return fmt.Errorf("%w: attach kept chasing a moving parent", ErrRoutingLost)
 }
 
-// Unattach removes the attachment between obj and peer.
-func (c *Ctx) Unattach(obj, peer Ref) error {
+// Unattach removes the attachment between obj and peer. Options
+// (WithDeadline, WithRetry) bound and retry the routed request.
+func (c *Ctx) Unattach(obj, peer Ref, opts ...CallOption) error {
 	msg := routedMsg{Op: opUnattach, Obj: obj, Peer: peer}
-	_, err := c.node.control(c, &msg, callOpts{})
+	_, err := c.node.control(c, &msg, gatherOptions(opts))
 	return err
 }
 
 // NewAt creates an object and immediately places it on the given node — the
 // common create-then-MoveTo idiom in one call. The object's home remains the
 // creating node (home is fixed at birth, §3.3); only its residence moves.
-func (c *Ctx) NewAt(node gaddr.NodeID, obj any) (Ref, error) {
+// Options (WithDeadline, WithRetry) apply to the placement move.
+func (c *Ctx) NewAt(node gaddr.NodeID, obj any, opts ...CallOption) (Ref, error) {
 	ref, err := c.New(obj)
 	if err != nil {
 		return NilRef, err
@@ -350,7 +356,7 @@ func (c *Ctx) NewAt(node gaddr.NodeID, obj any) (Ref, error) {
 	if node == c.node.id {
 		return ref, nil
 	}
-	if err := c.MoveTo(ref, node); err != nil {
+	if err := c.MoveTo(ref, node, opts...); err != nil {
 		return NilRef, err
 	}
 	return ref, nil
@@ -358,8 +364,11 @@ func (c *Ctx) NewAt(node gaddr.NodeID, obj any) (Ref, error) {
 
 // New creates an object on the node where the calling thread is currently
 // executing (the paper's dynamic creation: objects are born on the creating
-// node, which becomes their home).
-func (c *Ctx) New(obj any) (Ref, error) {
+// node, which becomes their home). Creation is node-local and never ships a
+// request; CallOptions are accepted for surface uniformity but have no
+// effect here.
+func (c *Ctx) New(obj any, opts ...CallOption) (Ref, error) {
+	_ = opts
 	return c.node.newLocalObject(obj)
 }
 

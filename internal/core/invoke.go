@@ -47,7 +47,7 @@ func (n *Node) resolve(msg *routedMsg) (d *descriptor, act action, to gaddr.Node
 	// and the pin are one CAS on the packed state word — no shard lock, no
 	// descriptor mutex (§3.5). Everything else (moving, forwarded, deleted,
 	// control ops) falls through to the locked entry protocol below.
-	if msg.Op == opInvoke && d.TryPin() {
+	if (msg.Op == opInvoke || msg.Op == opChain) && d.TryPin() {
 		return d, actExecute, 0, nil
 	}
 	d.Lock()
@@ -66,7 +66,7 @@ func (n *Node) resolve(msg *routedMsg) (d *descriptor, act action, to gaddr.Node
 			d.Unlock()
 			return nil, actForward, to, nil
 		case stateResident:
-			if msg.Op == opInvoke {
+			if msg.Op == opInvoke || msg.Op == opChain {
 				d.PinLocked()
 				d.Unlock()
 				return d, actExecute, 0, nil
@@ -74,7 +74,7 @@ func (n *Node) resolve(msg *routedMsg) (d *descriptor, act action, to gaddr.Node
 			return d, actExecute, 0, nil // d.mu held for control ops
 		case stateMoving:
 			switch {
-			case msg.Op == opInvoke && msg.Thread.pinned(msg.Obj):
+			case (msg.Op == opInvoke || msg.Op == opChain) && msg.Thread.pinned(msg.Obj):
 				// A bound thread re-entering the object it already
 				// occupies; the move is waiting on it anyway.
 				d.PinLocked()
@@ -536,6 +536,9 @@ func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 		rc.Reply(body, err)
 		n.sendChainUpdates(msg.Obj, epoch, msg.Chain, rc.Origin)
 		return nil
+
+	case opChain:
+		return n.executeChain(rc, d, msg)
 
 	case opLocate:
 		rep := locateReply{Node: n.id, Immutable: d.Immutable(), Epoch: d.Epoch()}

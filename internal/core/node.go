@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -111,6 +112,14 @@ type NodeConfig struct {
 	// HeatEntries caps the tracker table (total objects under accounting,
 	// split across shards; 0 = 4096). A full shard sheds new observations.
 	HeatEntries int
+	// PipelineWindow caps how many async invocations this node keeps on the
+	// wire toward one peer at once; requests inside a window share socket
+	// flushes (0 = rpc.DefaultPipelineWindow, 64).
+	PipelineWindow int
+	// PipelineDepth caps the total outstanding async invocations per peer —
+	// on the wire plus queued behind the window. Beyond it, AsyncInvoke
+	// blocks its caller (admission control). 0 = 4 × PipelineWindow.
+	PipelineDepth int
 }
 
 func (c *NodeConfig) fill() {
@@ -131,6 +140,12 @@ func (c *NodeConfig) fill() {
 		c.ReplicaMaxBytes = 64 << 10
 	case c.ReplicaMaxBytes < 0:
 		c.ReplicaMaxBytes = 0 // piggybacking disabled
+	}
+	if c.PipelineWindow <= 0 {
+		c.PipelineWindow = rpc.DefaultPipelineWindow
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 4 * c.PipelineWindow
 	}
 }
 
@@ -205,6 +220,11 @@ type Node struct {
 	// routed call through them fails.
 	space *objspace.Space[payload]
 
+	// pipes are the per-peer async-invocation pipelines (see peerPipe),
+	// created lazily on first AsyncInvoke toward a peer.
+	pipeMu sync.Mutex
+	pipes  map[gaddr.NodeID]*peerPipe
+
 	// server is non-nil on the node hosting the address-space server.
 	server *gaddr.Server
 
@@ -230,7 +250,9 @@ func NewNode(cfg NodeConfig, reg *Registry, tr transport.Transport, server *gadd
 		tracer: cfg.Tracer,
 		space:  objspace.New[payload](cfg.SpaceShards, cfg.HintCache, cfg.ReplicaCache),
 		server: server,
+		pipes:  make(map[gaddr.NodeID]*peerPipe),
 	}
+	n.ep.SetPipelineWindow(cfg.PipelineWindow)
 	n.replicaMax = uint64(cfg.ReplicaMaxBytes)
 	n.replicaOn = cfg.ReplicaCache >= 0 && cfg.ReplicaMaxBytes > 0
 	n.stopc = make(chan struct{})

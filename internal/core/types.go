@@ -162,6 +162,11 @@ const (
 	opDelete
 	opAttach
 	opUnattach
+	// opChain carries a shipped continuation: a sequence of invocations whose
+	// remaining steps travel as one message and execute wherever their objects
+	// live (see chain.go). The entry protocol treats it exactly like opInvoke
+	// — the first remaining step's object is pinned on arrival.
+	opChain
 )
 
 func (op routedOp) String() string {
@@ -180,6 +185,8 @@ func (op routedOp) String() string {
 		return "attach"
 	case opUnattach:
 		return "unattach"
+	case opChain:
+		return "chain"
 	}
 	return fmt.Sprintf("op(%d)", uint8(op))
 }

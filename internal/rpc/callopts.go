@@ -42,7 +42,7 @@ func (ep *Endpoint) CallWith(to gaddr.NodeID, p Proc, body []byte, opts CallOpts
 	id := ep.nextID.Add(1)
 	ch := make(chan replyOutcome, 1)
 	ep.mu.Lock()
-	ep.pending[id] = ch
+	ep.pending[id] = pendingCall{ch: ch}
 	ep.mu.Unlock()
 	defer func() {
 		ep.mu.Lock()

@@ -236,9 +236,14 @@ type Handler func(*Ctx)
 
 // Endpoint is one node's RPC engine.
 type Endpoint struct {
-	tr       transport.Transport
+	tr transport.Transport
+	// coal is tr's pipelining extension, nil when the transport has none;
+	// cached once so the async send path never repeats the type assertion.
+	coal     transport.Coalescer
 	mu       sync.Mutex
-	pending  map[uint64]chan replyOutcome
+	pending  map[uint64]pendingCall
+	inflight map[gaddr.NodeID]int // outstanding async calls per peer
+	window   int                  // advertised pipeline window (see SetPipelineWindow)
 	handlers [256]Handler
 	nextID   atomic.Uint64
 	counts   *stats.Set
@@ -256,14 +261,28 @@ type replyOutcome struct {
 	err  error
 }
 
+// pendingCall is one entry of the reply-matching table. Exactly one of ch
+// (blocking CallWith) and fn (async StartCall) is set; async entries also
+// carry their deadline timer and peer so completion can cancel the one and
+// decrement the other's inflight gauge.
+type pendingCall struct {
+	ch    chan replyOutcome
+	fn    func(replyOutcome)
+	timer *time.Timer
+	peer  gaddr.NodeID
+}
+
 // NewEndpoint wraps a transport. The endpoint installs itself as the
 // transport's handler.
 func NewEndpoint(tr transport.Transport) *Endpoint {
 	ep := &Endpoint{
-		tr:      tr,
-		pending: make(map[uint64]chan replyOutcome),
-		counts:  stats.NewSet(),
+		tr:       tr,
+		pending:  make(map[uint64]pendingCall),
+		inflight: make(map[gaddr.NodeID]int),
+		window:   DefaultPipelineWindow,
+		counts:   stats.NewSet(),
 	}
+	ep.coal, _ = tr.(transport.Coalescer)
 	ep.Dispatch = func(f func()) { go f() }
 	ep.health.init()
 	ep.dedup.init()
@@ -429,9 +448,12 @@ func (ep *Endpoint) onMessage(m transport.Message) {
 
 func (ep *Endpoint) completeCall(from gaddr.NodeID, rm *replyMsg) {
 	ep.mu.Lock()
-	ch, ok := ep.pending[rm.CallID]
+	pc, ok := ep.pending[rm.CallID]
 	if ok {
 		delete(ep.pending, rm.CallID)
+		if pc.fn != nil {
+			ep.inflight[pc.peer]--
+		}
 	}
 	ep.mu.Unlock()
 	if !ok {
@@ -442,5 +464,15 @@ func (ep *Endpoint) completeCall(from gaddr.NodeID, rm *replyMsg) {
 	if rm.Err != "" {
 		out.err = &RemoteError{Node: from, Msg: rm.Err}
 	}
-	ch <- out
+	if pc.fn != nil {
+		// Async completion: cancel the deadline first. Stop may lose the race
+		// with the timer's own fire, but asyncExpire claims the pending entry
+		// under ep.mu before acting, so exactly one side delivers the outcome.
+		if pc.timer != nil {
+			pc.timer.Stop()
+		}
+		pc.fn(out)
+		return
+	}
+	pc.ch <- out
 }

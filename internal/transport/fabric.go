@@ -193,6 +193,17 @@ func (p *port) Close() error {
 	return nil
 }
 
+// SendNoFlush implements Coalescer. The fabric delivers per message — there
+// is no socket buffer to coalesce — so it is exactly Send; Kick is a no-op.
+// Providing the interface keeps the RPC layer's pipelined path free of
+// per-transport type switches.
+func (p *port) SendNoFlush(to gaddr.NodeID, kind Kind, payload []byte) error {
+	return p.Send(to, kind, payload)
+}
+
+// Kick implements Coalescer (no-op: nothing is ever buffered).
+func (p *port) Kick(gaddr.NodeID) {}
+
 func (p *port) Send(to gaddr.NodeID, kind Kind, payload []byte) error {
 	if p.isClosed() {
 		return ErrClosed

@@ -250,6 +250,35 @@ func readFrame(r *bufio.Reader, from, to gaddr.NodeID) (Message, error) {
 }
 
 func (t *TCP) Send(to gaddr.NodeID, kind Kind, payload []byte) error {
+	return t.send(to, kind, payload, true)
+}
+
+// SendNoFlush implements Coalescer: the frame is buffered into the
+// connection's writer but the flusher's doorbell is not rung — a pipelining
+// sender batches frames and rings once with Kick. Should the bufio buffer
+// fill mid-burst, it drains to the socket inline (bufio semantics), so an
+// unbounded burst cannot hold frames hostage.
+func (t *TCP) SendNoFlush(to gaddr.NodeID, kind Kind, payload []byte) error {
+	return t.send(to, kind, payload, false)
+}
+
+// Kick implements Coalescer: one doorbell ring for everything buffered
+// toward the peer. No connection (nothing was ever sent, or it died and
+// took its buffer with it) means nothing to flush.
+func (t *TCP) Kick(to gaddr.NodeID) {
+	t.mu.Lock()
+	conn := t.outConns[to]
+	t.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	select {
+	case conn.flushC <- struct{}{}:
+	default: // a flush is already scheduled
+	}
+}
+
+func (t *TCP) send(to gaddr.NodeID, kind Kind, payload []byte, flush bool) error {
 	if to == t.cfg.Self {
 		return ErrSelfSend
 	}
@@ -290,10 +319,15 @@ func (t *TCP) Send(to gaddr.NodeID, kind Kind, payload []byte) error {
 	t.counts.Add("bytes_sent", int64(len(payload)+len(hdr)))
 	t.counts.Add(kindSentBytes[kind], int64(len(payload)))
 	// Ring the flusher's doorbell instead of flushing per message; a burst of
-	// sends drains in one socket write.
-	select {
-	case conn.flushC <- struct{}{}:
-	default: // a flush is already scheduled
+	// sends drains in one socket write. Coalesced senders (SendNoFlush) skip
+	// even the doorbell and ring once per burst via Kick.
+	if flush {
+		select {
+		case conn.flushC <- struct{}{}:
+		default: // a flush is already scheduled
+		}
+	} else {
+		t.counts.Inc("msgs_sent_noflush")
 	}
 	return nil
 }

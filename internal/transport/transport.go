@@ -75,6 +75,28 @@ func init() {
 	}
 }
 
+// Coalescer is an optional Transport extension for request pipelining. A
+// sender issuing a burst of messages to one peer calls SendNoFlush for each
+// and Kick once at the end, so the whole burst shares one socket flush
+// instead of scheduling one per message. Semantics:
+//
+//   - SendNoFlush is Send minus the flush schedule: the frame is buffered
+//     toward the peer (taking payload ownership exactly like Send) but no
+//     flush is requested. The frame still reaches the wire eventually — a
+//     later Send or Kick to the same peer flushes everything buffered, and a
+//     full buffer drains inline — so forgetting to Kick degrades latency,
+//     never correctness... on the TCP transport. On transports that deliver
+//     per-message (the in-process fabric), SendNoFlush is identical to Send.
+//   - Kick schedules one flush toward the peer; a no-op when nothing is
+//     buffered or the transport has no flush concept.
+//
+// Transports that never buffer (the fabric) implement the interface as
+// Send/no-op so callers need not type-switch per message.
+type Coalescer interface {
+	SendNoFlush(to gaddr.NodeID, kind Kind, payload []byte) error
+	Kick(to gaddr.NodeID)
+}
+
 // Errors returned by transports.
 var (
 	ErrClosed      = errors.New("transport: closed")

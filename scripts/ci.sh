@@ -108,12 +108,52 @@ wait $OBS_PIDS 2>/dev/null || true
 OBS_PIDS=""
 echo "observability smoke passed: /cluster parses, HELP coverage holds, amber-top renders"
 
+echo "== load smoke (amber-load joins a live 3-node cluster, overload burst) =="
+# Open-loop overload against real sockets: three amberd processes plus
+# amber-load joining as node 3. The arrival rate deliberately exceeds what
+# one core can serve so the admission cap must shed — the assertions are
+# that goodput stays above zero (no livelock/deadlock under overload) and
+# that the generator drains and exits cleanly within its own bound.
+LOADDIR=$(mktemp -d /tmp/amber-ci-load.XXXXXX)
+LOAD_PIDS=""
+load_cleanup() {
+	[ -z "$LOAD_PIDS" ] || kill $LOAD_PIDS 2>/dev/null || true
+	rm -rf "$LOADDIR"
+}
+trap 'load_cleanup; obs_cleanup' EXIT
+go build -o "$LOADDIR/amberd" ./cmd/amberd
+go build -o "$LOADDIR/amber-load" ./cmd/amber-load
+LP=7790 # base node port; node 3 is the load generator
+for i in 0 1 2; do
+	peers=""
+	for j in 0 1 2 3; do
+		[ "$j" = "$i" ] || peers="${peers:+$peers,}$j=127.0.0.1:$((LP + j))"
+	done
+	"$LOADDIR/amberd" -node "$i" -listen "127.0.0.1:$((LP + i))" -peers "$peers" \
+		-procs 2 >"$LOADDIR/node$i.log" 2>&1 &
+	LOAD_PIDS="$LOAD_PIDS $!"
+done
+timeout 120 "$LOADDIR/amber-load" -node 3 -listen "127.0.0.1:$((LP + 3))" \
+	-peers "0=127.0.0.1:$LP,1=127.0.0.1:$((LP + 1)),2=127.0.0.1:$((LP + 2))" \
+	-procs 2 -objects 32 -clients 2000 -rate 50000 -duration 3s -deadline 500ms \
+	>"$LOADDIR/load.txt" 2>&1 ||
+	{ echo "FAIL: amber-load exited nonzero" >&2; cat "$LOADDIR/load.txt" >&2
+	  tail -5 "$LOADDIR"/node*.log >&2 || true; exit 1; }
+cat "$LOADDIR/load.txt"
+GOODPUT=$(awk '/^goodput / { print $2 }' "$LOADDIR/load.txt")
+awk -v g="${GOODPUT:-0}" 'BEGIN { exit !(g > 0) }' ||
+	{ echo "FAIL: overload burst produced no goodput (got '${GOODPUT:-}')" >&2; exit 1; }
+kill $LOAD_PIDS 2>/dev/null || true
+wait $LOAD_PIDS 2>/dev/null || true
+LOAD_PIDS=""
+echo "load smoke passed: goodput $GOODPUT ops/s under 50k/s overload, clean drain"
+
 echo "== bench smoke (100 iterations, compile+run only, no gates) =="
 # Not a performance gate — scripts/bench.sh owns those. This exists so a
 # refactor that breaks a headline benchmark's setup (cluster config, replica
 # install wait, -cpu sharding) fails CI instead of failing the next perf run.
 go test -run '^$' \
-	-bench '^(BenchmarkTable1LocalInvoke|BenchmarkTable1RemoteInvoke|BenchmarkImmutableRemoteInvokeCold|BenchmarkImmutableRemoteInvokeWarm|BenchmarkLocalInvokeParallel|BenchmarkSkewedInvokeStatic|BenchmarkSkewedInvokeHeat|BenchmarkAcquireRelease)$' \
+	-bench '^(BenchmarkTable1LocalInvoke|BenchmarkTable1RemoteInvoke|BenchmarkImmutableRemoteInvokeCold|BenchmarkImmutableRemoteInvokeWarm|BenchmarkLocalInvokeParallel|BenchmarkSkewedInvokeStatic|BenchmarkSkewedInvokeHeat|BenchmarkFanInSerial64|BenchmarkFanInAsync64|BenchmarkAcquireRelease)$' \
 	-benchtime 100x -count 1 . ./internal/sched/
 
 echo
