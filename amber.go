@@ -166,6 +166,18 @@ func WithDeadline(d time.Duration) CallOption { return core.WithDeadline(d) }
 // target is probed down and stays down.
 func WithRetry(p RetryPolicy) CallOption { return core.WithRetry(p) }
 
+// WithReadOnly declares that this invoke never mutates the object. On a
+// cacheable object (Ctx.SetCacheable) a read-only invoke may be served from a
+// local reader lease — zero messages while the lease stands — and runs under
+// the shared side of the object's coherence lock at the holder. Classes can
+// declare whole methods read-only instead by implementing
+//
+//	func (o *T) AmberReadOnly() []string { return []string{"Get", "Len"} }
+//
+// The declaration is a promise, not a proof: marking a mutating operation
+// read-only yields stale reads on other nodes, never memory corruption.
+func WithReadOnly() CallOption { return core.WithReadOnly() }
+
 // NewCluster starts an in-process cluster of cfg.Nodes nodes with
 // cfg.ProcsPerNode processor slots each, connected by a fabric with
 // cfg.Profile delays. Node 0 hosts the address-space server.

@@ -15,6 +15,7 @@ package amber
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -40,6 +41,10 @@ func (c *benchCounter) Get() int { return c.N }
 // async executions of one object overlap (each holds its own pin), so the
 // method must not touch shared state.
 func (c *benchCounter) Echo(x int) int { return x }
+
+// AmberReadOnly declares Get non-mutating, so the lease benchmarks can serve
+// it from reader-lease copies of cacheable counters.
+func (c *benchCounter) AmberReadOnly() []string { return []string{"Get"} }
 
 func benchCluster(b *testing.B, nodes, procs int, profile NetProfile) *Cluster {
 	b.Helper()
@@ -262,6 +267,84 @@ func BenchmarkImmutableRemoteInvokeWarm(b *testing.B) {
 		if _, err := ctx0.Invoke(ref, "Get"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchLeasePair builds a 2-node cluster with leases enabled, a cacheable
+// counter on node 1, and node 0 already holding an installed lease copy.
+func benchLeasePair(b *testing.B) (*Cluster, *Ctx, *Ctx, Ref) {
+	b.Helper()
+	cl, err := NewCluster(ClusterConfig{
+		Nodes: 2, ProcsPerNode: 4, Profile: Instant, Registry: NewRegistry(),
+		LeaseTTL: time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Close)
+	if err := cl.Register(&benchCounter{}); err != nil {
+		b.Fatal(err)
+	}
+	ctx0, ctx1 := cl.Node(0).Root(), cl.Node(1).Root()
+	ref, err := ctx1.New(&benchCounter{N: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ctx1.SetCacheable(ref); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ctx0.Invoke(ref, "Get"); err != nil { // cold read pulls the lease
+		b.Fatal(err)
+	}
+	for i := 0; cl.Node(0).Objects()["lease"] == 0; i++ { // install is async
+		if i > 5000 {
+			b.Fatal("lease never installed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cl, ctx0, ctx1, ref
+}
+
+// BenchmarkMutableLeaseWarm measures reads of a remote MUTABLE object through
+// an installed reader-lease copy — the coherence layer's analogue of
+// BenchmarkImmutableRemoteInvokeWarm, and the number that justifies it:
+// scripts/bench.sh gates this within 2× of the immutable warm path, so caching
+// a mutable object costs at most an epoch-check over caching a frozen one.
+func BenchmarkMutableLeaseWarm(b *testing.B) {
+	_, ctx0, _, ref := benchLeasePair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx0.Invoke(ref, "Get"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMutableLeaseWriteFence measures the write half of the coherence
+// bargain: each iteration re-arms the reader's lease with a Get from node 0,
+// then writes from the owner — a write that must fence (revoke) the
+// outstanding lease before it can be acknowledged. ns/op covers the pair; the
+// write leg's p99 is reported separately (write-p99-ns) and gated by
+// scripts/bench.sh, since tail latency is what an invalidation round can
+// plausibly ruin.
+func BenchmarkMutableLeaseWriteFence(b *testing.B) {
+	_, ctx0, ctx1, ref := benchLeasePair(b)
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx0.Invoke(ref, "Get"); err != nil { // re-arm the lease
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := ctx1.Invoke(ref, "Poke"); err != nil { // write + fence
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if n := len(lat); n > 0 {
+		b.ReportMetric(float64(lat[n*99/100]), "write-p99-ns")
 	}
 }
 

@@ -47,8 +47,15 @@ type DemoCounter struct{ N int }
 // Add increments and returns the counter.
 func (c *DemoCounter) Add(n int) int { c.N += n; return c.N }
 
+// Get reads the counter without mutating it.
+func (c *DemoCounter) Get() int { return c.N }
+
 // Where reports the executing node.
 func (c *DemoCounter) Where(ctx *core.Ctx) gaddr.NodeID { return ctx.NodeID() }
+
+// AmberReadOnly declares the non-mutating methods, which lets the runtime
+// serve them from reader-lease copies when a counter is marked cacheable.
+func (c *DemoCounter) AmberReadOnly() []string { return []string{"Get", "Where"} }
 
 // recorder collects completion latencies. OnDone callbacks run on transport
 // delivery goroutines and must not block; a short mutex-guarded append is the
@@ -96,14 +103,23 @@ func main() {
 		peerArg = flag.String("peers", "", "comma-separated peer list id=host:port,... (selects join mode)")
 		retries = flag.Int("retries", 30, "startup retries while the joined cluster comes up")
 		// Workload shape.
-		procs    = flag.Int("procs", 4, "processor slots on the driving node")
-		objects  = flag.Int("objects", 64, "target counters, spread round-robin across remote nodes")
-		clients  = flag.Int("clients", 256, "admission cap: max outstanding invokes before arrivals are shed")
-		rate     = flag.Int("rate", 20000, "open-loop arrival rate, invokes/second")
-		duration = flag.Duration("duration", 5*time.Second, "generator run time")
-		deadline = flag.Duration("deadline", time.Second, "per-call deadline (0 = unbounded; overload then holds slots forever)")
+		procs     = flag.Int("procs", 4, "processor slots on the driving node")
+		objects   = flag.Int("objects", 64, "target counters, spread round-robin across remote nodes")
+		clients   = flag.Int("clients", 256, "admission cap: max outstanding invokes before arrivals are shed")
+		rate      = flag.Int("rate", 20000, "open-loop arrival rate, invokes/second")
+		duration  = flag.Duration("duration", 5*time.Second, "generator run time")
+		deadline  = flag.Duration("deadline", time.Second, "per-call deadline (0 = unbounded; overload then holds slots forever)")
+		workload  = flag.String("workload", "async", "workload: async (remote Where churn) or readmostly (leased reads + writes on cacheable counters)")
+		readRatio = flag.Float64("readratio", 0.9, "readmostly: fraction of arrivals that are reads (rest are writes)")
+		leaseTTL  = flag.Duration("leasettl", 0, "reader-lease TTL for the in-process cluster (0 = node default)")
 	)
 	flag.Parse()
+	if *workload != "async" && *workload != "readmostly" {
+		log.Fatalf("unknown -workload %q (want async or readmostly)", *workload)
+	}
+	if *readRatio < 0 || *readRatio > 1 {
+		log.Fatal("-readratio must be in [0, 1]")
+	}
 
 	reg := core.NewRegistry()
 	if err := reg.Register(&DemoCounter{}); err != nil {
@@ -137,6 +153,7 @@ func main() {
 			Registry:       reg,
 			PipelineWindow: *window,
 			PipelineDepth:  *depth,
+			LeaseTTL:       *leaseTTL,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -205,16 +222,29 @@ func main() {
 		}
 		targets[i] = ref
 	}
-	fmt.Printf("amber-load: mode=%s dests=%d objects=%d clients=%d rate=%d/s duration=%v deadline=%v\n",
-		mode, len(dests), *objects, *clients, *rate, *duration, *deadline)
+	if *workload == "readmostly" {
+		// Cacheable targets: the first remote read of each counter pulls a
+		// reader lease; subsequent reads within the TTL are zero-message local
+		// hits until a write fences them.
+		for i, ref := range targets {
+			if err := ctx.SetCacheable(ref); err != nil {
+				log.Fatalf("marking target %d cacheable: %v", i, err)
+			}
+		}
+	}
+	fmt.Printf("amber-load: mode=%s workload=%s dests=%d objects=%d clients=%d rate=%d/s duration=%v deadline=%v readratio=%.2f\n",
+		mode, *workload, len(dests), *objects, *clients, *rate, *duration, *deadline, *readRatio)
 
 	var (
-		rec         recorder
+		rec         recorder // reads in readmostly mode; everything otherwise
+		recWrite    recorder // writes in readmostly mode
 		outstanding atomic.Int64
 		sent        atomic.Int64
 		shed        atomic.Int64
 		okC         atomic.Int64
 		errC        atomic.Int64
+		readsC      atomic.Int64
+		writesC     atomic.Int64
 	)
 	var opts []core.CallOption
 	if *deadline > 0 {
@@ -247,18 +277,36 @@ func main() {
 		}
 		outstanding.Add(1)
 		sent.Add(1)
-		args := make([]any, len(opts))
-		for j, o := range opts {
-			args[j] = o
+		// Per-arrival op: the async workload hammers Where; readmostly mixes
+		// leased Gets with Adds at the configured ratio (deterministic modular
+		// schedule, so a run is reproducible).
+		method := "Where"
+		r := &rec
+		var extra []any
+		if *workload == "readmostly" {
+			if float64(i%1000) < *readRatio*1000 {
+				method = "Get"
+				readsC.Add(1)
+			} else {
+				method = "Add"
+				extra = []any{1}
+				r = &recWrite
+				writesC.Add(1)
+			}
+		}
+		args := make([]any, 0, len(extra)+len(opts))
+		args = append(args, extra...)
+		for _, o := range opts {
+			args = append(args, o)
 		}
 		start := time.Now()
-		f := ctx.AsyncInvoke(targets[i%len(targets)], "Where", args...)
+		f := ctx.AsyncInvoke(targets[i%len(targets)], method, args...)
 		f.OnDone(func(fu *core.Future) {
 			if _, err := fu.Join(nil); err != nil {
 				errC.Add(1)
 			} else {
 				okC.Add(1)
-				rec.observe(time.Since(start))
+				r.observe(time.Since(start))
 			}
 			outstanding.Add(-1)
 		})
@@ -282,8 +330,16 @@ func main() {
 	goodput := float64(ok) / genElapsed.Seconds()
 	fmt.Printf("sent=%d ok=%d errors=%d shed=%d outstanding_end=%d\n",
 		sent.Load(), ok, errs, shed.Load(), outstanding.Load())
-	fmt.Printf("latency p50=%v p99=%v p999=%v\n",
-		p50.Round(time.Microsecond), p99.Round(time.Microsecond), p999.Round(time.Microsecond))
+	if *workload == "readmostly" {
+		wp50, wp99, wp999 := recWrite.quantiles()
+		fmt.Printf("reads=%d read  latency p50=%v p99=%v p999=%v\n", readsC.Load(),
+			p50.Round(time.Microsecond), p99.Round(time.Microsecond), p999.Round(time.Microsecond))
+		fmt.Printf("writes=%d write latency p50=%v p99=%v p999=%v\n", writesC.Load(),
+			wp50.Round(time.Microsecond), wp99.Round(time.Microsecond), wp999.Round(time.Microsecond))
+	} else {
+		fmt.Printf("latency p50=%v p99=%v p999=%v\n",
+			p50.Round(time.Microsecond), p99.Round(time.Microsecond), p999.Round(time.Microsecond))
+	}
 	fmt.Printf("goodput %.1f ops/s\n", goodput)
 	if ok == 0 {
 		log.Fatal("amber-load: zero goodput — no invoke completed successfully")

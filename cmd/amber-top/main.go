@@ -72,8 +72,8 @@ func render(w *strings.Builder, f *core.FleetStats, addr string) {
 	fmt.Fprintf(w, "amber-top — %s — %d/%d nodes reporting — %s\n\n",
 		addr, f.Reporting(), len(f.Nodes), at)
 
-	fmt.Fprintf(w, "%-5s %10s %10s %10s %9s %9s %7s %7s %7s %9s\n",
-		"NODE", "LOCAL", "SHIPPED", "EXEC'D", "REMOTE p50", "p99", "RUNQ", "STEALS", "MOVES", "REPLICAS")
+	fmt.Fprintf(w, "%-5s %10s %10s %10s %9s %9s %7s %7s %7s %9s %7s\n",
+		"NODE", "LOCAL", "SHIPPED", "EXEC'D", "REMOTE p50", "p99", "RUNQ", "STEALS", "MOVES", "REPLICAS", "LEASES")
 	for _, ns := range f.Nodes {
 		if ns.Err != "" {
 			fmt.Fprintf(w, "%-5d DOWN: %s\n", ns.Node, ns.Err)
@@ -86,7 +86,7 @@ func render(w *strings.Builder, f *core.FleetStats, addr string) {
 		if ns.Overflow > 0 {
 			runq += fmt.Sprintf("+%d", ns.Overflow)
 		}
-		fmt.Fprintf(w, "%-5d %10d %10d %10d %9s %9s %7s %7d %7d %9d\n",
+		fmt.Fprintf(w, "%-5d %10d %10d %10d %9s %9s %7s %7d %7d %9d %7d\n",
 			ns.Node,
 			node.Counters["invokes_local"],
 			node.Counters["invokes_shipped"],
@@ -95,7 +95,8 @@ func render(w *strings.Builder, f *core.FleetStats, addr string) {
 			runq,
 			sched.Counters["steals"],
 			node.Counters["heat_moves"],
-			ns.Extras["objspace_replicas"])
+			ns.Extras["objspace_replicas"],
+			ns.Extras["objspace_leases"])
 	}
 
 	merged := f.Merged["node"]

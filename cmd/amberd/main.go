@@ -40,8 +40,15 @@ type DemoCounter struct{ N int }
 // Add increments and returns the counter.
 func (c *DemoCounter) Add(n int) int { c.N += n; return c.N }
 
+// Get reads the counter without mutating it.
+func (c *DemoCounter) Get() int { return c.N }
+
 // Where reports the executing node.
 func (c *DemoCounter) Where(ctx *core.Ctx) gaddr.NodeID { return ctx.NodeID() }
+
+// AmberReadOnly declares the non-mutating methods so a joined amber-load's
+// readmostly workload can serve them from reader-lease copies.
+func (c *DemoCounter) AmberReadOnly() []string { return []string{"Get", "Where"} }
 
 // metricFamilies groups this process's stat sets for the shared Prometheus
 // text renderer — the same families back both the stdout status block and
@@ -129,6 +136,7 @@ func main() {
 		hintCache   = flag.Int("hint-cache", 0, "total location-hint cache capacity, split across shards (0 = default)")
 		replicaCap  = flag.Int("replica-cache", 0, "demand-pulled immutable-replica cache capacity, split across shards (0 = default, negative = disable replication)")
 		replicaMax  = flag.Int("replica-max-bytes", 0, "largest object snapshot piggybacked on an invoke reply (0 = default 64KiB, negative = disable)")
+		leaseTTL    = flag.Duration("lease-ttl", 0, "reader-lease lifetime for cacheable mutable objects (0 = default 2s, negative = disable leases)")
 		steal       = flag.Bool("steal", true, "let idle processor slots steal queued threads from busy slots' run queues")
 		heatIvl     = flag.Duration("heat-interval", 0, "heat-driven placement tick; hot objects migrate toward their dominant caller (0 = off)")
 		heatRatio   = flag.Float64("heat-ratio", 0, "dominance ratio a remote caller's invoke rate needs over everyone else's to attract an object (0 = default 2.0)")
@@ -212,6 +220,7 @@ func main() {
 		HintCache:       *hintCache,
 		ReplicaCache:    *replicaCap,
 		ReplicaMaxBytes: *replicaMax,
+		LeaseTTL:        *leaseTTL,
 		HeatInterval:    *heatIvl,
 		HeatRatio:       *heatRatio,
 		HeatMin:         *heatMin,
@@ -281,6 +290,7 @@ func main() {
 						Evictions:        int64(st.Evictions),
 						Replicas:         st.Replicas,
 						ReplicaEvictions: int64(st.ReplicaEvictions),
+						Leases:           st.Leases,
 					}
 				}
 				return shards, node.SpaceStats()

@@ -178,7 +178,7 @@ func (n *Node) chainInvoke(c *Ctx, steps []ChainStep, o callOpts) ([]any, error)
 			}
 			args := substituteChainPrev(step.Args, prev)
 			start := time.Now()
-			res, rerr := n.runPinned(c, d, step.Obj, step.Method, args)
+			res, rerr := n.runPinned(c, d, step.Obj, step.Method, args, false)
 			n.histLocal.Observe(time.Since(start))
 			if rerr != nil {
 				return nil, rerr
@@ -301,7 +301,7 @@ func (n *Node) executeChain(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 		}
 		epoch := d.Epoch()
 		start := time.Now()
-		res, rerr := n.runPinned(tc, d, step.Obj, step.Method, args)
+		res, rerr := n.runPinned(tc, d, step.Obj, step.Method, args, false)
 		n.histExec.Observe(time.Since(start))
 		if rerr != nil {
 			// A failed step fails the chain; the sentinel rehydrates at the

@@ -46,6 +46,9 @@ type ClusterConfig struct {
 	// ReplicaMaxBytes bounds piggybacked snapshots (see
 	// NodeConfig.ReplicaMaxBytes; 0 = default, negative disables).
 	ReplicaMaxBytes int
+	// LeaseTTL is the reader-lease lifetime for cacheable mutable objects
+	// (see NodeConfig.LeaseTTL; 0 = default 2s, negative disables leases).
+	LeaseTTL time.Duration
 	// DebugImmutable enables immutable write detection (see NodeConfig).
 	DebugImmutable bool
 	// HeatInterval enables heat-driven placement on every node (see
@@ -137,6 +140,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			HintCache:        cfg.HintCache,
 			ReplicaCache:     cfg.ReplicaCache,
 			ReplicaMaxBytes:  cfg.ReplicaMaxBytes,
+			LeaseTTL:         cfg.LeaseTTL,
 			HeatInterval:     cfg.HeatInterval,
 			HeatRatio:        cfg.HeatRatio,
 			HeatMin:          cfg.HeatMin,

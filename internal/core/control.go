@@ -52,6 +52,42 @@ func (n *Node) handleInstall(rc *rpc.Ctx) {
 		}
 		tis[i], pvs[i] = ti, pv
 	}
+	// Tear down any resident reader-lease copy of an arriving object BEFORE
+	// installing anything: the real object can move onto a node that holds a
+	// lease on it, and overwriting the payload while lease readers hold pins
+	// would race their lock-free reads. The teardown runs as a pre-pass so a
+	// drain timeout still fails the batch all-or-nothing. Lease pins are
+	// method-call-short, so the wait is brief.
+	if !msg.Copy {
+		for _, snap := range msg.Objects {
+			d := n.desc(snap.Addr)
+			if d == nil {
+				continue
+			}
+			d.Lock()
+			if d.State() != stateResident || !d.Lease() {
+				d.Unlock()
+				continue
+			}
+			d.SetLeaseExpiry(0) // stop serving immediately
+			d.SetStateLocked(stateMoving)
+			if !waitPinsLocked(d, n.cfg.MoveDrainTimeout) {
+				d.SetStateLocked(stateResident)
+				d.Broadcast()
+				d.Unlock()
+				rc.Reply(nil, fmt.Errorf("%w: install %#x over a pinned lease",
+					ErrMoveTimeout, uint64(snap.Addr)))
+				return
+			}
+			d.SetStateLocked(stateForwarded)
+			d.Fwd = msg.From
+			d.SetLeaseLocked(false)
+			d.Payload = payload{}
+			d.Broadcast()
+			d.Unlock()
+			n.space.ReplicaDrop(snap.Addr)
+		}
+	}
 	for i, snap := range msg.Objects {
 		ti, pv := tis[i], pvs[i]
 
@@ -108,6 +144,13 @@ func (n *Node) handleInstall(rc *rpc.Ctx) {
 		}
 		d.SetImmutableLocked(snap.Immutable)
 		d.SetReplicaLocked(msg.Copy)
+		// The leasable mark travels with the object: the new holder grants
+		// leases from an empty grant table (the source fenced every
+		// outstanding grant when it shipped the object out). Any lease bit
+		// left over from a prior life of this descriptor is cleared.
+		d.SetLeasableLocked(snap.Leasable && !msg.Copy)
+		d.SetLeaseLocked(false)
+		d.SetLeaseExpiry(0)
 		d.SetEpochLocked(snap.Epoch)
 		d.SetStateLocked(stateResident)
 		d.Broadcast()
@@ -179,6 +222,8 @@ func (n *Node) executeControlLocal(d *descriptor, msg *routedMsg) (any, error) {
 		return &rep, nil
 	case opSetImmutable:
 		return nil, n.executeSetImmutable(d, msg)
+	case opSetCacheable:
+		return nil, n.executeSetCacheable(d, msg)
 	case opDelete:
 		return nil, n.executeDelete(d, msg)
 	case opAttach:
@@ -300,6 +345,23 @@ func (c *Ctx) Locate(obj Ref, opts ...CallOption) (gaddr.NodeID, error) {
 // (WithDeadline, WithRetry) bound and retry the routed request.
 func (c *Ctx) SetImmutable(obj Ref, opts ...CallOption) error {
 	msg := routedMsg{Op: opSetImmutable, Obj: obj}
+	_, err := c.node.control(c, &msg, gatherOptions(opts))
+	return err
+}
+
+// SetCacheable marks a mutable object lease-granting (§2.3 generalized, see
+// DESIGN.md §14): remote read-only invokes on it piggyback bounded-lifetime
+// reader leases on their replies, making subsequent reads at the caller
+// zero-message until the next write. Writes on a cacheable object pay for
+// that: each runs under the object's exclusive coherence lock and blocks
+// until every outstanding lease is revoked (or its TTL bounds the wait).
+// Mark read-mostly objects, not write-hot ones. Methods are classified
+// read-only via the class's AmberReadOnly declaration or per-call
+// WithReadOnly. Idempotent; immutable objects are rejected (every copy of an
+// immutable object is already coherent). Options (WithDeadline, WithRetry)
+// bound and retry the routed request.
+func (c *Ctx) SetCacheable(obj Ref, opts ...CallOption) error {
+	msg := routedMsg{Op: opSetCacheable, Obj: obj}
 	_, err := c.node.control(c, &msg, gatherOptions(opts))
 	return err
 }

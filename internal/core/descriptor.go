@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"sync/atomic"
 
+	"amber/internal/gaddr"
 	"amber/internal/objspace"
 )
 
@@ -24,6 +25,13 @@ type payload struct {
 	// the first snapshot-bearing reply and read/written only through the
 	// atomic pointer.
 	snap *snapCell
+	// src, on a lease copy, names the node the lease was granted by — the
+	// tombstone's forward target when the lease expires or is revoked, and
+	// where every non-serveable operation on the copy forwards. Zero value
+	// (NoNode is -1, but src is only consulted when the lease bit is up) on
+	// home-resident objects and immutable replicas, which track their source
+	// in the space's replica table instead.
+	src gaddr.NodeID
 }
 
 // snapCell holds a lazily computed marshalled snapshot of an immutable

@@ -140,6 +140,9 @@ func (n *Node) asyncInvoke(c *Ctx, obj gaddr.Addr, method string, args []any, o 
 	f := newFuture()
 	rec := ThreadRec{ID: n.newThreadID(), Home: n.id, Priority: c.rec.Priority}
 	msg := routedMsg{Op: opInvoke, Obj: obj, Thread: rec, Method: method}
+	if o.readOnly {
+		msg.Flags |= rmFlagReadOnly
+	}
 	d, act, to, err := n.resolve(&msg)
 	switch act {
 	case actError:
@@ -148,7 +151,7 @@ func (n *Node) asyncInvoke(c *Ctx, obj gaddr.Addr, method string, args []any, o 
 		// Resident fast path: the pin is already held; execute on a fresh
 		// goroutine (the whole point is not to borrow the caller's).
 		n.counts.Inc("async_invokes_local")
-		go n.runAsyncLocal(d, rec, obj, method, args, f)
+		go n.runAsyncLocal(d, rec, obj, method, args, o.readOnly, f)
 	case actForward:
 		ab, merr := wire.MarshalArgs(args)
 		if merr != nil {
@@ -185,17 +188,20 @@ func (n *Node) asyncInvoke(c *Ctx, obj gaddr.Addr, method string, args []any, o 
 // resolve fast path took the pin); runPinned releases it. Counter and heat
 // parity with the synchronous local path keeps placement decisions blind to
 // which API issued the call.
-func (n *Node) runAsyncLocal(d *descriptor, rec ThreadRec, obj gaddr.Addr, method string, args []any, f *Future) {
+func (n *Node) runAsyncLocal(d *descriptor, rec ThreadRec, obj gaddr.Addr, method string, args []any, readOnly bool, f *Future) {
 	c := &Ctx{node: n, rec: rec}
 	n.cInvokesLocal.Inc()
-	if n.heat != nil && !d.Immutable() {
+	if n.heat != nil && !d.Immutable() && !d.Lease() {
 		n.heatObserve(obj, n.id)
 	}
-	if d.Replica() {
+	switch {
+	case d.Replica():
 		n.cReplicaHits.Inc()
+	case d.Lease():
+		n.cLeaseHits.Inc()
 	}
 	start := time.Now()
-	res, err := n.runPinned(c, d, obj, method, args)
+	res, err := n.runPinned(c, d, obj, method, args, readOnly)
 	n.histLocal.Observe(time.Since(start))
 	f.complete(res, err)
 }
@@ -207,6 +213,9 @@ func (n *Node) runAsyncLocal(d *descriptor, rec ThreadRec, obj gaddr.Addr, metho
 // resolve may block on a move in progress, and requeue never blocks.
 func (n *Node) asyncDispatch(fc *futureCall) {
 	msg := routedMsg{Op: opInvoke, Obj: fc.obj, Thread: fc.rec, Method: fc.method}
+	if fc.o.readOnly {
+		msg.Flags |= rmFlagReadOnly
+	}
 	d, act, to, err := n.resolve(&msg)
 	switch act {
 	case actError:
@@ -218,7 +227,7 @@ func (n *Node) asyncDispatch(fc *futureCall) {
 			fc.f.complete(nil, uerr)
 			return
 		}
-		n.runAsyncLocal(d, fc.rec, fc.obj, fc.method, args, fc.f)
+		n.runAsyncLocal(d, fc.rec, fc.obj, fc.method, args, fc.o.readOnly, fc.f)
 	case actForward:
 		fc.to = to
 		n.pipeFor(to).requeue(fc)
@@ -232,8 +241,12 @@ func (n *Node) asyncDispatch(fc *futureCall) {
 func (n *Node) issueAsync(fc *futureCall) {
 	msg := routedMsg{Op: opInvoke, Obj: fc.obj, Thread: fc.rec, Method: fc.method, Args: fc.args}
 	msg.Chain = append(msg.Chain, n.id)
+	if fc.o.readOnly {
+		msg.Flags |= rmFlagReadOnly
+	}
 	if n.replicaOn {
 		msg.SnapMax = n.replicaMax
+		msg.Flags |= rmFlagLeaseOK
 	}
 	body, err := wire.MarshalInto(&msg)
 	if err != nil {
@@ -279,6 +292,14 @@ func (n *Node) asyncComplete(fc *futureCall, to gaddr.NodeID, resp []byte, rerr 
 			owned := append([]byte(nil), ir.SnapState...)
 			n.queueReplicaInstall(replicaInstall{
 				obj: fc.obj, from: ir.Node, typ: ir.SnapType, state: owned, epoch: ir.Epoch,
+			})
+		}
+	} else if ir.Lease {
+		if n.replicaOn && ir.SnapType != "" && ir.LeaseNs > 0 {
+			owned := append([]byte(nil), ir.SnapState...)
+			n.queueReplicaInstall(replicaInstall{
+				obj: fc.obj, from: ir.Node, typ: ir.SnapType, state: owned, epoch: ir.Epoch,
+				lease: true, ttl: int64(ir.LeaseNs),
 			})
 		}
 	}

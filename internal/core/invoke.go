@@ -48,6 +48,14 @@ func (n *Node) resolve(msg *routedMsg) (d *descriptor, act action, to gaddr.Node
 	// descriptor mutex (§3.5). Everything else (moving, forwarded, deleted,
 	// control ops) falls through to the locked entry protocol below.
 	if (msg.Op == opInvoke || msg.Op == opChain) && d.TryPin() {
+		if d.Lease() {
+			// A reader-lease copy serves only local read-only invokes, and
+			// only while live; everything else chases back to the grantor.
+			if to, serve := n.leaseRedirect(d, msg); !serve {
+				n.unpin(d)
+				return nil, actForward, to, nil
+			}
+		}
 		return d, actExecute, 0, nil
 	}
 	d.Lock()
@@ -69,7 +77,21 @@ func (n *Node) resolve(msg *routedMsg) (d *descriptor, act action, to gaddr.Node
 			if msg.Op == opInvoke || msg.Op == opChain {
 				d.PinLocked()
 				d.Unlock()
+				if d.Lease() {
+					if to, serve := n.leaseRedirect(d, msg); !serve {
+						n.unpin(d)
+						return nil, actForward, to, nil
+					}
+				}
 				return d, actExecute, 0, nil
+			}
+			if d.Lease() {
+				// Control operations (move, delete, locate, attach...) act on
+				// the real object, never on a cached lease copy: forward to
+				// the grantor, whose tombstones chase onward if it moved.
+				to := d.Payload.src
+				d.Unlock()
+				return nil, actForward, to, nil
 			}
 			return d, actExecute, 0, nil // d.mu held for control ops
 		case stateMoving:
@@ -152,26 +174,40 @@ func (n *Node) invoke(c *Ctx, obj gaddr.Addr, method string, args []any, o callO
 	}
 	for attempt := 0; ; attempt++ {
 		msg := routedMsg{Op: opInvoke, Obj: obj, Thread: c.rec, Method: method}
+		if o.readOnly {
+			msg.Flags |= rmFlagReadOnly
+		}
 		d, act, to, err := n.resolve(&msg)
 		switch act {
 		case actError:
 			return nil, err
 		case actExecute:
 			n.cInvokesLocal.Inc()
-			if n.heat != nil && !d.Immutable() {
+			if n.heat != nil && !d.Immutable() && !d.Lease() {
 				// Local use defends a busy object against migration: the
 				// placement rule weighs remote callers against this lane.
+				// Lease copies are invisible to placement — migration
+				// decisions belong to the object's holder.
 				n.heatObserve(obj, n.id)
 			}
-			if d.Replica() {
+			switch {
+			case d.Replica():
 				n.cReplicaHits.Inc()
+				if tr := n.tracer; tr.OnFor(c.rec.ID) {
+					tr.Emit(trace.Event{Kind: trace.KReplicaHit, Trace: c.rec.ID, Span: c.span,
+						Thread: c.rec.ID, Obj: uint64(obj)})
+				}
+			case d.Lease():
+				// PR5's zero-message warm read, generalized to mutable
+				// objects: served entirely from the local lease copy.
+				n.cLeaseHits.Inc()
 				if tr := n.tracer; tr.OnFor(c.rec.ID) {
 					tr.Emit(trace.Event{Kind: trace.KReplicaHit, Trace: c.rec.ID, Span: c.span,
 						Thread: c.rec.ID, Obj: uint64(obj)})
 				}
 			}
 			start := time.Now()
-			res, rerr := n.runPinned(c, d, obj, method, args)
+			res, rerr := n.runPinned(c, d, obj, method, args, o.readOnly)
 			n.histLocal.Observe(time.Since(start))
 			return res, rerr
 		}
@@ -225,9 +261,11 @@ func (n *Node) shipInvoke(c *Ctx, msg *routedMsg, to gaddr.NodeID, args []any, o
 	msg.Chain = append(msg.Chain, n.id)
 	if msg.Op == opInvoke && n.replicaOn {
 		// Advertise willingness to receive a piggybacked snapshot: if the
-		// executor finds the object immutable and its encoding fits, the reply
-		// carries the bytes and this node installs a local read replica.
+		// executor finds the object immutable (replica) or cacheable and the
+		// call read-only (reader lease), the reply carries the bytes and this
+		// node installs a local copy.
 		msg.SnapMax = n.replicaMax
+		msg.Flags |= rmFlagLeaseOK
 	}
 	body, err := wire.MarshalInto(msg)
 	if err != nil {
@@ -282,6 +320,17 @@ func (n *Node) shipInvoke(c *Ctx, msg *routedMsg, to gaddr.NodeID, args []any, o
 				obj: msg.Obj, from: ir.Node, typ: ir.SnapType, state: owned, epoch: ir.Epoch,
 			})
 		}
+	} else if ir.Lease {
+		// The executor granted a reader lease on a cacheable mutable object:
+		// install the copy so subsequent read-only invokes stay local until
+		// the grantor's next write revokes it (or the TTL runs out).
+		if n.replicaOn && ir.SnapType != "" && ir.LeaseNs > 0 {
+			owned := append([]byte(nil), ir.SnapState...)
+			n.queueReplicaInstall(replicaInstall{
+				obj: msg.Obj, from: ir.Node, typ: ir.SnapType, state: owned,
+				epoch: ir.Epoch, lease: true, ttl: int64(ir.LeaseNs),
+			})
+		}
 	}
 	// ir.Results aliases resp; UnmarshalArgs copies the values out, after
 	// which the reply buffer can go back to the pool.
@@ -321,7 +370,17 @@ func (n *Node) learnLocation(obj gaddr.Addr, at gaddr.NodeID, epoch uint64) {
 // runPinned executes one operation on a resident object whose descriptor we
 // hold a pin on. It does the pin bookkeeping on the thread record, the
 // processor-slot acquisition, and (optionally) immutable write detection.
-func (n *Node) runPinned(c *Ctx, d *descriptor, obj gaddr.Addr, method string, args []any) (res []any, err error) {
+//
+// readOnly is the caller's classification hint (per-call WithReadOnly or a
+// remote envelope's flag); the registry's per-method declaration is OR-ed in
+// here. On a cacheable object (leasable bit) the call runs under the object's
+// coherence lock — shared for reads, exclusive for writes — and a write, once
+// the lock is released, bumps the residency epoch and fences every
+// outstanding reader lease before returning (lease.go). The leasable bit is
+// captured ONCE: SetCacheable drains pins before flipping it, so it cannot
+// change mid-call, but a single capture keeps the lock/unlock pairing
+// self-evident.
+func (n *Node) runPinned(c *Ctx, d *descriptor, obj gaddr.Addr, method string, args []any, readOnly bool) (res []any, err error) {
 	c.rec.Pins = append(c.rec.Pins, obj)
 	defer func() {
 		c.rec.Pins = c.rec.Pins[:len(c.rec.Pins)-1]
@@ -349,7 +408,29 @@ func (n *Node) runPinned(c *Ctx, d *descriptor, obj gaddr.Addr, method string, a
 	if checkImmutable {
 		before, _ = wire.Marshal(objPtr.Elem().Interface())
 	}
+	coh := d.Leasable() && !d.Immutable()
+	ro := readOnly || mi.readOnly
+	if coh {
+		if ro {
+			d.Coh.RLock()
+		} else {
+			d.Coh.Lock()
+		}
+	}
 	res, err = mi.call(objPtr, c, args)
+	if coh {
+		if ro {
+			d.Coh.RUnlock()
+		} else {
+			d.Coh.Unlock()
+			// The fence runs even when the method errored: user code may have
+			// mutated state before failing, and a spurious bump only costs a
+			// revoke round. The pin we hold keeps the object resident for the
+			// fence's duration; the thread parks its processor slot while
+			// revokes are in flight.
+			n.leaseWriteFence(c, d, obj)
+		}
+	}
 	if checkImmutable && err == nil {
 		after, _ := wire.Marshal(objPtr.Elem().Interface())
 		if !bytes.Equal(before, after) {
@@ -504,8 +585,21 @@ func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 		// Read the epoch while still pinned: a pin holds off the shipment, so
 		// this is the version of the residency that executes the call.
 		epoch := d.Epoch()
+		// Classify read-vs-write while still pinned (the pin licenses the
+		// payload read): the classification picks the coherence-lock side in
+		// runPinned and decides whether this reply may carry a reader lease.
+		readOnly := msg.Flags&rmFlagReadOnly != 0
+		if !readOnly {
+			if ti := d.Payload.ti; ti != nil {
+				if mi, ok := ti.methods[msg.Method]; ok {
+					readOnly = mi.readOnly
+				}
+			}
+		}
+		grantable := readOnly && n.leaseTTL > 0 && msg.Flags&rmFlagLeaseOK != 0 &&
+			msg.SnapMax > 0 && d.Leasable() && !d.Immutable() && rc.Origin != n.id
 		start := time.Now()
-		results, err := n.runPinned(c, d, msg.Obj, msg.Method, args)
+		results, err := n.runPinned(c, d, msg.Obj, msg.Method, args, readOnly)
 		elapsed := time.Since(start)
 		n.histExec.Observe(elapsed)
 		if traced {
@@ -514,6 +608,12 @@ func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 				Parent: rc.Trace.SpanID, Thread: msg.Thread.ID, Obj: uint64(msg.Obj), Label: msg.Method})
 			tr.Emit(trace.Event{Kind: trace.KMigrateOut, Trace: tid, Span: c.span,
 				Thread: msg.Thread.ID, Obj: uint64(msg.Obj), Arg: int64(rc.Origin)})
+		}
+		if !readOnly && d.Leasable() {
+			// runPinned's write fence bumped the residency epoch; the reply's
+			// location claim (and the chain updates below) must carry the
+			// post-write version so stale caches cannot outrank it.
+			epoch = d.Epoch()
 		}
 		if err != nil {
 			rc.Reply(nil, err)
@@ -527,10 +627,17 @@ func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 		}
 		// Read-path replication (§2.3): if the origin asked for a snapshot and
 		// the object is immutable, piggyback its encoding on this reply so the
-		// origin installs a local replica in the same round trip.
+		// origin installs a local replica in the same round trip. The mutable
+		// generalization: a read-only invoke on a cacheable object piggybacks
+		// a reader lease instead (state + epoch + lifetime).
 		ir := invokeReply{Results: rb, Node: n.id, Epoch: epoch, Immutable: d.Immutable()}
 		if msg.SnapMax > 0 && ir.Immutable {
 			ir.SnapType, ir.SnapState = n.replicaSnapshot(d, msg.SnapMax)
+		} else if grantable {
+			n.leaseGrantTo(rc.Origin, d, msg.Obj, msg.SnapMax, &ir)
+			if ir.Lease {
+				epoch = ir.Epoch // the grant's residency claim (may be newer)
+			}
 		}
 		body, err := wire.MarshalInto(&ir)
 		rc.Reply(body, err)
@@ -560,6 +667,13 @@ func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 
 	case opSetImmutable:
 		if err := n.executeSetImmutable(d, msg); err != nil {
+			return err
+		}
+		rc.Reply(nil, nil)
+		return nil
+
+	case opSetCacheable:
+		if err := n.executeSetCacheable(d, msg); err != nil {
 			return err
 		}
 		rc.Reply(nil, nil)

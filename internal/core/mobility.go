@@ -122,6 +122,19 @@ func (op *moveOp) ship() error {
 		m.Unlock()
 	}
 	n.counts.Add("objects_moved_out", int64(len(op.mems)))
+	// Coherence hand-off for leasable members: the grant table does not
+	// travel with the object, so every lease this node granted is fenced now,
+	// with revokes pointing holders at the destination (where the tombstones
+	// above already point). The move's epoch is strictly newer than every
+	// grant, so each holder degenerates to the forwarding path and re-pulls
+	// from the new residency. Runs after the flips: a reader racing the fence
+	// chases a tombstone either way.
+	for i := range op.mems {
+		if snaps[i].Leasable {
+			n.leaseFence(nil, op.addrs[i], snaps[i].Epoch, op.dest)
+			n.leaseDropGrants(op.addrs[i])
+		}
+	}
 	return nil
 }
 
@@ -168,6 +181,7 @@ func (n *Node) snapshotLocked(a gaddr.Addr, d *descriptor) (snapshot, error) {
 		TypeName:  ti.name,
 		State:     state,
 		Immutable: d.Immutable(),
+		Leasable:  d.Leasable(),
 		Attached:  d.AttachPeers(),
 	}, nil
 }
@@ -431,7 +445,61 @@ func (n *Node) executeSetImmutable(d *descriptor, msg *routedMsg) error {
 	// mutating the object in the window before the mark lands.
 	d.Payload.snap = &snapCell{}
 	d.SetImmutableLocked(true)
+	if d.Leasable() {
+		// Coherence unification: immutability is the degenerate lease that
+		// never expires. The leasable machinery stands down — no fence is
+		// needed, since outstanding lease copies hold the final value and are
+		// therefore coherent forever (they roll over to replicas as they
+		// expire and re-pull).
+		d.SetLeasableLocked(false)
+		n.leaseDropGrants(msg.Obj)
+	}
 	n.counts.Inc("set_immutable")
+	return nil
+}
+
+// executeSetCacheable marks a mutable object lease-granting (the leasable bit
+// in the packed word). Contract: d.mu held on entry, released here.
+//
+// The bit cannot simply be flipped on a live object: an invoke already in
+// flight took no coherence lock (it classified before the bit was up), so a
+// racing write could mutate state while a just-granted lease encodes it. The
+// transition therefore drains pins first — mark moving (refusing new pins),
+// wait, flip the bit, return to resident — after which every invoke observes
+// the bit and funnels through the coherence lock.
+func (n *Node) executeSetCacheable(d *descriptor, msg *routedMsg) error {
+	if d.State() != stateResident {
+		d.Unlock()
+		return errRetryRoute
+	}
+	if d.Leasable() {
+		d.Unlock()
+		return nil // idempotent
+	}
+	if d.Immutable() {
+		d.Unlock()
+		return fmt.Errorf("%w: immutable objects need no leases (every copy is already coherent)", ErrBadArgument)
+	}
+	if d.Payload.ti == nil || !d.Payload.ti.serializable {
+		d.Unlock()
+		return fmt.Errorf("%w: runtime objects cannot be cacheable", ErrNotMovable)
+	}
+	if msg.Thread.pinned(msg.Obj) {
+		d.Unlock()
+		return fmt.Errorf("%w: cannot mark an object cacheable from inside its own operation", ErrNotMovable)
+	}
+	d.SetStateLocked(stateMoving)
+	if !waitPinsLocked(d, n.cfg.MoveDrainTimeout) {
+		d.SetStateLocked(stateResident)
+		d.Broadcast()
+		d.Unlock()
+		return fmt.Errorf("%w: set-cacheable %#x", ErrMoveTimeout, uint64(msg.Obj))
+	}
+	d.SetLeasableLocked(true)
+	d.SetStateLocked(stateResident)
+	d.Broadcast()
+	d.Unlock()
+	n.counts.Inc("set_cacheable")
 	return nil
 }
 
@@ -472,10 +540,25 @@ func (n *Node) executeDelete(d *descriptor, msg *routedMsg) error {
 	}
 	// Pins have drained and new ones were refused while stateMoving, so no
 	// lock-free reader can still be looking at the payload.
+	leasable := d.Leasable()
+	var fenceEpoch uint64
+	if leasable {
+		// Advance the epoch past every grant so the revokes below (and the
+		// stale-install rule at the holders) outrank any lease in flight.
+		fenceEpoch = d.BumpEpoch()
+	}
 	d.SetStateLocked(stateDeleted)
 	d.Payload = payload{}
 	d.Broadcast()
 	d.Unlock()
+	if leasable {
+		// Revoke outstanding reader leases so holders stop serving the dead
+		// object's last value; their tombstones aim here, where the deleted
+		// state answers ErrDeleted. Blocks like a write fence — deletion is
+		// the final write.
+		n.leaseFence(nil, msg.Obj, fenceEpoch, n.id)
+		n.leaseDropGrants(msg.Obj)
+	}
 	n.counts.Inc("objects_deleted")
 	return nil
 }

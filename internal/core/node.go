@@ -120,6 +120,13 @@ type NodeConfig struct {
 	// on the wire plus queued behind the window. Beyond it, AsyncInvoke
 	// blocks its caller (admission control). 0 = 4 × PipelineWindow.
 	PipelineDepth int
+	// LeaseTTL is the lifetime of reader leases this node grants on its
+	// cacheable mutable objects (0 = 2s, negative disables lease granting).
+	// Correctness never depends on the value — a write fences outstanding
+	// leases with an invalidation round regardless — so the TTL only bounds
+	// how long a lease can pin write latency when its holder is unreachable,
+	// and how long a partitioned reader can serve a stale value.
+	LeaseTTL time.Duration
 }
 
 func (c *NodeConfig) fill() {
@@ -146,6 +153,12 @@ func (c *NodeConfig) fill() {
 	}
 	if c.PipelineDepth <= 0 {
 		c.PipelineDepth = 4 * c.PipelineWindow
+	}
+	switch {
+	case c.LeaseTTL == 0:
+		c.LeaseTTL = 2 * time.Second
+	case c.LeaseTTL < 0:
+		c.LeaseTTL = 0 // lease granting disabled
 	}
 }
 
@@ -181,11 +194,22 @@ type Node struct {
 	cReplicaHits  *stats.Counter // replica_hits
 	cReplicaMiss  *stats.Counter // replica_misses
 	cReplicaInst  *stats.Counter // replica_installs
+	cLeaseHits    *stats.Counter // lease_hits
+	cLeaseGrants  *stats.Counter // lease_grants
+	cLeaseInst    *stats.Counter // lease_installs
 
 	// replicaMax is the filled ReplicaMaxBytes; replicaOn gates the whole
 	// read-path replication machinery (snapshot requests and installs).
 	replicaMax uint64
 	replicaOn  bool
+
+	// The coherence layer's grant table: for each local leasable object, the
+	// peers holding live reader leases and the epoch/expiry each was granted
+	// under (see lease.go). leaseTTL is the filled LeaseTTL; zero disables
+	// granting (held leases from other nodes still work).
+	leaseMu     sync.Mutex
+	leaseGrants map[gaddr.Addr]map[gaddr.NodeID]leaseGrant
+	leaseTTL    time.Duration
 
 	// heat is the per-object invoke-rate tracker driving load-aware
 	// placement; nil when NodeConfig.HeatInterval is zero, which is also
@@ -285,24 +309,38 @@ func NewNode(cfg NodeConfig, reg *Registry, tr transport.Transport, server *gadd
 	n.cReplicaHits = n.counts.Get("replica_hits")
 	n.cReplicaMiss = n.counts.Get("replica_misses")
 	n.cReplicaInst = n.counts.Get("replica_installs")
+	n.cLeaseHits = n.counts.Get("lease_hits")
+	n.cLeaseGrants = n.counts.Get("lease_grants")
+	n.cLeaseInst = n.counts.Get("lease_installs")
+	n.leaseTTL = cfg.LeaseTTL
+	n.leaseGrants = make(map[gaddr.Addr]map[gaddr.NodeID]leaseGrant)
 	n.regions = gaddr.NewTable(nil, n.resolveRegion)
 	n.alloc = gaddr.NewAllocator(cfg.ID, nil, n.extendRegions)
 	if cfg.Generation != 0 {
 		n.ep.SetGeneration(cfg.Generation)
 	}
 	// When a peer restarts it lost its memory: every hint steering threads
-	// toward its old incarnation is garbage. Forwarding tombstones stay — the
-	// objects they point at died with the peer, and routing through them now
-	// surfaces ErrNodeDown/ErrNoSuchObject honestly instead of silently.
+	// toward its old incarnation is garbage, and so is every cached copy
+	// pulled from it — a lease granted by the dead incarnation must not keep
+	// serving pre-crash reads. Forwarding tombstones stay — the objects they
+	// point at died with the peer, and routing through them now surfaces
+	// ErrNodeDown/ErrNoSuchObject honestly instead of silently.
 	n.ep.OnPeerRestart(func(peer gaddr.NodeID) {
 		n.counts.Inc("peer_restarts_observed")
-		n.dropHintsTo(peer)
+		n.purgePeer(peer)
+	})
+	// A peer marked down gets the same purge immediately rather than at
+	// restart detection: its leases can no longer be revoked (the fence would
+	// time out) and its replicas' forward target is unreachable anyway.
+	n.ep.OnPeerDown(func(peer gaddr.NodeID) {
+		n.purgePeer(peer)
 	})
 	n.ep.HandleProc(procRouted, n.handleRouted)
 	n.ep.HandleProc(procInstall, n.handleInstall)
 	n.ep.HandleProc(procLocUpdate, n.handleLocUpdate)
 	n.ep.HandleProc(procTraceDump, n.handleTraceDump)
 	n.ep.HandleProc(procStatsPull, n.handleStatsPull)
+	n.ep.HandleProc(procLease, n.handleLease)
 	if server != nil {
 		n.ep.HandleProc(procRegion, n.handleRegion)
 	}
@@ -455,9 +493,12 @@ func (n *Node) Objects() map[string]int {
 	n.space.Range(func(_ gaddr.Addr, d *descriptor) bool {
 		switch d.State() {
 		case stateResident:
-			if d.Replica() {
+			switch {
+			case d.Replica():
 				out["replica"]++
-			} else {
+			case d.Lease():
+				out["lease"]++
+			default:
 				out["resident"]++
 			}
 		case stateMoving:

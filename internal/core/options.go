@@ -22,6 +22,7 @@ type CallOption struct {
 	deadline time.Duration
 	retry    RetryPolicy
 	hasRetry bool
+	readOnly bool
 }
 
 // merge folds this option into the resolved policy.
@@ -31,6 +32,9 @@ func (opt CallOption) merge(o *callOpts) {
 	}
 	if opt.hasRetry {
 		o.retry = opt.retry
+	}
+	if opt.readOnly {
+		o.readOnly = true
 	}
 }
 
@@ -61,10 +65,21 @@ func WithRetry(p RetryPolicy) CallOption {
 	return CallOption{retry: p, hasRetry: true}
 }
 
+// WithReadOnly declares that this invoke never mutates the object, without
+// requiring the class to list the method in AmberReadOnly. A read-only invoke
+// on a cacheable object may be served from a local reader lease (zero
+// messages while the lease stands) and runs under the shared side of the
+// coherence lock at the holder. The declaration is a promise: marking a
+// mutating call read-only yields stale reads elsewhere, never corruption.
+func WithReadOnly() CallOption {
+	return CallOption{readOnly: true}
+}
+
 // callOpts is the resolved per-call policy.
 type callOpts struct {
 	deadline time.Duration
 	retry    RetryPolicy
+	readOnly bool
 }
 
 // splitOptions separates CallOptions from real arguments. The common no-

@@ -59,6 +59,20 @@ type methodInfo struct {
 	params   []reflect.Type // user-visible parameters (after receiver/ctx)
 	results  []reflect.Type // results excluding a trailing error
 	hasErr   bool
+	// readOnly marks an operation declared mutation-free (via the class's
+	// AmberReadOnly list or a per-call WithReadOnly). The coherence layer
+	// lets read-only invokes run under the shared side of the object's
+	// coherence lock and serve from reader leases; it is a promise, not a
+	// proof — a lying declaration yields stale reads, never corruption.
+	readOnly bool
+}
+
+// ReadOnlyDeclarer is implemented by registered classes that want some of
+// their operations classified as read-only for the coherence layer:
+// AmberReadOnly returns the names of the exported methods that never mutate
+// the receiver. Unknown names are ignored.
+type ReadOnlyDeclarer interface {
+	AmberReadOnly() []string
 }
 
 var (
@@ -94,6 +108,14 @@ func (r *Registry) register(v any, serializable bool) (*typeInfo, error) {
 		methods:      make(map[string]*methodInfo),
 		serializable: serializable,
 	}
+	var readOnly map[string]bool
+	if decl, ok := reflect.New(t).Interface().(ReadOnlyDeclarer); ok {
+		names := decl.AmberReadOnly()
+		readOnly = make(map[string]bool, len(names))
+		for _, name := range names {
+			readOnly[name] = true
+		}
+	}
 	for i := 0; i < ti.ptr.NumMethod(); i++ {
 		m := ti.ptr.Method(i)
 		if m.PkgPath != "" { // unexported
@@ -103,7 +125,7 @@ func (r *Registry) register(v any, serializable bool) (*typeInfo, error) {
 		if mt.IsVariadic() {
 			continue
 		}
-		mi := &methodInfo{name: m.Name, idx: i}
+		mi := &methodInfo{name: m.Name, idx: i, readOnly: readOnly[m.Name]}
 		argStart := 1 // skip receiver
 		if mt.NumIn() > 1 && mt.In(1) == ctxType {
 			mi.takesCtx = true

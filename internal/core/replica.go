@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"time"
 
 	"amber/internal/gaddr"
 	"amber/internal/trace"
@@ -72,13 +73,17 @@ func (n *Node) replicaSnapshot(d *descriptor, max uint64) (string, []byte) {
 }
 
 // replicaInstall is one queued unit of installer work: a snapshot pulled off
-// an invoke reply, waiting for the node's installer worker.
+// an invoke reply, waiting for the node's installer worker. With lease set it
+// carries a reader lease on a mutable object (ttl is the grant's lifetime in
+// nanoseconds); otherwise an immutable replica.
 type replicaInstall struct {
 	obj   gaddr.Addr
 	from  gaddr.NodeID
 	typ   string
 	state []byte // owned by the queue entry, not aliasing a pooled buffer
 	epoch uint64
+	lease bool
+	ttl   int64
 }
 
 // queueReplicaInstall hands a snapshot to the installer worker without ever
@@ -100,7 +105,11 @@ func (n *Node) replicaWorker() {
 	for {
 		select {
 		case r := <-n.installq:
-			n.installReplica(r.obj, r.from, r.typ, r.state, r.epoch)
+			if r.lease {
+				n.installLease(r)
+			} else {
+				n.installReplica(r.obj, r.from, r.typ, r.state, r.epoch)
+			}
 		case <-n.stopc:
 			return
 		}
@@ -194,28 +203,160 @@ func (n *Node) installReplica(obj gaddr.Addr, from gaddr.NodeID, typeName string
 		tr.Emit(trace.Event{Kind: trace.KReplicaInstall, Obj: uint64(obj), Arg: int64(from)})
 	}
 	// Track in the bounded cache; tearing down whatever the insert displaced.
-	for _, v := range n.space.ReplicaTrack(obj, from) {
+	n.replicaTrackEvicting(obj, from, false)
+}
+
+// replicaTrackEvicting records a freshly installed copy in the bounded shared
+// copy table and tears down whatever the insert displaced — replica or lease,
+// the eviction path is the same tombstone teardown.
+func (n *Node) replicaTrackEvicting(obj gaddr.Addr, from gaddr.NodeID, lease bool) {
+	for _, v := range n.space.ReplicaTrack(obj, from, lease) {
 		if !n.evictReplica(v.Addr, v.Source) {
 			// The victim is pinned by an executing invoke; put it back
 			// (uncapped) and let a later insert retry the eviction.
-			n.space.ReplicaRetrack(v.Addr, v.Source)
+			n.space.ReplicaRetrack(v.Addr, v.Source, v.Lease)
 			n.counts.Inc("replica_evictions_busy")
 		}
 	}
 }
 
-// evictReplica tears a demand-pulled replica down to a forwarding tombstone
-// aimed at its source, so later references chase back and re-pull on demand.
-// Returns false when the replica is currently pinned (the caller re-tracks
-// it). The epoch is left unchanged: the tombstone points at the same
-// residency version the replica carried.
+// installLease installs a piggybacked snapshot of a mutable cacheable object
+// as a local reader lease, or — when a live lease at the same residency epoch
+// is already resident — just extends its expiry (a renewal: the same epoch
+// means the same state, since every write bumps the epoch). state must be
+// owned by the caller. Runs on the installer worker, like installReplica.
+func (n *Node) installLease(r replicaInstall) {
+	if r.from == n.id || r.epoch == 0 || r.ttl <= 0 {
+		return
+	}
+	// The receiver stamps expiry with its OWN clock from the grant's duration;
+	// absolute times never cross the wire, so clock skew between grantor and
+	// holder cannot stretch a lease's effective lifetime.
+	expiry := time.Now().UnixNano() + r.ttl
+	// Renewal fast path, and a cheap pre-check before paying for the decode.
+	if d := n.desc(r.obj); d != nil {
+		if d.State() == stateResident && d.Lease() && d.Epoch() == r.epoch {
+			d.Lock()
+			if d.State() == stateResident && d.Lease() && d.Epoch() == r.epoch {
+				if expiry > d.LeaseExpiry() {
+					d.SetLeaseExpiry(expiry)
+				}
+				d.Unlock()
+				n.counts.Inc("lease_renewals")
+				return
+			}
+			d.Unlock()
+		}
+		switch d.State() {
+		case stateMoving, stateDeleted:
+			n.counts.Inc("lease_installs_dropped")
+			return
+		}
+		if d.Epoch() > r.epoch {
+			// A strictly newer tombstone: a revoke or move already outran this
+			// grant (the queued-install race the revoke handler closes).
+			n.counts.Inc("lease_installs_stale")
+			return
+		}
+	}
+	ti, err := n.reg.lookupName(r.typ)
+	if err != nil {
+		n.counts.Inc("lease_install_errors")
+		return
+	}
+	var pv reflect.Value
+	if len(r.state) > 0 {
+		sv, err := wire.UnmarshalStruct(r.state)
+		if err != nil || sv.Type() != ti.elem {
+			n.counts.Inc("lease_install_errors")
+			return
+		}
+		if sv.CanAddr() {
+			pv = sv.Addr() // fast-codec decode: adopt the struct in place
+		} else {
+			pv = reflect.New(ti.elem)
+			pv.Elem().Set(sv)
+		}
+	} else {
+		pv = reflect.New(ti.elem)
+	}
+	d := n.descEnsure(r.obj)
+	d.Lock()
+	switch d.State() {
+	case stateResident:
+		switch {
+		case d.Lease() && d.Epoch() == r.epoch:
+			// Renewal that raced the pre-check.
+			if expiry > d.LeaseExpiry() {
+				d.SetLeaseExpiry(expiry)
+			}
+			d.Unlock()
+			n.counts.Inc("lease_renewals")
+			return
+		case d.Lease() && r.epoch > d.Epoch():
+			// A fresher grant replaces the stale copy — but only once no
+			// pinned reader is still executing against the old value.
+			// Mark-then-check as everywhere: moving refuses new pins.
+			if pins := d.SetStateLocked(stateMoving); pins > 0 {
+				d.SetStateLocked(stateResident)
+				d.Broadcast()
+				d.Unlock()
+				n.counts.Inc("lease_installs_dropped")
+				return
+			}
+		default:
+			// The real object lives here now, or a racing install won.
+			d.Unlock()
+			n.counts.Inc("lease_installs_dropped")
+			return
+		}
+	case stateMoving, stateDeleted:
+		d.Unlock()
+		n.counts.Inc("lease_installs_dropped")
+		return
+	}
+	if d.Epoch() > r.epoch {
+		d.Unlock()
+		n.counts.Inc("lease_installs_stale")
+		return
+	}
+	// Publication order as for any install: payload and mode bits before the
+	// resident transition that licenses lock-free TryPin readers. No snap
+	// cell (the cached-encoding optimization is immutable-only) and the
+	// leasable bit stays clear: a lease copy never grants leases of its own.
+	d.Payload = payload{obj: pv, ti: ti, src: r.from}
+	d.Fwd = gaddr.NoNode
+	d.ClearAttachLocked()
+	d.SetImmutableLocked(false)
+	d.SetReplicaLocked(false)
+	d.SetLeasableLocked(false)
+	d.SetLeaseLocked(true)
+	d.SetLeaseExpiry(expiry)
+	d.SetEpochLocked(r.epoch)
+	d.SetStateLocked(stateResident)
+	d.Broadcast()
+	d.Unlock()
+	n.hintDrop(r.obj)
+	n.cLeaseInst.Inc()
+	if tr := n.tracer; tr.On() {
+		tr.Emit(trace.Event{Kind: trace.KReplicaInstall, Obj: uint64(r.obj), Arg: int64(r.from)})
+	}
+	n.replicaTrackEvicting(r.obj, r.from, true)
+}
+
+// evictReplica tears a demand-pulled shared copy — immutable replica or
+// reader lease — down to a forwarding tombstone aimed at its source, so later
+// references chase back and re-pull on demand. Returns false when the copy is
+// currently pinned (the caller re-tracks it). The epoch is left unchanged:
+// the tombstone points at the same residency version the copy carried (for a
+// revoked lease the revoke handler already advanced it).
 func (n *Node) evictReplica(obj gaddr.Addr, src gaddr.NodeID) bool {
 	d := n.desc(obj)
 	if d == nil {
 		return true
 	}
 	d.Lock()
-	if d.State() != stateResident || !d.Replica() {
+	if d.State() != stateResident || !(d.Replica() || d.Lease()) {
 		// Already gone or superseded by something newer; nothing to tear down.
 		d.Unlock()
 		return true
@@ -232,6 +373,8 @@ func (n *Node) evictReplica(obj gaddr.Addr, src gaddr.NodeID) bool {
 	d.SetStateLocked(stateForwarded)
 	d.Fwd = src
 	d.SetReplicaLocked(false)
+	d.SetLeaseLocked(false)
+	d.SetLeaseExpiry(0)
 	d.Payload = payload{}
 	d.Broadcast()
 	d.Unlock()

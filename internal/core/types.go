@@ -149,6 +149,11 @@ const (
 	// snapshots, queue depths, heat table, exemplars) so any node can render
 	// a fleet-wide view (observability, DESIGN.md §12).
 	procStatsPull rpc.Proc = 6
+	// procLease revokes an outstanding reader lease: a write (or move, or
+	// delete) at the holder bumped the object's residency epoch, and the
+	// invalidation round fences every lease granted under an older epoch
+	// before the mutation's reply is released (coherence, DESIGN.md §14).
+	procLease rpc.Proc = 7
 )
 
 // Routed operation codes.
@@ -167,6 +172,10 @@ const (
 	// live (see chain.go). The entry protocol treats it exactly like opInvoke
 	// — the first remaining step's object is pinned on arrival.
 	opChain
+	// opSetCacheable marks a mutable object as lease-granting: subsequent
+	// read-only invokes from other nodes receive bounded-lifetime cached
+	// copies invalidated by epoch bumps (the coherence layer, DESIGN.md §14).
+	opSetCacheable
 )
 
 func (op routedOp) String() string {
@@ -187,6 +196,8 @@ func (op routedOp) String() string {
 		return "unattach"
 	case opChain:
 		return "chain"
+	case opSetCacheable:
+		return "setCacheable"
 	}
 	return fmt.Sprintf("op(%d)", uint8(op))
 }
@@ -229,13 +240,28 @@ type routedMsg struct {
 	// Chain lists the nodes this message has visited, oldest first; used
 	// for forwarding-cache updates and loop escape.
 	Chain []gaddr.NodeID
-	// SnapMax applies to opInvoke: the largest immutable-object snapshot (in
+	// SnapMax applies to opInvoke: the largest object snapshot (in
 	// marshalled bytes) the origin is willing to receive piggybacked on the
-	// reply, so it can install a local read replica (§2.3). Zero means the
-	// origin does not want one (replication disabled, or a hop forwarded by
-	// a node that should not learn a replica on the origin's behalf).
+	// reply, so it can install a local read replica or reader lease (§2.3,
+	// DESIGN.md §14). Zero means the origin does not want one (replication
+	// disabled, or a hop forwarded by a node that should not learn a copy on
+	// the origin's behalf).
 	SnapMax uint64
+	// Flags carries the read/lease classification bits (rmFlag*).
+	Flags byte
 }
+
+// routedMsg flag bits.
+const (
+	// rmFlagReadOnly: the origin declared this invoke mutation-free
+	// (WithReadOnly); the executor may run it under the shared side of the
+	// coherence lock even when the method is not registry-declared read-only.
+	rmFlagReadOnly = 1 << 0
+	// rmFlagLeaseOK: the origin is willing to install a mutable reader lease
+	// from this reply (it understands expiry + revocation). Distinct from
+	// SnapMax so forwarded hops can strip it independently.
+	rmFlagLeaseOK = 1 << 1
+)
 
 // invokeReply is the wire form of an invocation result.
 type invokeReply struct {
@@ -249,13 +275,20 @@ type invokeReply struct {
 	// Immutable reports that the executed object is in immutable mode, so
 	// the origin knows a local replica would have served this call.
 	Immutable bool
-	// SnapType/SnapState, when SnapType is non-empty, piggyback the
-	// immutable object's snapshot (type name + wire.Marshal state) so the
-	// origin can install a replica in the same round trip (§2.3). Sent only
-	// when the request's SnapMax allowed a snapshot this large. A replica of
-	// a stateless type has a non-empty SnapType and an empty SnapState.
+	// SnapType/SnapState, when SnapType is non-empty, piggyback the executed
+	// object's snapshot (type name + wire.Marshal state) so the origin can
+	// install a replica — or, with Lease set, a reader lease — in the same
+	// round trip (§2.3, DESIGN.md §14). Sent only when the request's SnapMax
+	// allowed a snapshot this large. A copy of a stateless type has a
+	// non-empty SnapType and an empty SnapState.
 	SnapType  string
 	SnapState []byte
+	// Lease marks the piggybacked snapshot as a mutable reader lease rather
+	// than an immutable replica; LeaseNs is its lifetime in nanoseconds,
+	// measured from receipt (a duration, not an absolute time, so the grant
+	// is clock-skew-free — the receiver stamps its own expiry).
+	Lease   bool
+	LeaseNs uint64
 }
 
 // locateReply answers opLocate.
@@ -293,6 +326,10 @@ type snapshot struct {
 	// Attached lists this object's attachment edges (peers are included in
 	// the same install batch for mutable moves).
 	Attached []gaddr.Addr
+	// Leasable carries the lease-granting mode across a move: the new holder
+	// resumes granting reader leases (with a fresh, empty grant table — the
+	// mover fences old leases instead of shipping the table).
+	Leasable bool
 }
 
 // installMsg delivers migrating objects to their new node.
@@ -310,6 +347,16 @@ type locUpdateMsg struct {
 	// Epoch versions the claim; receivers discard it unless strictly newer
 	// than their current knowledge.
 	Epoch uint64
+}
+
+// leaseMsg revokes a reader lease (procLease): the holder (or its successor)
+// bumped Obj's residency epoch to Epoch and the receiver must stop serving
+// reads from any lease granted under an older epoch before acking. Src names
+// where current state lives, so the receiver's tombstone forwards there.
+type leaseMsg struct {
+	Obj   gaddr.Addr
+	Epoch uint64
+	Src   gaddr.NodeID
 }
 
 // traceDumpMsg requests a node's buffered trace events (Last <= 0 = all).
@@ -417,7 +464,8 @@ func (m *routedMsg) AppendWire(b []byte) []byte {
 	for _, hop := range m.Chain {
 		b = wire.AppendVarint(b, int64(hop))
 	}
-	return wire.AppendUvarint(b, m.SnapMax)
+	b = wire.AppendUvarint(b, m.SnapMax)
+	return append(b, m.Flags)
 }
 
 // DecodeWire implements wire.Codec. Args aliases b (zero copy) and is only
@@ -472,6 +520,10 @@ func (m *routedMsg) DecodeWire(b []byte) ([]byte, error) {
 	if m.SnapMax, b, err = wire.ReadUvarint(b); err != nil {
 		return nil, err
 	}
+	if len(b) < 1 {
+		return nil, wire.ErrShortBuffer
+	}
+	m.Flags, b = b[0], b[1:]
 	return b, nil
 }
 
@@ -479,6 +531,7 @@ func (m *routedMsg) DecodeWire(b []byte) ([]byte, error) {
 const (
 	irFlagImmutable = 1 << 0
 	irFlagSnapshot  = 1 << 1
+	irFlagLease     = 1 << 2
 )
 
 // AppendWire implements wire.Codec.
@@ -493,7 +546,13 @@ func (m *invokeReply) AppendWire(b []byte) []byte {
 	if m.SnapType != "" {
 		flags |= irFlagSnapshot
 	}
+	if m.Lease {
+		flags |= irFlagLease
+	}
 	b = append(b, flags)
+	if m.Lease {
+		b = wire.AppendUvarint(b, m.LeaseNs)
+	}
 	if m.SnapType != "" {
 		b = wire.AppendString(b, m.SnapType)
 		b = wire.AppendBytes(b, m.SnapState)
@@ -522,6 +581,13 @@ func (m *invokeReply) DecodeWire(b []byte) ([]byte, error) {
 	var flags byte
 	flags, b = b[0], b[1:]
 	m.Immutable = flags&irFlagImmutable != 0
+	m.Lease = flags&irFlagLease != 0
+	m.LeaseNs = 0
+	if m.Lease {
+		if m.LeaseNs, b, err = wire.ReadUvarint(b); err != nil {
+			return nil, err
+		}
+	}
 	m.SnapType, m.SnapState = "", nil
 	if flags&irFlagSnapshot != 0 {
 		if m.SnapType, b, err = wire.ReadString(b); err != nil {
@@ -615,6 +681,32 @@ func (m *locUpdateMsg) DecodeWire(b []byte) ([]byte, error) {
 	if m.Epoch, b, err = wire.ReadUvarint(b); err != nil {
 		return nil, err
 	}
+	return b, nil
+}
+
+// AppendWire implements wire.Codec.
+func (m *leaseMsg) AppendWire(b []byte) []byte {
+	b = wire.AppendUvarint(b, uint64(m.Obj))
+	b = wire.AppendUvarint(b, m.Epoch)
+	return wire.AppendVarint(b, int64(m.Src))
+}
+
+// DecodeWire implements wire.Codec.
+func (m *leaseMsg) DecodeWire(b []byte) ([]byte, error) {
+	var err error
+	var u uint64
+	var v int64
+	if u, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	m.Obj = gaddr.Addr(u)
+	if m.Epoch, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
+	if v, b, err = wire.ReadVarint(b); err != nil {
+		return nil, err
+	}
+	m.Src = gaddr.NodeID(v)
 	return b, nil
 }
 

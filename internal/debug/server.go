@@ -94,6 +94,7 @@ type SpaceShard struct {
 	Evictions        int64 `json:"hint_evictions"`
 	Replicas         int   `json:"replicas"`
 	ReplicaEvictions int64 `json:"replica_evictions"`
+	Leases           int   `json:"leases"`
 }
 
 // Server is a running introspection endpoint.

@@ -78,12 +78,17 @@ func (s State) String() string {
 //	            unpin must take the slow path and broadcast
 //	bit  4      immutable mode (§2.3)
 //	bit  5      replica (resident copy of an immutable object)
+//	bit  6      lease (resident bounded-lifetime copy of a MUTABLE object,
+//	            valid only while its expiry stands and its epoch is current)
+//	bit  7      leasable (the holder grants reader leases on this object)
 //	bits 8..63  pin count (bound threads, §3.5)
 const (
 	wordStateMask = 0x7
 	wordWaiter    = 1 << 3
 	wordImmutable = 1 << 4
 	wordReplica   = 1 << 5
+	wordLease     = 1 << 6
+	wordLeasable  = 1 << 7
 	wordPinShift  = 8
 	wordPinInc    = 1 << wordPinShift
 )
@@ -122,13 +127,29 @@ type Descriptor[P any] struct {
 	waiters int // guarded by mu; mirrored into the word's waiter bit
 
 	// epoch is the object's residency version: 1 at creation, incremented by
-	// every successful move, carried with the object in snapshots and echoed
-	// in replies. A forwarding tombstone stores the epoch of the residency it
-	// points *to*, which makes forwarding addresses versioned à la Fowler:
-	// location gossip (chain updates, reply caching) may only overwrite a
-	// tombstone with strictly newer information, so delayed updates can never
-	// wind a forwarding chain into a cycle. Written under mu, read anywhere.
+	// every successful move — and, for leasable objects, by every mutating
+	// invoke (the invalidation signal of the coherence layer) — carried with
+	// the object in snapshots and echoed in replies. A forwarding tombstone
+	// stores the epoch of the residency it points *to*, which makes forwarding
+	// addresses versioned à la Fowler: location gossip (chain updates, reply
+	// caching) may only overwrite a tombstone with strictly newer information,
+	// so delayed updates can never wind a forwarding chain into a cycle.
+	// Written under mu (or bumped atomically under a pin, which holds off
+	// moves), read anywhere.
 	epoch atomic.Uint64
+
+	// leaseExp is the lease copy's expiry (UnixNano; 0 = no live lease). Read
+	// lock-free on the lease-serving fast path; zeroed atomically by a revoke
+	// so a pinned lease stops serving new reads immediately even before its
+	// descriptor can be torn down.
+	leaseExp atomic.Int64
+
+	// Coh is the per-object coherence lock for leasable objects: mutating
+	// invokes hold it exclusively, read-only invokes and lease-snapshot
+	// encodes hold it shared. Objects never marked leasable skip it entirely,
+	// so the pre-existing invoke paths pay nothing. Taken while pinned,
+	// strictly after mu would be released (never together with mu).
+	Coh sync.RWMutex
 
 	// Payload is the runtime's per-object content (live value, type info).
 	// See the synchronization contract above.
@@ -212,6 +233,13 @@ func (d *Descriptor[P]) Immutable() bool { return d.word.Load()&wordImmutable !=
 
 // Replica reports whether this is a resident copy of an immutable object.
 func (d *Descriptor[P]) Replica() bool { return d.word.Load()&wordReplica != 0 }
+
+// Lease reports whether this is a resident bounded-lifetime copy of a
+// mutable object (a reader lease).
+func (d *Descriptor[P]) Lease() bool { return d.word.Load()&wordLease != 0 }
+
+// Leasable reports whether the holder grants reader leases on this object.
+func (d *Descriptor[P]) Leasable() bool { return d.word.Load()&wordLeasable != 0 }
 
 // updateWord applies f to the packed word via a CAS loop (the lock-free pin
 // paths race with locked mutators, so even mu-holders must CAS). Returns the
@@ -312,6 +340,40 @@ func (d *Descriptor[P]) SetReplicaLocked(on bool) {
 		return w &^ wordReplica
 	})
 }
+
+// SetLeaseLocked flips the lease bit. Caller holds mu.
+func (d *Descriptor[P]) SetLeaseLocked(on bool) {
+	d.updateWord(func(w uint64) uint64 {
+		if on {
+			return w | wordLease
+		}
+		return w &^ wordLease
+	})
+}
+
+// SetLeasableLocked flips the leasable bit. Caller holds mu.
+func (d *Descriptor[P]) SetLeasableLocked(on bool) {
+	d.updateWord(func(w uint64) uint64 {
+		if on {
+			return w | wordLeasable
+		}
+		return w &^ wordLeasable
+	})
+}
+
+// LeaseExpiry reads the lease copy's expiry (UnixNano; 0 = no live lease).
+func (d *Descriptor[P]) LeaseExpiry() int64 { return d.leaseExp.Load() }
+
+// SetLeaseExpiry stores the lease copy's expiry. Safe without mu: the field
+// is independent of the packed word, and a revoke zeroing it races only with
+// installs extending it — the revoke's epoch tombstone makes the stale
+// extension harmless.
+func (d *Descriptor[P]) SetLeaseExpiry(ns int64) { d.leaseExp.Store(ns) }
+
+// BumpEpoch atomically increments the residency version and returns the new
+// value — the write-invalidation signal for leasable objects. Safe under a
+// pin (no mu): pins hold off moves and deletes, the only other epoch writers.
+func (d *Descriptor[P]) BumpEpoch() uint64 { return d.epoch.Add(1) }
 
 // AttachPeers returns a copy of the attachment edge set. Caller holds mu.
 func (d *Descriptor[P]) AttachPeers() []gaddr.Addr {

@@ -11,14 +11,14 @@ func TestReplicaTrackAndDrop(t *testing.T) {
 	if got := s.ReplicaCapPerShard(); got != 8 {
 		t.Fatalf("ReplicaCapPerShard = %d, want 8", got)
 	}
-	if v := s.ReplicaTrack(1, 2); v != nil {
+	if v := s.ReplicaTrack(1, 2, false); v != nil {
 		t.Fatalf("unexpected victims %v under capacity", v)
 	}
 	if s.Replicas() != 1 {
 		t.Fatalf("Replicas = %d, want 1", s.Replicas())
 	}
 	// Re-tracking refreshes in place, no growth, no victims.
-	if v := s.ReplicaTrack(1, 3); v != nil || s.Replicas() != 1 {
+	if v := s.ReplicaTrack(1, 3, false); v != nil || s.Replicas() != 1 {
 		t.Fatalf("retrack: victims=%v replicas=%d", v, s.Replicas())
 	}
 	if !s.ReplicaDrop(1) {
@@ -34,9 +34,9 @@ func TestReplicaTrackAndDrop(t *testing.T) {
 
 func TestReplicaFIFOEviction(t *testing.T) {
 	s := New[tpay](1, 0, 2)
-	s.ReplicaTrack(10, 1)
-	s.ReplicaTrack(11, 2)
-	victims := s.ReplicaTrack(12, 3)
+	s.ReplicaTrack(10, 1, false)
+	s.ReplicaTrack(11, 2, false)
+	victims := s.ReplicaTrack(12, 3, false)
 	if len(victims) != 1 || victims[0].Addr != 10 || victims[0].Source != 1 {
 		t.Fatalf("victims = %v, want [{10 1}]", victims)
 	}
@@ -44,7 +44,7 @@ func TestReplicaFIFOEviction(t *testing.T) {
 		t.Fatalf("Replicas = %d, want 2", s.Replicas())
 	}
 	// The oldest survivor is now 11.
-	victims = s.ReplicaTrack(13, 4)
+	victims = s.ReplicaTrack(13, 4, false)
 	if len(victims) != 1 || victims[0].Addr != 11 {
 		t.Fatalf("victims = %v, want addr 11", victims)
 	}
@@ -63,19 +63,19 @@ func TestReplicaFIFOEviction(t *testing.T) {
 // next ordinary track.
 func TestReplicaRetrackNoCascade(t *testing.T) {
 	s := New[tpay](1, 0, 2)
-	s.ReplicaTrack(10, 1)
-	s.ReplicaTrack(11, 2)
-	victims := s.ReplicaTrack(12, 3) // evicts 10
+	s.ReplicaTrack(10, 1, false)
+	s.ReplicaTrack(11, 2, false)
+	victims := s.ReplicaTrack(12, 3, false) // evicts 10
 	if len(victims) != 1 || victims[0].Addr != 10 {
 		t.Fatalf("victims = %v", victims)
 	}
-	s.ReplicaRetrack(victims[0].Addr, victims[0].Source)
+	s.ReplicaRetrack(victims[0].Addr, victims[0].Source, victims[0].Lease)
 	if s.Replicas() != 3 { // over cap, allowed transiently
 		t.Fatalf("Replicas = %d, want 3", s.Replicas())
 	}
 	// Next track pops until back under the bound: 11 and 12 are the oldest
 	// queue entries still live.
-	victims = s.ReplicaTrack(13, 4)
+	victims = s.ReplicaTrack(13, 4, false)
 	if len(victims) != 2 {
 		t.Fatalf("victims = %v, want 2", victims)
 	}
@@ -89,11 +89,50 @@ func TestReplicaTrackingDisabled(t *testing.T) {
 	if s.ReplicaCapPerShard() != 0 {
 		t.Fatalf("cap = %d, want 0", s.ReplicaCapPerShard())
 	}
-	if v := s.ReplicaTrack(1, 2); v != nil {
+	if v := s.ReplicaTrack(1, 2, false); v != nil {
 		t.Fatalf("victims = %v on disabled cache", v)
 	}
 	if s.Replicas() != 0 || s.ReplicaDrop(1) {
 		t.Fatal("disabled cache tracked something")
+	}
+}
+
+// TestLeaseTrackingAndPeerDrop covers the mutable-lease side of the shared
+// copy table: the lease census, and the per-peer purge fired by the health
+// plane when a source node dies.
+func TestLeaseTrackingAndPeerDrop(t *testing.T) {
+	s := New[tpay](1, 0, 8)
+	s.ReplicaTrack(1, 2, false)
+	s.ReplicaTrack(2, 2, true)
+	s.ReplicaTrack(3, 5, true)
+	if s.Replicas() != 3 || s.Leases() != 2 {
+		t.Fatalf("replicas=%d leases=%d, want 3/2", s.Replicas(), s.Leases())
+	}
+	st := s.ShardStats()[0]
+	if st.Replicas != 3 || st.Leases != 2 {
+		t.Fatalf("shard stat = %+v, want 3 replicas / 2 leases", st)
+	}
+	snap := s.Snapshot()
+	if snap["replicas"] != 3 || snap["leases"] != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	victims := s.DropReplicasFrom(2)
+	if len(victims) != 2 {
+		t.Fatalf("victims = %v, want 2 entries from peer 2", victims)
+	}
+	for _, v := range victims {
+		if v.Source != 2 {
+			t.Fatalf("victim %+v not from peer 2", v)
+		}
+		if v.Addr == 2 && !v.Lease {
+			t.Fatalf("victim %+v lost its lease mark", v)
+		}
+	}
+	if s.Replicas() != 1 || s.Leases() != 1 {
+		t.Fatalf("after drop: replicas=%d leases=%d, want 1/1", s.Replicas(), s.Leases())
+	}
+	if got := s.DropReplicasFrom(7); got != nil {
+		t.Fatalf("DropReplicasFrom(unknown) = %v, want nil", got)
 	}
 }
 

@@ -44,12 +44,15 @@ type shard[P any] struct {
 	fifo     []gaddr.Addr // insertion order; may carry stale (dropped) keys
 	fifoHead int
 
-	// Demand-pulled replica tracking: which addresses this node holds as
-	// read replicas, mapped to the source node the replica was pulled from
-	// (the eviction tombstone's forward target). Same bounded-FIFO shape as
-	// the hint cache; the map is bookkeeping only — the replica payload
-	// lives in the descriptor, and core tears it down on eviction.
-	replicas   map[gaddr.Addr]gaddr.NodeID
+	// Demand-pulled copy tracking: which addresses this node holds as read
+	// copies — immutable replicas and mutable reader leases share one table
+	// and one bound, since both are caches of remote state torn down the
+	// same way. Each entry maps to the source node the copy was pulled from
+	// (the eviction tombstone's forward target) plus whether it is a lease.
+	// Same bounded-FIFO shape as the hint cache; the map is bookkeeping only
+	// — the payload lives in the descriptor, and core tears it down on
+	// eviction.
+	replicas   map[gaddr.Addr]replicaEntry
 	rfifo      []gaddr.Addr
 	rfifoHead  int
 	revictions atomic.Uint64
@@ -298,48 +301,58 @@ func (s *Space[P]) Hints() int {
 	return n
 }
 
-// --- demand-pulled replica tracking (bounded, FIFO-evicted) ---
+// --- demand-pulled replica/lease tracking (bounded, FIFO-evicted) ---
 
-// ReplicaVictim names a replica popped from the cache by ReplicaTrack; the
-// caller is responsible for tearing down the descriptor (replacing the local
-// copy with a tombstone forwarding to Source).
+// replicaEntry is one tracked read copy: the node it was pulled from and
+// whether it is a bounded-lifetime lease on a mutable object (as opposed to
+// an immutable replica).
+type replicaEntry struct {
+	src   gaddr.NodeID
+	lease bool
+}
+
+// ReplicaVictim names a copy popped from the cache by ReplicaTrack or
+// DropReplicasFrom; the caller is responsible for tearing down the descriptor
+// (replacing the local copy with a tombstone forwarding to Source).
 type ReplicaVictim struct {
 	Addr   gaddr.Addr
 	Source gaddr.NodeID
+	Lease  bool
 }
 
 // ReplicaCapPerShard reports the per-shard replica bound (0 = tracking
 // disabled).
 func (s *Space[P]) ReplicaCapPerShard() int { return s.replicaCap }
 
-// ReplicaTrack records that a is now held locally as a replica pulled from
-// src, and returns the FIFO victims (from a's shard) that must be evicted to
-// stay within the per-shard bound. Re-tracking an existing entry refreshes
-// its source in place and keeps its queue position. No-op when tracking is
-// disabled.
-func (s *Space[P]) ReplicaTrack(a gaddr.Addr, src gaddr.NodeID) (victims []ReplicaVictim) {
+// ReplicaTrack records that a is now held locally as a read copy pulled from
+// src (lease marks a mutable reader lease rather than an immutable replica),
+// and returns the FIFO victims (from a's shard) that must be evicted to stay
+// within the per-shard bound. Re-tracking an existing entry refreshes its
+// source and kind in place and keeps its queue position. No-op when tracking
+// is disabled.
+func (s *Space[P]) ReplicaTrack(a gaddr.Addr, src gaddr.NodeID, lease bool) (victims []ReplicaVictim) {
 	if s.replicaCap == 0 {
 		return nil
 	}
 	sh := s.shardOf(a)
 	sh.lockHints()
 	if _, ok := sh.replicas[a]; ok {
-		sh.replicas[a] = src
+		sh.replicas[a] = replicaEntry{src: src, lease: lease}
 		sh.mu.Unlock()
 		return nil
 	}
 	if sh.replicas == nil {
-		sh.replicas = make(map[gaddr.Addr]gaddr.NodeID, s.replicaCap)
+		sh.replicas = make(map[gaddr.Addr]replicaEntry, s.replicaCap)
 	}
-	sh.replicas[a] = src
+	sh.replicas[a] = replicaEntry{src: src, lease: lease}
 	sh.rfifo = append(sh.rfifo, a)
 	for len(sh.replicas) > s.replicaCap {
 		old := sh.rfifo[sh.rfifoHead]
 		sh.rfifoHead++
-		if oldSrc, ok := sh.replicas[old]; ok && old != a {
+		if oldEnt, ok := sh.replicas[old]; ok && old != a {
 			delete(sh.replicas, old)
 			sh.revictions.Add(1)
-			victims = append(victims, ReplicaVictim{Addr: old, Source: oldSrc})
+			victims = append(victims, ReplicaVictim{Addr: old, Source: oldEnt.src, Lease: oldEnt.lease})
 		}
 	}
 	if sh.rfifoHead > len(sh.rfifo)/2 && sh.rfifoHead > s.replicaCap {
@@ -351,11 +364,11 @@ func (s *Space[P]) ReplicaTrack(a gaddr.Addr, src gaddr.NodeID) (victims []Repli
 }
 
 // ReplicaRetrack re-enters a victim whose descriptor teardown could not
-// proceed (e.g. the replica was pinned by an executing invoke). The entry is
+// proceed (e.g. the copy was pinned by an executing invoke). The entry is
 // appended WITHOUT cap enforcement, so a busy victim cannot trigger an
 // eviction cascade; the shard shrinks back to its bound on the next
 // ReplicaTrack.
-func (s *Space[P]) ReplicaRetrack(a gaddr.Addr, src gaddr.NodeID) {
+func (s *Space[P]) ReplicaRetrack(a gaddr.Addr, src gaddr.NodeID, lease bool) {
 	if s.replicaCap == 0 {
 		return
 	}
@@ -363,9 +376,9 @@ func (s *Space[P]) ReplicaRetrack(a gaddr.Addr, src gaddr.NodeID) {
 	sh.lockHints()
 	if _, ok := sh.replicas[a]; !ok {
 		if sh.replicas == nil {
-			sh.replicas = make(map[gaddr.Addr]gaddr.NodeID, s.replicaCap)
+			sh.replicas = make(map[gaddr.Addr]replicaEntry, s.replicaCap)
 		}
-		sh.replicas[a] = src
+		sh.replicas[a] = replicaEntry{src: src, lease: lease}
 		sh.rfifo = append(sh.rfifo, a)
 	}
 	sh.mu.Unlock()
@@ -387,7 +400,7 @@ func (s *Space[P]) ReplicaDrop(a gaddr.Addr) bool {
 	return ok
 }
 
-// Replicas reports the total number of tracked replicas.
+// Replicas reports the total number of tracked copies (replicas + leases).
 func (s *Space[P]) Replicas() int {
 	n := 0
 	for i := range s.shards {
@@ -397,6 +410,44 @@ func (s *Space[P]) Replicas() int {
 		sh.mu.Unlock()
 	}
 	return n
+}
+
+// Leases reports the number of tracked copies that are mutable reader
+// leases.
+func (s *Space[P]) Leases() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lockHints()
+		for _, e := range sh.replicas {
+			if e.lease {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// DropReplicasFrom untracks every copy pulled from peer (used when the peer
+// is discovered to be down or restarted: a lease granted by a pre-crash
+// incarnation must not keep serving reads, and a replica's forward target is
+// gone). Sharded like DropHintsTo. Returns the dropped entries as victims;
+// the caller tears down each descriptor.
+func (s *Space[P]) DropReplicasFrom(peer gaddr.NodeID) []ReplicaVictim {
+	var victims []ReplicaVictim
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lockHints()
+		for a, e := range sh.replicas {
+			if e.src == peer {
+				delete(sh.replicas, a)
+				victims = append(victims, ReplicaVictim{Addr: a, Source: e.src, Lease: e.lease})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return victims
 }
 
 // --- per-shard move serialization ---
@@ -463,6 +514,7 @@ type ShardStat struct {
 	MoveContended    uint64 `json:"move_contended"`
 	Evictions        uint64 `json:"hint_evictions"`
 	Replicas         int    `json:"replicas"`
+	Leases           int    `json:"leases"`
 	ReplicaEvictions uint64 `json:"replica_evictions"`
 }
 
@@ -475,6 +527,12 @@ func (s *Space[P]) ShardStats() []ShardStat {
 		sh.lockHints()
 		hints := len(sh.hints)
 		replicas := len(sh.replicas)
+		leases := 0
+		for _, e := range sh.replicas {
+			if e.lease {
+				leases++
+			}
+		}
 		sh.mu.Unlock()
 		out[i] = ShardStat{
 			Descriptors:      sh.ndesc.Load(),
@@ -485,6 +543,7 @@ func (s *Space[P]) ShardStats() []ShardStat {
 			MoveContended:    sh.moveContended.Load(),
 			Evictions:        sh.evictions.Load(),
 			Replicas:         replicas,
+			Leases:           leases,
 			ReplicaEvictions: sh.revictions.Load(),
 		}
 	}
@@ -495,7 +554,7 @@ func (s *Space[P]) ShardStats() []ShardStat {
 // under the objspace_ prefix by amberd's /metrics).
 func (s *Space[P]) Snapshot() map[string]int64 {
 	var st ShardStat
-	var hints, replicas int
+	var hints, replicas, leases int
 	for i := range s.shards {
 		sh := &s.shards[i]
 		st.Descriptors += sh.ndesc.Load()
@@ -508,6 +567,11 @@ func (s *Space[P]) Snapshot() map[string]int64 {
 		sh.lockHints()
 		hints += len(sh.hints)
 		replicas += len(sh.replicas)
+		for _, e := range sh.replicas {
+			if e.lease {
+				leases++
+			}
+		}
 		sh.mu.Unlock()
 	}
 	return map[string]int64{
@@ -521,6 +585,7 @@ func (s *Space[P]) Snapshot() map[string]int64 {
 		"move_lock_contended":   int64(st.MoveContended),
 		"hint_evictions":        int64(st.Evictions),
 		"replicas":              int64(replicas),
+		"leases":                int64(leases),
 		"replica_cap_per_shard": int64(s.replicaCap),
 		"replica_evictions":     int64(st.ReplicaEvictions),
 	}

@@ -71,6 +71,7 @@ type healthState struct {
 	probeID   atomic.Uint64
 	gen       atomic.Uint64
 	onRestart atomic.Pointer[func(gaddr.NodeID)]
+	onDown    atomic.Pointer[func(gaddr.NodeID)]
 	recheck   time.Duration
 }
 
@@ -108,6 +109,15 @@ func (ep *Endpoint) Generation() uint64 { return ep.health.gen.Load() }
 // we last spoke to — i.e. it crashed and came back without its memory.
 func (ep *Endpoint) OnPeerRestart(fn func(peer gaddr.NodeID)) {
 	ep.health.onRestart.Store(&fn)
+}
+
+// OnPeerDown registers a callback invoked (on a fresh goroutine) each time a
+// peer transitions from up to down — a probe failed while the peer was not
+// already marked. Unlike OnPeerRestart it does not wait for the peer to come
+// back: upper layers use it to drop soft state that is useless while the peer
+// is unreachable (leases it granted, replicas sourced from it).
+func (ep *Endpoint) OnPeerDown(fn func(peer gaddr.NodeID)) {
+	ep.health.onDown.Store(&fn)
 }
 
 // PeerDown reports whether peer is currently believed dead. While any peer
@@ -339,6 +349,9 @@ func (ep *Endpoint) markDown(peer gaddr.NodeID) {
 	h.mu.Unlock()
 	if !was {
 		ep.counts.Inc("rpc_peer_down_marks")
+		if fn := h.onDown.Load(); fn != nil {
+			go (*fn)(peer)
+		}
 		if trace.GlobalOn() {
 			trace.GlobalEmit(trace.Event{Kind: trace.KPeerDown,
 				Node: int32(ep.Self()), Arg: int64(peer)})

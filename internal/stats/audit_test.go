@@ -28,6 +28,14 @@ var auditNames = map[string][]string{
 		"replica_snaps_encoded", "replica_snaps_oversize",
 		"replica_snap_errors", "replicas_installed", "replicas_sent",
 		"locates_local_replica",
+		// reader leases (PR9)
+		"lease_hits", "lease_grants", "lease_installs", "lease_renewals",
+		"lease_stale", "lease_write_forwards", "lease_invalidations_sent",
+		"lease_revokes", "lease_fences", "lease_fence_timeouts",
+		"lease_purged_down", "lease_grants_dropped_down",
+		"lease_snap_errors", "lease_snaps_oversize",
+		"lease_installs_dropped", "lease_installs_stale",
+		"lease_install_errors", "replicas_purged_down", "set_cacheable",
 	},
 }
 

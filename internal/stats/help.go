@@ -49,6 +49,27 @@ var helpText = map[string]string{
 	"node_replicas_sent":            "replica copies shipped to other nodes",
 	"node_locates_local_replica":    "Locate calls answered by a local replica",
 
+	// --- reader leases (mutable-object caching) ---
+	"node_lease_hits":                "local reads served by a live reader-lease copy (zero messages)",
+	"node_lease_grants":              "reader leases granted on invoke replies to remote read-only callers",
+	"node_lease_installs":            "lease snapshots installed from piggybacked invoke replies",
+	"node_lease_renewals":            "lease installs that only extended an existing same-epoch copy's expiry",
+	"node_lease_stale":               "reads that found the local lease expired and forwarded to the owner",
+	"node_lease_write_forwards":      "mutating invokes that arrived at a lease copy and forwarded to the owner",
+	"node_lease_invalidations_sent":  "lease revoke messages sent during write/move/delete fences",
+	"node_lease_revokes":             "lease revoke messages handled (copy dropped or tombstone refreshed)",
+	"node_lease_fences":              "write fences run because outstanding leases predate the new epoch",
+	"node_lease_fence_timeouts":      "fence rounds that timed out waiting for a revoke ack (lease expired instead)",
+	"node_lease_purged_down":         "lease copies purged because their grantor was declared down",
+	"node_lease_grants_dropped_down": "grant-table entries dropped because the holder was declared down",
+	"node_lease_snap_errors":         "lease snapshot encodings that failed",
+	"node_lease_snaps_oversize":      "lease grants skipped because the snapshot exceeded the caller's SnapMax",
+	"node_lease_installs_dropped":    "lease installs skipped because a descriptor state precluded them",
+	"node_lease_installs_stale":      "lease installs rejected as older than the local view",
+	"node_lease_install_errors":      "lease installs that failed to decode or register",
+	"node_replicas_purged_down":      "immutable replicas purged because their source was declared down",
+	"node_set_cacheable":             "objects marked cacheable for reader leases (SetCacheable)",
+
 	// --- observability plane (this PR) ---
 	"node_anomalies_node_down":       "calls that failed with ErrNodeDown (flight-recorder trigger)",
 	"node_anomalies_deadline":        "calls that missed their deadline with the peer alive (flight-recorder trigger)",

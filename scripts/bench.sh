@@ -4,10 +4,12 @@
 # Runs the Table 1 local/remote invocation benchmarks (tracing off AND on),
 # the E8 forwarding-chain ablation, the E9 mobility ablation, the read-path
 # replication benchmarks (cold first-touch, warm replica hit, and the
-# no-replication cold control), the sharded object-space parallel-invoke
-# benchmark at -cpu 1 and 8, the skewed-workload heat-placement ablation,
-# and the wire codec microbenchmarks, then writes every reported metric to
-# BENCH_pr7.json at the repo root.
+# no-replication cold control), the reader-lease coherence benchmarks
+# (warm mutable read via a live lease, write + invalidation fence), the
+# sharded object-space parallel-invoke benchmark at -cpu 1 and 8, the
+# skewed-workload heat-placement ablation, and the wire codec
+# microbenchmarks, then writes every reported metric to BENCH_pr9.json
+# at the repo root.
 #
 # The same-machine local/remote gates double as this PR's tracing-off
 # overhead gate: the headline benchmarks run with tracing disabled, so a
@@ -45,6 +47,18 @@
 #      physically unobservable (same situation as gate 6); there the gate
 #      degrades to >= 1.25x — pipelining must still beat blocking by the
 #      syscall/wakeup latency it removes.
+#   9. Warm mutable read through a live reader lease <= 2x the warm
+#      immutable replica hit: a lease hit is the same resident fast path
+#      plus an expiry load and an epoch tag, so anything beyond 2x means
+#      reads are slipping off the zero-message path (check lease_stale
+#      and lease_write_forwards in the lease tests).
+#  10. Fenced-write p99 <= 25x a single remote invoke. A mutating invoke
+#      against a leased object is the write itself plus one parallel
+#      revoke round — a couple of RTTs in the mean (observed ~3x); the
+#      p99 additionally absorbs revoke-ack scheduling jitter on a shared
+#      host, so the tail gate is deliberately generous. Blowing past 25x
+#      means the fence is serializing revokes or waiting on expiry
+#      instead of acks (check lease_fence_timeouts).
 #
 # The baseline build is a throwaway git worktree of the last commit that does
 # not contain this tree's changes: HEAD while the working tree is dirty
@@ -55,7 +69,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1s}"
-OUT=BENCH_pr8.json
+OUT=BENCH_pr9.json
 ALLOC_LIMIT=38
 NPROC=$(nproc 2>/dev/null || echo 1)
 
@@ -121,6 +135,12 @@ FANIN_RAW=$(go test -run '^$' -bench '^BenchmarkFanIn(Serial|Async)64$' \
 echo "$FANIN_RAW"
 
 echo
+echo "== reader-lease coherence: warm mutable read + write fence (min of 3) =="
+LEASE_RAW=$(go test -run '^$' -bench '^BenchmarkMutableLease(Warm|WriteFence)$' \
+	-benchmem -benchtime "$BENCHTIME" -count 3 .)
+echo "$LEASE_RAW"
+
+echo
 echo "== wire codec microbenchmarks =="
 WIRE_RAW=$(go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" -count 1 ./internal/wire/)
 echo "$WIRE_RAW"
@@ -165,6 +185,13 @@ SKEW_STATIC_NS=$(bench_ns "$SKEW_RAW" 'BenchmarkSkewedInvokeStatic(-[0-9]+)?')
 SKEW_HEAT_NS=$(bench_ns "$SKEW_RAW" 'BenchmarkSkewedInvokeHeat(-[0-9]+)?')
 FANIN_SERIAL_NS=$(bench_ns "$FANIN_RAW" 'BenchmarkFanInSerial64(-[0-9]+)?')
 FANIN_ASYNC_NS=$(bench_ns "$FANIN_RAW" 'BenchmarkFanInAsync64(-[0-9]+)?')
+LEASE_WARM_NS=$(bench_ns "$LEASE_RAW" 'BenchmarkMutableLeaseWarm(-[0-9]+)?')
+LEASE_FENCE_NS=$(bench_ns "$LEASE_RAW" 'BenchmarkMutableLeaseWriteFence(-[0-9]+)?')
+# write-p99-ns is a ReportMetric extra on the fence benchmark: take the
+# minimum across the -count runs, same policy as bench_ns.
+LEASE_WP99_NS=$(echo "$LEASE_RAW" | awk '$1 ~ /^BenchmarkMutableLeaseWriteFence(-[0-9]+)?$/ {
+	for (i = 3; i + 1 <= NF; i += 2) if ($(i+1) == "write-p99-ns") { v = $i + 0; if (!m || v < m) m = v }
+} END { if (m) print m }')
 REMOTE_ALLOCS=$(echo "$GATE_RAW" | awk '$1 ~ /^BenchmarkTable1RemoteInvoke(-[0-9]+)?$/ {
 	for (i = 3; i + 1 <= NF; i += 2) if ($(i+1) == "allocs/op") { print $i; exit }
 }')
@@ -179,6 +206,8 @@ WARM_X=$(ratio "$WARM_NS" "$LOCAL_NS")
 COLD_X=$(ratio "$COLD_NS" "$COLDBASE_NS")
 SKEW_X=$(ratio "$SKEW_STATIC_NS" "$SKEW_HEAT_NS")
 FANIN_X=$(ratio "$FANIN_SERIAL_NS" "$FANIN_ASYNC_NS")
+LEASE_WARM_X=$(ratio "$LEASE_WARM_NS" "$WARM_NS")
+LEASE_WP99_X=$(ratio "${LEASE_WP99_NS:-0}" "$REMOTE_NS")
 if [ "$NPROC" -ge 4 ]; then
 	FANIN_MIN=3.0 FANIN_GATE=full
 else
@@ -194,7 +223,7 @@ fi
 
 {
 	printf '{\n'
-	printf '  "pr": "pr8-async-pipelined-invocation-futures-continuation-shipping",\n'
+	printf '  "pr": "pr9-reader-leases-epoch-invalidation-mutable-coherence",\n'
 	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 	printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
@@ -228,6 +257,16 @@ fi
 	printf '    "warm_vs_local_x": %s,\n' "$WARM_X"
 	printf '    "warm_gate_max_x": 2.0\n'
 	printf '  },\n'
+	printf '  "coherence_leases": {\n'
+	printf '    "lease_warm_ns_op": %s,\n' "$LEASE_WARM_NS"
+	printf '    "immutable_warm_ns_op": %s,\n' "$WARM_NS"
+	printf '    "lease_warm_vs_immutable_warm_x": %s,\n' "$LEASE_WARM_X"
+	printf '    "lease_warm_gate_max_x": 2.0,\n'
+	printf '    "write_fence_ns_op": %s,\n' "$LEASE_FENCE_NS"
+	printf '    "write_fence_p99_ns": %s,\n' "${LEASE_WP99_NS:-null}"
+	printf '    "write_p99_vs_remote_x": %s,\n' "$LEASE_WP99_X"
+	printf '    "write_p99_gate_max_x": 25.0\n'
+	printf '  },\n'
 	printf '  "async_pipelining": {\n'
 	printf '    "fanin_serial_ns_op": %s,\n' "$FANIN_SERIAL_NS"
 	printf '    "fanin_async_ns_op": %s,\n' "$FANIN_ASYNC_NS"
@@ -250,7 +289,7 @@ fi
 	printf '    "gate_min_x": %s\n' "$SCALE_MIN"
 	printf '  },\n'
 	printf '  "results": {\n'
-	{ echo "$GATE_RAW"; echo "$HEAD_RAW"; echo "$SKEW_RAW"; echo "$FANIN_RAW"; echo "$WIRE_RAW"; } | tojson
+	{ echo "$GATE_RAW"; echo "$HEAD_RAW"; echo "$SKEW_RAW"; echo "$FANIN_RAW"; echo "$LEASE_RAW"; echo "$WIRE_RAW"; } | tojson
 	printf ',\n'
 	echo "$PAR_RAW" | tojson 1
 	printf '  }\n'
@@ -265,6 +304,7 @@ echo "replication:   cold ${COLD_NS}ns/op (${COLD_X}x of ${COLDBASE_NS}ns/op con
 echo "parallel scaling 1->8 goroutines: ${SCALE}x now vs ${BASE_SCALE}x baseline (gate ${SCALE_GATE}, nproc=$NPROC)"
 echo "heat placement: skewed workload ${SKEW_HEAT_NS}ns/op with heat vs ${SKEW_STATIC_NS}ns/op static (${SKEW_X}x)"
 echo "pipelined fan-in: async ${FANIN_ASYNC_NS}ns/op vs serial ${FANIN_SERIAL_NS}ns/op (${FANIN_X}x, gate ${FANIN_GATE} >= ${FANIN_MIN}x, nproc=$NPROC)"
+echo "reader leases:  warm mutable read ${LEASE_WARM_NS}ns/op (${LEASE_WARM_X}x of immutable warm ${WARM_NS}ns/op), fenced write ${LEASE_FENCE_NS}ns/op, p99 ${LEASE_WP99_NS:-?}ns (${LEASE_WP99_X}x of remote)"
 
 FAIL=0
 if awk -v now="$LOCAL_NS" -v base="$BASE_LOCAL_NS" 'BEGIN { exit !(now > base * 1.05) }'; then
@@ -331,5 +371,27 @@ if awk -v x="$FANIN_X" -v min="$FANIN_MIN" 'BEGIN { exit !(x < min) }'; then
 	echo "      pipe drain is not serializing behind completions." >&2
 	FAIL=1
 fi
+if awk -v lw="$LEASE_WARM_NS" -v iw="$WARM_NS" 'BEGIN { exit !(lw > iw * 2.0) }'; then
+	echo >&2
+	echo "FAIL: warm mutable read through a live lease is ${LEASE_WARM_X}x the warm" >&2
+	echo "      immutable replica hit (${LEASE_WARM_NS}ns/op vs ${WARM_NS}ns/op, limit 2x)." >&2
+	echo "      A lease hit is the resident fast path plus an expiry load; if it" >&2
+	echo "      costs more, reads are falling off the zero-message path — check" >&2
+	echo "      lease_stale and lease_write_forwards." >&2
+	FAIL=1
+fi
+if [ -z "${LEASE_WP99_NS:-}" ]; then
+	echo >&2
+	echo "FAIL: BenchmarkMutableLeaseWriteFence reported no write-p99-ns metric." >&2
+	FAIL=1
+elif awk -v p="$LEASE_WP99_NS" -v r="$REMOTE_NS" 'BEGIN { exit !(p > r * 25.0) }'; then
+	echo >&2
+	echo "FAIL: fenced-write p99 is ${LEASE_WP99_X}x a single remote invoke" >&2
+	echo "      (${LEASE_WP99_NS}ns vs ${REMOTE_NS}ns/op, limit 25x). The invalidation" >&2
+	echo "      round should cost a couple of RTTs — check that revokes still go" >&2
+	echo "      out in parallel and that the fence waits on acks, not lease" >&2
+	echo "      expiry (lease_fence_timeouts)." >&2
+	FAIL=1
+fi
 [ "$FAIL" -eq 0 ] || exit 1
-echo "regression gates passed (local/remote +5%, allocs <= ${ALLOC_LIMIT}/op, warm <= 2x local, cold <= 1.15x control, heat > static, fan-in >= ${FANIN_MIN}x)"
+echo "regression gates passed (local/remote +5%, allocs <= ${ALLOC_LIMIT}/op, warm <= 2x local, cold <= 1.15x control, heat > static, fan-in >= ${FANIN_MIN}x, lease warm <= 2x immutable warm, fenced-write p99 <= 25x remote)"

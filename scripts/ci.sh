@@ -148,12 +148,108 @@ wait $LOAD_PIDS 2>/dev/null || true
 LOAD_PIDS=""
 echo "load smoke passed: goodput $GOODPUT ops/s under 50k/s overload, clean drain"
 
+echo "== lease-churn stress (3-node cluster, writer + 8 leased readers, reader killed mid-lease) =="
+# The coherence layer over real sockets: three amberd owners grant reader
+# leases (5s TTL), a readmostly load on node 3 drives 8 concurrent clients at
+# 90% leased reads / 10% fenced writes, and a second pure-reader process on
+# node 4 acquires leases and is SIGKILLed while they are live. Assertions:
+# the primary load keeps positive goodput and drains cleanly (write fences
+# must not hang on the dead holder), the owners actually granted leases, and
+# the dead reader's grant entries are purged via the health-down signal
+# (amber_node_lease_grants_dropped_down) rather than lingering until expiry.
+CHDIR=$(mktemp -d /tmp/amber-ci-lease.XXXXXX)
+CH_PIDS=""
+ch_cleanup() {
+	[ -z "$CH_PIDS" ] || kill -9 $CH_PIDS 2>/dev/null || true
+	rm -rf "$CHDIR"
+}
+trap 'ch_cleanup; load_cleanup; obs_cleanup' EXIT
+go build -o "$CHDIR/amberd" ./cmd/amberd
+go build -o "$CHDIR/amber-load" ./cmd/amber-load
+CP=7820 # base node port; debug ports are CP+20..22
+CH_PEERS="0=127.0.0.1:$CP,1=127.0.0.1:$((CP + 1)),2=127.0.0.1:$((CP + 2))"
+for i in 0 1 2; do
+	peers=""
+	for j in 0 1 2 3 4; do
+		[ "$j" = "$i" ] || peers="${peers:+$peers,}$j=127.0.0.1:$((CP + j))"
+	done
+	"$CHDIR/amberd" -node "$i" -listen "127.0.0.1:$((CP + i))" -peers "$peers" \
+		-procs 2 -lease-ttl 5s -debug-addr "127.0.0.1:$((CP + 20 + i))" \
+		>"$CHDIR/node$i.log" 2>&1 &
+	CH_PIDS="$CH_PIDS $!"
+done
+# The doomed reader: pure leased reads against its own cacheable objects,
+# long duration — it exists to be killed mid-lease.
+timeout 60 "$CHDIR/amber-load" -node 4 -listen "127.0.0.1:$((CP + 4))" \
+	-peers "$CH_PEERS" -procs 2 -objects 8 -clients 8 -rate 2000 \
+	-duration 30s -deadline 2s -workload readmostly -readratio 1.0 \
+	>"$CHDIR/reader.txt" 2>&1 &
+READER_PID=$!
+CH_PIDS="$CH_PIDS $READER_PID"
+sleep 2 # let the reader install its leases (TTL 5s: still live at the kill)
+# The primary: one process, 8 clients mixing leased reads with fenced writes.
+timeout 120 "$CHDIR/amber-load" -node 3 -listen "127.0.0.1:$((CP + 3))" \
+	-peers "$CH_PEERS" -procs 2 -objects 16 -clients 8 -rate 4000 \
+	-duration 8s -deadline 2s -workload readmostly -readratio 0.9 \
+	>"$CHDIR/churn.txt" 2>&1 &
+PRIMARY_PID=$!
+CH_PIDS="$CH_PIDS $PRIMARY_PID"
+sleep 2
+kill -9 "$READER_PID" 2>/dev/null || true
+wait "$PRIMARY_PID" ||
+	{ echo "FAIL: readmostly load exited nonzero with a reader dead" >&2
+	  cat "$CHDIR/churn.txt" >&2; tail -n 5 "$CHDIR"/node*.log >&2 || true; exit 1; }
+cat "$CHDIR/churn.txt"
+CH_GOODPUT=$(awk '/^goodput / { print $2 }' "$CHDIR/churn.txt")
+awk -v g="${CH_GOODPUT:-0}" 'BEGIN { exit !(g > 0) }' ||
+	{ echo "FAIL: lease churn produced no goodput (got '${CH_GOODPUT:-}')" >&2; exit 1; }
+CH_READS=$(awk -F'[= ]' '/^reads=/ { print $2 }' "$CHDIR/churn.txt")
+CH_WRITES=$(awk -F'[= ]' '/^writes=/ { print $2 }' "$CHDIR/churn.txt")
+[ "${CH_READS:-0}" -gt 0 ] && [ "${CH_WRITES:-0}" -gt 0 ] ||
+	{ echo "FAIL: readmostly load did not mix reads and writes (reads=${CH_READS:-0} writes=${CH_WRITES:-0})" >&2; exit 1; }
+# The owners must have granted leases, and must have dropped the dead
+# reader's grant entries on the health-down signal — poll because peer-death
+# detection is asynchronous.
+lease_metric_sum() {
+	local name="$1" total=0 v
+	for i in 0 1 2; do
+		v=$(curl -fsS --max-time 2 "http://127.0.0.1:$((CP + 20 + i))/metrics" 2>/dev/null |
+			awk -v m="amber_node_$name" '$1 == m { print $2 }')
+		total=$((total + ${v:-0}))
+	done
+	echo "$total"
+}
+GRANTS=$(lease_metric_sum lease_grants)
+[ "$GRANTS" -gt 0 ] ||
+	{ echo "FAIL: owners granted no leases (amber_node_lease_grants = 0)" >&2
+	  tail -n 5 "$CHDIR"/node*.log >&2 || true; exit 1; }
+for attempt in $(seq 1 40); do
+	# Peer-death detection is demand-driven: nobody calls a silent pure
+	# reader, so nothing notices it died until some call to it fails. A
+	# fleet scrape is exactly how a real deployment notices — node 0's
+	# /cluster pull calls every peer, the pull to the dead reader fails,
+	# and the health probe marks it down, firing the grant purge.
+	curl -fsS --max-time 5 "http://127.0.0.1:$((CP + 20))/cluster" >/dev/null 2>&1 || true
+	DROPPED=$(lease_metric_sum lease_grants_dropped_down)
+	[ "$DROPPED" -gt 0 ] && break
+	if [ "$attempt" = 40 ]; then
+		echo "FAIL: dead reader's grants never purged (amber_node_lease_grants_dropped_down = 0)" >&2
+		tail -n 5 "$CHDIR"/node*.log >&2 || true
+		exit 1
+	fi
+	sleep 0.5
+done
+kill -9 $CH_PIDS 2>/dev/null || true
+wait $CH_PIDS 2>/dev/null || true
+CH_PIDS=""
+echo "lease churn passed: goodput $CH_GOODPUT ops/s (reads=$CH_READS writes=$CH_WRITES), $GRANTS grants, dead reader purged ($DROPPED entries dropped)"
+
 echo "== bench smoke (100 iterations, compile+run only, no gates) =="
 # Not a performance gate — scripts/bench.sh owns those. This exists so a
 # refactor that breaks a headline benchmark's setup (cluster config, replica
 # install wait, -cpu sharding) fails CI instead of failing the next perf run.
 go test -run '^$' \
-	-bench '^(BenchmarkTable1LocalInvoke|BenchmarkTable1RemoteInvoke|BenchmarkImmutableRemoteInvokeCold|BenchmarkImmutableRemoteInvokeWarm|BenchmarkLocalInvokeParallel|BenchmarkSkewedInvokeStatic|BenchmarkSkewedInvokeHeat|BenchmarkFanInSerial64|BenchmarkFanInAsync64|BenchmarkAcquireRelease)$' \
+	-bench '^(BenchmarkTable1LocalInvoke|BenchmarkTable1RemoteInvoke|BenchmarkImmutableRemoteInvokeCold|BenchmarkImmutableRemoteInvokeWarm|BenchmarkMutableLeaseWarm|BenchmarkMutableLeaseWriteFence|BenchmarkLocalInvokeParallel|BenchmarkSkewedInvokeStatic|BenchmarkSkewedInvokeHeat|BenchmarkFanInSerial64|BenchmarkFanInAsync64|BenchmarkAcquireRelease)$' \
 	-benchtime 100x -count 1 . ./internal/sched/
 
 echo
