@@ -62,6 +62,14 @@ type (
 	Registry = core.Registry
 	// MoveGuard lets a class veto migration (see core.MoveGuard).
 	MoveGuard = core.MoveGuard
+	// AmberDispatch is the opt-in self-dispatch interface: a registered
+	// class implementing it routes its own operations (typically a switch on
+	// the method name with direct type asserts), bypassing reflection on the
+	// invoke hot path. Return ErrNotDispatched for operations the switch
+	// does not cover; the runtime's reflective plan handles them with its
+	// usual argument-coercion rules. See core.AmberDispatch for the full
+	// contract (the args vector is runtime-owned scratch).
+	AmberDispatch = core.AmberDispatch
 )
 
 // NilRef is the null object reference.
@@ -91,6 +99,10 @@ var (
 	ErrBadArgument       = core.ErrBadArgument
 	ErrImmutableViolated = core.ErrImmutableViolated
 	ErrNotAttached       = core.ErrNotAttached
+	// ErrNotDispatched is returned by an AmberDispatch implementation for
+	// operations it does not handle; the runtime falls back to reflective
+	// dispatch for that call.
+	ErrNotDispatched = core.ErrNotDispatched
 )
 
 // Failure taxonomy. Every cross-node failure returned by Invoke, MoveTo,

@@ -50,6 +50,33 @@ func (c *DemoCounter) Where(ctx *core.Ctx) gaddr.NodeID { return ctx.NodeID() }
 // readmostly workload can serve them from reader-lease copies.
 func (c *DemoCounter) AmberReadOnly() []string { return []string{"Get", "Where"} }
 
+// Dispatch implements core.AmberDispatch: the counter routes its own
+// operations with a switch, skipping both reflection and the trampoline
+// corpus. Calls needing argument coercion (an int64 from a hand-rolled
+// client, say) return ErrNotDispatched and take the runtime's reflective
+// plan, so observable behavior is unchanged. Must stay identical to the
+// amber-load twin — the two binaries share the wire name "main.DemoCounter".
+func (c *DemoCounter) Dispatch(ctx *core.Ctx, method string, args []any) ([]any, error) {
+	switch method {
+	case "Add":
+		if len(args) == 1 {
+			if n, ok := args[0].(int); ok {
+				c.N += n
+				return []any{c.N}, nil
+			}
+		}
+	case "Get":
+		if len(args) == 0 {
+			return []any{c.N}, nil
+		}
+	case "Where":
+		if len(args) == 0 {
+			return []any{ctx.NodeID()}, nil
+		}
+	}
+	return nil, core.ErrNotDispatched
+}
+
 // metricFamilies groups this process's stat sets for the shared Prometheus
 // text renderer — the same families back both the stdout status block and
 // the /metrics endpoint, so the two can never disagree about a counter.

@@ -287,13 +287,15 @@ func (n *Node) executeChain(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 	tc := &Ctx{node: n, rec: msg.Thread}
 	for {
 		step := steps[0]
-		args, err := wire.UnmarshalArgs(step.Args)
+		// Scratch decode per step: substituteChainPrev copies before it
+		// substitutes, so the pooled vector is intact for reuse either way.
+		sargs, err := wire.UnmarshalArgsScratch(step.Args)
 		if err != nil {
 			n.unpin(d)
 			rc.Reply(nil, err)
 			return nil
 		}
-		args = substituteChainPrev(args, prev)
+		args := substituteChainPrev(sargs, prev)
 		n.counts.Inc("invokes_executed_for_remote")
 		n.counts.Inc("chain_steps_executed")
 		if n.heat != nil && !d.Immutable() {
@@ -302,6 +304,7 @@ func (n *Node) executeChain(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 		epoch := d.Epoch()
 		start := time.Now()
 		res, rerr := n.runPinned(tc, d, step.Obj, step.Method, args, false)
+		wire.PutArgs(sargs)
 		n.histExec.Observe(time.Since(start))
 		if rerr != nil {
 			// A failed step fails the chain; the sentinel rehydrates at the

@@ -136,7 +136,8 @@ func (n *Node) handleInstall(rc *rpc.Ctx) {
 				cell.v.Store(&st)
 			}
 		}
-		d.Payload = payload{obj: pv, ti: ti, snap: cell}
+		d.Payload = newPayload(pv, ti)
+		d.Payload.snap = cell
 		d.Fwd = gaddr.NoNode
 		d.ClearAttachLocked()
 		for _, p := range snap.Attached {

@@ -17,6 +17,12 @@ import (
 type payload struct {
 	obj reflect.Value
 	ti  *typeInfo
+	// disp is the per-object self-dispatch tier (see dispatch.go), bound by
+	// newPayload at install time: non-nil when the class implements
+	// AmberDispatch. Like obj, it is published before the resident transition
+	// and read lock-free under a pin. (Trampolines, the next tier, live on
+	// methodInfo — compiled once at registration, shared by all objects.)
+	disp AmberDispatch
 	// snap caches the object's marshalled state once the object is
 	// immutable, so snapshot-bearing invoke replies append pre-encoded bytes
 	// instead of re-marshalling per call. nil for mutable objects. The cell

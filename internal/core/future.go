@@ -221,13 +221,14 @@ func (n *Node) asyncDispatch(fc *futureCall) {
 	case actError:
 		fc.f.complete(nil, err)
 	case actExecute:
-		args, uerr := wire.UnmarshalArgs(fc.args)
+		args, uerr := wire.UnmarshalArgsScratch(fc.args)
 		if uerr != nil {
 			n.unpin(d)
 			fc.f.complete(nil, uerr)
 			return
 		}
 		n.runAsyncLocal(d, fc.rec, fc.obj, fc.method, args, fc.o.readOnly, fc.f)
+		wire.PutArgs(args)
 	case actForward:
 		fc.to = to
 		n.pipeFor(to).requeue(fc)

@@ -211,7 +211,11 @@ func (n *Node) invoke(c *Ctx, obj gaddr.Addr, method string, args []any, o callO
 			n.histLocal.Observe(time.Since(start))
 			return res, rerr
 		}
-		res, rerr := n.shipInvoke(c, &msg, to, args, o)
+		// Ship on a heap copy: shipInvoke leaks its msg into the marshal
+		// layer, and sharing one variable would force every local invoke to
+		// heap-allocate the routedMsg the fast path never ships.
+		smsg := msg
+		res, rerr := n.shipInvoke(c, &smsg, to, args, o)
 		if rerr != nil && staleRouteError(rerr) {
 			// A routed call that dead-ends may have been steered by a stale
 			// location hint; forget it and retry once through the home node.
@@ -386,16 +390,16 @@ func (n *Node) runPinned(c *Ctx, d *descriptor, obj gaddr.Addr, method string, a
 		c.rec.Pins = c.rec.Pins[:len(c.rec.Pins)-1]
 		n.unpin(d)
 	}()
-	release := c.ensureSlot(n)
-	defer release()
+	c.acquireSlot(n)
+	defer c.releaseSlot(n)
 	n.cResidency.Inc()
 
 	// The pin we hold licenses a lock-free read of the payload: it was
 	// published before the word went resident and cannot be cleared until we
 	// unpin (see the objspace.Descriptor synchronization contract). The
 	// immutable bit comes off the packed word — one atomic load.
-	ti := d.Payload.ti
-	objPtr := d.Payload.obj
+	p := &d.Payload
+	ti := p.ti
 	checkImmutable := n.cfg.DebugImmutable && d.Immutable()
 	if ti == nil {
 		return nil, fmt.Errorf("%w: %#x has no type", ErrNoSuchObject, uint64(obj))
@@ -406,7 +410,7 @@ func (n *Node) runPinned(c *Ctx, d *descriptor, obj gaddr.Addr, method string, a
 	}
 	var before []byte
 	if checkImmutable {
-		before, _ = wire.Marshal(objPtr.Elem().Interface())
+		before, _ = wire.Marshal(p.obj.Elem().Interface())
 	}
 	coh := d.Leasable() && !d.Immutable()
 	ro := readOnly || mi.readOnly
@@ -417,7 +421,7 @@ func (n *Node) runPinned(c *Ctx, d *descriptor, obj gaddr.Addr, method string, a
 			d.Coh.Lock()
 		}
 	}
-	res, err = mi.call(objPtr, c, args)
+	res, err = p.call(mi, c, args)
 	if coh {
 		if ro {
 			d.Coh.RUnlock()
@@ -432,7 +436,7 @@ func (n *Node) runPinned(c *Ctx, d *descriptor, obj gaddr.Addr, method string, a
 		}
 	}
 	if checkImmutable && err == nil {
-		after, _ := wire.Marshal(objPtr.Elem().Interface())
+		after, _ := wire.Marshal(p.obj.Elem().Interface())
 		if !bytes.Equal(before, after) {
 			n.counts.Inc("immutable_violations")
 			return nil, fmt.Errorf("%w: %s.%s", ErrImmutableViolated, ti.name, method)
@@ -551,7 +555,10 @@ func (n *Node) handleRouted(rc *rpc.Ctx) {
 func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 	switch msg.Op {
 	case opInvoke:
-		args, err := wire.UnmarshalArgs(msg.Args)
+		// Scratch decode: the argument vector dies with this call (user code
+		// receives the values, never the spine), so the []any comes from the
+		// wire package's pool and goes back once the operation has run.
+		args, err := wire.UnmarshalArgsScratch(msg.Args)
 		if err != nil {
 			n.unpin(d)
 			return err
@@ -600,6 +607,7 @@ func (n *Node) executeRouted(rc *rpc.Ctx, d *descriptor, msg *routedMsg) error {
 			msg.SnapMax > 0 && d.Leasable() && !d.Immutable() && rc.Origin != n.id
 		start := time.Now()
 		results, err := n.runPinned(c, d, msg.Obj, msg.Method, args, readOnly)
+		wire.PutArgs(args)
 		elapsed := time.Since(start)
 		n.histExec.Observe(elapsed)
 		if traced {

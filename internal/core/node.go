@@ -649,7 +649,7 @@ func (n *Node) newLocalObject(obj any) (gaddr.Addr, error) {
 	d.Lock()
 	// Payload before the resident transition: the atomic state word is what
 	// publishes it to lock-free TryPin readers.
-	d.Payload = payload{obj: valueOf(obj), ti: ti}
+	d.Payload = newPayload(valueOf(obj), ti)
 	d.SetEpochLocked(1)
 	d.SetStateLocked(stateResident)
 	d.Unlock()

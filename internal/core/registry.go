@@ -18,6 +18,11 @@ type Registry struct {
 	mu     sync.RWMutex
 	byName map[string]*typeInfo
 	byType map[reflect.Type]*typeInfo
+
+	// noTramp disables trampoline binding for types registered afterwards.
+	// Test hook: the dispatch conformance suite registers the same class with
+	// and without trampolines and asserts identical observable behavior.
+	noTramp bool
 }
 
 // NewRegistry returns an empty registry with the runtime's internal types
@@ -49,6 +54,10 @@ type typeInfo struct {
 	// queues must be empty at migration time anyway, enforced by the
 	// classes' MoveGuards).
 	hasState bool
+	// selfDispatch marks a class implementing AmberDispatch; installs bind
+	// the interface and the Dispatch method itself is excluded from the
+	// operation table (it is plumbing, not an operation).
+	selfDispatch bool
 }
 
 // methodInfo describes one operation.
@@ -65,6 +74,20 @@ type methodInfo struct {
 	// coherence lock and serve from reader leases; it is a promise, not a
 	// proof — a lying declaration yields stale reads, never corruption.
 	readOnly bool
+
+	// The compiled dispatch plan (dispatch.go), built once at registration:
+	// fn is the unbound Method(idx).Func — calling it with the receiver as
+	// arg 0 avoids the per-call method-value allocation of
+	// objPtr.Method(idx).Call; frameLen is the full argument frame length
+	// (receiver + optional ctx + params); coercers holds one precompiled
+	// coercion per parameter, so coerce's type tests run at registration
+	// instead of per call; tramp (nil if the signature is outside the
+	// trampoline corpus) is the method's direct-call closure, shared by every
+	// object of the class — it takes the receiver as an untyped pointer.
+	fn       reflect.Value
+	frameLen int
+	coercers []coerceFn
+	tramp    trampFn
 }
 
 // ReadOnlyDeclarer is implemented by registered classes that want some of
@@ -116,6 +139,7 @@ func (r *Registry) register(v any, serializable bool) (*typeInfo, error) {
 			readOnly[name] = true
 		}
 	}
+	_, ti.selfDispatch = reflect.New(t).Interface().(AmberDispatch)
 	for i := 0; i < ti.ptr.NumMethod(); i++ {
 		m := ti.ptr.Method(i)
 		if m.PkgPath != "" { // unexported
@@ -124,6 +148,9 @@ func (r *Registry) register(v any, serializable bool) (*typeInfo, error) {
 		mt := m.Type
 		if mt.IsVariadic() {
 			continue
+		}
+		if ti.selfDispatch && m.Name == "Dispatch" {
+			continue // runtime plumbing, not an operation
 		}
 		mi := &methodInfo{name: m.Name, idx: i, readOnly: readOnly[m.Name]}
 		argStart := 1 // skip receiver
@@ -141,6 +168,30 @@ func (r *Registry) register(v any, serializable bool) (*typeInfo, error) {
 		}
 		for j := 0; j < n; j++ {
 			mi.results = append(mi.results, mt.Out(j))
+		}
+		// Compile the dispatch plan (dispatch.go): cache the unbound func,
+		// precompute the frame length and per-parameter coercers, and select
+		// a trampoline binder if the receiver-stripped signature is in the
+		// corpus. An unsupported signature is not an error — it simply runs
+		// on the reflective plan.
+		mi.fn = m.Func
+		mi.frameLen = mt.NumIn()
+		mi.coercers = make([]coerceFn, len(mi.params))
+		for j, p := range mi.params {
+			mi.coercers[j] = compileCoerce(p)
+		}
+		if !r.noTramp && trampEligible(mi) {
+			ins := make([]reflect.Type, 0, mt.NumIn()-1)
+			for j := 1; j < mt.NumIn(); j++ {
+				ins = append(ins, mt.In(j))
+			}
+			outs := make([]reflect.Type, mt.NumOut())
+			for j := range outs {
+				outs[j] = mt.Out(j)
+			}
+			if bind, ok := corpus[reflect.FuncOf(ins, outs, false)]; ok {
+				mi.tramp = bind(mi)
+			}
 		}
 		ti.methods[m.Name] = mi
 	}
@@ -203,32 +254,53 @@ func (ti *typeInfo) method(name string) (*methodInfo, error) {
 	return mi, nil
 }
 
-// call performs the reflective invocation of mi on objPtr. A panic in user
-// code is converted into an error rather than taking down the node.
+// call performs the reflective invocation of mi on objPtr — the compiled
+// plan: unbound func cached at registration (receiver passed as arg 0, so no
+// per-call method value), the argument frame drawn from the per-P free list,
+// and per-parameter coercers precompiled. A panic in user code is converted
+// into an error carrying the user stack rather than taking down the node.
 func (mi *methodInfo) call(objPtr reflect.Value, ctx *Ctx, args []any) (results []any, err error) {
 	if len(args) != len(mi.params) {
 		return nil, fmt.Errorf("%w: %s takes %d args, got %d",
 			ErrBadArgument, mi.name, len(mi.params), len(args))
 	}
-	in := make([]reflect.Value, 0, 2+len(args))
-	in = append(in, objPtr)
+	var in []reflect.Value
+	var fr *frame
+	if mi.frameLen <= frameCap {
+		fr = getFrame()
+		in = fr[:mi.frameLen]
+	} else {
+		in = make([]reflect.Value, mi.frameLen)
+	}
+	in[0] = objPtr
+	base := 1
 	if mi.takesCtx {
-		in = append(in, reflect.ValueOf(ctx))
+		in[1] = reflect.ValueOf(ctx)
+		base = 2
 	}
 	for i, a := range args {
-		v, cerr := coerce(a, mi.params[i])
+		v, cerr := mi.coercers[i](a)
 		if cerr != nil {
+			if fr != nil {
+				putFrame(fr)
+			}
 			return nil, fmt.Errorf("%w: %s arg %d: %v", ErrBadArgument, mi.name, i, cerr)
 		}
-		in = append(in, v)
+		in[base+i] = v
 	}
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("amber: panic in %s: %v", mi.name, p)
+			err = panicError(mi.name, p)
 			results = nil
 		}
 	}()
-	out := objPtr.Method(mi.idx).Call(in[1:])
+	out := mi.fn.Call(in)
+	if fr != nil {
+		// On panic the frame is simply dropped to the GC (the deferred
+		// recovery above runs instead of this line) — never re-pooled while
+		// its ownership is in doubt.
+		putFrame(fr)
+	}
 	if mi.hasErr {
 		if e := out[len(out)-1]; !e.IsNil() {
 			err = e.Interface().(error)
@@ -242,36 +314,75 @@ func (mi *methodInfo) call(objPtr reflect.Value, ctx *Ctx, args []any) (results 
 	return results, err
 }
 
-// coerce adapts a decoded argument to a parameter type. gob preserves
-// registered concrete types, but numeric kinds may need conversion (an int
-// literal passed where the method wants float64, say).
-func coerce(a any, want reflect.Type) (reflect.Value, error) {
-	if a == nil {
-		// Zero value for the parameter type (nil slice, nil pointer, 0...).
-		switch want.Kind() {
-		case reflect.Pointer, reflect.Slice, reflect.Map, reflect.Interface, reflect.Chan, reflect.Func:
-			return reflect.Zero(want), nil
-		default:
+// trampEligible reports whether mi's signature may bind a trampoline at all.
+// Interface-typed parameters and results are excluded at registration — not
+// at call time — because a trampoline's exact type asserts cannot reproduce
+// coerce's interface semantics (nil arguments become the zero interface, and
+// any implementing concrete type is accepted); those methods always take the
+// reflective plan. The corpus contains no interface shapes, so this guard is
+// an explicit statement of policy rather than a load-bearing filter.
+func trampEligible(mi *methodInfo) bool {
+	for _, p := range mi.params {
+		if p.Kind() == reflect.Interface {
+			return false
+		}
+	}
+	for _, r := range mi.results {
+		if r.Kind() == reflect.Interface {
+			return false
+		}
+	}
+	return true
+}
+
+// coerceFn adapts one decoded argument to its parameter type.
+type coerceFn func(a any) (reflect.Value, error)
+
+// compileCoerce builds the per-parameter coercer: all of coerce's type tests
+// (nilability, interface, numeric convertibility) run here, once, at
+// registration; the returned closure does only the per-value work.
+func compileCoerce(want reflect.Type) coerceFn {
+	var nilable bool
+	switch want.Kind() {
+	case reflect.Pointer, reflect.Slice, reflect.Map, reflect.Interface, reflect.Chan, reflect.Func:
+		nilable = true
+	}
+	zero := reflect.Zero(want)
+	isIface := want.Kind() == reflect.Interface
+	var convertible bool
+	switch want.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64, reflect.String:
+		convertible = true
+	}
+	return func(a any) (reflect.Value, error) {
+		if a == nil {
+			if nilable {
+				return zero, nil
+			}
 			return reflect.Value{}, fmt.Errorf("nil for non-nilable %s", want)
 		}
-	}
-	v := reflect.ValueOf(a)
-	if v.Type() == want {
-		return v, nil
-	}
-	if v.Type().AssignableTo(want) {
-		return v, nil
-	}
-	if want.Kind() == reflect.Interface && v.Type().Implements(want) {
-		return v, nil
-	}
-	if v.Type().ConvertibleTo(want) {
-		switch want.Kind() {
-		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
-			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
-			reflect.Float32, reflect.Float64, reflect.String:
+		v := reflect.ValueOf(a)
+		t := v.Type()
+		if t == want || t.AssignableTo(want) {
+			return v, nil
+		}
+		if isIface && t.Implements(want) {
+			return v, nil
+		}
+		if convertible && t.ConvertibleTo(want) {
 			return v.Convert(want), nil
 		}
+		return reflect.Value{}, fmt.Errorf("cannot use %s as %s", t, want)
 	}
-	return reflect.Value{}, fmt.Errorf("cannot use %s as %s", v.Type(), want)
+}
+
+// coerce adapts a decoded argument to a parameter type. gob preserves
+// registered concrete types, but numeric kinds may need conversion (an int
+// literal passed where the method wants float64, say). The per-call plans use
+// compileCoerce above; this one-shot form serves ad-hoc call sites and tests,
+// and the two must agree (the conformance suite checks).
+func coerce(a any, want reflect.Type) (reflect.Value, error) {
+	return compileCoerce(want)(a)
 }

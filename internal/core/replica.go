@@ -188,7 +188,8 @@ func (n *Node) installReplica(obj gaddr.Addr, from gaddr.NodeID, typeName string
 	}
 	// Publication order as for any install: payload and mode bits before the
 	// resident transition that licenses lock-free TryPin readers.
-	d.Payload = payload{obj: pv, ti: ti, snap: cell}
+	d.Payload = newPayload(pv, ti)
+	d.Payload.snap = cell
 	d.Fwd = gaddr.NoNode
 	d.ClearAttachLocked()
 	d.SetImmutableLocked(true)
@@ -324,7 +325,8 @@ func (n *Node) installLease(r replicaInstall) {
 	// resident transition that licenses lock-free TryPin readers. No snap
 	// cell (the cached-encoding optimization is immutable-only) and the
 	// leasable bit stays clear: a lease copy never grants leases of its own.
-	d.Payload = payload{obj: pv, ti: ti, src: r.from}
+	d.Payload = newPayload(pv, ti)
+	d.Payload.src = r.from
 	d.Fwd = gaddr.NoNode
 	d.ClearAttachLocked()
 	d.SetImmutableLocked(false)

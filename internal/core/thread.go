@@ -57,13 +57,15 @@ func (c *Ctx) Priority() int { return c.rec.Priority }
 // decisions.
 func (c *Ctx) SetPriority(p int) { c.rec.Priority = p }
 
-// ensureSlot makes sure the thread holds a processor slot on node n while
-// executing; the returned release undoes this level. Nested invocations on
-// one node share a single slot.
-func (c *Ctx) ensureSlot(n *Node) func() {
+// acquireSlot makes sure the thread holds a processor slot on node n while
+// executing; releaseSlot undoes one level. Nested invocations on one node
+// share a single slot. A paired-call API rather than a returned release
+// closure: the pair sits on every local invoke, and the closure was a
+// heap allocation per call.
+func (c *Ctx) acquireSlot(n *Node) {
 	if c.slotDepth > 0 {
 		c.slotDepth++
-		return func() { c.slotDepth-- }
+		return
 	}
 	if c.task == nil || c.task.ThreadID != c.rec.ID {
 		c.task = &sched.Task{ThreadID: c.rec.ID, Priority: c.rec.Priority}
@@ -71,11 +73,12 @@ func (c *Ctx) ensureSlot(n *Node) func() {
 	n.sch.Acquire(c.task)
 	c.slotDepth = 1
 	c.quantumStart = time.Now()
-	return func() {
-		c.slotDepth--
-		if c.slotDepth == 0 {
-			n.sch.Release(c.task)
-		}
+}
+
+func (c *Ctx) releaseSlot(n *Node) {
+	c.slotDepth--
+	if c.slotDepth == 0 {
+		n.sch.Release(c.task)
 	}
 }
 
@@ -92,8 +95,8 @@ func (c *Ctx) Spawn() *Ctx {
 // by raw compute goroutines (see Spawn); invocations manage slots
 // themselves.
 func (c *Ctx) WithSlot(f func()) {
-	release := c.ensureSlot(c.node)
-	defer release()
+	c.acquireSlot(c.node)
+	defer c.releaseSlot(c.node)
 	f()
 }
 

@@ -31,6 +31,44 @@ type Section struct {
 // ownedRows reports N, the number of interior rows this section owns.
 func (s *Section) ownedRows() int { return len(s.U) - 2 }
 
+// Dispatch implements core.AmberDispatch for the section's hot operations —
+// the ghost-row install, edge-row read, and relaxation kernel that dominate
+// an SOR iteration — with direct type switches instead of reflection. Cold
+// control-plane operations (SetNeighbors, Run, Rows, PushEdges) and any call
+// whose arguments need coercion fall back to the runtime's reflective plan
+// via ErrNotDispatched, which keeps the lenient argument rules intact. The
+// args vector is runtime-owned scratch; nothing here retains it.
+func (s *Section) Dispatch(c *core.Ctx, method string, args []any) ([]any, error) {
+	switch method {
+	case "SetGhostColor":
+		if len(args) == 3 {
+			which, ok1 := args[0].(int)
+			color, ok2 := args[1].(int)
+			vals, ok3 := args[2].([]float64)
+			if ok1 && ok2 && ok3 {
+				s.SetGhostColor(which, color, vals)
+				return []any{}, nil
+			}
+		}
+	case "EdgeRow":
+		if len(args) == 1 {
+			if which, ok := args[0].(int); ok {
+				return []any{s.EdgeRow(which)}, nil
+			}
+		}
+	case "ComputeColorRange":
+		if len(args) == 3 {
+			color, ok1 := args[0].(int)
+			from, ok2 := args[1].(int)
+			to, ok3 := args[2].(int)
+			if ok1 && ok2 && ok3 {
+				return []any{s.ComputeColorRange(color, from, to)}, nil
+			}
+		}
+	}
+	return nil, core.ErrNotDispatched
+}
+
 // SetNeighbors wires the section to its neighbours; called once by the
 // master before the computation starts.
 func (s *Section) SetNeighbors(up, down core.Ref) {

@@ -608,6 +608,14 @@ func AppendArgs(b []byte, args []any) ([]byte, error) {
 
 // DecodeArgs consumes an argument vector from the front of b.
 func DecodeArgs(b []byte) ([]any, []byte, error) {
+	return DecodeArgsInto(nil, b)
+}
+
+// DecodeArgsInto consumes an argument vector from the front of b, decoding
+// into dst's backing array when the vector fits in cap(dst) and allocating a
+// fresh slice otherwise. The decoded values own their memory either way; only
+// the vector itself aliases dst.
+func DecodeArgsInto(dst []any, b []byte) ([]any, []byte, error) {
 	if len(b) == 0 {
 		return nil, nil, ErrShortBuffer
 	}
@@ -621,7 +629,12 @@ func DecodeArgs(b []byte) ([]any, []byte, error) {
 	if n == 0 {
 		return nil, rest, nil
 	}
-	out := make([]any, n)
+	var out []any
+	if n <= cap(dst) {
+		out = dst[:n]
+	} else {
+		out = make([]any, n)
+	}
 	for i := range out {
 		if out[i], rest, err = DecodeValue(rest); err != nil {
 			return nil, nil, err

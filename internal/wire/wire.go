@@ -23,6 +23,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"reflect"
+	"sync"
 	"sync/atomic"
 
 	"amber/internal/gaddr"
@@ -124,6 +125,43 @@ func MarshalArgs(args []any) ([]byte, error) {
 func UnmarshalArgs(b []byte) ([]any, error) {
 	vs, _, err := DecodeArgs(b)
 	return vs, err
+}
+
+// argsScratchCap is the pooled argument-vector capacity; vectors longer than
+// this (rare — operations take a handful of arguments) fall back to a plain
+// allocation.
+const argsScratchCap = 8
+
+var argsPool = sync.Pool{New: func() any { return new([argsScratchCap]any) }}
+
+// UnmarshalArgsScratch decodes like UnmarshalArgs but draws the vector from a
+// per-P scratch pool: for the remote-execution hot path, where the argument
+// vector dies with the call. The caller must hand the vector back with
+// PutArgs once the operation has returned; the decoded *values* own their
+// memory and may outlive the vector (user code keeps whatever arguments it
+// wants — it is only the []any spine that is recycled).
+func UnmarshalArgsScratch(b []byte) ([]any, error) {
+	arr := argsPool.Get().(*[argsScratchCap]any)
+	vs, _, err := DecodeArgsInto(arr[:0], b)
+	if err != nil || cap(vs) != argsScratchCap {
+		// Scratch unused: decode error, empty vector, or overflow into a
+		// plain allocation. Clear junk from a partial decode and re-pool.
+		clear(arr[:])
+		argsPool.Put(arr)
+	}
+	return vs, err
+}
+
+// PutArgs recycles a vector obtained from UnmarshalArgsScratch. The slice
+// must not be referenced after the call. Safe to pass any args vector:
+// non-pooled ones (overflow or plain UnmarshalArgs) are left to the GC.
+func PutArgs(vs []any) {
+	if cap(vs) != argsScratchCap {
+		return
+	}
+	arr := (*[argsScratchCap]any)(vs[:argsScratchCap])
+	clear(arr[:])
+	argsPool.Put(arr)
 }
 
 // MarshalInto encodes a protocol message struct into a pooled buffer. Types

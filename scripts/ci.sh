@@ -252,5 +252,29 @@ go test -run '^$' \
 	-bench '^(BenchmarkTable1LocalInvoke|BenchmarkTable1RemoteInvoke|BenchmarkImmutableRemoteInvokeCold|BenchmarkImmutableRemoteInvokeWarm|BenchmarkMutableLeaseWarm|BenchmarkMutableLeaseWriteFence|BenchmarkLocalInvokeParallel|BenchmarkSkewedInvokeStatic|BenchmarkSkewedInvokeHeat|BenchmarkFanInSerial64|BenchmarkFanInAsync64|BenchmarkAcquireRelease)$' \
 	-benchtime 100x -count 1 . ./internal/sched/
 
+echo "== allocation regression (Table 1 invoke benches, -benchmem) =="
+# Allocation counts are deterministic where ns/op is host-noise: these gates
+# run in CI proper, not just the perf script. Local invoke (and the warm
+# replica/lease hits, which run the same compiled dispatch plans) must stay
+# within 3 allocs/op; remote invoke strictly below 38/op. Memory profiles are
+# archived next to the run so a failure comes with its own evidence.
+ALLOCDIR=${CI_ARTIFACTS:-$(mktemp -d /tmp/amber-ci-alloc.XXXXXX)}
+mkdir -p "$ALLOCDIR"
+ALLOC_RAW=$(go test -run '^$' \
+	-bench '^(BenchmarkTable1LocalInvoke|BenchmarkTable1RemoteInvoke|BenchmarkImmutableRemoteInvokeWarm|BenchmarkMutableLeaseWarm)$' \
+	-benchmem -benchtime 20000x -count 1 \
+	-memprofile "$ALLOCDIR/invoke_mem.pprof" .)
+echo "$ALLOC_RAW"
+echo "memprofile archived at $ALLOCDIR/invoke_mem.pprof"
+echo "$ALLOC_RAW" | awk '
+	function allocs(    i) { for (i = 3; i + 1 <= NF; i += 2) if ($(i+1) == "allocs/op") return $i + 0; return -1 }
+	$1 ~ /^BenchmarkTable1LocalInvoke(-[0-9]+)?$/        { v = allocs(); if (v < 0 || v > 3)  { print "FAIL: local invoke " v " allocs/op (budget 3)"; bad = 1 } }
+	$1 ~ /^BenchmarkImmutableRemoteInvokeWarm(-[0-9]+)?$/ { v = allocs(); if (v < 0 || v > 3)  { print "FAIL: warm replica hit " v " allocs/op (budget 3)"; bad = 1 } }
+	$1 ~ /^BenchmarkMutableLeaseWarm(-[0-9]+)?$/          { v = allocs(); if (v < 0 || v > 3)  { print "FAIL: warm lease read " v " allocs/op (budget 3)"; bad = 1 } }
+	$1 ~ /^BenchmarkTable1RemoteInvoke(-[0-9]+)?$/        { v = allocs(); if (v < 0 || v >= 38) { print "FAIL: remote invoke " v " allocs/op (must be < 38)"; bad = 1 } }
+	END { exit bad }
+' || { echo "FAIL: allocation regression — compiled dispatch fell off its budget" >&2; exit 1; }
+echo "allocation gates passed (local/warm <= 3 allocs/op, remote < 38 allocs/op)"
+
 echo
 echo "ci: all gates passed"
